@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one figure of the paper's evaluation and
+prints the resulting table so the run log doubles as the reproduction record
+(the same tables are summarized in EXPERIMENTS.md).  pytest-benchmark measures
+the wall-clock of each figure's experiment; experiments that share the
+expensive model-suite run reuse a process-level cache, so the whole harness
+trains each model exactly once.
+
+Environment knobs:
+
+* ``REPRO_PAPER_SCALE=1`` — run at the paper's query volumes (slow).
+* ``REPRO_QUERY_SCALE=<float>`` — scale the default query counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def print_figure():
+    """Print a FigureResult table to the captured benchmark log."""
+
+    def _print(figure, columns=None):
+        print()
+        print(figure.render(columns))
+        return figure
+
+    return _print

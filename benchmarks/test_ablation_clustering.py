@@ -1,0 +1,20 @@
+"""Ablation A1 — k-means vs DBSCAN template clustering (JOB).
+
+The paper's related-work discussion reports that k-means templates gave more
+accurate resource predictions than DBSCAN-based clustering (the DBSeer-style
+alternative).  This ablation regenerates that comparison.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import ablation_clustering
+
+
+def test_ablation_clustering(benchmark, print_figure):
+    figure = run_once(benchmark, ablation_clustering)
+    print_figure(figure)
+
+    rmse = {row["clustering"]: row["rmse_mb"] for row in figure.rows}
+    assert set(rmse) == {"k-means", "DBSCAN"}
+    # k-means templates should not be (meaningfully) worse than DBSCAN ones.
+    assert rmse["k-means"] <= rmse["DBSCAN"] * 1.1

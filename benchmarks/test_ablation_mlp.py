@@ -1,0 +1,27 @@
+"""Ablation A2 — MLP optimizer and activation choices (Section III-B3).
+
+The paper reports two observations about its DNN regressor: L-BFGS was the
+better optimizer on the small dataset while Adam suited the large one, and a
+linear activation was adequate for the simpler dataset while ReLU helped on
+the complex one.  This ablation trains the four (solver, activation)
+combinations on a small (TPC-C) and a large (TPC-DS) benchmark.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import ablation_mlp
+
+
+def test_ablation_mlp(benchmark, print_figure):
+    figure = run_once(benchmark, ablation_mlp)
+    print_figure(figure)
+
+    assert len(figure.rows) == 8  # 2 benchmarks x 2 solvers x 2 activations
+    small = [row for row in figure.rows if row["benchmark"] == "tpcc"]
+    best_small = min(small, key=lambda row: row["rmse_mb"])
+    # On the small transactional dataset the full-batch L-BFGS configurations
+    # should be at least as accurate as the best Adam configuration.
+    best_adam = min(row["rmse_mb"] for row in small if row["solver"] == "adam")
+    best_lbfgs = min(row["rmse_mb"] for row in small if row["solver"] == "lbfgs")
+    assert best_lbfgs <= best_adam * 1.25
+    assert best_small["rmse_mb"] > 0.0

@@ -1,0 +1,34 @@
+"""Figure 10 — MAPE as a function of the number of query templates.
+
+Paper shape to reproduce: TPC-DS keeps improving as templates grow towards
+100 (its query pool is derived from 99 seed templates), while the smaller
+JOB / TPC-C datasets reach their best accuracy at a moderate template count
+and show no monotone gain beyond it.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure10_template_counts
+
+
+def test_figure10_template_counts(benchmark, print_figure):
+    figure = run_once(benchmark, figure10_template_counts)
+    print_figure(figure)
+
+    def series(name: str) -> dict[int, float]:
+        return {
+            row["n_templates"]: row["mape_pct"]
+            for row in figure.rows
+            if row["benchmark"] == name
+        }
+
+    tpcds = series("tpcds")
+    # TPC-DS: high template counts clearly beat the coarsest clustering.
+    assert min(tpcds[k] for k in tpcds if k >= 80) < tpcds[10]
+
+    for name in ("job", "tpcc"):
+        values = series(name)
+        assert len(values) >= 5
+        best_k = min(values, key=values.get)
+        # The optimum is an interior/moderate point rather than the minimum k.
+        assert best_k > 10

@@ -1,0 +1,33 @@
+"""Figure 11 — MAPE as a function of the workload batch size (TPC-DS).
+
+Paper shape to reproduce: accuracy improves (MAPE falls) as the batch size
+grows — batch-level estimation is easier than per-query estimation — with the
+largest gains early; and at batch size 1 the SingleWMP model (trained on raw
+per-query plan features) beats the LearnedWMP model, which at that batch size
+only sees a one-hot template histogram.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure11_batch_size
+
+
+def test_figure11_batch_size(benchmark, print_figure):
+    figure = run_once(benchmark, figure11_batch_size)
+    print_figure(figure)
+
+    learned = {
+        row["batch_size"]: row["mape_pct"]
+        for row in figure.rows
+        if row["model"] == "LearnedWMP"
+    }
+    single_at_one = next(
+        row["mape_pct"] for row in figure.rows if row["model"] == "SingleWMP"
+    )
+
+    # Accuracy improves substantially from single queries to 10-query batches...
+    assert learned[10] < learned[1]
+    # ...and large batches are never worse than very small ones.
+    assert min(learned[k] for k in learned if k >= 20) < learned[2]
+    # At batch size 1 the per-query model wins (it sees richer features).
+    assert single_at_one < learned[1]

@@ -1,0 +1,29 @@
+"""Figure 4 — RMSE of LearnedWMP and SingleWMP variants on all benchmarks.
+
+Paper shape to reproduce: every ML-based model (LearnedWMP-* and SingleWMP-*)
+has a substantially lower RMSE than the heuristic SingleWMP-DBMS baseline, and
+the best LearnedWMP variants are competitive with the best SingleWMP variants.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure4_rmse
+
+
+def test_figure4_rmse(benchmark, print_figure):
+    figure = run_once(benchmark, figure4_rmse)
+    print_figure(figure)
+
+    by_benchmark: dict[str, dict[str, float]] = {}
+    for row in figure.rows:
+        by_benchmark.setdefault(row["benchmark"], {})[row["model"]] = row["rmse_mb"]
+
+    for name, models in by_benchmark.items():
+        dbms_rmse = models["SingleWMP-DBMS"]
+        best_learned = min(v for k, v in models.items() if k.startswith("LearnedWMP"))
+        best_single = min(
+            v for k, v in models.items() if k.startswith("SingleWMP-") and k != "SingleWMP-DBMS"
+        )
+        # The paper's headline: learned models cut the state-of-practice error.
+        assert best_learned < dbms_rmse, f"{name}: best LearnedWMP should beat the DBMS heuristic"
+        assert best_single < dbms_rmse, f"{name}: best SingleWMP-ML should beat the DBMS heuristic"

@@ -1,0 +1,27 @@
+"""Figure 5 — distribution of estimation-error residuals (violin-plot summary).
+
+Paper shape to reproduce: the DBMS heuristic's residuals are wide and skewed
+to one side (systematic under- or over-estimation), while the learned models'
+residuals are tighter and balanced around zero.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure5_residuals
+
+
+def test_figure5_residuals(benchmark, print_figure):
+    figure = run_once(benchmark, figure5_residuals)
+    print_figure(figure)
+
+    for bench in ("tpcds", "tpcc"):
+        rows = {row["model"]: row for row in figure.rows if row["benchmark"] == bench}
+        dbms = rows["SingleWMP-DBMS"]
+        best_learned = min(
+            (row for name, row in rows.items() if name.startswith("LearnedWMP")),
+            key=lambda row: row["iqr"],
+        )
+        # Learned residuals are tighter than the heuristic's...
+        assert best_learned["iqr"] < dbms["iqr"]
+        # ...and closer to balanced between under- and over-estimation.
+        assert abs(best_learned["under_share"] - 0.5) <= abs(dbms["under_share"] - 0.5) + 0.05

@@ -1,0 +1,33 @@
+"""Figure 6 — model training time.
+
+Paper shape to reproduce: for each regressor family, training the LearnedWMP
+variant (which sees one histogram per workload) is faster than training the
+equivalent SingleWMP variant (which sees every query), with Ridge as the noted
+exception where the difference is negligible.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure6_training_time
+
+
+def test_figure6_training_time(benchmark, print_figure):
+    figure = run_once(benchmark, figure6_training_time)
+    print_figure(figure)
+
+    for bench in ("tpcds", "job", "tpcc"):
+        rows = {row["model"]: row["training_time_ms"] for row in figure.rows if row["benchmark"] == bench}
+        faster = 0
+        compared = 0
+        for regressor in ("DNN", "DT", "RF", "XGB"):
+            learned = rows.get(f"LearnedWMP-{regressor}")
+            single = rows.get(f"SingleWMP-{regressor}")
+            if learned is None or single is None:
+                continue
+            compared += 1
+            if learned < single:
+                faster += 1
+        # The majority of non-linear learners must train faster on workloads
+        # than on individual queries.
+        assert compared > 0
+        assert faster >= compared - 1, f"{bench}: LearnedWMP training should be faster"

@@ -1,0 +1,29 @@
+"""Figure 7 — per-workload inference time.
+
+Paper shape to reproduce: LearnedWMP variants answer a workload-level query
+several times faster than the equivalent SingleWMP variants, because they run
+the regressor once per workload instead of once per query.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure7_inference_time
+
+
+def test_figure7_inference_time(benchmark, print_figure):
+    figure = run_once(benchmark, figure7_inference_time)
+    print_figure(figure)
+
+    speedups = []
+    for bench in ("tpcds", "job", "tpcc"):
+        rows = {row["model"]: row["inference_time_us"] for row in figure.rows if row["benchmark"] == bench}
+        for regressor in ("DNN", "RIDGE", "DT", "RF", "XGB"):
+            learned = rows.get(f"LearnedWMP-{regressor}")
+            single = rows.get(f"SingleWMP-{regressor}")
+            if learned and single:
+                speedups.append(single / learned)
+    assert speedups
+    faster_share = sum(1 for s in speedups if s > 1.0) / len(speedups)
+    # Nearly every pairing should favour LearnedWMP, typically by a large factor.
+    assert faster_share >= 0.8
+    assert max(speedups) > 3.0

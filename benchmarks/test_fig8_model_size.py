@@ -1,0 +1,32 @@
+"""Figure 8 — serialized model size.
+
+Paper shape to reproduce: LearnedWMP models are smaller than their SingleWMP
+counterparts for the tree-based learners (they are trained on one example per
+workload instead of one per query), while Ridge is the documented exception
+because its size tracks the number of input features.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure8_model_size
+
+
+def test_figure8_model_size(benchmark, print_figure):
+    figure = run_once(benchmark, figure8_model_size)
+    print_figure(figure)
+
+    smaller = 0
+    compared = 0
+    for bench in ("tpcds", "job", "tpcc"):
+        rows = {row["model"]: row["model_size_kb"] for row in figure.rows if row["benchmark"] == bench}
+        for regressor in ("DT", "RF", "XGB"):
+            learned = rows.get(f"LearnedWMP-{regressor}")
+            single = rows.get(f"SingleWMP-{regressor}")
+            if learned is None or single is None:
+                continue
+            compared += 1
+            if learned < single:
+                smaller += 1
+    assert compared > 0
+    # Most tree-based LearnedWMP models are smaller than their SingleWMP twins.
+    assert smaller / compared >= 0.6

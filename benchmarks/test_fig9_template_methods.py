@@ -1,0 +1,23 @@
+"""Figure 9 — template-learning methods compared (JOB, LearnedWMP-XGB).
+
+Paper shape to reproduce: the plan-feature (query-plan based) template method
+achieves the lowest error; the expression-based alternatives (rule-based,
+bag of words, text mining, word embeddings) trail it because the SQL text does
+not carry the cardinality signals that drive memory usage.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure9_template_methods
+
+
+def test_figure9_template_methods(benchmark, print_figure):
+    figure = run_once(benchmark, figure9_template_methods)
+    print_figure(figure)
+
+    rmse_by_method = {row["template_method"]: row["rmse_mb"] for row in figure.rows}
+    assert set(rmse_by_method) == {"plan", "rule", "bag_of_words", "text_mining", "word_embedding"}
+    plan_rmse = rmse_by_method["plan"]
+    text_methods = [rmse_by_method[m] for m in ("bag_of_words", "text_mining", "word_embedding")]
+    # The plan-based method must beat the majority of the expression-based ones.
+    assert sum(1 for value in text_methods if plan_rmse <= value * 1.05) >= 2

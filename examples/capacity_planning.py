@@ -1,0 +1,65 @@
+"""Capacity planning: size a memory budget for an analytical reporting window.
+
+Scenario (the paper's motivating use case): a nightly reporting window runs
+batches of analytical queries concurrently.  The DBA wants to know how much
+working memory to reserve so the window completes without spills or
+admission-control failures.  LearnedWMP predicts the demand of each batch;
+summing a high percentile over batches gives the budget.
+
+The script compares the budget derived from LearnedWMP predictions with the
+budget the DBMS heuristic would suggest and with the true requirement.
+
+Run with:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LearnedWMP, SingleWMPDBMS, generate_dataset, make_workloads
+
+N_QUERIES = 2_500
+BATCH_SIZE = 10
+SEED = 21
+
+
+def budget(predictions: np.ndarray, percentile: float = 95.0) -> float:
+    """Memory budget: the 95th percentile of per-batch demand."""
+    return float(np.percentile(predictions, percentile))
+
+
+def main() -> None:
+    print("Building the historical query log (JOB, join-heavy reporting queries) ...")
+    dataset = generate_dataset("job", N_QUERIES, seed=SEED)
+
+    model = LearnedWMP(
+        regressor="ridge", n_templates=80, batch_size=BATCH_SIZE, random_state=SEED, fast=True
+    )
+    model.fit(dataset.train_records)
+
+    # The "upcoming reporting window": unseen batches from the test partition.
+    window = make_workloads(dataset.test_records, BATCH_SIZE, seed=SEED)
+    actual = np.array([w.actual_memory_mb for w in window])
+    learned = model.predict(window)
+    heuristic = SingleWMPDBMS().predict(window)
+
+    print(f"\nReporting window: {len(window)} concurrent batches of {BATCH_SIZE} queries")
+    print(f"  true 95th-percentile batch demand : {budget(actual):10.0f} MB")
+    print(f"  LearnedWMP budget                 : {budget(learned):10.0f} MB")
+    print(f"  DBMS-heuristic budget             : {budget(heuristic):10.0f} MB")
+
+    learned_gap = budget(learned) / budget(actual) - 1.0
+    heuristic_gap = budget(heuristic) / budget(actual) - 1.0
+    print("\nRelative sizing error (positive = over-provisioned):")
+    print(f"  LearnedWMP     : {learned_gap:+.1%}")
+    print(f"  DBMS heuristic : {heuristic_gap:+.1%}")
+
+    under = np.mean(learned < actual)
+    print(
+        f"\nBatches whose LearnedWMP prediction was below the actual demand: {under:.0%} "
+        "(candidates for a safety margin)"
+    )
+
+
+if __name__ == "__main__":
+    main()

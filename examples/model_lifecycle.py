@@ -1,0 +1,99 @@
+"""Model lifecycle: ship a pre-trained model, detect drift, retrain on site.
+
+Scenario (the paper's "DBMS Integration & Broader Impact" section): the DBMS
+vendor pre-trains a LearnedWMP model on analytical sample workloads (TPC-DS)
+and ships it.  The customer's site, however, runs a different analytical
+workload — join-heavy IMDB-style reporting (JOB) — whose plans and memory
+profile the shipped model has never seen.  The deployed model keeps observing
+the local query log and its own prediction errors; once the template mix or
+the error drifts past the thresholds, the lifecycle manager retrains a new
+version on the combined corpus.
+
+Run with:  python examples/model_lifecycle.py
+"""
+
+from __future__ import annotations
+
+from repro import LearnedWMP, generate_dataset, make_workloads
+from repro.integration import ModelLifecycleManager
+
+SEED = 17
+BATCH_SIZE = 10
+
+
+def model_factory() -> LearnedWMP:
+    # Ridge keeps the regressor additive in the template counts, which lets a
+    # model retrained on a *mixed* analytical+transactional corpus transfer to
+    # purely transactional batches (tree ensembles cannot extrapolate to
+    # template-count combinations they never saw).
+    return LearnedWMP(
+        regressor="ridge", n_templates=40, batch_size=BATCH_SIZE, random_state=SEED, fast=True
+    )
+
+
+def main() -> None:
+    print("Vendor side: pre-training on analytical sample workloads (TPC-DS) ...")
+    vendor_dataset = generate_dataset("tpcds", 2_500, seed=SEED)
+    manager = ModelLifecycleManager(
+        model_factory=model_factory,
+        min_new_records=400,
+        batch_size=BATCH_SIZE,
+        seed=SEED,
+    )
+    shipped = manager.bootstrap(vendor_dataset.train_records)
+    print(
+        f"  shipped model: version {shipped.version}, "
+        f"trained on {shipped.n_training_records} queries, "
+        f"validation MAPE {shipped.validation_mape:.1f}%"
+    )
+
+    print("\nCustomer site: the local workload is join-heavy reporting (JOB) ...")
+    site_dataset = generate_dataset("job", 3_000, seed=SEED + 1)
+    site_workloads = make_workloads(site_dataset.train_records, BATCH_SIZE, seed=SEED)
+
+    # The DBMS keeps predicting with the shipped model and feeding back actuals.
+    for workload in site_workloads[:60]:
+        predicted = manager.predict_workload(workload)
+        manager.observe_feedback(predicted, workload.actual_memory_mb or 0.0)
+    manager.observe(site_dataset.train_records[:1800])
+
+    decision = manager.should_retrain()
+    print(f"  observed {manager.n_new_records} new query-log records")
+    if decision.histogram_drift is not None:
+        print(
+            f"  template-mix drift score : {decision.histogram_drift.score:.2f} "
+            f"(threshold {decision.histogram_drift.threshold})"
+        )
+    if decision.error_drift is not None:
+        print(
+            f"  rolling prediction MAPE  : {decision.error_drift.score:.1f}% "
+            f"(threshold {decision.error_drift.threshold:.0f}%)"
+        )
+    print(f"  retrain? {decision.retrain} — {decision.reason}")
+
+    version = manager.maybe_retrain()
+    if version is None:
+        print("\nNo retrain was necessary.")
+        return
+
+    print(
+        f"\nRetrained on site: version {version.version} "
+        f"({version.n_training_records} training queries, reason: {version.reason})"
+    )
+
+    # Compare shipped vs retrained on the site's future (test) workloads.
+    future = make_workloads(site_dataset.test_records, BATCH_SIZE, seed=SEED + 2)
+    shipped_metrics = shipped.model.evaluate(future)
+    retrained_metrics = version.model.evaluate(future)
+    print("\nAccuracy on the site's future reporting workloads:")
+    print(f"  shipped (analytics-only) model : MAPE {shipped_metrics['mape']:.1f}%")
+    print(f"  retrained model                : MAPE {retrained_metrics['mape']:.1f}%")
+    print(
+        "\nThis is the deployment loop the paper describes: accuracy may be modest\n"
+        "out of the box and improves as the model retrains on the operational\n"
+        "query log."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: train LearnedWMP on TPC-DS and predict workload memory.
+
+Walks through the full pipeline of the paper on a small generated dataset:
+
+1. generate and "execute" TPC-DS queries on the simulated DBMS (this yields
+   the query log LearnedWMP trains on),
+2. train a LearnedWMP model (plan-feature templates + XGBoost-style regressor),
+3. predict the memory demand of unseen workloads and compare against the
+   actual usage, a per-query ML baseline and the DBMS heuristic.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LearnedWMP,
+    SingleWMP,
+    SingleWMPDBMS,
+    generate_dataset,
+    make_workloads,
+)
+
+N_QUERIES = 2_000
+BATCH_SIZE = 10
+N_TEMPLATES = 60
+SEED = 7
+
+
+def main() -> None:
+    print(f"Generating and executing {N_QUERIES} TPC-DS queries ...")
+    dataset = generate_dataset("tpcds", N_QUERIES, seed=SEED)
+    print(
+        f"  {len(dataset.train_records)} training / {len(dataset.test_records)} test queries"
+    )
+
+    print("\nTraining LearnedWMP (plan templates + gradient-boosted trees) ...")
+    model = LearnedWMP(
+        regressor="xgb",
+        n_templates=N_TEMPLATES,
+        batch_size=BATCH_SIZE,
+        random_state=SEED,
+        fast=True,
+    )
+    model.fit(dataset.train_records)
+    report = model.training_report_
+    print(
+        f"  trained on {report.n_workloads} workloads of {BATCH_SIZE} queries "
+        f"({report.n_templates} templates) in {report.total_time_s:.2f}s"
+    )
+
+    print("\nPredicting memory for five unseen workloads:")
+    test_workloads = make_workloads(dataset.test_records, BATCH_SIZE, seed=SEED)
+    for i, workload in enumerate(test_workloads[:5]):
+        predicted = model.predict_workload(workload)
+        print(
+            f"  workload {i}: predicted {predicted:8.1f} MB   "
+            f"actual {workload.actual_memory_mb:8.1f} MB"
+        )
+
+    print("\nAccuracy on all test workloads (RMSE in MB, MAPE in %):")
+    learned_metrics = model.evaluate(test_workloads)
+    single = SingleWMP("xgb", random_state=SEED, fast=True).fit(dataset.train_records)
+    single_metrics = single.evaluate(test_workloads)
+    dbms_metrics = SingleWMPDBMS().evaluate(test_workloads)
+    for name, metrics in (
+        ("LearnedWMP-XGB", learned_metrics),
+        ("SingleWMP-XGB", single_metrics),
+        ("SingleWMP-DBMS (heuristic)", dbms_metrics),
+    ):
+        print(f"  {name:28s} rmse={metrics['rmse']:8.1f}  mape={metrics['mape']:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Regenerate the paper's evaluation figures as text tables.
+
+Runs the same experiment code the benchmark harness uses and prints every
+figure (4-11) plus the two ablations.  With default settings this takes
+several minutes because it trains every model variant on three benchmarks;
+pass ``--quick`` to run a reduced configuration.
+
+Run with:  python examples/reproduce_figures.py [--quick] [--figures figure4,figure11]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.figures import ALL_FIGURES
+
+
+def quick_config() -> ExperimentConfig:
+    """A reduced configuration for a fast end-to-end pass."""
+    return ExperimentConfig(
+        query_counts={"tpcds": 1500, "job": 800, "tpcc": 800},
+        template_counts={"tpcds": 40, "job": 30, "tpcc": 12},
+        batch_size=10,
+        seed=7,
+        fast_models=True,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use a reduced configuration")
+    parser.add_argument(
+        "--figures",
+        default=",".join(ALL_FIGURES),
+        help="comma-separated subset of: " + ", ".join(ALL_FIGURES),
+    )
+    args = parser.parse_args()
+
+    config = quick_config() if args.quick else default_config()
+    requested = [name.strip() for name in args.figures.split(",") if name.strip()]
+    unknown = [name for name in requested if name not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {unknown}; available: {sorted(ALL_FIGURES)}")
+
+    for name in requested:
+        runner = ALL_FIGURES[name]
+        print(f"\nRunning {name} ...")
+        figure = runner(config)
+        print(figure.render())
+
+
+if __name__ == "__main__":
+    main()

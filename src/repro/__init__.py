@@ -1,0 +1,89 @@
+"""LearnedWMP reproduction: workload memory prediction from query-template distributions.
+
+This package reproduces *LearnedWMP: Workload Memory Prediction Using
+Distribution of Query Templates* (EDBT 2026).  The public API is organized in
+the following layers:
+
+* :mod:`repro.core` — the LearnedWMP model, the SingleWMP baselines, plan
+  featurization, template learning, workload histograms and metrics.
+* :mod:`repro.dbms` — the simulated DBMS substrate (SQL parsing, planning,
+  cardinality estimation, working-memory model, heuristic estimator).
+* :mod:`repro.workloads` — TPC-DS, JOB and TPC-C query generators and dataset
+  construction.
+* :mod:`repro.experiments` — runners regenerating every figure of the paper's
+  evaluation (plus an extension experiment on the downstream impact of
+  prediction quality).
+* :mod:`repro.integration` — the consumers of the predictions: admission
+  control, workload scheduling, capacity planning, drift detection, the model
+  retraining lifecycle and a concurrent-execution simulator.
+* :mod:`repro.ml` — the from-scratch ML substrate everything is built on.
+* :mod:`repro.cli` — the ``learnedwmp`` command-line interface.
+
+Quickstart::
+
+    from repro import LearnedWMP, generate_dataset, make_workloads
+
+    dataset = generate_dataset("tpcds", 2000, seed=7)
+    model = LearnedWMP(regressor="xgb", n_templates=20, batch_size=10, random_state=0)
+    model.fit(dataset.train_records)
+
+    test_workloads = make_workloads(dataset.test_records, batch_size=10, seed=0)
+    print(model.evaluate(test_workloads))
+"""
+
+from repro.core import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_N_TEMPLATES,
+    LearnedWMP,
+    PlanFeaturizer,
+    QueryTemplateLearner,
+    SingleWMP,
+    SingleWMPDBMS,
+    Workload,
+    interquartile_range,
+    make_regressor,
+    make_template_method,
+    make_variable_workloads,
+    make_workloads,
+    mape,
+    rmse,
+    summarize_residuals,
+)
+from repro.dbms import SimulatedDBMS
+from repro.workloads import (
+    BenchmarkDataset,
+    JOBGenerator,
+    TPCCGenerator,
+    TPCDSGenerator,
+    build_benchmark,
+    generate_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "LearnedWMP",
+    "SingleWMP",
+    "SingleWMPDBMS",
+    "PlanFeaturizer",
+    "QueryTemplateLearner",
+    "Workload",
+    "make_workloads",
+    "make_variable_workloads",
+    "make_regressor",
+    "make_template_method",
+    "rmse",
+    "mape",
+    "interquartile_range",
+    "summarize_residuals",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_N_TEMPLATES",
+    "SimulatedDBMS",
+    "BenchmarkDataset",
+    "generate_dataset",
+    "build_benchmark",
+    "TPCDSGenerator",
+    "JOBGenerator",
+    "TPCCGenerator",
+]

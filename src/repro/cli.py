@@ -1,0 +1,212 @@
+"""Command-line interface of the LearnedWMP reproduction.
+
+Installed as the ``learnedwmp`` console script (see ``pyproject.toml``); all
+commands are also reachable with ``python -m repro.cli``.  Four subcommands
+cover the day-to-day tasks of working with the reproduction:
+
+``generate``
+    Generate and "execute" benchmark queries on the simulated DBMS and write
+    a JSON summary of the resulting query log.
+
+``train``
+    Train a LearnedWMP model on a benchmark and save it to disk (pickle via
+    :mod:`repro.core.serialization`), printing the holdout metrics.
+
+``evaluate``
+    Load a saved model and score it on freshly generated workloads of the same
+    (or a different) benchmark.
+
+``figures``
+    Regenerate one or more of the paper's evaluation figures as text tables
+    (the same runners the benchmark harness uses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.model import LearnedWMP
+from repro.core.regressors import REGRESSOR_NAMES
+from repro.core.serialization import load_model, save_model, serialized_size_kb
+from repro.core.single_wmp import SingleWMPDBMS
+from repro.core.workload import make_workloads
+from repro.workloads.generator import BENCHMARK_NAMES, generate_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="learnedwmp",
+        description="LearnedWMP workload memory prediction (EDBT 2026 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate benchmark queries and dump a query-log summary"
+    )
+    generate.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    generate.add_argument("--queries", type=int, default=2000, help="number of queries")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument(
+        "--output", type=Path, default=None, help="JSON summary path (default: stdout)"
+    )
+
+    train = subparsers.add_parser("train", help="train and save a LearnedWMP model")
+    train.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    train.add_argument("--queries", type=int, default=4000)
+    train.add_argument("--regressor", choices=REGRESSOR_NAMES, default="xgb")
+    train.add_argument("--templates", type=int, default=40, help="number of query templates")
+    train.add_argument("--batch-size", type=int, default=10)
+    train.add_argument("--seed", type=int, default=7)
+    train.add_argument("--fast", action="store_true", help="use reduced model sizes")
+    train.add_argument("--output", type=Path, required=True, help="path of the saved model")
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a saved model")
+    evaluate.add_argument("model", type=Path, help="model file produced by 'train'")
+    evaluate.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    evaluate.add_argument("--queries", type=int, default=2000)
+    evaluate.add_argument("--batch-size", type=int, default=10)
+    evaluate.add_argument("--seed", type=int, default=99)
+    evaluate.add_argument(
+        "--compare-dbms",
+        action="store_true",
+        help="also report the DBMS heuristic (SingleWMP-DBMS) on the same workloads",
+    )
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate paper figures as text tables"
+    )
+    figures.add_argument(
+        "names",
+        nargs="*",
+        default=[],
+        help="figure names (e.g. figure4 figure11); empty = list available figures",
+    )
+    figures.add_argument("--quick", action="store_true", help="reduced query volumes")
+    return parser
+
+
+# -- subcommand implementations -------------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_dataset(args.benchmark, args.queries, seed=args.seed)
+    summary = [
+        {
+            "sql": record.sql,
+            "actual_memory_mb": record.actual_memory_mb,
+            "optimizer_estimate_mb": record.optimizer_estimate_mb,
+            "template_seed": record.template_seed,
+            "partition": partition,
+        }
+        for partition, records in (
+            ("train", dataset.train_records),
+            ("test", dataset.test_records),
+        )
+        for record in records
+    ]
+    payload = json.dumps(summary, indent=2)
+    if args.output is None:
+        print(payload)
+    else:
+        args.output.write_text(payload)
+        print(f"wrote {len(summary)} records to {args.output}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = generate_dataset(args.benchmark, args.queries, seed=args.seed)
+    model = LearnedWMP(
+        regressor=args.regressor,
+        n_templates=args.templates,
+        batch_size=args.batch_size,
+        random_state=args.seed,
+        fast=args.fast,
+    )
+    model.fit(dataset.train_records)
+    report = model.training_report_
+    assert report is not None
+
+    workloads = make_workloads(dataset.test_records, args.batch_size, seed=args.seed)
+    metrics = model.evaluate(workloads)
+    save_model(model, args.output)
+
+    print(f"benchmark           : {args.benchmark}")
+    print(f"regressor           : {args.regressor}")
+    print(f"training queries    : {report.n_queries}")
+    print(f"training workloads  : {report.n_workloads}")
+    print(f"templates           : {report.n_templates}")
+    print(f"training time       : {report.total_time_s:.2f} s")
+    print(f"holdout RMSE        : {metrics['rmse']:.2f} MB")
+    print(f"holdout MAPE        : {metrics['mape']:.2f} %")
+    print(f"model size          : {serialized_size_kb(model.regressor):.1f} kB")
+    print(f"saved to            : {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    dataset = generate_dataset(args.benchmark, args.queries, seed=args.seed)
+    workloads = make_workloads(dataset.test_records, args.batch_size, seed=args.seed)
+    metrics = model.evaluate(workloads)
+    print(f"model               : {args.model}")
+    print(f"benchmark           : {args.benchmark}")
+    print(f"workloads evaluated : {len(workloads)}")
+    print(f"RMSE                : {metrics['rmse']:.2f} MB")
+    print(f"MAPE                : {metrics['mape']:.2f} %")
+    if args.compare_dbms:
+        dbms = SingleWMPDBMS().evaluate(workloads)
+        print(f"DBMS heuristic RMSE : {dbms['rmse']:.2f} MB")
+        print(f"DBMS heuristic MAPE : {dbms['mape']:.2f} %")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    # Imported lazily: the experiments package pulls in every model variant.
+    from repro.experiments.config import ExperimentConfig, default_config
+    from repro.experiments.figures import ALL_FIGURES
+
+    if not args.names:
+        print("available figures:")
+        for name in ALL_FIGURES:
+            print(f"  {name}")
+        return 0
+    unknown = [name for name in args.names if name not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    config = (
+        ExperimentConfig(
+            query_counts={"tpcds": 1500, "job": 800, "tpcc": 800},
+            template_counts={"tpcds": 40, "job": 30, "tpcc": 12},
+        )
+        if args.quick
+        else default_config()
+    )
+    for name in args.names:
+        print(f"\nRunning {name} ...")
+        print(ALL_FIGURES[name](config).render())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

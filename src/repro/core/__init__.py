@@ -1,0 +1,77 @@
+"""LearnedWMP core: the paper's primary contribution and its baselines."""
+
+from repro.core.featurizer import OPERATOR_VOCABULARY, PlanFeaturizer
+from repro.core.histogram import bin_queries, bin_workload, build_histogram_dataset
+from repro.core.metrics import (
+    ResidualSummary,
+    interquartile_range,
+    mape,
+    mean_absolute_error,
+    residuals,
+    rmse,
+    summarize_residuals,
+)
+from repro.core.model import LearnedWMP, TrainingReport
+from repro.core.regressors import REGRESSOR_NAMES, make_regressor
+from repro.core.serialization import load_model, save_model, serialized_size_kb
+from repro.core.single_wmp import SingleTrainingReport, SingleWMP, SingleWMPDBMS
+from repro.core.template_methods import (
+    TEMPLATE_METHOD_NAMES,
+    BagOfWordsTemplates,
+    DBSCANTemplates,
+    PlanTemplates,
+    RuleBasedTemplates,
+    TemplateMethod,
+    TextMiningTemplates,
+    WordEmbeddingTemplates,
+    make_template_method,
+)
+from repro.core.templates import DEFAULT_N_TEMPLATES, QueryTemplateLearner
+from repro.core.workload import (
+    DEFAULT_BATCH_SIZE,
+    Workload,
+    make_variable_workloads,
+    make_workloads,
+    workload_targets,
+)
+
+__all__ = [
+    "OPERATOR_VOCABULARY",
+    "PlanFeaturizer",
+    "bin_queries",
+    "bin_workload",
+    "build_histogram_dataset",
+    "ResidualSummary",
+    "interquartile_range",
+    "mape",
+    "mean_absolute_error",
+    "residuals",
+    "rmse",
+    "summarize_residuals",
+    "LearnedWMP",
+    "TrainingReport",
+    "REGRESSOR_NAMES",
+    "make_regressor",
+    "load_model",
+    "save_model",
+    "serialized_size_kb",
+    "SingleTrainingReport",
+    "SingleWMP",
+    "SingleWMPDBMS",
+    "TEMPLATE_METHOD_NAMES",
+    "BagOfWordsTemplates",
+    "DBSCANTemplates",
+    "PlanTemplates",
+    "RuleBasedTemplates",
+    "TemplateMethod",
+    "TextMiningTemplates",
+    "WordEmbeddingTemplates",
+    "make_template_method",
+    "DEFAULT_N_TEMPLATES",
+    "QueryTemplateLearner",
+    "DEFAULT_BATCH_SIZE",
+    "Workload",
+    "make_variable_workloads",
+    "make_workloads",
+    "workload_targets",
+]

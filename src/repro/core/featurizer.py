@@ -1,0 +1,92 @@
+"""Query-plan featurization (paper Section III-B1, Fig. 2).
+
+Each query is represented by a fixed-length vector with two entries per
+operator type of the plan-operator vocabulary: the number of instances of the
+operator in the plan, and the sum of the optimizer-estimated output
+cardinalities of those instances.  The paper borrows this featurization from
+Ganapathi et al. and uses it both to learn query templates (k-means input)
+and as the direct per-query feature vector of the SingleWMP ML baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dbms.plan.operators import OperatorType, PlanNode
+from repro.dbms.query_log import QueryRecord
+
+__all__ = ["PlanFeaturizer", "OPERATOR_VOCABULARY"]
+
+#: Canonical operator order defining the feature layout (2 features each).
+OPERATOR_VOCABULARY: tuple[OperatorType, ...] = (
+    OperatorType.TBSCAN,
+    OperatorType.IXSCAN,
+    OperatorType.FETCH,
+    OperatorType.HSJOIN,
+    OperatorType.NLJOIN,
+    OperatorType.MSJOIN,
+    OperatorType.SORT,
+    OperatorType.GRPBY,
+    OperatorType.FILTER,
+    OperatorType.INSERT,
+    OperatorType.UPDATE,
+    OperatorType.DELETE,
+    OperatorType.RETURN,
+)
+
+
+class PlanFeaturizer:
+    """Maps plans (or query-log records) to (count, cardinality) feature vectors.
+
+    Parameters
+    ----------
+    log_cardinality:
+        When true the aggregated cardinality features are compressed with
+        ``log1p``, which keeps the k-means distance metric from being dominated
+        by the single largest join.  The raw layout of the paper's example is
+        available with ``log_cardinality=False``.
+    """
+
+    def __init__(self, *, log_cardinality: bool = True) -> None:
+        self.log_cardinality = log_cardinality
+        self._index = {op: i for i, op in enumerate(OPERATOR_VOCABULARY)}
+
+    @property
+    def n_features(self) -> int:
+        """Length of a feature vector (2 per operator type)."""
+        return 2 * len(OPERATOR_VOCABULARY)
+
+    def feature_names(self) -> list[str]:
+        """Human-readable names aligned with the feature vector layout."""
+        names: list[str] = []
+        for op in OPERATOR_VOCABULARY:
+            names.append(f"{op.value.lower()}_count")
+            names.append(f"{op.value.lower()}_cardinality")
+        return names
+
+    def featurize_plan(self, plan: PlanNode) -> np.ndarray:
+        """Return the feature vector of a single plan."""
+        counts = np.zeros(len(OPERATOR_VOCABULARY), dtype=np.float64)
+        cardinalities = np.zeros(len(OPERATOR_VOCABULARY), dtype=np.float64)
+        for node in plan.walk():
+            index = self._index[node.op_type]
+            counts[index] += 1.0
+            cardinalities[index] += node.est_cardinality
+        if self.log_cardinality:
+            cardinalities = np.log1p(cardinalities)
+        features = np.empty(self.n_features, dtype=np.float64)
+        features[0::2] = counts
+        features[1::2] = cardinalities
+        return features
+
+    def featurize_record(self, record: QueryRecord) -> np.ndarray:
+        """Feature vector of a query-log record (its final plan)."""
+        return self.featurize_plan(record.plan)
+
+    def featurize_records(self, records: Sequence[QueryRecord]) -> np.ndarray:
+        """Feature matrix (n_records, n_features) for a sequence of records."""
+        if not records:
+            return np.zeros((0, self.n_features), dtype=np.float64)
+        return np.vstack([self.featurize_record(record) for record in records])

@@ -1,0 +1,64 @@
+"""Workload histograms (paper Algorithm 2, BINWORKLOAD).
+
+A workload histogram is a length-``k`` count vector: entry ``j`` is the number
+of the workload's queries assigned to template ``j``.  Together with the
+workload's collective memory label it forms one supervised training example
+for the distribution regressor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.template_methods import TemplateMethod
+from repro.core.workload import Workload
+from repro.dbms.query_log import QueryRecord
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["bin_queries", "bin_workload", "build_histogram_dataset"]
+
+
+def bin_queries(records: Sequence[QueryRecord], templates: TemplateMethod) -> np.ndarray:
+    """Histogram of template assignments for an arbitrary set of queries.
+
+    Returns a vector of length ``templates.k`` whose entries sum to
+    ``len(records)`` (Eq. 4 / Eq. 8 in the paper).
+    """
+    assignments = templates.assign(records)
+    return np.bincount(assignments, minlength=templates.k).astype(np.float64)
+
+
+def bin_workload(
+    workload: Workload, templates: TemplateMethod
+) -> tuple[np.ndarray, float | None]:
+    """BINWORKLOAD: return ``(H, y)`` for one workload.
+
+    ``y`` is ``None`` for unseen workloads that carry no memory label.
+    """
+    histogram = bin_queries(workload.queries, templates)
+    return histogram, workload.actual_memory_mb
+
+
+def build_histogram_dataset(
+    workloads: Sequence[Workload], templates: TemplateMethod
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram matrix and label vector for a set of labelled workloads.
+
+    Raises :class:`InvalidParameterError` if any workload lacks a label, since
+    the result feeds supervised training.
+    """
+    if not workloads:
+        raise InvalidParameterError("cannot build a histogram dataset from zero workloads")
+    histograms = np.zeros((len(workloads), templates.k), dtype=np.float64)
+    labels = np.zeros(len(workloads), dtype=np.float64)
+    for i, workload in enumerate(workloads):
+        histogram, label = bin_workload(workload, templates)
+        if label is None:
+            raise InvalidParameterError(
+                "all workloads must carry an actual memory label for training"
+            )
+        histograms[i] = histogram
+        labels[i] = label
+    return histograms, labels

@@ -1,0 +1,112 @@
+"""Evaluation metrics used in the paper: RMSE, MAPE, residuals and IQR.
+
+Figures 4 and 9 report RMSE, Figures 10 and 11 report MAPE, and Figure 5
+compares the distributions of signed residuals (violin plots summarized here
+by their quartiles, median and IQR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "rmse",
+    "mape",
+    "mean_absolute_error",
+    "residuals",
+    "interquartile_range",
+    "ResidualSummary",
+    "summarize_residuals",
+]
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.size == 0:
+        raise InvalidParameterError("metric inputs are empty")
+    if y_true.shape != y_pred.shape:
+        raise InvalidParameterError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    return y_true, y_pred
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error (paper Eq. 12)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error (supplementary metric)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mape(y_true, y_pred) -> float:
+    """Mean absolute percentage error (paper Eq. 14), in percent.
+
+    Zero-valued targets are excluded from the average (they would make the
+    relative error undefined); if every target is zero the function raises.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    mask = y_true != 0.0
+    if not np.any(mask):
+        raise InvalidParameterError("MAPE is undefined when every target is zero")
+    relative = np.abs(y_true[mask] - y_pred[mask]) / np.abs(y_true[mask])
+    return float(np.mean(relative) * 100.0)
+
+
+def residuals(y_true, y_pred) -> np.ndarray:
+    """Signed residuals ``y_true - y_pred`` (positive = under-estimation)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return y_true - y_pred
+
+
+def interquartile_range(values) -> float:
+    """IQR = 75th percentile − 25th percentile (paper Eq. 13)."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise InvalidParameterError("IQR of an empty sample is undefined")
+    upper, lower = np.percentile(values, [75.0, 25.0])
+    return float(upper - lower)
+
+
+@dataclass(frozen=True)
+class ResidualSummary:
+    """Distributional summary of signed residuals (a text-mode violin plot)."""
+
+    median: float
+    q1: float
+    q3: float
+    iqr: float
+    minimum: float
+    maximum: float
+    mean: float
+    skew_share_under: float
+    """Fraction of residuals that are positive (model under-estimated)."""
+
+    def is_balanced(self, tolerance: float = 0.25) -> bool:
+        """True when under/over-estimations are within ``tolerance`` of 50/50."""
+        return abs(self.skew_share_under - 0.5) <= tolerance
+
+
+def summarize_residuals(y_true, y_pred) -> ResidualSummary:
+    """Compute the quartile/IQR summary of the residual distribution."""
+    errors = residuals(y_true, y_pred)
+    q1, median, q3 = np.percentile(errors, [25.0, 50.0, 75.0])
+    return ResidualSummary(
+        median=float(median),
+        q1=float(q1),
+        q3=float(q3),
+        iqr=float(q3 - q1),
+        minimum=float(errors.min()),
+        maximum=float(errors.max()),
+        mean=float(errors.mean()),
+        skew_share_under=float(np.mean(errors > 0.0)),
+    )

@@ -1,0 +1,46 @@
+"""Model persistence and size accounting.
+
+The paper compares the serialized size (in kB) of LearnedWMP-based and
+SingleWMP-based models (Fig. 8).  Models here are persisted with pickle — the
+same mechanism scikit-learn models ship with — and their size measured from
+the serialized byte string so in-memory and on-disk figures agree.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import SerializationError
+
+__all__ = ["serialized_size_kb", "save_model", "load_model"]
+
+
+def serialized_size_kb(model: Any) -> float:
+    """Size of ``pickle.dumps(model)`` in kilobytes."""
+    try:
+        payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # pragma: no cover - defensive
+        raise SerializationError(f"model of type {type(model).__name__} cannot be pickled") from exc
+    return len(payload) / 1024.0
+
+
+def save_model(model: Any, path: str | Path) -> Path:
+    """Persist a model to ``path`` and return the resolved path."""
+    path = Path(path)
+    try:
+        with path.open("wb") as handle:
+            pickle.dump(model, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise SerializationError(f"failed to save model to {path}") from exc
+    return path
+
+
+def load_model(path: str | Path) -> Any:
+    """Load a model previously written with :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"model file {path} does not exist")
+    with path.open("rb") as handle:
+        return pickle.load(handle)

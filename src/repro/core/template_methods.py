@@ -1,0 +1,312 @@
+"""Alternative methods for learning query templates (paper Section IV-C, Fig. 9).
+
+The sensitivity study compares the proposed plan-feature k-means templates
+against four alternatives that work on the SQL *expression* instead of the
+plan, plus (in the related-work discussion) DBSCAN-based clustering.  All
+methods implement the same small interface so the LearnedWMP model can swap
+them freely:
+
+* ``fit(records)`` — learn the template set from historical queries,
+* ``assign(records)`` — map records to template ids in ``[0, k)``,
+* ``k`` — the number of templates.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.core.featurizer import PlanFeaturizer
+from repro.core.templates import DEFAULT_N_TEMPLATES, QueryTemplateLearner
+from repro.dbms.catalog import Catalog
+from repro.dbms.plan.operators import OperatorType
+from repro.dbms.query_log import QueryRecord
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.dbscan import DBSCAN
+from repro.ml.embeddings import WordEmbeddingVectorizer
+from repro.ml.kmeans import KMeans
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.text import BagOfWordsVectorizer, TextMiningVectorizer
+
+__all__ = [
+    "TemplateMethod",
+    "PlanTemplates",
+    "RuleBasedTemplates",
+    "BagOfWordsTemplates",
+    "TextMiningTemplates",
+    "WordEmbeddingTemplates",
+    "DBSCANTemplates",
+    "make_template_method",
+    "TEMPLATE_METHOD_NAMES",
+]
+
+TEMPLATE_METHOD_NAMES: tuple[str, ...] = (
+    "plan",
+    "rule",
+    "bag_of_words",
+    "text_mining",
+    "word_embedding",
+    "dbscan",
+)
+
+
+class TemplateMethod(Protocol):
+    """Structural interface every template-learning method satisfies."""
+
+    @property
+    def k(self) -> int:  # pragma: no cover - protocol definition
+        ...
+
+    def fit(self, records: Sequence[QueryRecord]) -> "TemplateMethod":  # pragma: no cover
+        ...
+
+    def assign(self, records: Sequence[QueryRecord]) -> np.ndarray:  # pragma: no cover
+        ...
+
+
+class PlanTemplates:
+    """The paper's method: plan-feature k-means (delegates to the core learner)."""
+
+    def __init__(self, n_templates: int = DEFAULT_N_TEMPLATES, *, random_state: int | None = None) -> None:
+        self._learner = QueryTemplateLearner(n_templates, random_state=random_state)
+
+    @property
+    def k(self) -> int:
+        return self._learner.k
+
+    def fit(self, records: Sequence[QueryRecord]) -> "PlanTemplates":
+        self._learner.fit(records)
+        return self
+
+    def assign(self, records: Sequence[QueryRecord]) -> np.ndarray:
+        return self._learner.assign(records)
+
+
+class RuleBasedTemplates:
+    """Expert-style rules classifying the SQL statement into a template.
+
+    The rules mimic what a DBA would write: the template key combines the
+    statement verb, the number of tables joined (bucketed), and whether the
+    query aggregates or sorts.  Keys are discovered on the training corpus;
+    unseen keys at assignment time fall back to the most frequent template.
+    """
+
+    def __init__(self, n_templates: int = DEFAULT_N_TEMPLATES) -> None:
+        # n_templates is accepted for interface parity; the number of rules
+        # actually observed on the corpus determines k.
+        self._requested = n_templates
+        self._key_to_template: dict[tuple, int] | None = None
+        self._fallback = 0
+
+    @staticmethod
+    def _rule_key(record: QueryRecord) -> tuple:
+        sql = record.sql.lower()
+        verb = sql.split(None, 1)[0]
+        n_tables = len(record.plan.leaf_tables())
+        join_bucket = min(n_tables, 5)
+        has_group = " group by " in sql
+        has_order = " order by " in sql
+        has_agg = any(f"{func}(" in sql for func in ("sum", "avg", "count", "min", "max"))
+        return (verb, join_bucket, has_group, has_order, has_agg)
+
+    @property
+    def k(self) -> int:
+        if self._key_to_template is None:
+            raise NotFittedError("rule-based templates are not fitted")
+        return max(len(self._key_to_template), 1)
+
+    def fit(self, records: Sequence[QueryRecord]) -> "RuleBasedTemplates":
+        counts: dict[tuple, int] = {}
+        for record in records:
+            key = self._rule_key(record)
+            counts[key] = counts.get(key, 0) + 1
+        ranked = sorted(counts, key=lambda key: (-counts[key], key))
+        self._key_to_template = {key: index for index, key in enumerate(ranked)}
+        self._fallback = 0
+        return self
+
+    def assign(self, records: Sequence[QueryRecord]) -> np.ndarray:
+        if self._key_to_template is None:
+            raise NotFittedError("rule-based templates are not fitted")
+        return np.array(
+            [
+                self._key_to_template.get(self._rule_key(record), self._fallback)
+                for record in records
+            ],
+            dtype=np.intp,
+        )
+
+
+class _TextClusterTemplates:
+    """Shared implementation: vectorize SQL text, cluster with k-means."""
+
+    def __init__(self, n_templates: int, random_state: int | None) -> None:
+        if n_templates < 1:
+            raise InvalidParameterError("n_templates must be >= 1")
+        self.n_templates = n_templates
+        self.random_state = random_state
+        self._kmeans: KMeans | None = None
+        self._scaler: StandardScaler | None = None
+
+    def _vectorize_fit(self, texts: list[str]) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _vectorize(self, texts: list[str]) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def k(self) -> int:
+        if self._kmeans is None:
+            raise NotFittedError("template method is not fitted")
+        return self._kmeans.n_clusters
+
+    def fit(self, records: Sequence[QueryRecord]):
+        texts = [record.sql for record in records]
+        features = self._vectorize_fit(texts)
+        self._scaler = StandardScaler()
+        scaled = self._scaler.fit_transform(features)
+        k = min(self.n_templates, scaled.shape[0])
+        self._kmeans = KMeans(n_clusters=k, random_state=self.random_state)
+        self._kmeans.fit(scaled)
+        return self
+
+    def assign(self, records: Sequence[QueryRecord]) -> np.ndarray:
+        if self._kmeans is None or self._scaler is None:
+            raise NotFittedError("template method is not fitted")
+        features = self._vectorize([record.sql for record in records])
+        return self._kmeans.predict(self._scaler.transform(features))
+
+
+class BagOfWordsTemplates(_TextClusterTemplates):
+    """Bag-of-words featurization of the SQL text + k-means clustering."""
+
+    def __init__(
+        self,
+        n_templates: int = DEFAULT_N_TEMPLATES,
+        *,
+        max_features: int | None = 200,
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__(n_templates, random_state)
+        self._vectorizer = BagOfWordsVectorizer(max_features=max_features)
+
+    def _vectorize_fit(self, texts: list[str]) -> np.ndarray:
+        return self._vectorizer.fit_transform(texts)
+
+    def _vectorize(self, texts: list[str]) -> np.ndarray:
+        return self._vectorizer.transform(texts)
+
+
+class TextMiningTemplates(_TextClusterTemplates):
+    """Vocabulary restricted to schema object names and SQL clauses + k-means."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        n_templates: int = DEFAULT_N_TEMPLATES,
+        *,
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__(n_templates, random_state)
+        object_names = set(catalog.table_names()) | set(catalog.column_names())
+        self._vectorizer = TextMiningVectorizer(object_names)
+
+    def _vectorize_fit(self, texts: list[str]) -> np.ndarray:
+        return self._vectorizer.fit_transform(texts)
+
+    def _vectorize(self, texts: list[str]) -> np.ndarray:
+        return self._vectorizer.transform(texts)
+
+
+class WordEmbeddingTemplates(_TextClusterTemplates):
+    """Co-occurrence word embeddings of the SQL text + k-means clustering."""
+
+    def __init__(
+        self,
+        n_templates: int = DEFAULT_N_TEMPLATES,
+        *,
+        embedding_dim: int = 16,
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__(n_templates, random_state)
+        self._vectorizer = WordEmbeddingVectorizer(embedding_dim=embedding_dim)
+
+    def _vectorize_fit(self, texts: list[str]) -> np.ndarray:
+        return self._vectorizer.fit_transform(texts)
+
+    def _vectorize(self, texts: list[str]) -> np.ndarray:
+        return self._vectorizer.transform(texts)
+
+
+class DBSCANTemplates:
+    """Plan-feature DBSCAN clustering (the DBSeer-style ablation baseline).
+
+    Noise points and unseen points that fall outside every cluster are mapped
+    to a dedicated extra template, so histogram construction still covers
+    every query.
+    """
+
+    def __init__(self, *, eps: float = 1.0, min_samples: int = 5) -> None:
+        self.eps = eps
+        self.min_samples = min_samples
+        self._featurizer = PlanFeaturizer()
+        self._scaler: StandardScaler | None = None
+        self._dbscan: DBSCAN | None = None
+        self._n_clusters = 0
+
+    @property
+    def k(self) -> int:
+        if self._dbscan is None:
+            raise NotFittedError("DBSCAN templates are not fitted")
+        return self._n_clusters + 1  # +1 for the noise bucket
+
+    def fit(self, records: Sequence[QueryRecord]) -> "DBSCANTemplates":
+        features = self._featurizer.featurize_records(records)
+        self._scaler = StandardScaler()
+        scaled = self._scaler.fit_transform(features)
+        self._dbscan = DBSCAN(eps=self.eps, min_samples=self.min_samples)
+        labels = self._dbscan.fit_predict(scaled)
+        self._n_clusters = int(labels.max()) + 1 if labels.size and labels.max() >= 0 else 0
+        return self
+
+    def assign(self, records: Sequence[QueryRecord]) -> np.ndarray:
+        if self._dbscan is None or self._scaler is None:
+            raise NotFittedError("DBSCAN templates are not fitted")
+        features = self._featurizer.featurize_records(records)
+        labels = self._dbscan.predict(self._scaler.transform(features))
+        # Noise (-1) goes to the last bucket.
+        labels = np.where(labels < 0, self._n_clusters, labels)
+        return labels.astype(np.intp)
+
+
+def make_template_method(
+    name: str,
+    *,
+    n_templates: int = DEFAULT_N_TEMPLATES,
+    catalog: Catalog | None = None,
+    random_state: int | None = None,
+) -> TemplateMethod:
+    """Factory over :data:`TEMPLATE_METHOD_NAMES`.
+
+    ``catalog`` is required by the text-mining method (it needs the schema's
+    object names) and ignored by the others.
+    """
+    key = name.lower()
+    if key == "plan":
+        return PlanTemplates(n_templates, random_state=random_state)
+    if key == "rule":
+        return RuleBasedTemplates(n_templates)
+    if key == "bag_of_words":
+        return BagOfWordsTemplates(n_templates, random_state=random_state)
+    if key == "text_mining":
+        if catalog is None:
+            raise InvalidParameterError("text_mining templates require a catalog")
+        return TextMiningTemplates(catalog, n_templates, random_state=random_state)
+    if key == "word_embedding":
+        return WordEmbeddingTemplates(n_templates, random_state=random_state)
+    if key == "dbscan":
+        return DBSCANTemplates()
+    raise InvalidParameterError(
+        f"unknown template method {name!r}; expected one of {TEMPLATE_METHOD_NAMES}"
+    )

@@ -1,0 +1,115 @@
+"""Learning query templates from plan features (paper Algorithm 1).
+
+A *query template* is a learned group of queries with similar plan
+characteristics and cardinality estimates, and therefore similar memory
+demand.  The paper's GETTEMPLATES procedure featurizes every training query's
+plan and clusters the feature vectors with k-means; the fitted clustering
+model then assigns any query (seen or unseen) to a template.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.featurizer import PlanFeaturizer
+from repro.dbms.query_log import QueryRecord
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.kmeans import KMeans, elbow_method
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["QueryTemplateLearner", "DEFAULT_N_TEMPLATES"]
+
+#: Default number of templates; the paper's sensitivity study (Fig. 10) finds
+#: 20-40 optimal for the smaller benchmarks and ~100 for TPC-DS.
+DEFAULT_N_TEMPLATES = 20
+
+
+class QueryTemplateLearner:
+    """Plan-feature k-means template learner (the paper's proposed method).
+
+    Parameters
+    ----------
+    n_templates:
+        Number of templates ``k``; ignored when ``auto_k`` is true.
+    auto_k:
+        When true, ``k`` is chosen with the elbow method over
+        ``elbow_candidates``.
+    elbow_candidates:
+        Candidate values of ``k`` examined by the elbow method.
+    random_state:
+        Seed for the clustering.
+    featurizer:
+        Plan featurizer; a default instance is created when omitted.
+    """
+
+    def __init__(
+        self,
+        n_templates: int = DEFAULT_N_TEMPLATES,
+        *,
+        auto_k: bool = False,
+        elbow_candidates: Sequence[int] = (5, 10, 20, 30, 40, 60, 80, 100),
+        random_state: int | None = None,
+        featurizer: PlanFeaturizer | None = None,
+    ) -> None:
+        if n_templates < 1:
+            raise InvalidParameterError("n_templates must be >= 1")
+        self.n_templates = n_templates
+        self.auto_k = auto_k
+        self.elbow_candidates = tuple(elbow_candidates)
+        self.random_state = random_state
+        self.featurizer = featurizer or PlanFeaturizer()
+        self._scaler: StandardScaler | None = None
+        self._kmeans: KMeans | None = None
+        self.elbow_profile_: dict[int, float] | None = None
+
+    # -- fitting ------------------------------------------------------------------
+
+    def fit(self, records: Sequence[QueryRecord]) -> "QueryTemplateLearner":
+        """Learn the template set from historical query records."""
+        if not records:
+            raise InvalidParameterError("cannot learn templates from an empty record list")
+        features = self.featurizer.featurize_records(records)
+        self._scaler = StandardScaler()
+        scaled = self._scaler.fit_transform(features)
+
+        k = self.n_templates
+        if self.auto_k:
+            k, self.elbow_profile_ = elbow_method(
+                scaled, self.elbow_candidates, random_state=self.random_state
+            )
+            self.n_templates = k
+        k = min(k, scaled.shape[0])
+
+        self._kmeans = KMeans(n_clusters=k, random_state=self.random_state)
+        self._kmeans.fit(scaled)
+        return self
+
+    # -- assignment ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """The number of learned templates."""
+        if self._kmeans is None:
+            raise NotFittedError("template learner is not fitted; call fit() first")
+        return self._kmeans.n_clusters
+
+    def assign(self, records: Sequence[QueryRecord]) -> np.ndarray:
+        """Assign each record to a template id in ``[0, k)``."""
+        if self._kmeans is None or self._scaler is None:
+            raise NotFittedError("template learner is not fitted; call fit() first")
+        if not records:
+            return np.zeros(0, dtype=np.intp)
+        features = self.featurizer.featurize_records(records)
+        scaled = self._scaler.transform(features)
+        return self._kmeans.predict(scaled)
+
+    def assign_one(self, record: QueryRecord) -> int:
+        """Template id of a single record."""
+        return int(self.assign([record])[0])
+
+    def template_sizes(self, records: Sequence[QueryRecord]) -> np.ndarray:
+        """Number of the given records assigned to each template."""
+        assignments = self.assign(records)
+        return np.bincount(assignments, minlength=self.k).astype(np.int64)

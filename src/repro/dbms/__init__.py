@@ -1,0 +1,52 @@
+"""Simulated DBMS substrate.
+
+The paper measures query plans and working memory on a commercial DBMS; this
+package simulates the relevant surface — catalog and statistics, SQL parsing,
+rule-based planning with estimated *and* true cardinalities, a ground-truth
+working-memory model, a heuristic (state-of-practice) memory estimator and a
+query log — so the LearnedWMP pipeline can be trained and evaluated end to
+end without external systems.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.dbms.catalog import Catalog, Column, Index, Table
+from repro.dbms.executor import SimulatedDBMS
+from repro.dbms.memory import MemoryModelConfig, OperatorMemory, WorkingMemoryModel
+from repro.dbms.optimizer_estimator import (
+    HeuristicEstimatorConfig,
+    HeuristicMemoryEstimator,
+)
+from repro.dbms.plan import (
+    BLOCKING_OPERATORS,
+    CardinalityModel,
+    CostEstimate,
+    CostModel,
+    OperatorType,
+    PlanNode,
+    QueryPlanner,
+)
+from repro.dbms.query_log import QueryLog, QueryRecord
+from repro.dbms.sql import SQLParser, parse
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Index",
+    "Table",
+    "SimulatedDBMS",
+    "MemoryModelConfig",
+    "OperatorMemory",
+    "WorkingMemoryModel",
+    "HeuristicEstimatorConfig",
+    "HeuristicMemoryEstimator",
+    "BLOCKING_OPERATORS",
+    "CardinalityModel",
+    "CostEstimate",
+    "CostModel",
+    "OperatorType",
+    "PlanNode",
+    "QueryPlanner",
+    "QueryLog",
+    "QueryRecord",
+    "SQLParser",
+    "parse",
+]

@@ -1,0 +1,204 @@
+"""System catalog: tables, columns, statistics and indexes.
+
+The simulated DBMS needs the same metadata a real optimizer consults —
+row counts, column cardinalities (number of distinct values), value skew and
+available indexes — both to produce *estimated* cardinalities (with the
+classic uniformity/independence assumptions) and to compute the *true*
+cardinalities that drive the ground-truth working-memory model.
+
+The gap between the two is what makes the heuristic ``SingleWMP-DBMS``
+baseline inaccurate, exactly as in the paper: each column carries a
+``skew`` coefficient that only the true-cardinality path knows about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import CatalogError, InvalidParameterError
+
+__all__ = ["Column", "Index", "Table", "Catalog"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A table column and its statistics.
+
+    Attributes
+    ----------
+    name:
+        Column name (lower case by convention).
+    dtype:
+        One of ``"int"``, ``"decimal"``, ``"varchar"``, ``"date"``.
+    distinct_values:
+        Number of distinct values (NDV) recorded in the catalog.
+    width_bytes:
+        Average stored width, used for row-width and memory accounting.
+    skew:
+        Zipf-like skew coefficient in ``[0, 1]``: 0 means perfectly uniform
+        (the optimizer's assumption is exact), larger values mean the most
+        frequent value covers a disproportionate share of rows, so uniform
+        selectivity estimates are increasingly wrong.
+    min_value / max_value:
+        Optional low/high value statistics of a numeric column.  When present,
+        the optimizer interpolates range-predicate selectivities between them
+        (the classic System-R formula); when absent it falls back to fixed
+        default fractions.
+    """
+
+    name: str
+    dtype: str = "int"
+    distinct_values: int = 1000
+    width_bytes: int = 8
+    skew: float = 0.0
+    min_value: float | None = None
+    max_value: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.distinct_values < 1:
+            raise InvalidParameterError(f"column {self.name}: distinct_values must be >= 1")
+        if self.width_bytes < 1:
+            raise InvalidParameterError(f"column {self.name}: width_bytes must be >= 1")
+        if not 0.0 <= self.skew <= 1.0:
+            raise InvalidParameterError(f"column {self.name}: skew must be in [0, 1]")
+        if (
+            self.min_value is not None
+            and self.max_value is not None
+            and self.max_value < self.min_value
+        ):
+            raise InvalidParameterError(
+                f"column {self.name}: max_value must be >= min_value"
+            )
+
+    @property
+    def value_span(self) -> float | None:
+        """Width of the recorded value domain, or ``None`` when unknown."""
+        if self.min_value is None or self.max_value is None:
+            return None
+        return float(self.max_value) - float(self.min_value)
+
+
+@dataclass(frozen=True)
+class Index:
+    """A (possibly multi-column) index over a table."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+
+@dataclass
+class Table:
+    """A table with row count and column metadata."""
+
+    name: str
+    row_count: int
+    columns: dict[str, Column] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise InvalidParameterError(f"table {self.name}: row_count must be >= 0")
+
+    def add_column(self, column: Column) -> "Table":
+        self.columns[column.name] = column
+        return self
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(f"table {self.name} has no column {name!r}") from None
+
+    @property
+    def row_width(self) -> int:
+        """Average row width in bytes (sum of column widths, minimum 8)."""
+        return max(8, sum(column.width_bytes for column in self.columns.values()))
+
+
+class Catalog:
+    """The collection of tables and indexes visible to the planner.
+
+    Table and column names are case-insensitive (stored lower case), which
+    keeps the benchmark query generators free to emit conventional upper-case
+    SQL keywords and mixed-case identifiers.
+    """
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[str, Index] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def add_table(
+        self,
+        name: str,
+        row_count: int,
+        columns: list[Column] | None = None,
+    ) -> Table:
+        """Create and register a table; returns it for further column adds."""
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name=key, row_count=row_count)
+        for column in columns or []:
+            table.add_column(column)
+        self._tables[key] = table
+        return table
+
+    def add_index(self, index: Index) -> None:
+        table = self.table(index.table)
+        for column in index.columns:
+            table.column(column.lower())
+        self._indexes[index.name.lower()] = Index(
+            name=index.name.lower(),
+            table=index.table.lower(),
+            columns=tuple(c.lower() for c in index.columns),
+            unique=index.unique,
+        )
+
+    # -- lookup ------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def column_names(self) -> list[str]:
+        """All column names across tables (used by the text-mining vectorizer)."""
+        names: set[str] = set()
+        for table in self._tables.values():
+            names.update(table.columns)
+        return sorted(names)
+
+    def indexes_on(self, table: str) -> list[Index]:
+        key = table.lower()
+        return [index for index in self._indexes.values() if index.table == key]
+
+    def has_index_on(self, table: str, column: str) -> bool:
+        """True when some index's *leading* column is ``column``."""
+        column = column.lower()
+        return any(
+            index.columns and index.columns[0] == column
+            for index in self.indexes_on(table)
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_table(name)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Catalog(name={self.name!r}, tables={len(self._tables)})"

@@ -1,0 +1,96 @@
+"""Simulated query execution.
+
+:class:`SimulatedDBMS` ties the substrate together: it parses and plans SQL,
+asks the heuristic estimator for the optimizer's memory estimate, "executes"
+the plan by evaluating the ground-truth memory model, and appends the
+resulting :class:`~repro.dbms.query_log.QueryRecord` to its query log — the
+same observable surface a real DBMS exposes to the LearnedWMP training
+pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.memory import MemoryModelConfig, WorkingMemoryModel
+from repro.dbms.optimizer_estimator import HeuristicEstimatorConfig, HeuristicMemoryEstimator
+from repro.dbms.plan.operators import PlanNode
+from repro.dbms.plan.planner import QueryPlanner
+from repro.dbms.query_log import QueryLog, QueryRecord
+
+__all__ = ["SimulatedDBMS"]
+
+
+class SimulatedDBMS:
+    """A minimal DBMS facade: plan, estimate, execute, log.
+
+    Parameters
+    ----------
+    catalog:
+        The schema and statistics the optimizer consults.
+    memory_config:
+        Configuration of the ground-truth memory model.
+    estimator_config:
+        Configuration of the heuristic (rule-based) memory estimator.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        memory_config: MemoryModelConfig | None = None,
+        estimator_config: HeuristicEstimatorConfig | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.planner = QueryPlanner(catalog)
+        self.memory_model = WorkingMemoryModel(memory_config)
+        self.heuristic_estimator = HeuristicMemoryEstimator(estimator_config)
+        self.query_log = QueryLog()
+
+    def explain(self, sql: str) -> PlanNode:
+        """Plan a statement without executing it."""
+        return self.planner.plan_sql(sql)
+
+    def execute(
+        self,
+        sql: str,
+        *,
+        benchmark: str = "",
+        template_seed: int = -1,
+        log: bool = True,
+    ) -> QueryRecord:
+        """Plan and "execute" ``sql``, returning the resulting log record.
+
+        Execution is simulated: the record's ``actual_memory_mb`` comes from
+        the ground-truth memory model evaluated on the plan's true
+        cardinalities (with deterministic execution noise keyed by the SQL
+        text), and ``optimizer_estimate_mb`` from the heuristic estimator on
+        the estimated cardinalities.
+        """
+        plan = self.planner.plan_sql(sql)
+        actual = self.memory_model.peak_memory_mb(plan, execution_key=sql)
+        estimate = self.heuristic_estimator.estimate_mb(plan)
+        record = QueryRecord(
+            sql=sql,
+            plan=plan,
+            actual_memory_mb=actual,
+            optimizer_estimate_mb=estimate,
+            benchmark=benchmark,
+            template_seed=template_seed,
+        )
+        if log:
+            self.query_log.append(record)
+        return record
+
+    def execute_many(
+        self,
+        statements: list[str],
+        *,
+        benchmark: str = "",
+        template_seeds: list[int] | None = None,
+    ) -> list[QueryRecord]:
+        """Execute a batch of statements and return their records in order."""
+        seeds = template_seeds or [-1] * len(statements)
+        return [
+            self.execute(sql, benchmark=benchmark, template_seed=seed)
+            for sql, seed in zip(statements, seeds)
+        ]

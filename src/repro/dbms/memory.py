@@ -1,0 +1,149 @@
+"""Ground-truth working-memory model of the simulated executor.
+
+Working memory in the paper is the region a DBMS uses for in-memory operator
+state — sort runs, hash-join build tables, aggregation hash tables.  The
+simulator computes a query's *actual peak* working memory from the **true**
+cardinalities of its plan and the per-operator formulas below, plus a small
+execution-dependent log-normal noise term (buffer rounding, partial spills,
+concurrent reorganisation) so two executions of the same query are close but
+not identical — mirroring measured memory on a real system.
+
+All values are expressed in megabytes.
+
+Per-operator peak memory:
+
+* ``SORT``   — ``rows * (row_width + SORT_KEY_OVERHEAD)`` capped at
+  ``sort_heap_mb``; beyond the cap the sort spills and holds the cap.
+* ``HSJOIN`` — build side (the smaller input) ``rows * (row_width +
+  HASH_ENTRY_OVERHEAD)`` capped at ``hash_heap_mb``.
+* ``GRPBY``  — ``groups * (row_width + HASH_ENTRY_OVERHEAD)`` capped at
+  ``hash_heap_mb`` (hash aggregation).
+* ``NLJOIN`` — a fixed small buffer.
+* scans / FETCH / DML / RETURN — a fixed page buffer, charged once.
+
+The query's peak is the sum of the memory of all blocking operators that can
+be live simultaneously, which in the simplified pipeline model is every
+blocking operator of the plan (left-deep pipelines keep the build sides of all
+upstream hash joins resident while probing), plus the fixed buffers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from repro.dbms.plan.operators import OperatorType, PlanNode
+
+__all__ = ["MemoryModelConfig", "WorkingMemoryModel", "OperatorMemory"]
+
+_BYTES_PER_MB = 1024.0 * 1024.0
+_SORT_KEY_OVERHEAD = 16.0
+_HASH_ENTRY_OVERHEAD = 48.0
+_NLJOIN_BUFFER_MB = 0.25
+_BASE_BUFFER_MB = 0.5
+_DML_BUFFER_MB = 1.0
+
+
+def _hash_gaussian(key: str) -> float:
+    """Deterministic pseudo-gaussian in roughly [-3, 3] derived from ``key``."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    u = int.from_bytes(digest[:8], "big") / 2**64
+    u = min(max(u, 1e-9), 1.0 - 1e-9)
+    return math.log(u / (1.0 - u)) / 1.702
+
+
+@dataclass(frozen=True)
+class MemoryModelConfig:
+    """Tunable limits of the simulated memory manager.
+
+    Attributes
+    ----------
+    sort_heap_mb:
+        Per-sort working-memory cap; larger sorts spill to disk.
+    hash_heap_mb:
+        Per-hash-table cap for joins and aggregation.
+    noise_sigma:
+        Standard deviation of the multiplicative log-normal execution noise.
+    """
+
+    sort_heap_mb: float = 256.0
+    hash_heap_mb: float = 512.0
+    noise_sigma: float = 0.06
+
+
+@dataclass(frozen=True)
+class OperatorMemory:
+    """Memory attributed to a single plan operator."""
+
+    op_type: OperatorType
+    memory_mb: float
+    spilled: bool = False
+
+
+class WorkingMemoryModel:
+    """Computes actual peak working memory of a plan from true cardinalities."""
+
+    def __init__(self, config: MemoryModelConfig | None = None) -> None:
+        self.config = config or MemoryModelConfig()
+
+    # -- per-operator ------------------------------------------------------------
+
+    def operator_memory(self, node: PlanNode) -> OperatorMemory:
+        """Peak working memory of one operator, before execution noise."""
+        op = node.op_type
+        if op is OperatorType.SORT:
+            needed = (
+                node.true_input_cardinality
+                * (node.row_width + _SORT_KEY_OVERHEAD)
+                / _BYTES_PER_MB
+            )
+            capped = min(needed, self.config.sort_heap_mb)
+            return OperatorMemory(op, max(capped, 0.05), spilled=needed > capped)
+        if op is OperatorType.HSJOIN:
+            build_rows, build_width = self._build_side(node)
+            needed = build_rows * (build_width + _HASH_ENTRY_OVERHEAD) / _BYTES_PER_MB
+            capped = min(needed, self.config.hash_heap_mb)
+            return OperatorMemory(op, max(capped, 0.05), spilled=needed > capped)
+        if op is OperatorType.GRPBY:
+            needed = (
+                node.true_cardinality
+                * (node.row_width + _HASH_ENTRY_OVERHEAD)
+                / _BYTES_PER_MB
+            )
+            capped = min(needed, self.config.hash_heap_mb)
+            return OperatorMemory(op, max(capped, 0.05), spilled=needed > capped)
+        if op is OperatorType.NLJOIN:
+            return OperatorMemory(op, _NLJOIN_BUFFER_MB)
+        if op in (OperatorType.INSERT, OperatorType.UPDATE, OperatorType.DELETE):
+            return OperatorMemory(op, _DML_BUFFER_MB)
+        return OperatorMemory(op, _BASE_BUFFER_MB)
+
+    @staticmethod
+    def _build_side(node: PlanNode) -> tuple[float, float]:
+        """(rows, width) of the hash-join build input (smaller estimated side)."""
+        if len(node.children) < 2:
+            return node.true_input_cardinality, float(node.row_width)
+        left, right = node.children[0], node.children[1]
+        build = left if left.est_cardinality <= right.est_cardinality else right
+        return build.true_cardinality, float(build.row_width)
+
+    # -- per-plan -------------------------------------------------------------------
+
+    def plan_memory_breakdown(self, plan: PlanNode) -> list[OperatorMemory]:
+        """Memory of every operator in the plan (no noise applied)."""
+        return [self.operator_memory(node) for node in plan.walk()]
+
+    def peak_memory_mb(self, plan: PlanNode, *, execution_key: str = "") -> float:
+        """Actual peak working memory of the query, in MB.
+
+        ``execution_key`` seeds the deterministic execution noise; passing the
+        query text (or any stable identifier) makes repeated simulation runs
+        reproducible while different queries receive independent noise.
+        """
+        breakdown = self.plan_memory_breakdown(plan)
+        base = sum(item.memory_mb for item in breakdown)
+        noise = math.exp(
+            self.config.noise_sigma * _hash_gaussian(f"exec|{execution_key}")
+        )
+        return float(base * noise)

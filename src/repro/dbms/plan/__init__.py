@@ -1,0 +1,17 @@
+"""Query planning: operators, cardinality estimation, cost model and planner."""
+
+from repro.dbms.plan.cardinality import CardinalityModel, TableCardinalities
+from repro.dbms.plan.cost import CostEstimate, CostModel
+from repro.dbms.plan.operators import BLOCKING_OPERATORS, OperatorType, PlanNode
+from repro.dbms.plan.planner import QueryPlanner
+
+__all__ = [
+    "CardinalityModel",
+    "TableCardinalities",
+    "CostEstimate",
+    "CostModel",
+    "BLOCKING_OPERATORS",
+    "OperatorType",
+    "PlanNode",
+    "QueryPlanner",
+]

@@ -1,0 +1,320 @@
+"""Cardinality estimation for the simulated optimizer.
+
+Two views of every cardinality are produced:
+
+* the **estimated** view applies the textbook System-R style rules the paper
+  criticizes — per-column uniformity (equality selectivity ``1/NDV``), range
+  interpolation over the column's recorded [min, max] domain, attribute
+  independence (selectivities multiply) and containment for joins
+  (``|L||R| / max(ndv_L, ndv_R)``), plus a *partial* frequent-value correction
+  on skewed columns (commercial optimizers do keep distribution statistics,
+  so their estimates react to the bound literal — just not enough);
+* the **true** view applies the full value-dependent distortion whose
+  magnitude grows with the column's ``skew`` statistic, and inflates
+  conjunctive selectivities to model correlated predicates.  This is what the
+  data "actually" does in the simulation and is the only input of the
+  ground-truth memory model.
+
+The distortion is a pure function of (column, literal, skew), so repeated
+executions of the same query are reproducible, while different parameter
+bindings of the same query template land on different — but statistically
+similar — true cardinalities.  That is precisely the structure LearnedWMP
+exploits: queries of one template share memory behaviour, yet the optimizer's
+point estimates are systematically off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.dbms.catalog import Catalog, Column, Table
+from repro.dbms.sql.ast_nodes import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    JoinCondition,
+    LikePredicate,
+    Predicate,
+    SelectStatement,
+    TableRef,
+)
+
+__all__ = ["CardinalityModel", "TableCardinalities"]
+
+_MIN_SELECTIVITY = 1e-6
+_DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+_DEFAULT_LIKE_SELECTIVITY = 0.1
+#: Correlation inflation applied to the true selectivity of each predicate
+#: beyond the first on the same table (independence under-counts rows).
+_CORRELATION_RELIEF = 0.5
+#: How much of a skewed column's value-dependent deviation the optimizer's
+#: frequent-value statistics capture (the *estimated* view) ...
+_ESTIMATE_SKEW_AWARENESS = 0.6
+#: ... versus how strongly the data actually deviates (the *true* view).
+_TRUE_SKEW_FACTOR = 1.2
+
+
+def _hash_unit(key: str) -> float:
+    """Deterministically map ``key`` to a float in [0, 1)."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _hash_gaussian(key: str) -> float:
+    """Deterministic standard-normal-ish value derived from ``key``.
+
+    Uses the inverse of a logistic approximation to the normal CDF, which is
+    smooth, bounded in practice and needs no scipy dependency here.
+    """
+    u = min(max(_hash_unit(key), 1e-9), 1.0 - 1e-9)
+    return math.log(u / (1.0 - u)) / 1.702
+
+
+class TableCardinalities:
+    """Estimated and true cardinalities of one table after local predicates."""
+
+    def __init__(self, table: Table, estimated: float, true: float) -> None:
+        self.table = table
+        self.estimated = max(1.0, estimated)
+        self.true = max(1.0, true)
+
+
+class CardinalityModel:
+    """Computes estimated and true cardinalities from catalog statistics."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # -- column resolution ----------------------------------------------------------
+
+    def resolve_column(
+        self, column: ColumnRef, tables: list[TableRef]
+    ) -> tuple[Table, Column] | None:
+        """Find the catalog table/column a reference points at, if any.
+
+        Resolution first honours the alias qualifier and then falls back to
+        searching every table in the FROM clause; unresolvable references
+        (e.g. expression aliases) return ``None`` and are treated as
+        moderately selective by the callers.
+        """
+        if column.table is not None:
+            for ref in tables:
+                if ref.binding == column.table and self.catalog.has_table(ref.table):
+                    table = self.catalog.table(ref.table)
+                    if column.column in table.columns:
+                        return table, table.column(column.column)
+            if self.catalog.has_table(column.table):
+                table = self.catalog.table(column.table)
+                if column.column in table.columns:
+                    return table, table.column(column.column)
+            return None
+        for ref in tables:
+            if not self.catalog.has_table(ref.table):
+                continue
+            table = self.catalog.table(ref.table)
+            if column.column in table.columns:
+                return table, table.column(column.column)
+        return None
+
+    # -- selectivities ----------------------------------------------------------------
+
+    def _equality_selectivity(self, column: Column) -> float:
+        return max(_MIN_SELECTIVITY, 1.0 / column.distinct_values)
+
+    @staticmethod
+    def _numeric(value: object) -> float | None:
+        """The literal as a float, or ``None`` for non-numeric literals."""
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, (int, float)):
+            return float(value)
+        return None
+
+    def _range_fraction(
+        self, column: Column, low: float | None, high: float | None
+    ) -> float | None:
+        """System-R interpolation of a range predicate over the column domain.
+
+        Returns ``None`` when the column carries no min/max statistics or the
+        bounds are non-numeric, in which case the caller falls back to the
+        fixed default fractions.
+        """
+        span = column.value_span
+        if span is None or span <= 0.0:
+            return None
+        lo = float(column.min_value) if low is None else max(float(column.min_value), low)
+        hi = float(column.max_value) if high is None else min(float(column.max_value), high)
+        if hi < lo:
+            return _MIN_SELECTIVITY
+        fraction = (hi - lo) / span
+        floor = max(_MIN_SELECTIVITY, 1.0 / column.distinct_values)
+        return float(min(1.0, max(floor, fraction)))
+
+    def _base_selectivity(self, predicate: Predicate, column: Column) -> float:
+        """Uniformity/interpolation selectivity before any skew correction.
+
+        This is the textbook System-R arithmetic both views share: equality is
+        ``1/NDV``, IN multiplies by the list length, ranges interpolate over
+        the column's recorded [min, max] domain (falling back to the classic
+        constant fractions when no domain statistics exist), LIKE uses a fixed
+        guess.
+        """
+        if isinstance(predicate, Comparison):
+            if predicate.op == "=":
+                return self._equality_selectivity(column)
+            if predicate.op == "<>":
+                return 1.0 - self._equality_selectivity(column)
+            value = self._numeric(predicate.value.value)
+            if value is not None:
+                if predicate.op in ("<", "<="):
+                    fraction = self._range_fraction(column, None, value)
+                else:  # ">", ">="
+                    fraction = self._range_fraction(column, value, None)
+                if fraction is not None:
+                    return fraction
+            return _DEFAULT_RANGE_SELECTIVITY
+        if isinstance(predicate, BetweenPredicate):
+            low = self._numeric(predicate.low.value)
+            high = self._numeric(predicate.high.value)
+            fraction = self._range_fraction(column, low, high)
+            if fraction is not None:
+                return fraction
+            return _DEFAULT_RANGE_SELECTIVITY / 2.0
+        if isinstance(predicate, InPredicate):
+            per_value = self._equality_selectivity(column)
+            return min(1.0, per_value * len(predicate.values))
+        if isinstance(predicate, LikePredicate):
+            return _DEFAULT_LIKE_SELECTIVITY
+        raise TypeError(f"unsupported predicate type: {type(predicate).__name__}")
+
+    def predicate_selectivity(self, predicate: Predicate, column: Column) -> float:
+        """Optimizer-estimated selectivity of a single local predicate.
+
+        On top of the uniform base the estimate applies a *partial*
+        frequent-value correction ``exp(0.6 * skew * z)``: commercial
+        optimizers keep distribution statistics, so their point estimates do
+        react to the bound literal on skewed columns — just not by the full
+        amount the data actually deviates (see
+        :meth:`true_predicate_selectivity`).  Uniform columns are unaffected.
+        """
+        base = self._base_selectivity(predicate, column)
+        if column.skew <= 0.0:
+            return float(min(1.0, max(_MIN_SELECTIVITY, base)))
+        z = _hash_gaussian(f"{column.name}|{self._predicate_value_key(predicate)}")
+        estimated = base * math.exp(_ESTIMATE_SKEW_AWARENESS * column.skew * z)
+        return float(min(1.0, max(_MIN_SELECTIVITY, estimated)))
+
+    def true_predicate_selectivity(self, predicate: Predicate, column: Column) -> float:
+        """Actual selectivity of the predicate for the bound literal value.
+
+        The uniform base selectivity is multiplied by ``exp(1.2 * skew * z)``
+        where ``z`` is a deterministic pseudo-gaussian of the (column,
+        literal) pair — the same ``z`` the estimate partially anticipates, so
+        estimated and true cardinalities are correlated but the optimizer
+        systematically under-reacts to skew.  Uniform columns (``skew == 0``)
+        behave exactly as the optimizer assumes.
+        """
+        base = self._base_selectivity(predicate, column)
+        literal_key = self._predicate_value_key(predicate)
+        z = _hash_gaussian(f"{column.name}|{literal_key}")
+        distorted = base * math.exp(_TRUE_SKEW_FACTOR * column.skew * z)
+        return float(min(1.0, max(_MIN_SELECTIVITY, distorted)))
+
+    @staticmethod
+    def _predicate_value_key(predicate: Predicate) -> str:
+        if isinstance(predicate, Comparison):
+            return f"{predicate.op}:{predicate.value.value}"
+        if isinstance(predicate, BetweenPredicate):
+            return f"between:{predicate.low.value}:{predicate.high.value}"
+        if isinstance(predicate, InPredicate):
+            return "in:" + ",".join(str(v.value) for v in predicate.values)
+        if isinstance(predicate, LikePredicate):
+            return f"like:{predicate.pattern}"
+        raise TypeError(f"unsupported predicate type: {type(predicate).__name__}")
+
+    # -- per-table cardinalities ---------------------------------------------------------
+
+    def table_cardinalities(
+        self, ref: TableRef, statement: SelectStatement
+    ) -> TableCardinalities:
+        """Cardinality of ``ref`` after applying its local predicates."""
+        table = self.catalog.table(ref.table)
+        local = [
+            predicate
+            for predicate in statement.predicates
+            if self._predicate_targets(predicate, ref, statement)
+        ]
+        estimated_selectivity = 1.0
+        true_selectivity = 1.0
+        for position, predicate in enumerate(local):
+            resolved = self.resolve_column(self._predicate_column(predicate), statement.tables)
+            column = resolved[1] if resolved else Column(name="unknown", distinct_values=100)
+            estimated_selectivity *= self.predicate_selectivity(predicate, column)
+            true_single = self.true_predicate_selectivity(predicate, column)
+            if position == 0:
+                true_selectivity *= true_single
+            else:
+                # Correlated predicates remove fewer rows than independence predicts.
+                true_selectivity *= true_single ** (1.0 - _CORRELATION_RELIEF)
+        return TableCardinalities(
+            table=table,
+            estimated=table.row_count * estimated_selectivity,
+            true=table.row_count * true_selectivity,
+        )
+
+    @staticmethod
+    def _predicate_column(predicate: Predicate) -> ColumnRef:
+        return predicate.column
+
+    def _predicate_targets(
+        self, predicate: Predicate, ref: TableRef, statement: SelectStatement
+    ) -> bool:
+        column = self._predicate_column(predicate)
+        if column.table is not None:
+            return column.table == ref.binding or column.table == ref.table
+        resolved = self.resolve_column(column, [ref])
+        return resolved is not None
+
+    # -- joins -------------------------------------------------------------------------------
+
+    def join_selectivity(
+        self,
+        condition: JoinCondition,
+        statement: SelectStatement,
+        *,
+        true: bool = False,
+    ) -> float:
+        """Selectivity of an equi-join under containment, optionally distorted."""
+        left = self.resolve_column(condition.left, statement.tables)
+        right = self.resolve_column(condition.right, statement.tables)
+        left_ndv = left[1].distinct_values if left else 1000
+        right_ndv = right[1].distinct_values if right else 1000
+        selectivity = 1.0 / max(left_ndv, right_ndv, 1)
+        if not true:
+            return selectivity
+        skew = max(
+            left[1].skew if left else 0.0,
+            right[1].skew if right else 0.0,
+        )
+        key = f"join|{condition.left}|{condition.right}"
+        z = _hash_gaussian(key)
+        distorted = selectivity * math.exp(0.8 * skew * z)
+        return float(min(1.0, max(_MIN_SELECTIVITY, distorted)))
+
+    # -- output cardinalities ----------------------------------------------------------------
+
+    def group_count(
+        self, statement: SelectStatement, input_estimated: float, input_true: float
+    ) -> tuple[float, float]:
+        """Number of groups produced by GROUP BY (estimated, true)."""
+        if not statement.group_by:
+            return 1.0, 1.0
+        ndv_product = 1.0
+        for column in statement.group_by:
+            resolved = self.resolve_column(column, statement.tables)
+            ndv_product *= resolved[1].distinct_values if resolved else 100
+        estimated = min(input_estimated, ndv_product)
+        true = min(input_true, ndv_product)
+        return max(1.0, estimated), max(1.0, true)

@@ -1,0 +1,102 @@
+"""A simple I/O + CPU cost model for ranking access paths and join methods.
+
+The planner does not need an accurate cost model — only a consistent way to
+prefer index access for selective predicates and to pick hash vs nested-loop
+joins, which shapes the operator mix that the LearnedWMP featurizer sees.
+Costs are expressed in abstract "timeron"-like units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbms.plan.operators import OperatorType, PlanNode
+
+__all__ = ["CostModel", "CostEstimate"]
+
+# Per-row abstract cost constants.
+_IO_PAGE_COST = 1.0
+_CPU_ROW_COST = 0.01
+_ROWS_PER_PAGE = 100.0
+_RANDOM_IO_PENALTY = 2.0
+_HASH_BUILD_ROW_COST = 0.03
+_SORT_ROW_LOG_COST = 0.02
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """I/O and CPU components of an operator or plan cost."""
+
+    io: float
+    cpu: float
+
+    @property
+    def total(self) -> float:
+        return self.io + self.cpu
+
+    def __add__(self, other: "CostEstimate") -> "CostEstimate":
+        return CostEstimate(io=self.io + other.io, cpu=self.cpu + other.cpu)
+
+
+class CostModel:
+    """Assigns abstract costs to plan operators (estimated cardinalities only)."""
+
+    def scan_cost(self, table_rows: float, output_rows: float, *, via_index: bool) -> CostEstimate:
+        """Cost of producing ``output_rows`` from a table of ``table_rows``."""
+        if via_index:
+            pages = max(1.0, output_rows / _ROWS_PER_PAGE) * _RANDOM_IO_PENALTY
+            cpu = output_rows * _CPU_ROW_COST
+        else:
+            pages = max(1.0, table_rows / _ROWS_PER_PAGE)
+            cpu = table_rows * _CPU_ROW_COST
+        return CostEstimate(io=pages * _IO_PAGE_COST, cpu=cpu)
+
+    def hash_join_cost(self, build_rows: float, probe_rows: float) -> CostEstimate:
+        cpu = build_rows * _HASH_BUILD_ROW_COST + probe_rows * _CPU_ROW_COST
+        return CostEstimate(io=0.0, cpu=cpu)
+
+    def nested_loop_cost(
+        self, outer_rows: float, inner_rows_per_probe: float, *, inner_indexed: bool
+    ) -> CostEstimate:
+        if inner_indexed:
+            cpu = outer_rows * (_CPU_ROW_COST * 4.0)
+            io = outer_rows / _ROWS_PER_PAGE * _RANDOM_IO_PENALTY
+        else:
+            cpu = outer_rows * inner_rows_per_probe * _CPU_ROW_COST
+            io = 0.0
+        return CostEstimate(io=io, cpu=cpu)
+
+    def sort_cost(self, rows: float) -> CostEstimate:
+        import math
+
+        rows = max(2.0, rows)
+        return CostEstimate(io=0.0, cpu=rows * math.log2(rows) * _SORT_ROW_LOG_COST)
+
+    def group_cost(self, input_rows: float) -> CostEstimate:
+        return CostEstimate(io=0.0, cpu=input_rows * _CPU_ROW_COST * 2.0)
+
+    def plan_cost(self, root: PlanNode) -> CostEstimate:
+        """Total cost of a fitted plan tree using estimated cardinalities."""
+        total = CostEstimate(io=0.0, cpu=0.0)
+        for node in root.walk():
+            if node.op_type in (OperatorType.TBSCAN, OperatorType.IXSCAN):
+                table_rows = node.est_input_cardinality
+                total = total + self.scan_cost(
+                    table_rows,
+                    node.est_cardinality,
+                    via_index=node.op_type is OperatorType.IXSCAN,
+                )
+            elif node.op_type is OperatorType.HSJOIN:
+                build = min(child.est_cardinality for child in node.children)
+                probe = max(child.est_cardinality for child in node.children)
+                total = total + self.hash_join_cost(build, probe)
+            elif node.op_type is OperatorType.NLJOIN:
+                outer = node.children[0].est_cardinality if node.children else 1.0
+                total = total + self.nested_loop_cost(outer, 1.0, inner_indexed=True)
+            elif node.op_type is OperatorType.SORT:
+                total = total + self.sort_cost(node.est_input_cardinality)
+            elif node.op_type is OperatorType.GRPBY:
+                total = total + self.group_cost(node.est_input_cardinality)
+            else:
+                total = total + CostEstimate(io=0.0, cpu=node.est_cardinality * _CPU_ROW_COST)
+        return total

@@ -1,0 +1,45 @@
+"""SQL front end of the simulated DBMS: lexer, parser and AST."""
+
+from repro.dbms.sql.ast_nodes import (
+    AggregateExpr,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    DeleteStatement,
+    InPredicate,
+    InsertStatement,
+    JoinCondition,
+    LikePredicate,
+    Literal,
+    OrderItem,
+    Predicate,
+    SelectStatement,
+    Statement,
+    TableRef,
+    UpdateStatement,
+)
+from repro.dbms.sql.lexer import Token, tokenize
+from repro.dbms.sql.parser import SQLParser, parse
+
+__all__ = [
+    "AggregateExpr",
+    "BetweenPredicate",
+    "ColumnRef",
+    "Comparison",
+    "DeleteStatement",
+    "InPredicate",
+    "InsertStatement",
+    "JoinCondition",
+    "LikePredicate",
+    "Literal",
+    "OrderItem",
+    "Predicate",
+    "SelectStatement",
+    "Statement",
+    "TableRef",
+    "UpdateStatement",
+    "Token",
+    "tokenize",
+    "SQLParser",
+    "parse",
+]

@@ -1,0 +1,179 @@
+"""Abstract syntax tree for the SQL dialect understood by the simulator.
+
+The benchmark generators emit a constrained dialect: single-block
+``SELECT``/``INSERT``/``UPDATE``/``DELETE`` statements with inner joins
+(expressed either as comma-joins plus ``WHERE`` equalities or as explicit
+``JOIN ... ON``), simple comparison predicates, ``IN``/``BETWEEN``/``LIKE``,
+aggregates, ``GROUP BY``, ``ORDER BY`` and ``LIMIT``.  That is everything the
+planner needs to build realistic operator trees for TPC-DS, JOB and TPC-C
+queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "BetweenPredicate",
+    "InPredicate",
+    "LikePredicate",
+    "JoinCondition",
+    "TableRef",
+    "AggregateExpr",
+    "OrderItem",
+    "SelectStatement",
+    "InsertStatement",
+    "UpdateStatement",
+    "DeleteStatement",
+    "Statement",
+    "Predicate",
+]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly alias-qualified) column reference such as ``ss.ss_quantity``."""
+
+    column: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric or string constant."""
+
+    value: Union[int, float, str]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column <op> literal`` with op in ``=, <, <=, >, >=, <>``."""
+
+    column: ColumnRef
+    op: str
+    value: Literal
+
+
+@dataclass(frozen=True)
+class BetweenPredicate:
+    """``column BETWEEN low AND high``."""
+
+    column: ColumnRef
+    low: Literal
+    high: Literal
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class LikePredicate:
+    """``column LIKE pattern``."""
+
+    column: ColumnRef
+    pattern: str
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equi-join predicate ``left_column = right_column``."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+
+Predicate = Union[Comparison, BetweenPredicate, InPredicate, LikePredicate]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM clause with an optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name other clauses use to refer to this table."""
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class AggregateExpr:
+    """An aggregate in the select list, e.g. ``sum(ss_net_paid)``."""
+
+    func: str
+    argument: ColumnRef | None  # None encodes count(*)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY item."""
+
+    column: ColumnRef
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement:
+    """A single-block SELECT."""
+
+    select_columns: list[ColumnRef] = field(default_factory=list)
+    aggregates: list[AggregateExpr] = field(default_factory=list)
+    tables: list[TableRef] = field(default_factory=list)
+    join_conditions: list[JoinCondition] = field(default_factory=list)
+    predicates: list[Predicate] = field(default_factory=list)
+    group_by: list[ColumnRef] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    distinct: bool = False
+    limit: int | None = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.aggregates) or bool(self.group_by)
+
+
+@dataclass
+class InsertStatement:
+    """``INSERT INTO table (cols) VALUES (...)``."""
+
+    table: str
+    columns: list[str] = field(default_factory=list)
+    n_rows: int = 1
+
+
+@dataclass
+class UpdateStatement:
+    """``UPDATE table SET col = value, ... WHERE ...``."""
+
+    table: str
+    set_columns: list[str] = field(default_factory=list)
+    predicates: list[Predicate] = field(default_factory=list)
+
+
+@dataclass
+class DeleteStatement:
+    """``DELETE FROM table WHERE ...``."""
+
+    table: str
+    predicates: list[Predicate] = field(default_factory=list)
+
+
+Statement = Union[SelectStatement, InsertStatement, UpdateStatement, DeleteStatement]

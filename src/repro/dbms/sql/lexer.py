@@ -1,0 +1,108 @@
+"""Tokenizer for the simulator's SQL dialect."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import SQLSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS: frozenset[str] = frozenset(
+    {
+        "select",
+        "distinct",
+        "from",
+        "where",
+        "and",
+        "or",
+        "group",
+        "order",
+        "by",
+        "having",
+        "join",
+        "inner",
+        "on",
+        "as",
+        "in",
+        "between",
+        "like",
+        "limit",
+        "asc",
+        "desc",
+        "insert",
+        "into",
+        "values",
+        "update",
+        "set",
+        "delete",
+        "count",
+        "sum",
+        "avg",
+        "min",
+        "max",
+        "not",
+    }
+)
+
+_TOKEN_SPEC = [
+    ("WS", r"\s+"),
+    ("NUMBER", r"-?\d+(\.\d+)?"),
+    ("STRING", r"'[^']*'"),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("OP", r"<>|<=|>=|=|<|>"),
+    ("DOT", r"\."),
+    ("COMMA", r","),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("STAR", r"\*"),
+    ("SEMI", r";"),
+]
+
+_MASTER_PATTERN = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC)
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its type, raw text and source position."""
+
+    kind: str
+    text: str
+    position: int
+
+    @property
+    def is_keyword(self) -> bool:
+        return self.kind == "KEYWORD"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SQLSyntaxError` on unexpected characters."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        match = _MASTER_PATTERN.match(sql, position)
+        if match is None:
+            raise SQLSyntaxError(
+                f"unexpected character {sql[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind != "WS":
+            if kind == "IDENT" and text.lower() in KEYWORDS:
+                tokens.append(Token("KEYWORD", text.lower(), position))
+            else:
+                tokens.append(Token(kind, text, position))
+        position = match.end()
+    return tokens
+
+
+def iter_significant(tokens: list[Token]) -> Iterator[Token]:
+    """Yield tokens, skipping statement-terminating semicolons."""
+    for token in tokens:
+        if token.kind != "SEMI":
+            yield token

@@ -1,0 +1,366 @@
+"""Recursive-descent parser producing the AST of :mod:`repro.dbms.sql.ast_nodes`.
+
+The grammar intentionally covers only the single-block dialect emitted by the
+benchmark generators (see the module docstring of ``ast_nodes``).  Anything
+outside that dialect raises :class:`~repro.exceptions.SQLSyntaxError` with the
+offending token position, which keeps generator bugs easy to locate.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.sql.ast_nodes import (
+    AggregateExpr,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    DeleteStatement,
+    InPredicate,
+    InsertStatement,
+    JoinCondition,
+    LikePredicate,
+    Literal,
+    OrderItem,
+    Predicate,
+    SelectStatement,
+    Statement,
+    TableRef,
+    UpdateStatement,
+)
+from repro.dbms.sql.lexer import Token, tokenize
+from repro.exceptions import SQLSyntaxError
+
+__all__ = ["parse", "SQLParser"]
+
+_AGGREGATE_FUNCS = {"count", "sum", "avg", "min", "max"}
+
+
+class _TokenStream:
+    """Cursor over the token list with small lookahead helpers."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = [t for t in tokens if t.kind != "SEMI"]
+        self._index = 0
+
+    def peek(self, offset: int = 0) -> Token | None:
+        index = self._index + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of statement")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text.lower() != text):
+            expected = text or kind
+            raise SQLSyntaxError(
+                f"expected {expected!r} but found {token.text!r} at offset {token.position}"
+            )
+        return token
+
+    def match_keyword(self, *keywords: str) -> Token | None:
+        token = self.peek()
+        if token is not None and token.kind == "KEYWORD" and token.text in keywords:
+            self._index += 1
+            return token
+        return None
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "KEYWORD" and token.text in keywords
+
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+class SQLParser:
+    """Parser for the simulator's SQL dialect."""
+
+    def parse(self, sql: str) -> Statement:
+        """Parse ``sql`` into a statement AST."""
+        stream = _TokenStream(tokenize(sql))
+        token = stream.peek()
+        if token is None:
+            raise SQLSyntaxError("empty statement")
+        if token.kind != "KEYWORD":
+            raise SQLSyntaxError(f"statement must start with a keyword, found {token.text!r}")
+        if token.text == "select":
+            statement = self._parse_select(stream)
+        elif token.text == "insert":
+            statement = self._parse_insert(stream)
+        elif token.text == "update":
+            statement = self._parse_update(stream)
+        elif token.text == "delete":
+            statement = self._parse_delete(stream)
+        else:
+            raise SQLSyntaxError(f"unsupported statement type {token.text!r}")
+        if not stream.exhausted():
+            trailing = stream.peek()
+            assert trailing is not None
+            raise SQLSyntaxError(
+                f"unexpected trailing token {trailing.text!r} at offset {trailing.position}"
+            )
+        return statement
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def _parse_select(self, stream: _TokenStream) -> SelectStatement:
+        stream.expect("KEYWORD", "select")
+        statement = SelectStatement()
+        if stream.match_keyword("distinct"):
+            statement.distinct = True
+        self._parse_select_list(stream, statement)
+        stream.expect("KEYWORD", "from")
+        self._parse_from(stream, statement)
+        if stream.match_keyword("where"):
+            self._parse_where(stream, statement.predicates, statement.join_conditions)
+        if stream.match_keyword("group"):
+            stream.expect("KEYWORD", "by")
+            statement.group_by.append(self._parse_column_ref(stream))
+            while self._match_comma(stream):
+                statement.group_by.append(self._parse_column_ref(stream))
+        if stream.match_keyword("having"):
+            # HAVING predicates do not change plan memory shape materially;
+            # parse and discard a single comparison on an aggregate result.
+            self._parse_having(stream)
+        if stream.match_keyword("order"):
+            stream.expect("KEYWORD", "by")
+            statement.order_by.append(self._parse_order_item(stream))
+            while self._match_comma(stream):
+                statement.order_by.append(self._parse_order_item(stream))
+        if stream.match_keyword("limit"):
+            statement.limit = int(float(stream.expect("NUMBER").text))
+        return statement
+
+    def _parse_select_list(self, stream: _TokenStream, statement: SelectStatement) -> None:
+        while True:
+            token = stream.peek()
+            if token is None:
+                raise SQLSyntaxError("unterminated select list")
+            if token.kind == "STAR":
+                stream.next()
+            elif token.kind == "KEYWORD" and token.text in _AGGREGATE_FUNCS:
+                statement.aggregates.append(self._parse_aggregate(stream))
+            elif token.kind == "IDENT":
+                statement.select_columns.append(self._parse_column_ref(stream))
+            else:
+                raise SQLSyntaxError(
+                    f"unexpected token {token.text!r} in select list at offset {token.position}"
+                )
+            if stream.match_keyword("as"):
+                stream.expect("IDENT")
+            if not self._match_comma(stream):
+                break
+
+    def _parse_aggregate(self, stream: _TokenStream) -> AggregateExpr:
+        func = stream.next().text.lower()
+        stream.expect("LPAREN")
+        token = stream.peek()
+        if token is not None and token.kind == "STAR":
+            stream.next()
+            argument = None
+        elif token is not None and token.kind == "KEYWORD" and token.text == "distinct":
+            stream.next()
+            argument = self._parse_column_ref(stream)
+        else:
+            argument = self._parse_column_ref(stream)
+        stream.expect("RPAREN")
+        return AggregateExpr(func=func, argument=argument)
+
+    def _parse_from(self, stream: _TokenStream, statement: SelectStatement) -> None:
+        statement.tables.append(self._parse_table_ref(stream))
+        while True:
+            if self._match_comma(stream):
+                statement.tables.append(self._parse_table_ref(stream))
+                continue
+            if stream.at_keyword("inner", "join"):
+                stream.match_keyword("inner")
+                stream.expect("KEYWORD", "join")
+                statement.tables.append(self._parse_table_ref(stream))
+                stream.expect("KEYWORD", "on")
+                left = self._parse_column_ref(stream)
+                stream.expect("OP", "=")
+                right = self._parse_column_ref(stream)
+                statement.join_conditions.append(JoinCondition(left=left, right=right))
+                continue
+            break
+
+    def _parse_table_ref(self, stream: _TokenStream) -> TableRef:
+        table = stream.expect("IDENT").text.lower()
+        alias = None
+        if stream.match_keyword("as"):
+            alias = stream.expect("IDENT").text.lower()
+        else:
+            token = stream.peek()
+            if token is not None and token.kind == "IDENT":
+                alias = stream.next().text.lower()
+        return TableRef(table=table, alias=alias)
+
+    def _parse_having(self, stream: _TokenStream) -> None:
+        token = stream.peek()
+        if token is not None and token.kind == "KEYWORD" and token.text in _AGGREGATE_FUNCS:
+            self._parse_aggregate(stream)
+        else:
+            self._parse_column_ref(stream)
+        stream.expect("OP")
+        self._parse_literal(stream)
+
+    def _parse_order_item(self, stream: _TokenStream) -> OrderItem:
+        column = self._parse_column_ref(stream)
+        descending = False
+        if stream.match_keyword("desc"):
+            descending = True
+        else:
+            stream.match_keyword("asc")
+        return OrderItem(column=column, descending=descending)
+
+    # -- WHERE ------------------------------------------------------------------
+
+    def _parse_where(
+        self,
+        stream: _TokenStream,
+        predicates: list[Predicate],
+        join_conditions: list[JoinCondition],
+    ) -> None:
+        self._parse_condition(stream, predicates, join_conditions)
+        while stream.match_keyword("and"):
+            self._parse_condition(stream, predicates, join_conditions)
+
+    def _parse_condition(
+        self,
+        stream: _TokenStream,
+        predicates: list[Predicate],
+        join_conditions: list[JoinCondition],
+    ) -> None:
+        column = self._parse_column_ref(stream)
+        if stream.match_keyword("between"):
+            low = self._parse_literal(stream)
+            stream.expect("KEYWORD", "and")
+            high = self._parse_literal(stream)
+            predicates.append(BetweenPredicate(column=column, low=low, high=high))
+            return
+        if stream.match_keyword("in"):
+            stream.expect("LPAREN")
+            values = [self._parse_literal(stream)]
+            while self._match_comma(stream):
+                values.append(self._parse_literal(stream))
+            stream.expect("RPAREN")
+            predicates.append(InPredicate(column=column, values=tuple(values)))
+            return
+        if stream.match_keyword("like"):
+            pattern = stream.expect("STRING").text.strip("'")
+            predicates.append(LikePredicate(column=column, pattern=pattern))
+            return
+        op_token = stream.expect("OP")
+        token = stream.peek()
+        if token is not None and token.kind == "IDENT":
+            right = self._parse_column_ref(stream)
+            if op_token.text != "=":
+                raise SQLSyntaxError(
+                    f"only equality joins are supported, found {op_token.text!r}"
+                )
+            join_conditions.append(JoinCondition(left=column, right=right))
+            return
+        value = self._parse_literal(stream)
+        predicates.append(Comparison(column=column, op=op_token.text, value=value))
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _parse_column_ref(self, stream: _TokenStream) -> ColumnRef:
+        first = stream.expect("IDENT").text.lower()
+        token = stream.peek()
+        if token is not None and token.kind == "DOT":
+            stream.next()
+            second = stream.expect("IDENT").text.lower()
+            return ColumnRef(column=second, table=first)
+        return ColumnRef(column=first)
+
+    def _parse_literal(self, stream: _TokenStream) -> Literal:
+        token = stream.next()
+        if token.kind == "NUMBER":
+            text = token.text
+            return Literal(value=float(text) if "." in text else int(text))
+        if token.kind == "STRING":
+            return Literal(value=token.text.strip("'"))
+        raise SQLSyntaxError(
+            f"expected a literal, found {token.text!r} at offset {token.position}"
+        )
+
+    @staticmethod
+    def _match_comma(stream: _TokenStream) -> bool:
+        token = stream.peek()
+        if token is not None and token.kind == "COMMA":
+            stream.next()
+            return True
+        return False
+
+    # -- INSERT / UPDATE / DELETE --------------------------------------------------
+
+    def _parse_insert(self, stream: _TokenStream) -> InsertStatement:
+        stream.expect("KEYWORD", "insert")
+        stream.expect("KEYWORD", "into")
+        table = stream.expect("IDENT").text.lower()
+        columns: list[str] = []
+        token = stream.peek()
+        if token is not None and token.kind == "LPAREN":
+            stream.next()
+            columns.append(stream.expect("IDENT").text.lower())
+            while self._match_comma(stream):
+                columns.append(stream.expect("IDENT").text.lower())
+            stream.expect("RPAREN")
+        stream.expect("KEYWORD", "values")
+        n_rows = 0
+        while True:
+            stream.expect("LPAREN")
+            self._parse_literal(stream)
+            while self._match_comma(stream):
+                self._parse_literal(stream)
+            stream.expect("RPAREN")
+            n_rows += 1
+            if not self._match_comma(stream):
+                break
+        return InsertStatement(table=table, columns=columns, n_rows=n_rows)
+
+    def _parse_update(self, stream: _TokenStream) -> UpdateStatement:
+        stream.expect("KEYWORD", "update")
+        table = stream.expect("IDENT").text.lower()
+        stream.expect("KEYWORD", "set")
+        statement = UpdateStatement(table=table)
+        statement.set_columns.append(self._parse_assignment(stream))
+        while self._match_comma(stream):
+            statement.set_columns.append(self._parse_assignment(stream))
+        if stream.match_keyword("where"):
+            joins: list[JoinCondition] = []
+            self._parse_where(stream, statement.predicates, joins)
+            if joins:
+                raise SQLSyntaxError("UPDATE statements cannot contain join predicates")
+        return statement
+
+    def _parse_assignment(self, stream: _TokenStream) -> str:
+        column = stream.expect("IDENT").text.lower()
+        stream.expect("OP", "=")
+        self._parse_literal(stream)
+        return column
+
+    def _parse_delete(self, stream: _TokenStream) -> DeleteStatement:
+        stream.expect("KEYWORD", "delete")
+        stream.expect("KEYWORD", "from")
+        table = stream.expect("IDENT").text.lower()
+        statement = DeleteStatement(table=table)
+        if stream.match_keyword("where"):
+            joins: list[JoinCondition] = []
+            self._parse_where(stream, statement.predicates, joins)
+            if joins:
+                raise SQLSyntaxError("DELETE statements cannot contain join predicates")
+        return statement
+
+
+_DEFAULT_PARSER = SQLParser()
+
+
+def parse(sql: str) -> Statement:
+    """Parse ``sql`` with a shared :class:`SQLParser` instance."""
+    return _DEFAULT_PARSER.parse(sql)

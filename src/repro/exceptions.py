@@ -1,0 +1,45 @@
+"""Exception hierarchy for the LearnedWMP reproduction library.
+
+All exceptions raised by ``repro`` derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError``, ``KeyError`` on caller-owned dicts,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` package."""
+
+
+class NotFittedError(ReproError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class ConvergenceWarningError(ReproError):
+    """Raised when an iterative solver fails to make any progress at all."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when an estimator or generator receives an invalid parameter."""
+
+
+class SQLSyntaxError(ReproError, ValueError):
+    """Raised by the SQL lexer/parser on malformed query text."""
+
+
+class PlanningError(ReproError):
+    """Raised by the planner when no valid plan can be produced for a query."""
+
+
+class CatalogError(ReproError, KeyError):
+    """Raised when a referenced table or column does not exist in the catalog."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """Raised by workload generators and batchers on invalid configurations."""
+
+
+class SerializationError(ReproError):
+    """Raised when a model cannot be serialized or deserialized."""

@@ -1,0 +1,44 @@
+"""Experiment harness regenerating every figure of the paper's evaluation."""
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.data import evaluation_workloads, load_dataset
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureResult,
+    ablation_clustering,
+    ablation_mlp,
+    figure4_rmse,
+    figure5_residuals,
+    figure6_training_time,
+    figure7_inference_time,
+    figure8_model_size,
+    figure9_template_methods,
+    figure10_template_counts,
+    figure11_batch_size,
+)
+from repro.experiments.reporting import format_figure, format_table
+from repro.experiments.suite import ModelResult, SuiteResult, run_model_suite
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "evaluation_workloads",
+    "load_dataset",
+    "ALL_FIGURES",
+    "FigureResult",
+    "ablation_clustering",
+    "ablation_mlp",
+    "figure4_rmse",
+    "figure5_residuals",
+    "figure6_training_time",
+    "figure7_inference_time",
+    "figure8_model_size",
+    "figure9_template_methods",
+    "figure10_template_counts",
+    "figure11_batch_size",
+    "format_figure",
+    "format_table",
+    "ModelResult",
+    "SuiteResult",
+    "run_model_suite",
+]

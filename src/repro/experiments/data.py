@@ -1,0 +1,46 @@
+"""Dataset caching for the experiment harness.
+
+Several figures share the same generated benchmark dataset; regenerating and
+re-executing thousands of queries for every figure would dominate the harness
+runtime, so datasets are built once per (benchmark, n_queries, seed) triple
+and cached for the lifetime of the process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.workload import Workload, make_workloads
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.workloads.generator import BenchmarkDataset, generate_dataset
+
+__all__ = ["load_dataset", "evaluation_workloads", "training_and_test_workloads"]
+
+
+@lru_cache(maxsize=8)
+def _cached_dataset(benchmark: str, n_queries: int, seed: int) -> BenchmarkDataset:
+    return generate_dataset(benchmark, n_queries, seed=seed)
+
+
+def load_dataset(
+    benchmark: str, config: ExperimentConfig | None = None
+) -> BenchmarkDataset:
+    """Load (or reuse) the generated dataset of a benchmark under ``config``."""
+    config = config or default_config()
+    return _cached_dataset(benchmark, config.n_queries(benchmark), config.seed)
+
+
+def evaluation_workloads(
+    dataset: BenchmarkDataset, *, batch_size: int, seed: int
+) -> list[Workload]:
+    """Test-partition workloads used to score every model of a figure."""
+    return make_workloads(dataset.test_records, batch_size, seed=seed)
+
+
+def training_and_test_workloads(
+    dataset: BenchmarkDataset, *, batch_size: int, seed: int
+) -> tuple[list[Workload], list[Workload]]:
+    """Train and test workloads built with the same batch size and seed."""
+    train = make_workloads(dataset.train_records, batch_size, seed=seed)
+    test = make_workloads(dataset.test_records, batch_size, seed=seed)
+    return train, test

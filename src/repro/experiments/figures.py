@@ -1,0 +1,261 @@
+"""Figure-level experiment runners.
+
+Each ``figure*`` function regenerates the data behind one figure of the
+paper's evaluation section and returns a :class:`FigureResult` — the figure
+id, a title, and the rows (one dict per bar / violin / curve point) that the
+paper plots.  ``FigureResult.render()`` produces the text table recorded in
+EXPERIMENTS.md and printed by the benchmark harness.
+
+Figure map
+----------
+* Fig. 4  — RMSE of all models on TPC-DS / JOB / TPC-C
+* Fig. 5  — residual distributions (median, quartiles, IQR, skew)
+* Fig. 6  — training time
+* Fig. 7  — inference time
+* Fig. 8  — model size
+* Fig. 9  — template-learning methods (JOB, XGB)
+* Fig. 10 — MAPE vs number of templates
+* Fig. 11 — MAPE vs workload batch size (TPC-DS, XGB)
+* Ablations A1/A2 and the Impact I1 extension (admission-control simulation)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.reporting import format_figure
+from repro.experiments.sensitivity import (
+    run_batch_size_experiment,
+    run_clustering_ablation,
+    run_mlp_ablation,
+    run_template_count_experiment,
+    run_template_method_experiment,
+)
+from repro.experiments.suite import SuiteResult, cached_model_suite, run_model_suite
+
+__all__ = [
+    "FigureResult",
+    "figure4_rmse",
+    "figure5_residuals",
+    "figure6_training_time",
+    "figure7_inference_time",
+    "figure8_model_size",
+    "figure9_template_methods",
+    "figure10_template_counts",
+    "figure11_batch_size",
+    "ablation_clustering",
+    "ablation_mlp",
+    "impact_workload_management",
+    "ALL_FIGURES",
+]
+
+
+@dataclass
+class FigureResult:
+    """Rows regenerating one paper figure, plus rendering helpers."""
+
+    figure_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def render(self, columns: list[str] | None = None) -> str:
+        return format_figure(f"{self.figure_id}: {self.title}", self.rows, columns=columns)
+
+
+# Benchmarks appearing in the three-panel figures.
+_PANEL_BENCHMARKS = ("tpcds", "job", "tpcc")
+
+
+def _suites(
+    config: ExperimentConfig | None,
+    benchmarks: tuple[str, ...] = _PANEL_BENCHMARKS,
+    *,
+    suites: dict[str, SuiteResult] | None = None,
+) -> dict[str, SuiteResult]:
+    """Run (or reuse) one model suite per benchmark."""
+    if suites is not None:
+        return suites
+    if config is None:
+        # Default configuration: share one cached suite run across figures 4-8.
+        return {benchmark: cached_model_suite(benchmark) for benchmark in benchmarks}
+    return {benchmark: run_model_suite(benchmark, config=config) for benchmark in benchmarks}
+
+
+def figure4_rmse(
+    config: ExperimentConfig | None = None,
+    *,
+    suites: dict[str, SuiteResult] | None = None,
+) -> FigureResult:
+    """Fig. 4 — RMSE of every model on the three benchmarks (smaller is better)."""
+    figure = FigureResult("Figure 4", "Root mean squared error by model and benchmark")
+    for benchmark, suite in _suites(config, suites=suites).items():
+        for result in suite.results:
+            figure.rows.append(
+                {
+                    "benchmark": benchmark,
+                    "model": result.label,
+                    "rmse_mb": result.rmse,
+                    "mape_pct": result.mape,
+                }
+            )
+    return figure
+
+
+def figure5_residuals(
+    config: ExperimentConfig | None = None,
+    *,
+    suites: dict[str, SuiteResult] | None = None,
+) -> FigureResult:
+    """Fig. 5 — residual-distribution summaries (text-mode violin plots)."""
+    figure = FigureResult(
+        "Figure 5", "Estimation error residual distributions (MB; positive = under-estimate)"
+    )
+    for benchmark, suite in _suites(config, suites=suites).items():
+        for result in suite.results:
+            summary = result.residuals
+            figure.rows.append(
+                {
+                    "benchmark": benchmark,
+                    "model": result.label,
+                    "median": summary.median,
+                    "q1": summary.q1,
+                    "q3": summary.q3,
+                    "iqr": summary.iqr,
+                    "under_share": summary.skew_share_under,
+                }
+            )
+    return figure
+
+
+def figure6_training_time(
+    config: ExperimentConfig | None = None,
+    *,
+    suites: dict[str, SuiteResult] | None = None,
+) -> FigureResult:
+    """Fig. 6 — model training time in milliseconds."""
+    figure = FigureResult("Figure 6", "ML model training time (ms)")
+    for benchmark, suite in _suites(config, suites=suites).items():
+        for result in suite.results:
+            if result.approach == "SingleWMP-DBMS":
+                continue  # the heuristic has no training cost (paper footnote 1)
+            figure.rows.append(
+                {
+                    "benchmark": benchmark,
+                    "model": result.label,
+                    "training_time_ms": result.training_time_ms,
+                }
+            )
+    return figure
+
+
+def figure7_inference_time(
+    config: ExperimentConfig | None = None,
+    *,
+    suites: dict[str, SuiteResult] | None = None,
+) -> FigureResult:
+    """Fig. 7 — per-workload inference time in microseconds."""
+    figure = FigureResult("Figure 7", "ML model inference time per workload (us)")
+    for benchmark, suite in _suites(config, suites=suites).items():
+        for result in suite.results:
+            if result.approach == "SingleWMP-DBMS":
+                continue
+            figure.rows.append(
+                {
+                    "benchmark": benchmark,
+                    "model": result.label,
+                    "inference_time_us": result.inference_time_us,
+                }
+            )
+    return figure
+
+
+def figure8_model_size(
+    config: ExperimentConfig | None = None,
+    *,
+    suites: dict[str, SuiteResult] | None = None,
+) -> FigureResult:
+    """Fig. 8 — serialized model size in kB."""
+    figure = FigureResult("Figure 8", "ML model size (kB)")
+    for benchmark, suite in _suites(config, suites=suites).items():
+        for result in suite.results:
+            if result.approach == "SingleWMP-DBMS":
+                continue
+            figure.rows.append(
+                {
+                    "benchmark": benchmark,
+                    "model": result.label,
+                    "model_size_kb": result.model_size_kb,
+                }
+            )
+    return figure
+
+
+def figure9_template_methods(config: ExperimentConfig | None = None) -> FigureResult:
+    """Fig. 9 — accuracy of the five template-learning methods (JOB, XGB)."""
+    figure = FigureResult(
+        "Figure 9", "LearnedWMP-XGB accuracy by template-learning method (JOB)"
+    )
+    figure.rows = run_template_method_experiment(config=config)
+    return figure
+
+
+def figure10_template_counts(config: ExperimentConfig | None = None) -> FigureResult:
+    """Fig. 10 — MAPE of LearnedWMP-XGB as the number of templates varies."""
+    figure = FigureResult("Figure 10", "MAPE vs number of query templates (LearnedWMP-XGB)")
+    figure.rows = run_template_count_experiment(config=config)
+    return figure
+
+
+def figure11_batch_size(config: ExperimentConfig | None = None) -> FigureResult:
+    """Fig. 11 — MAPE of LearnedWMP-XGB as the workload batch size varies (TPC-DS)."""
+    figure = FigureResult("Figure 11", "MAPE vs workload batch size (TPC-DS, LearnedWMP-XGB)")
+    figure.rows = run_batch_size_experiment(config=config)
+    return figure
+
+
+def ablation_clustering(config: ExperimentConfig | None = None) -> FigureResult:
+    """Ablation — k-means vs DBSCAN template clustering (Section V claim)."""
+    figure = FigureResult("Ablation A1", "Template clustering algorithm: k-means vs DBSCAN (JOB)")
+    figure.rows = run_clustering_ablation(config=config)
+    return figure
+
+
+def ablation_mlp(config: ExperimentConfig | None = None) -> FigureResult:
+    """Ablation — MLP optimizer and activation choices (Section III-B3)."""
+    figure = FigureResult("Ablation A2", "MLP optimizer / activation ablation")
+    figure.rows = run_mlp_ablation(config=config)
+    return figure
+
+
+def impact_workload_management(config: ExperimentConfig | None = None) -> FigureResult:
+    """Impact — simulated admission control under each memory predictor.
+
+    An extension beyond the paper's evaluation: it measures the downstream
+    effect of prediction quality (makespan, spill share) on the simulated
+    concurrent executor rather than the estimation error itself.
+    """
+    from repro.experiments.impact import run_workload_management_impact
+
+    figure = FigureResult(
+        "Impact I1", "Admission control driven by each memory predictor (TPC-DS)"
+    )
+    figure.rows = run_workload_management_impact(config=config)
+    return figure
+
+
+#: Registry used by the EXPERIMENTS.md generator and the examples.
+ALL_FIGURES = {
+    "figure4": figure4_rmse,
+    "figure5": figure5_residuals,
+    "figure6": figure6_training_time,
+    "figure7": figure7_inference_time,
+    "figure8": figure8_model_size,
+    "figure9": figure9_template_methods,
+    "figure10": figure10_template_counts,
+    "figure11": figure11_batch_size,
+    "ablation_clustering": ablation_clustering,
+    "ablation_mlp": ablation_mlp,
+    "impact_workload_management": impact_workload_management,
+}

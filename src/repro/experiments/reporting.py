@@ -1,0 +1,48 @@
+"""Plain-text rendering of experiment results.
+
+The original figures are bar charts and violin plots; the harness reports the
+same information as aligned text tables so results can be inspected in test
+logs and compared against the paper's reported numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "format_figure"]
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], *, columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def format_figure(title: str, rows: Sequence[Mapping[str, Any]], *, columns: Sequence[str] | None = None) -> str:
+    """Render a figure title plus its table."""
+    return f"== {title} ==\n{format_table(rows, columns=columns)}"

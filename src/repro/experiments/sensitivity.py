@@ -1,0 +1,274 @@
+"""Sensitivity experiments (paper Section IV-C) and design-choice ablations.
+
+* :func:`run_template_method_experiment` — Fig. 9: the five template-learning
+  methods compared with LearnedWMP-XGB on JOB.
+* :func:`run_template_count_experiment` — Fig. 10: MAPE at 10…100 templates
+  on each benchmark.
+* :func:`run_batch_size_experiment` — Fig. 11: MAPE at batch sizes 1…50 on
+  TPC-DS, plus the SingleWMP comparison point at batch size 1.
+* :func:`run_clustering_ablation` — k-means vs DBSCAN templates (the DBSeer
+  comparison the paper mentions in Section V).
+* :func:`run_mlp_ablation` — optimizer (Adam vs L-BFGS) and activation
+  (ReLU vs linear) choices of the MLP (Section III-B3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.core.model import LearnedWMP
+from repro.core.single_wmp import SingleWMP
+from repro.core.template_methods import make_template_method
+from repro.core.workload import make_workloads
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.data import evaluation_workloads, load_dataset
+from repro.ml.mlp import MLPRegressor
+
+__all__ = [
+    "run_template_method_experiment",
+    "run_template_count_experiment",
+    "run_batch_size_experiment",
+    "run_clustering_ablation",
+    "run_mlp_ablation",
+    "TEMPLATE_COUNT_GRID",
+    "BATCH_SIZE_GRID",
+]
+
+#: Template counts swept by Fig. 10 (paper: 10 to 100).
+TEMPLATE_COUNT_GRID: tuple[int, ...] = (10, 20, 30, 40, 60, 80, 100)
+
+#: Batch sizes swept by Fig. 11 (paper: 1, 2, 3, 5, 10, ..., 50).
+BATCH_SIZE_GRID: tuple[int, ...] = (1, 2, 3, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+
+#: Template-method names in the order Fig. 9 presents them.
+_FIG9_METHODS: tuple[str, ...] = (
+    "plan",
+    "rule",
+    "bag_of_words",
+    "text_mining",
+    "word_embedding",
+)
+
+
+def run_template_method_experiment(
+    *,
+    benchmark: str = "job",
+    regressor: str = "xgb",
+    config: ExperimentConfig | None = None,
+) -> list[dict[str, Any]]:
+    """Fig. 9: accuracy of LearnedWMP-XGB under each template-learning method."""
+    config = config or default_config()
+    dataset = load_dataset(benchmark, config)
+    test_workloads = evaluation_workloads(
+        dataset, batch_size=config.batch_size, seed=config.seed
+    )
+    catalog = dataset.dbms.catalog
+    rows: list[dict[str, Any]] = []
+    for method in _FIG9_METHODS:
+        template_method = make_template_method(
+            method,
+            n_templates=config.n_templates(benchmark),
+            catalog=catalog,
+            random_state=config.seed,
+        )
+        model = LearnedWMP(
+            regressor=regressor,
+            n_templates=config.n_templates(benchmark),
+            batch_size=config.batch_size,
+            template_method=template_method,
+            random_state=config.seed,
+            fast=config.fast_models,
+        )
+        model.fit(dataset.train_records)
+        metrics = model.evaluate(test_workloads)
+        rows.append(
+            {
+                "template_method": method,
+                "rmse_mb": metrics["rmse"],
+                "mape_pct": metrics["mape"],
+                "n_templates": model.templates.k,
+            }
+        )
+    return rows
+
+
+def run_template_count_experiment(
+    *,
+    benchmarks: tuple[str, ...] = ("tpcds", "job", "tpcc"),
+    regressor: str = "xgb",
+    template_counts: tuple[int, ...] = TEMPLATE_COUNT_GRID,
+    config: ExperimentConfig | None = None,
+) -> list[dict[str, Any]]:
+    """Fig. 10: MAPE of LearnedWMP-XGB as the number of templates varies."""
+    config = config or default_config()
+    rows: list[dict[str, Any]] = []
+    for benchmark in benchmarks:
+        dataset = load_dataset(benchmark, config)
+        test_workloads = evaluation_workloads(
+            dataset, batch_size=config.batch_size, seed=config.seed
+        )
+        for n_templates in template_counts:
+            model = LearnedWMP(
+                regressor=regressor,
+                n_templates=n_templates,
+                batch_size=config.batch_size,
+                random_state=config.seed,
+                fast=config.fast_models,
+            )
+            model.fit(dataset.train_records)
+            metrics = model.evaluate(test_workloads)
+            rows.append(
+                {
+                    "benchmark": benchmark,
+                    "n_templates": n_templates,
+                    "mape_pct": metrics["mape"],
+                    "rmse_mb": metrics["rmse"],
+                }
+            )
+    return rows
+
+
+def run_batch_size_experiment(
+    *,
+    benchmark: str = "tpcds",
+    regressor: str = "xgb",
+    batch_sizes: tuple[int, ...] = BATCH_SIZE_GRID,
+    config: ExperimentConfig | None = None,
+) -> list[dict[str, Any]]:
+    """Fig. 11: MAPE of LearnedWMP-XGB as the workload batch size varies.
+
+    Includes the paper's comparison point: a SingleWMP model evaluated on
+    batch-size-1 workloads (the regime where per-query features win).
+    """
+    config = config or default_config()
+    dataset = load_dataset(benchmark, config)
+    rows: list[dict[str, Any]] = []
+    for batch_size in batch_sizes:
+        model = LearnedWMP(
+            regressor=regressor,
+            n_templates=config.n_templates(benchmark),
+            batch_size=batch_size,
+            random_state=config.seed,
+            fast=config.fast_models,
+        )
+        model.fit(dataset.train_records)
+        test_workloads = make_workloads(
+            dataset.test_records, batch_size, seed=config.seed
+        )
+        metrics = model.evaluate(test_workloads)
+        rows.append(
+            {
+                "model": "LearnedWMP",
+                "batch_size": batch_size,
+                "mape_pct": metrics["mape"],
+                "rmse_mb": metrics["rmse"],
+            }
+        )
+
+    # SingleWMP reference point at batch size 1.
+    single = SingleWMP(regressor, random_state=config.seed, fast=config.fast_models)
+    single.fit(dataset.train_records)
+    singles = make_workloads(dataset.test_records, 1, seed=config.seed)
+    metrics = single.evaluate(singles)
+    rows.append(
+        {
+            "model": "SingleWMP",
+            "batch_size": 1,
+            "mape_pct": metrics["mape"],
+            "rmse_mb": metrics["rmse"],
+        }
+    )
+    return rows
+
+
+def run_clustering_ablation(
+    *,
+    benchmark: str = "job",
+    regressor: str = "xgb",
+    config: ExperimentConfig | None = None,
+) -> list[dict[str, Any]]:
+    """Ablation: plan-feature k-means templates vs DBSCAN templates."""
+    config = config or default_config()
+    dataset = load_dataset(benchmark, config)
+    test_workloads = evaluation_workloads(
+        dataset, batch_size=config.batch_size, seed=config.seed
+    )
+    rows: list[dict[str, Any]] = []
+    for method in ("plan", "dbscan"):
+        template_method = make_template_method(
+            method,
+            n_templates=config.n_templates(benchmark),
+            catalog=dataset.dbms.catalog,
+            random_state=config.seed,
+        )
+        model = LearnedWMP(
+            regressor=regressor,
+            batch_size=config.batch_size,
+            template_method=template_method,
+            random_state=config.seed,
+            fast=config.fast_models,
+        )
+        model.fit(dataset.train_records)
+        metrics = model.evaluate(test_workloads)
+        rows.append(
+            {
+                "clustering": "k-means" if method == "plan" else "DBSCAN",
+                "n_templates": model.templates.k,
+                "rmse_mb": metrics["rmse"],
+                "mape_pct": metrics["mape"],
+            }
+        )
+    return rows
+
+
+def run_mlp_ablation(
+    *,
+    small_benchmark: str = "tpcc",
+    large_benchmark: str = "tpcds",
+    config: ExperimentConfig | None = None,
+) -> list[dict[str, Any]]:
+    """Ablation: MLP optimizer (Adam vs L-BFGS) and activation (ReLU vs linear).
+
+    The paper reports that L-BFGS worked better on the small dataset and Adam
+    on the large one, and that the linear activation suited simpler datasets
+    while ReLU suited complex ones.  Each configuration is trained as the
+    LearnedWMP regressor on both a small and a large benchmark.
+    """
+    config = config or default_config()
+    rows: list[dict[str, Any]] = []
+    for benchmark in (small_benchmark, large_benchmark):
+        dataset = load_dataset(benchmark, config)
+        test_workloads = evaluation_workloads(
+            dataset, batch_size=config.batch_size, seed=config.seed
+        )
+        for solver in ("adam", "lbfgs"):
+            for activation in ("relu", "identity"):
+                regressor = MLPRegressor(
+                    hidden_layer_sizes=(64, 32),
+                    activation=activation,
+                    solver=solver,
+                    max_iter=200,
+                    random_state=config.seed,
+                )
+                model = LearnedWMP(
+                    regressor=regressor,
+                    n_templates=config.n_templates(benchmark),
+                    batch_size=config.batch_size,
+                    random_state=config.seed,
+                )
+                start = time.perf_counter()
+                model.fit(dataset.train_records)
+                elapsed = time.perf_counter() - start
+                metrics = model.evaluate(test_workloads)
+                rows.append(
+                    {
+                        "benchmark": benchmark,
+                        "solver": solver,
+                        "activation": activation,
+                        "rmse_mb": metrics["rmse"],
+                        "mape_pct": metrics["mape"],
+                        "fit_time_s": elapsed,
+                    }
+                )
+    return rows

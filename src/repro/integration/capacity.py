@@ -1,0 +1,144 @@
+"""Capacity planning from predicted workload memory demand.
+
+Capacity planning is the third consumer of memory estimates the paper names:
+before a reporting window, a migration or a hardware purchase, the operator
+needs to know how much working memory the expected workload mix will require.
+:class:`CapacityPlanner` turns per-batch predictions into a sizing
+recommendation (a demand percentile plus head-room) and can score a plan
+against the actual demand after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.exceptions import InvalidParameterError
+from repro.integration.predictors import WorkloadMemoryPredictor
+
+__all__ = ["CapacityPlan", "CapacityPlanner"]
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """A sizing recommendation for one planning horizon.
+
+    Attributes
+    ----------
+    recommended_mb:
+        The budget to provision: the demand percentile times the head-room
+        factor, and never below the largest single predicted batch.
+    percentile_mb:
+        The raw demand percentile before head room.
+    peak_predicted_mb:
+        The largest single predicted batch demand.
+    mean_predicted_mb:
+        Mean predicted batch demand (useful for steady-state sizing).
+    percentile:
+        Which percentile the plan was built from.
+    headroom:
+        The head-room factor that was applied.
+    n_workloads:
+        How many batches the plan is based on.
+    """
+
+    recommended_mb: float
+    percentile_mb: float
+    peak_predicted_mb: float
+    mean_predicted_mb: float
+    percentile: float
+    headroom: float
+    n_workloads: int
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "recommended_mb": self.recommended_mb,
+            "percentile_mb": self.percentile_mb,
+            "peak_predicted_mb": self.peak_predicted_mb,
+            "mean_predicted_mb": self.mean_predicted_mb,
+        }
+
+
+class CapacityPlanner:
+    """Builds and evaluates capacity plans from a workload memory predictor.
+
+    Parameters
+    ----------
+    predictor:
+        Any object with ``predict_workload(workload) -> float``.
+    """
+
+    def __init__(self, predictor: WorkloadMemoryPredictor) -> None:
+        self.predictor = predictor
+
+    def _predictions(self, workloads: Sequence[Workload]) -> np.ndarray:
+        if not workloads:
+            raise InvalidParameterError("cannot plan capacity for zero workloads")
+        return np.array(
+            [float(self.predictor.predict_workload(w)) for w in workloads],
+            dtype=np.float64,
+        )
+
+    def plan(
+        self,
+        workloads: Sequence[Workload],
+        *,
+        percentile: float = 95.0,
+        headroom: float = 0.1,
+        growth_factor: float = 1.0,
+    ) -> CapacityPlan:
+        """Recommend a working-memory budget for the given expected batches.
+
+        Parameters
+        ----------
+        workloads:
+            The batches expected in the planning horizon (e.g. the batches of
+            a past comparable window).
+        percentile:
+            Demand percentile the budget must cover (default: 95th).
+        headroom:
+            Additional fractional head room on top of the percentile.
+        growth_factor:
+            Scales every prediction to model anticipated workload growth
+            (1.2 = plan for 20% more demand than observed).
+        """
+        if not 0.0 < percentile <= 100.0:
+            raise InvalidParameterError("percentile must be in (0, 100]")
+        if headroom < 0.0:
+            raise InvalidParameterError("headroom must be >= 0")
+        if growth_factor <= 0.0:
+            raise InvalidParameterError("growth_factor must be > 0")
+        predictions = self._predictions(workloads) * growth_factor
+        percentile_mb = float(np.percentile(predictions, percentile))
+        peak = float(predictions.max())
+        recommended = max(percentile_mb * (1.0 + headroom), peak)
+        return CapacityPlan(
+            recommended_mb=recommended,
+            percentile_mb=percentile_mb,
+            peak_predicted_mb=peak,
+            mean_predicted_mb=float(predictions.mean()),
+            percentile=percentile,
+            headroom=headroom,
+            n_workloads=len(workloads),
+        )
+
+    @staticmethod
+    def evaluate(plan: CapacityPlan, workloads: Sequence[Workload]) -> dict[str, float]:
+        """Score a plan against the actual demand of executed batches.
+
+        Returns the fraction of batches whose actual demand exceeded the
+        recommended budget, the worst exceedance in MB, and the mean
+        utilization of the provisioned budget.
+        """
+        if not workloads:
+            raise InvalidParameterError("cannot evaluate a plan against zero workloads")
+        actual = np.array([float(w.actual_memory_mb or 0.0) for w in workloads])
+        over = actual > plan.recommended_mb
+        return {
+            "exceed_share": float(np.mean(over)),
+            "worst_exceed_mb": float(max(0.0, (actual - plan.recommended_mb).max())),
+            "mean_utilization": float(np.mean(actual / plan.recommended_mb)),
+        }

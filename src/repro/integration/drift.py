@@ -1,0 +1,193 @@
+"""Workload-drift detection for deployed LearnedWMP models.
+
+The paper's deployment story ("DBMS Integration & Broader Impact") has the
+vendor ship a pre-trained model and the DBMS retrain it from the operational
+query log as the local workload diverges from the training workload.  The two
+detectors here supply the trigger for that retraining loop:
+
+* :class:`HistogramDriftDetector` watches the *input* distribution — the mix
+  of query templates — using the population stability index (PSI) between the
+  training-time template distribution and a recent window of queries,
+* :class:`ErrorDriftDetector` watches the *output* quality — the rolling
+  relative prediction error on workloads whose actual memory has since been
+  observed.
+
+Either signal crossing its threshold marks the model as drifted; the
+lifecycle manager (:mod:`repro.integration.lifecycle`) then schedules a
+retrain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.histogram import bin_queries
+from repro.core.template_methods import TemplateMethod
+from repro.dbms.query_log import QueryRecord
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+__all__ = [
+    "population_stability_index",
+    "DriftReport",
+    "HistogramDriftDetector",
+    "ErrorDriftDetector",
+]
+
+#: Small constant keeping PSI finite when a bin is empty on one side.
+_PSI_EPSILON = 1e-4
+
+
+def population_stability_index(reference: np.ndarray, observed: np.ndarray) -> float:
+    """Population stability index between two count (or share) vectors.
+
+    ``PSI = sum((p_obs - p_ref) * ln(p_obs / p_ref))`` over bins, with empty
+    bins floored at a small epsilon.  The conventional reading: below 0.1 the
+    distributions are effectively the same, 0.1–0.25 shows moderate shift, and
+    above 0.25 the population has drifted.
+    """
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    observed = np.asarray(observed, dtype=np.float64).ravel()
+    if reference.size == 0 or reference.shape != observed.shape:
+        raise InvalidParameterError("reference and observed must be same-length, non-empty")
+    if reference.sum() <= 0.0 or observed.sum() <= 0.0:
+        raise InvalidParameterError("reference and observed must each have positive mass")
+    p_ref = np.maximum(reference / reference.sum(), _PSI_EPSILON)
+    p_obs = np.maximum(observed / observed.sum(), _PSI_EPSILON)
+    return float(np.sum((p_obs - p_ref) * np.log(p_obs / p_ref)))
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one drift check."""
+
+    score: float
+    threshold: float
+    drifted: bool
+    detail: str = ""
+
+
+class HistogramDriftDetector:
+    """Detects shift in the template mix of the incoming workload.
+
+    Parameters
+    ----------
+    templates:
+        A *fitted* template method (the one the deployed model uses).
+    threshold:
+        PSI above which the workload is considered drifted (default 0.25,
+        the conventional "significant shift" level).
+    """
+
+    def __init__(self, templates: TemplateMethod, *, threshold: float = 0.25) -> None:
+        if threshold <= 0.0:
+            raise InvalidParameterError("threshold must be > 0")
+        self.templates = templates
+        self.threshold = float(threshold)
+        self._reference: np.ndarray | None = None
+
+    def fit_reference(self, records: Sequence[QueryRecord]) -> "HistogramDriftDetector":
+        """Record the training-time template distribution."""
+        if not records:
+            raise InvalidParameterError("cannot fit a reference on zero records")
+        self._reference = bin_queries(records, self.templates)
+        return self
+
+    @property
+    def reference_distribution(self) -> np.ndarray:
+        if self._reference is None:
+            raise NotFittedError("call fit_reference() before checking for drift")
+        return self._reference
+
+    def check(self, records: Sequence[QueryRecord]) -> DriftReport:
+        """Score a recent window of queries against the reference mix."""
+        if not records:
+            raise InvalidParameterError("cannot check drift on zero records")
+        observed = bin_queries(records, self.templates)
+        score = population_stability_index(self.reference_distribution, observed)
+        return DriftReport(
+            score=score,
+            threshold=self.threshold,
+            drifted=score > self.threshold,
+            detail=f"PSI over {self.templates.k} templates on {len(records)} queries",
+        )
+
+
+class ErrorDriftDetector:
+    """Detects degradation of the deployed model's prediction accuracy.
+
+    Maintains a sliding window of relative errors ``|actual - predicted| /
+    actual`` fed from post-execution feedback; the model is considered
+    drifted when the window's mean error exceeds ``threshold_mape`` percent.
+
+    Parameters
+    ----------
+    threshold_mape:
+        Mean absolute percentage error (0–100) above which drift is flagged.
+    window:
+        Number of most recent feedback observations kept.
+    min_observations:
+        Drift is never flagged before this many observations have arrived
+        (avoids triggering on the first unlucky batch).
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold_mape: float = 25.0,
+        window: int = 50,
+        min_observations: int = 10,
+    ) -> None:
+        if threshold_mape <= 0.0:
+            raise InvalidParameterError("threshold_mape must be > 0")
+        if window < 1 or min_observations < 1:
+            raise InvalidParameterError("window and min_observations must be >= 1")
+        if min_observations > window:
+            raise InvalidParameterError("min_observations cannot exceed window")
+        self.threshold_mape = float(threshold_mape)
+        self.window = int(window)
+        self.min_observations = int(min_observations)
+        self._errors: deque[float] = deque(maxlen=self.window)
+
+    def observe(self, predicted_mb: float, actual_mb: float) -> None:
+        """Record one (prediction, observed actual) pair."""
+        if actual_mb <= 0.0:
+            return  # relative error undefined; skip the observation
+        self._errors.append(abs(actual_mb - predicted_mb) / actual_mb * 100.0)
+
+    def observe_many(
+        self, predicted: Sequence[float], actual: Sequence[float]
+    ) -> None:
+        if len(predicted) != len(actual):
+            raise InvalidParameterError("predicted and actual must have the same length")
+        for p, a in zip(predicted, actual):
+            self.observe(float(p), float(a))
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._errors)
+
+    @property
+    def rolling_mape(self) -> float:
+        """Current mean relative error (percent) over the window; 0 when empty."""
+        if not self._errors:
+            return 0.0
+        return float(np.mean(self._errors))
+
+    def check(self) -> DriftReport:
+        """Report whether the rolling error has crossed the threshold."""
+        score = self.rolling_mape
+        ready = self.n_observations >= self.min_observations
+        return DriftReport(
+            score=score,
+            threshold=self.threshold_mape,
+            drifted=ready and score > self.threshold_mape,
+            detail=f"rolling MAPE over {self.n_observations} observations",
+        )
+
+    def reset(self) -> None:
+        """Clear the window (called after a retrain deploys a fresh model)."""
+        self._errors.clear()

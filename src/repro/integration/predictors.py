@@ -1,0 +1,81 @@
+"""Predictor protocol shared by the DBMS-integration components.
+
+Every integration component (admission control, scheduling, capacity
+planning, lifecycle management) only needs one capability from a memory
+model: *given a workload, return its predicted working-memory demand in MB*.
+:class:`~repro.core.model.LearnedWMP`, :class:`~repro.core.single_wmp.SingleWMP`
+and :class:`~repro.core.single_wmp.SingleWMPDBMS` all expose that method, so
+they satisfy the protocol without adapters.  Two reference predictors are
+provided for experiments and tests:
+
+* :class:`OracleMemoryPredictor` — returns the true collective memory (an
+  upper bound on what any learned predictor can achieve),
+* :class:`ConstantMemoryPredictor` — returns a fixed value (the "no model"
+  straw man, useful as a lower bound and in unit tests).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.core.workload import Workload
+from repro.dbms.query_log import QueryRecord
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "WorkloadMemoryPredictor",
+    "OracleMemoryPredictor",
+    "ConstantMemoryPredictor",
+]
+
+
+@runtime_checkable
+class WorkloadMemoryPredictor(Protocol):
+    """Anything that can predict the memory demand (MB) of a workload."""
+
+    def predict_workload(
+        self, queries: Sequence[QueryRecord] | Workload
+    ) -> float:  # pragma: no cover - protocol definition
+        ...
+
+
+def _as_workload(queries: Sequence[QueryRecord] | Workload) -> Workload:
+    if isinstance(queries, Workload):
+        return queries
+    return Workload(queries=list(queries))
+
+
+class OracleMemoryPredictor:
+    """Returns the actual collective memory of the workload.
+
+    Only usable on workloads whose queries have already executed (the records
+    carry ``actual_memory_mb``); it is the perfect-information reference the
+    integration experiments compare learned predictors against.
+    """
+
+    def predict_workload(self, queries: Sequence[QueryRecord] | Workload) -> float:
+        workload = _as_workload(queries)
+        return float(workload.actual_memory_mb or 0.0)
+
+    def predict(self, workloads: Sequence[Workload]) -> list[float]:
+        """Convenience batch form matching the core models."""
+        return [self.predict_workload(workload) for workload in workloads]
+
+
+class ConstantMemoryPredictor:
+    """Predicts the same fixed demand for every workload.
+
+    A DBA rule of thumb ("every batch gets 64 MB") — the baseline a system has
+    when it runs no model at all.
+    """
+
+    def __init__(self, memory_mb: float) -> None:
+        if memory_mb < 0.0:
+            raise InvalidParameterError("memory_mb must be >= 0")
+        self.memory_mb = float(memory_mb)
+
+    def predict_workload(self, queries: Sequence[QueryRecord] | Workload) -> float:
+        return self.memory_mb
+
+    def predict(self, workloads: Sequence[Workload]) -> list[float]:
+        return [self.memory_mb for _ in workloads]

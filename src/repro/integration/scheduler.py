@@ -1,0 +1,161 @@
+"""Round-based workload scheduling under a working-memory pool.
+
+Where :mod:`repro.integration.admission` answers "can this batch run *now*",
+the scheduler answers the workload-management question the paper raises for
+batch windows: given a set of workloads that all have to run, how should they
+be grouped into concurrent execution rounds so the window finishes in as few
+rounds as possible without over-committing memory?
+
+:class:`RoundScheduler` uses first-fit-decreasing bin packing on the
+*predicted* demands and then scores the resulting schedule against the
+*actual* demands, so the quality of the memory predictor directly shows up as
+either wasted rounds (over-estimation) or over-committed rounds
+(under-estimation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.exceptions import InvalidParameterError
+from repro.integration.predictors import WorkloadMemoryPredictor
+
+__all__ = ["ScheduledRound", "ScheduleReport", "RoundScheduler"]
+
+
+@dataclass
+class ScheduledRound:
+    """One execution round of the schedule."""
+
+    index: int
+    workload_indices: list[int] = field(default_factory=list)
+    predicted_mb: float = 0.0
+    actual_mb: float = 0.0
+
+    def add(self, workload_index: int, predicted: float, actual: float) -> None:
+        self.workload_indices.append(workload_index)
+        self.predicted_mb += predicted
+        self.actual_mb += actual
+
+
+@dataclass
+class ScheduleReport:
+    """A complete schedule plus the metrics the scheduling example reports."""
+
+    memory_pool_mb: float
+    rounds: list[ScheduledRound] = field(default_factory=list)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def overcommitted_rounds(self) -> int:
+        """Rounds whose actual collective memory exceeded the pool."""
+        return sum(1 for r in self.rounds if r.actual_mb > self.memory_pool_mb)
+
+    @property
+    def worst_overcommit_mb(self) -> float:
+        """Largest amount by which any round exceeded the pool (0 if none did)."""
+        if not self.rounds:
+            return 0.0
+        return float(max(0.0, max(r.actual_mb - self.memory_pool_mb for r in self.rounds)))
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean actual-use / pool ratio across rounds."""
+        if not self.rounds:
+            return 0.0
+        return float(np.mean([r.actual_mb / self.memory_pool_mb for r in self.rounds]))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "rounds": float(self.n_rounds),
+            "overcommitted_rounds": float(self.overcommitted_rounds),
+            "worst_overcommit_mb": self.worst_overcommit_mb,
+            "mean_utilization": self.mean_utilization,
+        }
+
+
+class RoundScheduler:
+    """First-fit-decreasing packing of workloads into memory-bounded rounds.
+
+    Parameters
+    ----------
+    predictor:
+        Memory predictor used for packing decisions.
+    memory_pool_mb:
+        Per-round working-memory pool.
+    safety_factor:
+        Multiplier on predictions before packing (headroom against
+        under-estimation).
+    """
+
+    def __init__(
+        self,
+        predictor: WorkloadMemoryPredictor,
+        memory_pool_mb: float,
+        *,
+        safety_factor: float = 1.0,
+    ) -> None:
+        if memory_pool_mb <= 0.0:
+            raise InvalidParameterError("memory_pool_mb must be > 0")
+        if safety_factor <= 0.0:
+            raise InvalidParameterError("safety_factor must be > 0")
+        self.predictor = predictor
+        self.memory_pool_mb = float(memory_pool_mb)
+        self.safety_factor = float(safety_factor)
+
+    def schedule(self, workloads: Sequence[Workload]) -> ScheduleReport:
+        """Pack every workload into rounds and score the result.
+
+        Workloads are sorted by descending predicted demand (first-fit
+        decreasing) and each is placed into the first existing round it fits
+        into, or into a new round.  A workload whose own prediction exceeds
+        the pool gets a dedicated round — it has to run eventually.
+        """
+        if not workloads:
+            raise InvalidParameterError("cannot schedule an empty workload list")
+        predictions = [
+            float(self.predictor.predict_workload(workload)) * self.safety_factor
+            for workload in workloads
+        ]
+        actuals = [float(workload.actual_memory_mb or 0.0) for workload in workloads]
+        order = sorted(range(len(workloads)), key=lambda i: predictions[i], reverse=True)
+
+        report = ScheduleReport(memory_pool_mb=self.memory_pool_mb)
+        for index in order:
+            predicted = predictions[index]
+            placed = False
+            for scheduled_round in report.rounds:
+                if scheduled_round.predicted_mb + predicted <= self.memory_pool_mb:
+                    scheduled_round.add(index, predicted, actuals[index])
+                    placed = True
+                    break
+            if not placed:
+                new_round = ScheduledRound(index=len(report.rounds))
+                new_round.add(index, predicted, actuals[index])
+                report.rounds.append(new_round)
+        return report
+
+    def compare(
+        self, workloads: Sequence[Workload], others: dict[str, WorkloadMemoryPredictor]
+    ) -> dict[str, dict[str, float]]:
+        """Schedule the same workloads under this and alternative predictors.
+
+        Returns a mapping of predictor label to schedule summary; the entry
+        ``"self"`` is the scheduler's own predictor.  Used by the scheduling
+        example to put LearnedWMP, the DBMS heuristic and the oracle side by
+        side.
+        """
+        summaries = {"self": self.schedule(workloads).summary()}
+        for label, predictor in others.items():
+            alternative = RoundScheduler(
+                predictor, self.memory_pool_mb, safety_factor=self.safety_factor
+            )
+            summaries[label] = alternative.schedule(workloads).summary()
+        return summaries

@@ -1,0 +1,295 @@
+"""Concurrent-execution simulation: what memory predictions are *for*.
+
+The paper's motivation is query performance under concurrent execution: when
+the admitted set's working memory exceeds the pool, operators spill and
+everything slows down; when admission is too conservative, the pool sits idle
+and the batch window stretches out.  This module closes the loop by simulating
+a memory-governed concurrent executor, so the downstream effect of a memory
+predictor (LearnedWMP, the DBMS heuristic, an oracle) can be measured as
+makespan, spill time and utilization rather than as abstract RMSE.
+
+The simulation is event-driven and deliberately simple:
+
+* work arrives as workload batches (the same batches LearnedWMP predicts for),
+* a batch is admitted when the *predicted* memory of the running set plus the
+  batch's own prediction fits in the pool (batches larger than the pool by
+  themselves are admitted alone rather than starved),
+* every running query holds its *actual* memory and progresses at a rate that
+  reflects core sharing (running more queries than ``n_cpus`` does not add
+  throughput, running fewer leaves cores idle),
+* whenever the running set's actual memory exceeds the pool, every query that
+  is running at that moment *spills*: its in-memory operator state moves to
+  disk and the query runs ``spill_penalty`` times slower for the rest of its
+  execution — the lasting cost that makes memory over-commitment expensive,
+* a query's total work is derived from the true tuple volume of its plan.
+
+The executor state only changes at admission and completion events, so the
+simulation advances analytically from event to event (no time stepping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.dbms.query_log import QueryRecord
+from repro.exceptions import InvalidParameterError
+from repro.integration.predictors import WorkloadMemoryPredictor
+
+__all__ = ["SimulationReport", "ConcurrentExecutionSimulator", "query_work_units"]
+
+
+def query_work_units(record: QueryRecord) -> float:
+    """Abstract work of one query: the true tuple volume its plan processes.
+
+    The sum of every operator's true input cardinality is a standard proxy for
+    execution effort (every tuple has to be produced and consumed once); the
+    absolute scale is irrelevant because the simulator only compares policies
+    on the same workload.
+    """
+    return float(
+        sum(node.true_input_cardinality for node in record.plan.walk()) + 1.0
+    )
+
+
+@dataclass
+class _RunningQuery:
+    """A query currently holding memory in the simulated executor."""
+
+    remaining_work: float
+    memory_mb: float
+    admitted_at: float
+    batch_id: int
+    spilled: bool = False
+
+
+@dataclass
+class SimulationReport:
+    """Outcome metrics of one simulated execution of a batch window.
+
+    Attributes
+    ----------
+    makespan:
+        Simulated time until the last query finished (work units per unit
+        rate; comparable across policies, not wall-clock).
+    total_work:
+        Total work units executed (identical across policies on the same
+        input — recorded for sanity checks).
+    overcommitted_time:
+        Simulated time during which the running set's actual memory exceeded
+        the pool (the window where spills happen).
+    peak_memory_mb:
+        Highest actual memory held at any point.
+    mean_concurrency:
+        Time-averaged number of running queries.
+    n_queries:
+        Number of queries executed.
+    n_spilled_queries:
+        Number of queries that spilled (were running during an over-committed
+        period) and therefore finished slowed down.
+    query_latencies:
+        Per-query admission-to-completion times.
+    """
+
+    memory_pool_mb: float
+    makespan: float = 0.0
+    total_work: float = 0.0
+    overcommitted_time: float = 0.0
+    peak_memory_mb: float = 0.0
+    mean_concurrency: float = 0.0
+    n_queries: int = 0
+    n_spilled_queries: int = 0
+    query_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def overcommit_share(self) -> float:
+        """Fraction of the makespan spent over-committed."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return self.overcommitted_time / self.makespan
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.query_latencies:
+            return 0.0
+        return float(np.mean(self.query_latencies))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "makespan": self.makespan,
+            "overcommit_share": self.overcommit_share,
+            "peak_memory_mb": self.peak_memory_mb,
+            "mean_concurrency": self.mean_concurrency,
+            "mean_latency": self.mean_latency,
+            "spilled_queries": float(self.n_spilled_queries),
+        }
+
+
+class ConcurrentExecutionSimulator:
+    """Simulates a memory-governed concurrent executor.
+
+    Parameters
+    ----------
+    memory_pool_mb:
+        Size of the working-memory pool.
+    spill_penalty:
+        Slow-down factor applied to every query that was running while the
+        pool was over-committed, for the remainder of that query's execution
+        (default 3.0 — a spilled in-memory operator typically costs a small
+        multiple of its in-memory runtime).
+    work_rate:
+        Work units one query completes per simulated time unit when it has a
+        core to itself.  Only sets the time scale.
+    n_cpus:
+        Number of cores.  Running more queries than cores does not increase
+        total throughput (each query slows down proportionally), while running
+        fewer leaves cores idle — which is how over-conservative admission
+        shows up as a longer window.
+    """
+
+    def __init__(
+        self,
+        memory_pool_mb: float,
+        *,
+        spill_penalty: float = 3.0,
+        work_rate: float = 100_000.0,
+        n_cpus: int = 16,
+    ) -> None:
+        if memory_pool_mb <= 0.0:
+            raise InvalidParameterError("memory_pool_mb must be > 0")
+        if spill_penalty < 1.0:
+            raise InvalidParameterError("spill_penalty must be >= 1")
+        if work_rate <= 0.0:
+            raise InvalidParameterError("work_rate must be > 0")
+        if n_cpus < 1:
+            raise InvalidParameterError("n_cpus must be >= 1")
+        self.memory_pool_mb = float(memory_pool_mb)
+        self.spill_penalty = float(spill_penalty)
+        self.work_rate = float(work_rate)
+        self.n_cpus = int(n_cpus)
+
+    # -- main entry point --------------------------------------------------------------
+
+    def run(
+        self,
+        batches: Sequence[Workload],
+        predictor: WorkloadMemoryPredictor,
+        *,
+        safety_factor: float = 1.0,
+    ) -> SimulationReport:
+        """Execute the batches under admission decisions driven by ``predictor``."""
+        if not batches:
+            raise InvalidParameterError("cannot simulate an empty batch list")
+        if safety_factor <= 0.0:
+            raise InvalidParameterError("safety_factor must be > 0")
+
+        pending: list[tuple[Workload, float]] = [
+            (batch, float(predictor.predict_workload(batch)) * safety_factor)
+            for batch in batches
+        ]
+        report = SimulationReport(memory_pool_mb=self.memory_pool_mb)
+        report.n_queries = sum(len(batch) for batch in batches)
+        report.total_work = float(
+            sum(query_work_units(record) for batch in batches for record in batch.queries)
+        )
+
+        running: list[_RunningQuery] = []
+        # Memory reservations are held at batch granularity: a batch's full
+        # predicted demand stays reserved until its *last* query completes,
+        # which is the granularity the workload-level predictor works at and
+        # guarantees that an exact predictor can never over-commit the pool.
+        reservations: dict[int, float] = {}
+        batch_members: dict[int, int] = {}
+        next_batch_id = 0
+        now = 0.0
+        concurrency_area = 0.0
+
+        def admit_possible() -> None:
+            nonlocal next_batch_id
+            while pending:
+                batch, predicted = pending[0]
+                reserved = sum(reservations.values())
+                oversized = predicted > self.memory_pool_mb and not running
+                if reserved + predicted <= self.memory_pool_mb or oversized:
+                    pending.pop(0)
+                    batch_id = next_batch_id
+                    next_batch_id += 1
+                    reservations[batch_id] = predicted
+                    batch_members[batch_id] = len(batch.queries)
+                    for record in batch.queries:
+                        running.append(
+                            _RunningQuery(
+                                remaining_work=query_work_units(record),
+                                memory_mb=float(record.actual_memory_mb),
+                                admitted_at=now,
+                                batch_id=batch_id,
+                            )
+                        )
+                else:
+                    break
+
+        admit_possible()
+        if not running:
+            raise InvalidParameterError("nothing admitted; memory_pool_mb too small")
+
+        while running:
+            actual_in_use = sum(q.memory_mb for q in running)
+            report.peak_memory_mb = max(report.peak_memory_mb, actual_in_use)
+            overcommitted = actual_in_use > self.memory_pool_mb
+            if overcommitted:
+                # Memory pressure is lasting: every query that is running while
+                # the pool is over-committed spills and stays slow until it
+                # finishes.
+                for query in running:
+                    query.spilled = True
+
+            # Per-query progress: cores are shared when over-subscribed, and a
+            # spilled query carries its penalty for the rest of its execution.
+            cpu_share = min(1.0, self.n_cpus / len(running))
+            base_rate = self.work_rate * cpu_share
+
+            def query_rate(query: _RunningQuery) -> float:
+                return base_rate / (self.spill_penalty if query.spilled else 1.0)
+
+            # Advance to the next completion event.
+            dt = min(q.remaining_work / query_rate(q) for q in running)
+            now += dt
+            concurrency_area += len(running) * dt
+            if overcommitted:
+                report.overcommitted_time += dt
+            finished = []
+            for query in running:
+                query.remaining_work -= query_rate(query) * dt
+                if query.remaining_work <= 1e-9:
+                    finished.append(query)
+            for query in finished:
+                running.remove(query)
+                report.query_latencies.append(now - query.admitted_at)
+                if query.spilled:
+                    report.n_spilled_queries += 1
+                batch_members[query.batch_id] -= 1
+                if batch_members[query.batch_id] == 0:
+                    del reservations[query.batch_id]
+                    del batch_members[query.batch_id]
+            if finished:
+                admit_possible()
+
+        report.makespan = now
+        report.mean_concurrency = concurrency_area / now if now > 0 else 0.0
+        return report
+
+    def compare(
+        self,
+        batches: Sequence[Workload],
+        predictors: dict[str, WorkloadMemoryPredictor],
+        *,
+        safety_factor: float = 1.0,
+    ) -> dict[str, SimulationReport]:
+        """Run the same batch window under several admission predictors."""
+        return {
+            label: self.run(batches, predictor, safety_factor=safety_factor)
+            for label, predictor in predictors.items()
+        }

@@ -1,0 +1,163 @@
+"""Base estimator interfaces for the from-scratch ML substrate.
+
+The paper trains its regressors with scikit-learn; that library is not
+available in this environment, so ``repro.ml`` re-implements the required
+algorithms on top of numpy.  This module defines the small estimator protocol
+the rest of the package relies on:
+
+* :class:`BaseEstimator` — parameter introspection (``get_params`` /
+  ``set_params``) and a uniform ``repr``.
+* :class:`RegressorMixin` — ``score`` (coefficient of determination).
+* :class:`ClusterMixin` — ``fit_predict``.
+* helpers for input validation shared by every estimator.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+__all__ = [
+    "BaseEstimator",
+    "RegressorMixin",
+    "ClusterMixin",
+    "check_array",
+    "check_X_y",
+    "check_is_fitted",
+    "check_random_state",
+]
+
+
+def check_array(X: Any, *, ensure_2d: bool = True, dtype: type = np.float64) -> np.ndarray:
+    """Validate an input array and return it as a contiguous numpy array.
+
+    Parameters
+    ----------
+    X:
+        Array-like input (list of lists, numpy array, ...).
+    ensure_2d:
+        When true, a 1-d input raises :class:`InvalidParameterError` instead of
+        being silently promoted.
+    dtype:
+        Target dtype of the returned array.
+
+    Returns
+    -------
+    numpy.ndarray
+        A 2-d (or 1-d when ``ensure_2d=False``) float array with no NaN/inf.
+    """
+    arr = np.asarray(X, dtype=dtype)
+    if ensure_2d:
+        if arr.ndim == 1:
+            raise InvalidParameterError(
+                "expected a 2-d array of shape (n_samples, n_features); "
+                "got a 1-d array — reshape with X.reshape(-1, 1) if it holds a "
+                "single feature"
+            )
+        if arr.ndim != 2:
+            raise InvalidParameterError(f"expected a 2-d array, got {arr.ndim}-d")
+    if arr.size == 0:
+        raise InvalidParameterError("empty input array")
+    if not np.all(np.isfinite(arr)):
+        raise InvalidParameterError("input contains NaN or infinity")
+    return arr
+
+
+def check_X_y(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix and target vector of matching length."""
+    X = check_array(X)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if y.size == 0:
+        raise InvalidParameterError("empty target vector")
+    if not np.all(np.isfinite(y)):
+        raise InvalidParameterError("target contains NaN or infinity")
+    if X.shape[0] != y.shape[0]:
+        raise InvalidParameterError(
+            f"X has {X.shape[0]} samples but y has {y.shape[0]}"
+        )
+    return X, y
+
+
+def check_is_fitted(estimator: Any, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``estimator`` has ``attribute``."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() first"
+        )
+
+
+def check_random_state(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Turn ``seed`` into a :class:`numpy.random.Generator` instance."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class BaseEstimator:
+    """Minimal estimator base class with parameter introspection.
+
+    Sub-classes declare all hyperparameters as keyword arguments of their
+    ``__init__`` and store them on ``self`` under the same name, which lets
+    :meth:`get_params` / :meth:`set_params` (and therefore randomized search
+    and cloning) work without any per-estimator code.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self" and parameter.kind != inspect.Parameter.VAR_KEYWORD
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        """Return the estimator's hyperparameters as a dictionary."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set hyperparameters; unknown names raise :class:`InvalidParameterError`."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise InvalidParameterError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters are {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def clone(self) -> "BaseEstimator":
+        """Return a new unfitted estimator with identical hyperparameters."""
+        return type(self)(**self.get_params())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+class RegressorMixin:
+    """Mixin adding the R^2 ``score`` method used by model selection."""
+
+    def score(self, X: Any, y: Any) -> float:
+        """Return the coefficient of determination of ``self.predict(X)``."""
+        X, y = check_X_y(X, y)
+        predictions = self.predict(X)  # type: ignore[attr-defined]
+        residual = float(np.sum((y - predictions) ** 2))
+        total = float(np.sum((y - y.mean()) ** 2))
+        if total == 0.0:
+            return 1.0 if residual == 0.0 else 0.0
+        return 1.0 - residual / total
+
+
+class ClusterMixin:
+    """Mixin adding ``fit_predict`` for clustering estimators."""
+
+    def fit_predict(self, X: Any) -> np.ndarray:
+        """Fit the clustering model and return the label of every sample."""
+        self.fit(X)  # type: ignore[attr-defined]
+        return self.labels_  # type: ignore[attr-defined]

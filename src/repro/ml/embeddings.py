@@ -1,0 +1,132 @@
+"""Word embeddings for SQL text (the paper's fifth template-learning method).
+
+The paper's "word embeddings based" variant builds a vocabulary over the
+training SQL corpus, maps every query expression to a dense feature vector and
+clusters those vectors with k-means.  Without an offline word2vec dependency
+we use the classical count-based construction: a windowed co-occurrence
+matrix, PPMI re-weighting, and truncated SVD — which yields dense vectors
+capturing token proximity, the property the paper contrasts against plain
+bag-of-words.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.text import tokenize_sql
+
+__all__ = ["WordEmbeddingVectorizer"]
+
+
+class WordEmbeddingVectorizer:
+    """Co-occurrence + PPMI + SVD word embeddings averaged per document.
+
+    Parameters
+    ----------
+    embedding_dim:
+        Dimensionality of the word vectors (and therefore of the per-query
+        feature vector, which is the mean of its token vectors).
+    window:
+        Co-occurrence window size (tokens to the left/right).
+    min_count:
+        Tokens rarer than this across the corpus are dropped.
+    """
+
+    def __init__(
+        self,
+        *,
+        embedding_dim: int = 16,
+        window: int = 3,
+        min_count: int = 1,
+    ) -> None:
+        if embedding_dim < 1:
+            raise InvalidParameterError("embedding_dim must be >= 1")
+        if window < 1:
+            raise InvalidParameterError("window must be >= 1")
+        self.embedding_dim = embedding_dim
+        self.window = window
+        self.min_count = min_count
+        self.vocabulary_: dict[str, int] | None = None
+        self.embeddings_: np.ndarray | None = None
+
+    @staticmethod
+    def _normalize(token: str) -> str:
+        """Collapse numeric literals so parameter values don't bloat the vocabulary."""
+        bare = token.lstrip("-").replace(".", "", 1)
+        return "<num>" if bare.isdigit() else token
+
+    def _tokenize(self, document: str) -> list[str]:
+        return [self._normalize(token) for token in tokenize_sql(document)]
+
+    def fit(self, documents: Iterable[str]) -> "WordEmbeddingVectorizer":
+        tokenized = [self._tokenize(document) for document in documents]
+
+        counts: dict[str, int] = {}
+        for tokens in tokenized:
+            for token in tokens:
+                counts[token] = counts.get(token, 0) + 1
+        vocabulary = {
+            token: index
+            for index, token in enumerate(
+                sorted(t for t, c in counts.items() if c >= self.min_count)
+            )
+        }
+        if not vocabulary:
+            raise InvalidParameterError("corpus produced an empty vocabulary")
+        self.vocabulary_ = vocabulary
+
+        size = len(vocabulary)
+        cooccurrence = np.zeros((size, size), dtype=np.float64)
+        for tokens in tokenized:
+            indices = [vocabulary[t] for t in tokens if t in vocabulary]
+            for position, center in enumerate(indices):
+                lo = max(0, position - self.window)
+                hi = min(len(indices), position + self.window + 1)
+                for neighbour_pos in range(lo, hi):
+                    if neighbour_pos == position:
+                        continue
+                    cooccurrence[center, indices[neighbour_pos]] += 1.0
+
+        # Positive pointwise mutual information re-weighting.
+        total = cooccurrence.sum()
+        if total == 0.0:
+            # Degenerate corpus (all single-token documents): keep raw counts.
+            ppmi = cooccurrence
+        else:
+            row_sums = cooccurrence.sum(axis=1, keepdims=True)
+            col_sums = cooccurrence.sum(axis=0, keepdims=True)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                expected = row_sums @ col_sums / total
+                ratio = np.where(expected > 0, cooccurrence * total / np.maximum(expected, 1e-12), 0.0)
+                ppmi = np.where(ratio > 1.0, np.log(ratio), 0.0)
+
+        # Truncated SVD down to the requested dimensionality.
+        dim = min(self.embedding_dim, size)
+        U, S, _ = np.linalg.svd(ppmi, full_matrices=False)
+        embeddings = U[:, :dim] * S[:dim]
+        if dim < self.embedding_dim:
+            padding = np.zeros((size, self.embedding_dim - dim))
+            embeddings = np.hstack([embeddings, padding])
+        self.embeddings_ = embeddings
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Return the mean token embedding of every document."""
+        if self.vocabulary_ is None or self.embeddings_ is None:
+            raise NotFittedError("vectorizer is not fitted; call fit() first")
+        matrix = np.zeros((len(documents), self.embedding_dim), dtype=np.float64)
+        for row, document in enumerate(documents):
+            indices = [
+                self.vocabulary_[token]
+                for token in self._tokenize(document)
+                if token in self.vocabulary_
+            ]
+            if indices:
+                matrix[row] = self.embeddings_[indices].mean(axis=0)
+        return matrix
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        return self.fit(documents).transform(documents)

@@ -1,0 +1,202 @@
+"""k-means clustering with k-means++ seeding and the elbow heuristic.
+
+The paper's template-learning step (Algorithm 1, GETTEMPLATES) clusters
+query-plan feature vectors with standard k-means and tunes ``k`` with the
+elbow method.  This module provides both pieces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.ml.base import (
+    BaseEstimator,
+    ClusterMixin,
+    check_array,
+    check_is_fitted,
+    check_random_state,
+)
+
+__all__ = ["KMeans", "elbow_method"]
+
+
+class KMeans(BaseEstimator, ClusterMixin):
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids (the paper's number of query templates ``k``).
+    n_init:
+        Number of independent restarts; the run with the lowest inertia wins.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    tol:
+        Relative centroid-movement tolerance used to declare convergence.
+    random_state:
+        Seed for reproducible clustering.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        n_init: int = 4,
+        max_iter: int = 300,
+        tol: float = 1e-4,
+        random_state: int | None = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise InvalidParameterError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
+        self.n_iter_: int | None = None
+
+    def _init_centroids(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids proportionally to D^2."""
+        n_samples = X.shape[0]
+        centers = np.empty((self.n_clusters, X.shape[1]), dtype=np.float64)
+        first = rng.integers(n_samples)
+        centers[0] = X[first]
+        closest_sq = np.sum((X - centers[0]) ** 2, axis=1)
+        for i in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total == 0.0:
+                # All remaining points coincide with an existing centroid.
+                centers[i:] = X[rng.integers(n_samples, size=self.n_clusters - i)]
+                break
+            probabilities = closest_sq / total
+            index = rng.choice(n_samples, p=probabilities)
+            centers[i] = X[index]
+            distance = np.sum((X - centers[i]) ** 2, axis=1)
+            closest_sq = np.minimum(closest_sq, distance)
+        return centers
+
+    @staticmethod
+    def _assign(X: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (labels, squared distance to the assigned centroid)."""
+        # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 ; computed blockwise to keep
+        # the memory footprint proportional to n_samples * n_clusters.
+        cross = X @ centers.T
+        x_sq = np.sum(X * X, axis=1)[:, None]
+        c_sq = np.sum(centers * centers, axis=1)[None, :]
+        distances = np.maximum(x_sq - 2.0 * cross + c_sq, 0.0)
+        labels = np.argmin(distances, axis=1)
+        return labels, distances[np.arange(X.shape[0]), labels]
+
+    def _single_run(
+        self, X: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        centers = self._init_centroids(X, rng)
+        previous_labels: np.ndarray | None = None
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            labels, distances = self._assign(X, centers)
+            if previous_labels is not None and np.array_equal(labels, previous_labels):
+                break
+            previous_labels = labels
+
+            # Vectorized centroid update: sum members per cluster, divide by counts.
+            counts = np.bincount(labels, minlength=self.n_clusters).astype(np.float64)
+            sums = np.zeros_like(centers)
+            np.add.at(sums, labels, X)
+            non_empty = counts > 0
+            new_centers = centers.copy()
+            new_centers[non_empty] = sums[non_empty] / counts[non_empty, None]
+
+            empty = np.flatnonzero(~non_empty)
+            if empty.size:
+                # Re-seed empty clusters at the points currently farthest from
+                # their centroid (each empty cluster gets a distinct point).
+                farthest = np.argsort(distances)[::-1][: empty.size]
+                new_centers[empty] = X[farthest]
+
+            shift = float(np.sum((new_centers - centers) ** 2))
+            centers = new_centers
+            if shift <= self.tol * max(float(np.sum(centers**2)), 1e-12):
+                break
+        labels, distances = self._assign(X, centers)
+        return centers, labels, float(distances.sum()), n_iter
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        """Fit centroids on the feature matrix ``X``."""
+        X = check_array(X)
+        if X.shape[0] < self.n_clusters:
+            raise InvalidParameterError(
+                f"n_samples={X.shape[0]} is smaller than n_clusters={self.n_clusters}"
+            )
+        rng = check_random_state(self.random_state)
+        best: tuple[np.ndarray, np.ndarray, float, int] | None = None
+        for _ in range(max(1, self.n_init)):
+            run = self._single_run(X, rng)
+            if best is None or run[2] < best[2]:
+                best = run
+        assert best is not None
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign each sample of ``X`` to its nearest learned centroid."""
+        check_is_fitted(self, "cluster_centers_")
+        X = check_array(X)
+        labels, _ = self._assign(X, self.cluster_centers_)
+        return labels
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Return the distance of each sample to every centroid."""
+        check_is_fitted(self, "cluster_centers_")
+        X = check_array(X)
+        diffs = X[:, None, :] - self.cluster_centers_[None, :, :]
+        return np.sqrt(np.sum(diffs**2, axis=2))
+
+
+def elbow_method(
+    X: np.ndarray,
+    candidate_ks: list[int] | range,
+    *,
+    random_state: int | None = None,
+    n_init: int = 2,
+) -> tuple[int, dict[int, float]]:
+    """Pick ``k`` with the elbow (maximum-curvature) heuristic.
+
+    Runs :class:`KMeans` for every candidate ``k`` and returns the candidate at
+    which the normalized inertia curve bends the most, together with the full
+    ``{k: inertia}`` profile so callers can plot or report it.
+
+    The curvature is measured as the distance of each point of the (k,
+    inertia) curve from the straight line joining the first and last points —
+    the standard "kneedle"-style formulation.
+    """
+    candidates = sorted(set(int(k) for k in candidate_ks))
+    if not candidates:
+        raise InvalidParameterError("candidate_ks must be non-empty")
+    X = check_array(X)
+    inertias: dict[int, float] = {}
+    for k in candidates:
+        if k > X.shape[0]:
+            continue
+        model = KMeans(n_clusters=k, n_init=n_init, random_state=random_state)
+        model.fit(X)
+        inertias[k] = float(model.inertia_)
+    if not inertias:
+        raise InvalidParameterError("no candidate k is <= n_samples")
+    if len(inertias) <= 2:
+        return min(inertias), inertias
+
+    ks = np.array(sorted(inertias), dtype=np.float64)
+    values = np.array([inertias[int(k)] for k in ks], dtype=np.float64)
+    # Normalize both axes to [0, 1] so the elbow is scale-free.
+    ks_n = (ks - ks[0]) / max(ks[-1] - ks[0], 1e-12)
+    span = values[0] - values[-1]
+    values_n = (values - values[-1]) / max(span, 1e-12)
+    # Distance from the chord joining the endpoints of the curve.
+    distances = np.abs(values_n - (1.0 - ks_n)) / np.sqrt(2.0)
+    best_k = int(ks[int(np.argmax(distances))])
+    return best_k, inertias

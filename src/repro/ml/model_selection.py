@@ -1,0 +1,225 @@
+"""Dataset splitting, cross-validation and randomized hyperparameter search.
+
+The paper uses an 80/20 train/test split of generated queries and tunes the
+MLP with scikit-learn's randomized search; this module supplies equivalent
+utilities for the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.ml.base import BaseEstimator, check_random_state
+
+__all__ = [
+    "train_test_split",
+    "KFold",
+    "cross_val_score",
+    "ParameterSampler",
+    "RandomizedSearchCV",
+]
+
+
+def train_test_split(
+    *arrays: Sequence[Any],
+    test_size: float = 0.2,
+    random_state: int | None = None,
+    shuffle: bool = True,
+) -> list[Any]:
+    """Split any number of same-length sequences into train and test parts.
+
+    Returns ``[a_train, a_test, b_train, b_test, ...]`` mirroring the
+    scikit-learn call convention.  Works on lists and numpy arrays alike, so
+    callers can split lists of :class:`~repro.dbms.query_log.QueryRecord`
+    alongside numpy matrices.
+    """
+    if not arrays:
+        raise InvalidParameterError("at least one array is required")
+    if not 0.0 < test_size < 1.0:
+        raise InvalidParameterError("test_size must be in (0, 1)")
+    length = len(arrays[0])
+    if length < 2:
+        raise InvalidParameterError("need at least two samples to split")
+    for array in arrays[1:]:
+        if len(array) != length:
+            raise InvalidParameterError("all arrays must have the same length")
+
+    indices = np.arange(length)
+    if shuffle:
+        rng = check_random_state(random_state)
+        rng.shuffle(indices)
+    n_test = max(1, int(round(test_size * length)))
+    n_test = min(n_test, length - 1)
+    test_idx = indices[:n_test]
+    train_idx = indices[n_test:]
+
+    def take(array: Sequence[Any], idx: np.ndarray) -> Any:
+        if isinstance(array, np.ndarray):
+            return array[idx]
+        return [array[i] for i in idx]
+
+    result: list[Any] = []
+    for array in arrays:
+        result.append(take(array, train_idx))
+        result.append(take(array, test_idx))
+    return result
+
+
+@dataclass
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    n_splits: int = 5
+    shuffle: bool = True
+    random_state: int | None = None
+
+    def split(self, X: Sequence[Any]) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        n_samples = len(X)
+        if self.n_splits < 2:
+            raise InvalidParameterError("n_splits must be >= 2")
+        if self.n_splits > n_samples:
+            raise InvalidParameterError("n_splits cannot exceed the number of samples")
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = check_random_state(self.random_state)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits, dtype=int)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        current = 0
+        for fold_size in fold_sizes:
+            test_idx = indices[current : current + fold_size]
+            train_idx = np.concatenate(
+                [indices[:current], indices[current + fold_size :]]
+            )
+            yield train_idx, test_idx
+            current += fold_size
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    cv: int = 5,
+    scoring: Callable[[np.ndarray, np.ndarray], float] | None = None,
+    random_state: int | None = None,
+) -> np.ndarray:
+    """Score a cloned estimator over K folds.
+
+    ``scoring(y_true, y_pred)`` defaults to the estimator's own ``score``
+    (R^2); pass e.g. a negated-RMSE callable to rank by estimation error.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    folds = KFold(n_splits=cv, shuffle=True, random_state=random_state)
+    scores: list[float] = []
+    for train_idx, test_idx in folds.split(X):
+        model = estimator.clone()
+        model.fit(X[train_idx], y[train_idx])
+        if scoring is None:
+            scores.append(float(model.score(X[test_idx], y[test_idx])))
+        else:
+            predictions = model.predict(X[test_idx])
+            scores.append(float(scoring(y[test_idx], predictions)))
+    return np.array(scores)
+
+
+class ParameterSampler:
+    """Sample parameter combinations from lists or scipy-like distributions.
+
+    Every value in ``param_distributions`` is either a sequence (sampled
+    uniformly) or an object with an ``rvs(random_state=...)`` method.
+    """
+
+    def __init__(
+        self,
+        param_distributions: dict[str, Any],
+        n_iter: int,
+        *,
+        random_state: int | None = None,
+    ) -> None:
+        if n_iter < 1:
+            raise InvalidParameterError("n_iter must be >= 1")
+        self.param_distributions = param_distributions
+        self.n_iter = n_iter
+        self.random_state = random_state
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        rng = check_random_state(self.random_state)
+        for _ in range(self.n_iter):
+            sample: dict[str, Any] = {}
+            for name, candidates in self.param_distributions.items():
+                if hasattr(candidates, "rvs"):
+                    sample[name] = candidates.rvs(random_state=int(rng.integers(2**31)))
+                else:
+                    options = list(candidates)
+                    sample[name] = options[int(rng.integers(len(options)))]
+            yield sample
+
+    def __len__(self) -> int:
+        return self.n_iter
+
+
+class RandomizedSearchCV:
+    """Randomized hyperparameter search with K-fold cross-validation.
+
+    Mirrors the subset of scikit-learn's API the paper's tuning procedure
+    needs: ``fit`` evaluates ``n_iter`` random parameter draws and exposes
+    ``best_params_``, ``best_score_`` and a refitted ``best_estimator_``.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_distributions: dict[str, Any],
+        *,
+        n_iter: int = 10,
+        cv: int = 3,
+        scoring: Callable[[np.ndarray, np.ndarray], float] | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        self.estimator = estimator
+        self.param_distributions = param_distributions
+        self.n_iter = n_iter
+        self.cv = cv
+        self.scoring = scoring
+        self.random_state = random_state
+        self.best_params_: dict[str, Any] | None = None
+        self.best_score_: float | None = None
+        self.best_estimator_: BaseEstimator | None = None
+        self.cv_results_: list[dict[str, Any]] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomizedSearchCV":
+        sampler = ParameterSampler(
+            self.param_distributions, self.n_iter, random_state=self.random_state
+        )
+        self.cv_results_ = []
+        for params in sampler:
+            candidate = self.estimator.clone().set_params(**params)
+            scores = cross_val_score(
+                candidate,
+                X,
+                y,
+                cv=self.cv,
+                scoring=self.scoring,
+                random_state=self.random_state,
+            )
+            mean_score = float(scores.mean())
+            self.cv_results_.append({"params": params, "mean_score": mean_score})
+            if self.best_score_ is None or mean_score > self.best_score_:
+                self.best_score_ = mean_score
+                self.best_params_ = params
+        assert self.best_params_ is not None
+        self.best_estimator_ = self.estimator.clone().set_params(**self.best_params_)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.best_estimator_ is None:
+            raise InvalidParameterError("RandomizedSearchCV is not fitted")
+        return self.best_estimator_.predict(X)

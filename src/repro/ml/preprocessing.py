@@ -1,0 +1,99 @@
+"""Feature scaling utilities used throughout the pipeline.
+
+Query-plan features mix operator counts (small integers) with aggregated
+cardinalities (up to billions of rows), so both the clustering step and the
+MLP regressor need the inputs brought onto a comparable scale.  The paper
+relies on scikit-learn's scalers; these are drop-in equivalents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_array, check_is_fitted
+
+__all__ = ["StandardScaler", "MinMaxScaler", "log1p_scale"]
+
+
+class StandardScaler(BaseEstimator):
+    """Standardize features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centred but not divided, which
+    matches scikit-learn's behaviour and avoids NaN propagation for sparse
+    histogram columns that never vary in the training split.
+    """
+
+    def __init__(self, *, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = X.std(axis=0)
+            scale[scale == 0.0] = 1.0
+        else:
+            scale = np.ones(X.shape[1])
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = check_array(X)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = check_array(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features to the ``[0, 1]`` range (constant features map to 0)."""
+
+    def __init__(self) -> None:
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = check_array(X)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        span = self.data_max_ - self.data_min_
+        span[span == 0.0] = 1.0
+        self.range_ = span
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "range_")
+        X = check_array(X)
+        return (X - self.data_min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "range_")
+        X = check_array(X)
+        return X * self.range_ + self.data_min_
+
+
+def log1p_scale(X: np.ndarray) -> np.ndarray:
+    """Apply ``log(1 + x)`` to non-negative features such as cardinalities.
+
+    Cardinality features span many orders of magnitude; compressing them with
+    a log keeps k-means from being dominated by a single huge join while
+    preserving ordering.  Negative inputs raise ``ValueError`` because plan
+    features are counts/cardinalities and should never be negative.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if np.any(X < 0):
+        raise ValueError("log1p_scale expects non-negative features")
+    return np.log1p(X)

@@ -1,0 +1,157 @@
+"""Text featurization of SQL statements.
+
+The sensitivity study in the paper (Fig. 9) compares its plan-based template
+learning against three text-driven alternatives that operate directly on the
+SQL expression:
+
+* **bag of words** — count every token of the corpus vocabulary,
+* **text mining** — like bag of words but the vocabulary keeps only database
+  object names (tables/columns known to the catalog) and SQL clause keywords,
+* **word embeddings** — dense vectors from a co-occurrence matrix (see
+  :mod:`repro.ml.embeddings`), averaged per query.
+
+This module provides the tokenizer and the two count-based vectorizers.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+__all__ = ["tokenize_sql", "SQL_CLAUSE_KEYWORDS", "BagOfWordsVectorizer", "TextMiningVectorizer"]
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z_][A-Za-z_0-9.]*|\d+|[<>=!]+|[(),;*]")
+
+#: SQL clause keywords retained by the text-mining vectorizer.
+SQL_CLAUSE_KEYWORDS: frozenset[str] = frozenset(
+    {
+        "select",
+        "from",
+        "where",
+        "group",
+        "order",
+        "by",
+        "having",
+        "join",
+        "inner",
+        "left",
+        "right",
+        "outer",
+        "on",
+        "and",
+        "or",
+        "not",
+        "in",
+        "exists",
+        "between",
+        "like",
+        "limit",
+        "distinct",
+        "union",
+        "insert",
+        "update",
+        "delete",
+        "values",
+        "set",
+        "as",
+        "sum",
+        "avg",
+        "count",
+        "min",
+        "max",
+        "case",
+        "when",
+        "then",
+        "else",
+        "end",
+    }
+)
+
+
+def tokenize_sql(text: str) -> list[str]:
+    """Split a SQL statement into lower-cased tokens.
+
+    Identifiers, qualified names (``t.col``), numbers, comparison operators
+    and punctuation are each emitted as separate tokens; string literals are
+    reduced to the placeholder token ``strliteral`` so that parameter values
+    do not blow up the vocabulary.
+    """
+    # Replace string literals first so their contents never become tokens.
+    without_strings = re.sub(r"'[^']*'", " strliteral ", text)
+    return [token.lower() for token in _TOKEN_PATTERN.findall(without_strings)]
+
+
+class BagOfWordsVectorizer:
+    """Count-vectorizer over the full corpus vocabulary.
+
+    Numeric literals are collapsed into a single ``<num>`` token, since the
+    paper's bag-of-words baseline treats parameter values as noise.
+    """
+
+    def __init__(self, *, max_features: int | None = None) -> None:
+        self.max_features = max_features
+        self.vocabulary_: dict[str, int] | None = None
+
+    @staticmethod
+    def _normalize(token: str) -> str:
+        return "<num>" if token.isdigit() else token
+
+    def _keep(self, token: str) -> bool:
+        return True
+
+    def fit(self, documents: Iterable[str]) -> "BagOfWordsVectorizer":
+        counts: Counter[str] = Counter()
+        for document in documents:
+            for token in tokenize_sql(document):
+                token = self._normalize(token)
+                if self._keep(token):
+                    counts[token] += 1
+        ranked = [token for token, _ in counts.most_common(self.max_features)]
+        self.vocabulary_ = {token: index for index, token in enumerate(sorted(ranked))}
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        if self.vocabulary_ is None:
+            raise NotFittedError("vectorizer is not fitted; call fit() first")
+        matrix = np.zeros((len(documents), len(self.vocabulary_)), dtype=np.float64)
+        for row, document in enumerate(documents):
+            for token in tokenize_sql(document):
+                token = self._normalize(token)
+                column = self.vocabulary_.get(token)
+                if column is not None:
+                    matrix[row, column] += 1.0
+        return matrix
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        return self.fit(documents).transform(documents)
+
+
+class TextMiningVectorizer(BagOfWordsVectorizer):
+    """Bag of words restricted to database object names and SQL clauses.
+
+    ``object_names`` should contain the table and column identifiers of the
+    benchmark schema (lower-cased); all other identifiers and literals are
+    discarded, matching the paper's "text mining based" template method.
+    """
+
+    def __init__(
+        self,
+        object_names: Iterable[str],
+        *,
+        max_features: int | None = None,
+    ) -> None:
+        super().__init__(max_features=max_features)
+        self.object_names = frozenset(name.lower() for name in object_names)
+
+    def _keep(self, token: str) -> bool:
+        base = token.split(".")[-1]
+        return (
+            token in SQL_CLAUSE_KEYWORDS
+            or token in self.object_names
+            or base in self.object_names
+        )

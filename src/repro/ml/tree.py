@@ -1,0 +1,249 @@
+"""CART regression trees.
+
+Backs three of the paper's regressors: LearnedWMP-DT / SingleWMP-DT directly,
+and the random-forest and gradient-boosting ensembles through composition.
+The implementation is a standard variance-reduction CART with histogram-free
+exact splits, vectorized over candidate thresholds per feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.ml.base import (
+    BaseEstimator,
+    RegressorMixin,
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+__all__ = ["DecisionTreeRegressor", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """A single node of a fitted regression tree.
+
+    Leaves have ``feature == -1`` and carry the mean target ``value``;
+    internal nodes route samples to ``left`` when
+    ``x[feature] <= threshold`` and to ``right`` otherwise.
+    """
+
+    value: float
+    n_samples: int
+    impurity: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "TreeNode | None" = field(default=None, repr=False)
+    right: "TreeNode | None" = field(default=None, repr=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+    def count_nodes(self) -> int:
+        """Total number of nodes in the subtree rooted here."""
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return 1 + self.left.count_nodes() + self.right.count_nodes()
+
+    def depth(self) -> int:
+        """Depth of the subtree rooted here (a single leaf has depth 0)."""
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+def _best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float] | None:
+    """Find the (feature, threshold) split with the largest SSE reduction.
+
+    Returns ``(feature, threshold, gain)`` or ``None`` when no valid split
+    exists.  All candidate features are evaluated in one vectorized pass: the
+    node's candidate columns are sorted together (one ``argsort`` over the
+    (n_samples, n_candidates) block) and prefix sums give the SSE of every
+    possible cut of every feature in O(n · f), with no per-feature Python
+    overhead — the same cost profile as the exact-split mode of production
+    tree libraries.
+    """
+    n_samples = y.shape[0]
+    if n_samples < 2 * min_samples_leaf:
+        return None
+    total_sum = float(y.sum())
+    total_sq = float((y * y).sum())
+    parent_sse = total_sq - total_sum * total_sum / n_samples
+
+    columns = X[:, feature_indices]  # (n_samples, n_candidates)
+    order = np.argsort(columns, axis=0, kind="stable")
+    sorted_values = np.take_along_axis(columns, order, axis=0)
+    sorted_y = y[order]  # broadcast gather: (n_samples, n_candidates)
+
+    prefix_sum = np.cumsum(sorted_y, axis=0)[:-1]
+    prefix_sq = np.cumsum(sorted_y * sorted_y, axis=0)[:-1]
+
+    # Candidate cut after position i (1-based count of the left side).
+    left_counts = np.arange(1, n_samples, dtype=np.float64)[:, None]
+    right_counts = n_samples - left_counts
+
+    valid = (
+        (left_counts >= min_samples_leaf)
+        & (right_counts >= min_samples_leaf)
+        & (sorted_values[:-1] < sorted_values[1:])
+    )
+    if not np.any(valid):
+        return None
+
+    right_sum = total_sum - prefix_sum
+    right_sq = total_sq - prefix_sq
+    left_sse = prefix_sq - prefix_sum * prefix_sum / left_counts
+    right_sse = right_sq - right_sum * right_sum / right_counts
+    gains = parent_sse - (left_sse + right_sse)
+    gains[~valid] = -np.inf
+
+    flat_index = int(np.argmax(gains))
+    cut, candidate = np.unravel_index(flat_index, gains.shape)
+    gain = float(gains[cut, candidate])
+    if not np.isfinite(gain) or gain <= 1e-12:
+        return None
+    threshold = float(
+        (sorted_values[cut, candidate] + sorted_values[cut + 1, candidate]) / 2.0
+    )
+    return int(feature_indices[candidate]), threshold, gain
+
+
+class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
+    """CART regression tree minimizing within-node variance.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until other stopping criteria hit.
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples each child must receive.
+    max_features:
+        ``None`` (all features), an int, a float fraction, or ``"sqrt"`` —
+        the number of features examined per split.  Random forests pass
+        ``"sqrt"``.
+    random_state:
+        Seed controlling the feature subsampling.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise InvalidParameterError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise InvalidParameterError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.tree_: TreeNode | None = None
+        self.n_features_in_: int | None = None
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, float):
+            if not 0.0 < self.max_features <= 1.0:
+                raise InvalidParameterError("float max_features must be in (0, 1]")
+            return max(1, int(self.max_features * n_features))
+        if isinstance(self.max_features, int):
+            if self.max_features < 1:
+                raise InvalidParameterError("int max_features must be >= 1")
+            return min(self.max_features, n_features)
+        raise InvalidParameterError(f"unsupported max_features: {self.max_features!r}")
+
+    def _build(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        depth: int,
+        rng: np.random.Generator,
+        n_feature_candidates: int,
+    ) -> TreeNode:
+        node_value = float(y.mean())
+        impurity = float(np.var(y))
+        node = TreeNode(value=node_value, n_samples=y.shape[0], impurity=impurity)
+
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or y.shape[0] < self.min_samples_split
+            or impurity <= 1e-12
+        ):
+            return node
+
+        n_features = X.shape[1]
+        if n_feature_candidates < n_features:
+            feature_indices = rng.choice(n_features, size=n_feature_candidates, replace=False)
+        else:
+            feature_indices = np.arange(n_features)
+
+        split = _best_split(X, y, feature_indices, self.min_samples_leaf)
+        if split is None:
+            return node
+
+        feature, threshold, _ = split
+        mask = X[:, feature] <= threshold
+        if not mask.any() or mask.all():
+            # Floating-point midpoints of nearly-equal values can collapse the
+            # split onto one side; treat the node as a leaf in that case.
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1, rng, n_feature_candidates)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng, n_feature_candidates)
+        return node
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        self.n_features_in_ = X.shape[1]
+        n_candidates = self._resolve_max_features(X.shape[1])
+        self.tree_ = self._build(X, y, depth=0, rng=rng, n_feature_candidates=n_candidates)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "tree_")
+        X = check_array(X)
+        predictions = np.empty(X.shape[0], dtype=np.float64)
+        for i in range(X.shape[0]):
+            node = self.tree_
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if X[i, node.feature] <= node.threshold else node.right
+            predictions[i] = node.value
+        return predictions
+
+    def node_count(self) -> int:
+        """Number of nodes in the fitted tree (a proxy for model size)."""
+        check_is_fitted(self, "tree_")
+        return self.tree_.count_nodes()
+
+    def depth(self) -> int:
+        """Depth of the fitted tree."""
+        check_is_fitted(self, "tree_")
+        return self.tree_.depth()

@@ -1,0 +1,42 @@
+"""Benchmark workload substrates: TPC-DS, JOB (IMDB) and TPC-C."""
+
+from repro.workloads.base import (
+    AggregateSpec,
+    BenchmarkGenerator,
+    GeneratedQuery,
+    JoinSpec,
+    PredicateSpec,
+    QueryTemplateSpec,
+    render_select,
+)
+from repro.workloads.generator import (
+    BENCHMARK_NAMES,
+    PAPER_QUERY_COUNTS,
+    BenchmarkDataset,
+    build_benchmark,
+    generate_dataset,
+)
+from repro.workloads.job import JOBGenerator, build_job_catalog
+from repro.workloads.tpcc import TPCCGenerator, build_tpcc_catalog
+from repro.workloads.tpcds import TPCDSGenerator, build_tpcds_catalog
+
+__all__ = [
+    "AggregateSpec",
+    "BenchmarkGenerator",
+    "GeneratedQuery",
+    "JoinSpec",
+    "PredicateSpec",
+    "QueryTemplateSpec",
+    "render_select",
+    "BENCHMARK_NAMES",
+    "PAPER_QUERY_COUNTS",
+    "BenchmarkDataset",
+    "build_benchmark",
+    "generate_dataset",
+    "JOBGenerator",
+    "build_job_catalog",
+    "TPCCGenerator",
+    "build_tpcc_catalog",
+    "TPCDSGenerator",
+    "build_tpcds_catalog",
+]

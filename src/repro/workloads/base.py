@@ -1,0 +1,220 @@
+"""Shared machinery for the benchmark query generators.
+
+Each benchmark (TPC-DS, JOB, TPC-C) exposes the same surface:
+
+* a :class:`~repro.dbms.catalog.Catalog` describing its schema and statistics,
+* a fixed list of *seed templates* — parameterized query shapes comparable to
+  the benchmark's official query templates,
+* ``generate(n, seed)`` which instantiates ``n`` queries by sampling seed
+  templates and binding fresh parameter values.
+
+The analytical benchmarks describe their seed templates declaratively with
+:class:`QueryTemplateSpec`: a fact (driver) table, dimension joins, local
+predicates with value domains, aggregates, grouping and ordering.  The spec is
+rendered to SQL with :func:`render_select`, which keeps TPC-DS and JOB
+generators small and uniform.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.dbms.catalog import Catalog
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "PredicateSpec",
+    "JoinSpec",
+    "AggregateSpec",
+    "QueryTemplateSpec",
+    "render_select",
+    "BenchmarkGenerator",
+    "GeneratedQuery",
+]
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """A parameterized local predicate.
+
+    ``kind`` selects how parameter values are drawn:
+
+    * ``"eq_int"`` / ``"range_int"`` — integer drawn from ``[low, high]``,
+    * ``"eq_choice"`` / ``"in_choice"`` — values drawn from ``choices``,
+    * ``"range_float"`` — float range inside ``[low, high]``,
+    * ``"like"`` — a LIKE pattern built from a random choice prefix.
+    """
+
+    column: str
+    kind: str
+    low: int = 0
+    high: int = 100
+    choices: tuple[str, ...] = ()
+    in_size: int = 3
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """An equi-join between two aliased columns, e.g. fact FK -> dim PK."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """An aggregate expression in the select list."""
+
+    func: str
+    column: str | None = None  # None means count(*)
+
+
+@dataclass(frozen=True)
+class QueryTemplateSpec:
+    """Declarative description of one seed query template."""
+
+    template_id: int
+    tables: tuple[tuple[str, str], ...]  # (table, alias)
+    joins: tuple[JoinSpec, ...]
+    predicates: tuple[PredicateSpec, ...]
+    aggregates: tuple[AggregateSpec, ...] = ()
+    group_by: tuple[str, ...] = ()
+    select_columns: tuple[str, ...] = ()
+    order_by: tuple[str, ...] = ()
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """A generated SQL statement together with its seed-template identity."""
+
+    sql: str
+    template_id: int
+
+
+def _render_predicate(spec: PredicateSpec, rng: np.random.Generator) -> str:
+    if spec.kind == "eq_int":
+        value = int(rng.integers(spec.low, spec.high + 1))
+        return f"{spec.column} = {value}"
+    if spec.kind == "range_int":
+        # Range width is drawn log-uniformly between 1 and the full domain, so
+        # different instantiations of the same seed template cover anywhere
+        # from a sliver to most of the column — the within-template
+        # selectivity spread real benchmark parameter bindings exhibit.
+        span = max(1, spec.high - spec.low)
+        width = int(round(math.exp(float(rng.uniform(0.0, math.log(span + 1))))))
+        width = min(max(1, width), span)
+        start = int(rng.integers(spec.low, spec.high - width + 1))
+        return f"{spec.column} between {start} and {start + width}"
+    if spec.kind == "range_float":
+        span = spec.high - spec.low
+        fraction = math.exp(float(rng.uniform(math.log(0.01), math.log(0.8))))
+        width = span * fraction
+        start = spec.low + float(rng.random()) * (span - width)
+        return f"{spec.column} between {start:.2f} and {start + width:.2f}"
+    if spec.kind == "eq_choice":
+        value = spec.choices[int(rng.integers(len(spec.choices)))]
+        return f"{spec.column} = '{value}'"
+    if spec.kind == "in_choice":
+        size = int(rng.integers(1, min(spec.in_size, len(spec.choices)) + 1))
+        picked = rng.choice(len(spec.choices), size=size, replace=False)
+        values = ", ".join(f"'{spec.choices[i]}'" for i in sorted(picked))
+        return f"{spec.column} in ({values})"
+    if spec.kind == "like":
+        prefix = spec.choices[int(rng.integers(len(spec.choices)))]
+        return f"{spec.column} like '%{prefix}%'"
+    if spec.kind == "gt_int":
+        value = int(rng.integers(spec.low, spec.high + 1))
+        return f"{spec.column} > {value}"
+    raise WorkloadError(f"unknown predicate kind {spec.kind!r}")
+
+
+def render_select(spec: QueryTemplateSpec, rng: np.random.Generator) -> str:
+    """Render a :class:`QueryTemplateSpec` into SQL with fresh parameters."""
+    select_parts: list[str] = list(spec.select_columns)
+    select_parts.extend(
+        f"{agg.func}({agg.column})" if agg.column else "count(*)"
+        for agg in spec.aggregates
+    )
+    if not select_parts:
+        select_parts = ["count(*)"]
+
+    from_clause = ", ".join(
+        f"{table} {alias}" if alias != table else table for table, alias in spec.tables
+    )
+
+    where_parts = [f"{join.left} = {join.right}" for join in spec.joins]
+    where_parts.extend(_render_predicate(p, rng) for p in spec.predicates)
+
+    sql = f"select {', '.join(select_parts)} from {from_clause}"
+    if where_parts:
+        sql += " where " + " and ".join(where_parts)
+    if spec.group_by:
+        sql += " group by " + ", ".join(spec.group_by)
+    if spec.order_by:
+        sql += " order by " + ", ".join(spec.order_by)
+    if spec.limit is not None:
+        sql += f" limit {spec.limit}"
+    return sql
+
+
+class BenchmarkGenerator(abc.ABC):
+    """Common interface of the three benchmark query generators."""
+
+    #: Short benchmark identifier used in query-log records ("tpcds", ...).
+    name: str = ""
+
+    @abc.abstractmethod
+    def catalog(self) -> Catalog:
+        """Return the benchmark's schema catalog (fresh instance per call)."""
+
+    @property
+    @abc.abstractmethod
+    def seed_template_count(self) -> int:
+        """Number of distinct seed templates this generator can instantiate."""
+
+    @abc.abstractmethod
+    def generate_one(self, template_id: int, rng: np.random.Generator) -> str:
+        """Instantiate a single SQL statement from seed template ``template_id``."""
+
+    def generate(self, n_queries: int, *, seed: int | None = None) -> list[GeneratedQuery]:
+        """Generate ``n_queries`` by uniformly sampling seed templates."""
+        if n_queries < 1:
+            raise WorkloadError("n_queries must be >= 1")
+        rng = np.random.default_rng(seed)
+        queries: list[GeneratedQuery] = []
+        for _ in range(n_queries):
+            template_id = int(rng.integers(self.seed_template_count))
+            sql = self.generate_one(template_id, rng)
+            queries.append(GeneratedQuery(sql=sql, template_id=template_id))
+        return queries
+
+
+@dataclass
+class SpecBackedGenerator(BenchmarkGenerator):
+    """A generator whose seed templates are a list of :class:`QueryTemplateSpec`."""
+
+    specs: list[QueryTemplateSpec] = field(default_factory=list)
+
+    @property
+    def seed_template_count(self) -> int:
+        return len(self.specs)
+
+    def generate_one(self, template_id: int, rng: np.random.Generator) -> str:
+        if not 0 <= template_id < len(self.specs):
+            raise WorkloadError(
+                f"template_id {template_id} out of range [0, {len(self.specs)})"
+            )
+        return render_select(self.specs[template_id], rng)
+
+    def spec(self, template_id: int) -> QueryTemplateSpec:
+        """Return the seed template spec (useful for inspection and tests)."""
+        return self.specs[template_id]
+
+    def catalog(self) -> Catalog:  # pragma: no cover - overridden
+        raise NotImplementedError

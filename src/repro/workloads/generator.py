@@ -1,0 +1,115 @@
+"""Dataset construction: generate, execute and split benchmark queries.
+
+Bridges the benchmark generators and the simulated DBMS: generated SQL is
+executed on a :class:`~repro.dbms.executor.SimulatedDBMS` built from the
+benchmark's catalog, yielding the query-log records the LearnedWMP pipeline
+trains on.  Also provides the 80/20 train/test split used throughout the
+paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dbms.executor import SimulatedDBMS
+from repro.dbms.query_log import QueryRecord
+from repro.exceptions import WorkloadError
+from repro.ml.model_selection import train_test_split
+from repro.workloads.base import BenchmarkGenerator
+from repro.workloads.job import JOBGenerator
+from repro.workloads.tpcc import TPCCGenerator
+from repro.workloads.tpcds import TPCDSGenerator
+
+__all__ = [
+    "build_benchmark",
+    "BenchmarkDataset",
+    "generate_dataset",
+    "BENCHMARK_NAMES",
+    "PAPER_QUERY_COUNTS",
+]
+
+#: Benchmarks available to the experiment harness.
+BENCHMARK_NAMES: tuple[str, ...] = ("tpcds", "job", "tpcc")
+
+#: Query volumes used in the paper (the harness defaults to smaller counts).
+PAPER_QUERY_COUNTS: dict[str, int] = {"tpcds": 93_000, "job": 2_300, "tpcc": 3_958}
+
+
+def build_benchmark(name: str) -> BenchmarkGenerator:
+    """Instantiate a benchmark generator by name (``tpcds``, ``job``, ``tpcc``)."""
+    key = name.lower()
+    if key == "tpcds":
+        return TPCDSGenerator()
+    if key == "job":
+        return JOBGenerator()
+    if key == "tpcc":
+        return TPCCGenerator()
+    raise WorkloadError(f"unknown benchmark {name!r}; expected one of {BENCHMARK_NAMES}")
+
+
+@dataclass
+class BenchmarkDataset:
+    """Executed benchmark queries split into training and test partitions.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name.
+    dbms:
+        The simulated DBMS the queries were executed on (exposes the catalog,
+        planner and memory model used).
+    train_records / test_records:
+        Query-log records of the 80/20 split.
+    """
+
+    name: str
+    dbms: SimulatedDBMS
+    train_records: list[QueryRecord] = field(default_factory=list)
+    test_records: list[QueryRecord] = field(default_factory=list)
+
+    @property
+    def all_records(self) -> list[QueryRecord]:
+        return [*self.train_records, *self.test_records]
+
+    def __len__(self) -> int:
+        return len(self.train_records) + len(self.test_records)
+
+
+def generate_dataset(
+    benchmark: str | BenchmarkGenerator,
+    n_queries: int,
+    *,
+    seed: int = 7,
+    test_size: float = 0.2,
+) -> BenchmarkDataset:
+    """Generate, execute and split ``n_queries`` of the given benchmark.
+
+    Parameters
+    ----------
+    benchmark:
+        Benchmark name or an already-constructed generator.
+    n_queries:
+        Number of queries to generate (the paper uses
+        :data:`PAPER_QUERY_COUNTS`; tests and benchmarks use smaller counts).
+    seed:
+        Seed for query generation and the train/test shuffle.
+    test_size:
+        Fraction of queries held out as the test partition (paper: 0.2).
+    """
+    generator = benchmark if isinstance(benchmark, BenchmarkGenerator) else build_benchmark(benchmark)
+    dbms = SimulatedDBMS(generator.catalog())
+    generated = generator.generate(n_queries, seed=seed)
+    records = dbms.execute_many(
+        [query.sql for query in generated],
+        benchmark=generator.name,
+        template_seeds=[query.template_id for query in generated],
+    )
+    train_records, test_records = train_test_split(
+        records, test_size=test_size, random_state=seed
+    )
+    return BenchmarkDataset(
+        name=generator.name,
+        dbms=dbms,
+        train_records=train_records,
+        test_records=test_records,
+    )

@@ -1,0 +1,364 @@
+"""Join Order Benchmark (JOB) substrate: IMDB schema and 113 seed queries.
+
+The paper's second analytical dataset is JOB, 2 300 queries generated from the
+benchmark's 113 seed queries (33 families with a handful of predicate variants
+each) over the IMDB schema.  The real IMDB dataset is not available offline,
+so this module recreates the schema with the published row counts / NDVs and
+derives 113 seed query templates with the characteristic JOB shape: many-way
+equi-joins centred on ``title``, selective predicates on dimension attributes
+(production year, company country code, info type, keyword, ...), and ``min``
+aggregates in the select list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dbms.catalog import Catalog, Column, Index
+from repro.workloads.base import (
+    AggregateSpec,
+    JoinSpec,
+    PredicateSpec,
+    QueryTemplateSpec,
+    SpecBackedGenerator,
+)
+
+__all__ = ["JOBGenerator", "build_job_catalog"]
+
+_TEMPLATE_DERIVATION_SEED = 19940501
+_N_SEED_TEMPLATES = 113
+
+_COUNTRY_CODES = (
+    "[us]", "[gb]", "[de]", "[fr]", "[it]", "[jp]", "[ca]", "[es]", "[in]", "[au]",
+)
+_INFO_TYPES = (
+    "budget", "genres", "rating", "votes", "runtimes", "languages",
+    "release dates", "countries", "color info", "sound mix",
+)
+_KINDS = ("movie", "tv series", "tv movie", "video movie", "episode", "video game", "tv mini series")
+_ROLES = (
+    "actor", "actress", "producer", "writer", "director", "composer",
+    "cinematographer", "editor", "costume designer", "production designer",
+    "guest", "miscellaneous crew",
+)
+_KEYWORD_GROUPS = (
+    "love", "murder", "sequel", "superhero", "based-on-novel", "character-name-in-title",
+    "independent-film", "martial-arts", "blood", "revenge",
+)
+_LINK_TYPES = ("follows", "followed by", "remake of", "spin off from", "version of")
+_COMPANY_TYPES = ("production companies", "distributors")
+
+
+def build_job_catalog() -> Catalog:
+    """Build the IMDB/JOB catalog with published row counts and statistics."""
+    catalog = Catalog(name="job")
+
+    catalog.add_table(
+        "title",
+        2_528_312,
+        [
+            Column("id", "int", 2528312, 8),
+            Column("kind_id", "int", 7, 4, skew=0.25),
+            Column("production_year", "int", 140, 4, skew=0.2, min_value=1880, max_value=2019),
+            Column("season_nr", "int", 90, 4, min_value=1, max_value=90),
+            Column("episode_nr", "int", 2500, 4, min_value=1, max_value=2500),
+        ],
+    )
+    catalog.add_table(
+        "kind_type",
+        7,
+        [Column("id", "int", 7, 8), Column("kind", "varchar", 7, 15)],
+    )
+    catalog.add_table(
+        "movie_companies",
+        2_609_129,
+        [
+            Column("id", "int", 2609129, 8),
+            Column("movie_id", "int", 1087236, 8, skew=0.3),
+            Column("company_id", "int", 234997, 8, skew=0.4),
+            Column("company_type_id", "int", 2, 4),
+        ],
+    )
+    catalog.add_table(
+        "company_name",
+        234_997,
+        [
+            Column("id", "int", 234997, 8),
+            Column("country_code", "varchar", 100, 6, skew=0.35),
+            Column("name_pcode_nf", "varchar", 20000, 6),
+        ],
+    )
+    catalog.add_table(
+        "company_type",
+        4,
+        [Column("id", "int", 4, 8), Column("kind", "varchar", 4, 25)],
+    )
+    catalog.add_table(
+        "movie_info",
+        14_835_720,
+        [
+            Column("id", "int", 14835720, 8),
+            Column("movie_id", "int", 2468825, 8, skew=0.3),
+            Column("info_type_id", "int", 110, 4, skew=0.3),
+            Column("info_len", "int", 1000, 4, min_value=1, max_value=1000),
+        ],
+    )
+    catalog.add_table(
+        "movie_info_idx",
+        1_380_035,
+        [
+            Column("id", "int", 1380035, 8),
+            Column("movie_id", "int", 459925, 8, skew=0.3),
+            Column("info_type_id", "int", 5, 4, skew=0.3),
+            Column("info_val", "int", 1000, 4, min_value=1, max_value=1000),
+        ],
+    )
+    catalog.add_table(
+        "info_type",
+        113,
+        [Column("id", "int", 113, 8), Column("info", "varchar", 113, 30)],
+    )
+    catalog.add_table(
+        "cast_info",
+        36_244_344,
+        [
+            Column("id", "int", 36244344, 8),
+            Column("movie_id", "int", 2331601, 8, skew=0.35),
+            Column("person_id", "int", 4051810, 8, skew=0.3),
+            Column("person_role_id", "int", 3140339, 8),
+            Column("role_id", "int", 11, 4, skew=0.3),
+            Column("nr_order", "int", 1000, 4, min_value=1, max_value=1000),
+        ],
+    )
+    catalog.add_table(
+        "name",
+        4_167_491,
+        [
+            Column("id", "int", 4167491, 8),
+            Column("gender", "varchar", 3, 1, skew=0.3),
+            Column("name_pcode_cf", "varchar", 25000, 6),
+        ],
+    )
+    catalog.add_table(
+        "char_name",
+        3_140_339,
+        [Column("id", "int", 3140339, 8), Column("imdb_index", "varchar", 40, 3)],
+    )
+    catalog.add_table(
+        "role_type",
+        12,
+        [Column("id", "int", 12, 8), Column("role", "varchar", 12, 20)],
+    )
+    catalog.add_table(
+        "movie_keyword",
+        4_523_930,
+        [
+            Column("id", "int", 4523930, 8),
+            Column("movie_id", "int", 476794, 8, skew=0.35),
+            Column("keyword_id", "int", 134170, 8, skew=0.3),
+        ],
+    )
+    catalog.add_table(
+        "keyword",
+        134_170,
+        [Column("id", "int", 134170, 8), Column("keyword", "varchar", 134170, 20)],
+    )
+    catalog.add_table(
+        "aka_title",
+        361_472,
+        [
+            Column("id", "int", 361472, 8),
+            Column("movie_id", "int", 174269, 8),
+            Column("kind_id", "int", 7, 4),
+        ],
+    )
+    catalog.add_table(
+        "movie_link",
+        29_997,
+        [
+            Column("id", "int", 29997, 8),
+            Column("movie_id", "int", 6410, 8),
+            Column("linked_movie_id", "int", 21461, 8),
+            Column("link_type_id", "int", 16, 4),
+        ],
+    )
+    catalog.add_table(
+        "link_type",
+        18,
+        [Column("id", "int", 18, 8), Column("link", "varchar", 18, 20)],
+    )
+    catalog.add_table(
+        "complete_cast",
+        135_086,
+        [
+            Column("id", "int", 135086, 8),
+            Column("movie_id", "int", 93514, 8),
+            Column("subject_id", "int", 2, 4),
+            Column("status_id", "int", 2, 4),
+        ],
+    )
+    catalog.add_table(
+        "comp_cast_type",
+        4,
+        [Column("id", "int", 4, 8), Column("kind", "varchar", 4, 15)],
+    )
+
+    for table in (
+        "title",
+        "kind_type",
+        "company_name",
+        "company_type",
+        "info_type",
+        "name",
+        "char_name",
+        "role_type",
+        "keyword",
+        "link_type",
+        "comp_cast_type",
+    ):
+        catalog.add_index(Index(name=f"idx_{table}_id", table=table, columns=("id",), unique=True))
+    for table in (
+        "movie_companies",
+        "movie_info",
+        "movie_info_idx",
+        "cast_info",
+        "movie_keyword",
+        "aka_title",
+        "movie_link",
+        "complete_cast",
+    ):
+        catalog.add_index(
+            Index(name=f"idx_{table}_movie_id", table=table, columns=("movie_id",))
+        )
+    return catalog
+
+
+# Link tables joinable to title, with their alias, FK join to title and the
+# dimension table they optionally bring along: (dim table, dim alias, link FK, dim PK).
+_LINK_TABLES: dict[str, tuple[str, tuple[tuple[str, str, str, str], ...]]] = {
+    "movie_companies": (
+        "mc",
+        (
+            ("company_name", "cn", "mc.company_id", "cn.id"),
+            ("company_type", "ct", "mc.company_type_id", "ct.id"),
+        ),
+    ),
+    "movie_info": ("mi", (("info_type", "it", "mi.info_type_id", "it.id"),)),
+    "movie_info_idx": ("miidx", (("info_type", "it2", "miidx.info_type_id", "it2.id"),)),
+    "cast_info": (
+        "ci",
+        (
+            ("name", "n", "ci.person_id", "n.id"),
+            ("role_type", "rt", "ci.role_id", "rt.id"),
+            ("char_name", "chn", "ci.person_role_id", "chn.id"),
+        ),
+    ),
+    "movie_keyword": ("mk", (("keyword", "k", "mk.keyword_id", "k.id"),)),
+    "movie_link": ("ml", (("link_type", "lt", "ml.link_type_id", "lt.id"),)),
+    "complete_cast": ("cc", (("comp_cast_type", "cct", "cc.status_id", "cct.id"),)),
+}
+
+# Predicates per table alias used in the derived JOB templates.
+_PREDICATE_POOL: dict[str, list[PredicateSpec]] = {
+    # Different parameter bindings of the same seed query can be anywhere from
+    # highly selective (a single production year, a narrow rating band) to
+    # nearly unselective (a half-century of titles), which is what gives JOB
+    # its notorious within-template cardinality spread.  Range predicates
+    # therefore span wide domains; the rendered range width varies
+    # log-uniformly per instantiation (see workloads.base._render_predicate).
+    "t": [
+        PredicateSpec("t.production_year", "range_int", 1925, 2015),
+        PredicateSpec("t.production_year", "gt_int", 1950, 2010),
+        PredicateSpec("t.kind_id", "eq_int", 1, 7),
+        PredicateSpec("t.episode_nr", "range_int", 1, 1000),
+    ],
+    "kt": [PredicateSpec("kt.kind", "eq_choice", choices=_KINDS)],
+    "cn": [
+        PredicateSpec("cn.country_code", "eq_choice", choices=_COUNTRY_CODES),
+        PredicateSpec("cn.country_code", "in_choice", choices=_COUNTRY_CODES, in_size=4),
+    ],
+    "ct": [PredicateSpec("ct.kind", "eq_choice", choices=_COMPANY_TYPES)],
+    "it": [PredicateSpec("it.info", "eq_choice", choices=_INFO_TYPES)],
+    "it2": [PredicateSpec("it2.info", "eq_choice", choices=_INFO_TYPES)],
+    "mi": [
+        PredicateSpec("mi.info_type_id", "eq_int", 1, 110),
+        PredicateSpec("mi.info_len", "range_int", 1, 1000),
+    ],
+    "miidx": [PredicateSpec("miidx.info_val", "range_int", 1, 1000)],
+    "n": [PredicateSpec("n.gender", "eq_choice", choices=("m", "f"))],
+    "rt": [PredicateSpec("rt.role", "eq_choice", choices=_ROLES)],
+    "k": [PredicateSpec("k.keyword", "in_choice", choices=_KEYWORD_GROUPS, in_size=4)],
+    "ci": [PredicateSpec("ci.nr_order", "range_int", 1, 500)],
+    "lt": [PredicateSpec("lt.link", "eq_choice", choices=_LINK_TYPES)],
+}
+
+# min() targets in the style of the official JOB queries.
+_MIN_TARGETS = ("t.production_year", "t.id", "t.season_nr", "t.episode_nr")
+
+
+def _derive_seed_templates() -> list[QueryTemplateSpec]:
+    """Derive 113 JOB-style seed queries (join-heavy, min-aggregate selects)."""
+    rng = np.random.default_rng(_TEMPLATE_DERIVATION_SEED)
+    link_names = list(_LINK_TABLES)
+    specs: list[QueryTemplateSpec] = []
+    for template_id in range(_N_SEED_TEMPLATES):
+        tables: list[tuple[str, str]] = [("title", "t")]
+        joins: list[JoinSpec] = []
+        predicate_aliases: list[str] = ["t"]
+
+        n_links = int(rng.integers(1, 5))
+        chosen_links = [
+            link_names[i] for i in rng.choice(len(link_names), size=n_links, replace=False)
+        ]
+        for link in chosen_links:
+            alias, dims = _LINK_TABLES[link]
+            tables.append((link, alias))
+            joins.append(JoinSpec(left=f"{alias}.movie_id", right="t.id"))
+            predicate_aliases.append(alias)
+            for dim_table, dim_alias, fk, pk in dims:
+                if rng.random() < 0.6:
+                    tables.append((dim_table, dim_alias))
+                    joins.append(JoinSpec(left=fk, right=pk))
+                    predicate_aliases.append(dim_alias)
+
+        if rng.random() < 0.3:
+            tables.append(("kind_type", "kt"))
+            joins.append(JoinSpec(left="t.kind_id", right="kt.id"))
+            predicate_aliases.append("kt")
+
+        predicates: list[PredicateSpec] = []
+        n_predicates = int(rng.integers(1, 4))
+        candidates = [a for a in predicate_aliases if a in _PREDICATE_POOL]
+        for _ in range(n_predicates):
+            alias = candidates[int(rng.integers(len(candidates)))]
+            pool = _PREDICATE_POOL[alias]
+            predicates.append(pool[int(rng.integers(len(pool)))])
+
+        n_aggs = int(rng.integers(1, 4))
+        aggregates = tuple(
+            AggregateSpec(func="min", column=_MIN_TARGETS[int(rng.integers(len(_MIN_TARGETS)))])
+            for _ in range(n_aggs)
+        )
+
+        specs.append(
+            QueryTemplateSpec(
+                template_id=template_id,
+                tables=tuple(tables),
+                joins=tuple(joins),
+                predicates=tuple(dict.fromkeys(predicates)),
+                aggregates=aggregates,
+            )
+        )
+    return specs
+
+
+class JOBGenerator(SpecBackedGenerator):
+    """Generates parameterized Join-Order-Benchmark-style queries."""
+
+    name = "job"
+
+    def __init__(self) -> None:
+        super().__init__(specs=_derive_seed_templates())
+
+    def catalog(self) -> Catalog:
+        return build_job_catalog()

@@ -1,0 +1,417 @@
+"""TPC-C benchmark substrate: schema and transactional statement generator.
+
+TPC-C is the paper's transactional dataset (3 958 queries).  A TPC-C
+transaction is a short sequence of single-table or two/three-way-join
+statements; the memory footprint of each statement is small compared to the
+analytical benchmarks, which is exactly the contrast the paper's evaluation
+relies on.  The generator emits individual SQL statements drawn from the five
+standard transaction profiles (New-Order, Payment, Order-Status, Delivery,
+Stock-Level) using the official transaction mix as sampling weights; each
+distinct statement shape is one seed template.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dbms.catalog import Catalog, Column, Index
+from repro.workloads.base import BenchmarkGenerator
+
+__all__ = ["TPCCGenerator", "build_tpcc_catalog"]
+
+#: Number of warehouses the simulated installation models.
+_N_WAREHOUSES = 10
+_DISTRICTS_PER_WAREHOUSE = 10
+_CUSTOMERS_PER_DISTRICT = 3000
+_ITEMS = 100_000
+
+
+def build_tpcc_catalog() -> Catalog:
+    """Build the TPC-C catalog for a 10-warehouse installation."""
+    catalog = Catalog(name="tpcc")
+    n_customers = _N_WAREHOUSES * _DISTRICTS_PER_WAREHOUSE * _CUSTOMERS_PER_DISTRICT
+
+    catalog.add_table(
+        "warehouse",
+        _N_WAREHOUSES,
+        [
+            Column("w_id", "int", _N_WAREHOUSES, 4),
+            Column("w_tax", "decimal", 200, 8),
+            Column("w_ytd", "decimal", 1000, 8),
+        ],
+    )
+    catalog.add_table(
+        "district",
+        _N_WAREHOUSES * _DISTRICTS_PER_WAREHOUSE,
+        [
+            Column("d_id", "int", _DISTRICTS_PER_WAREHOUSE, 4),
+            Column("d_w_id", "int", _N_WAREHOUSES, 4),
+            Column("d_tax", "decimal", 200, 8),
+            Column("d_next_o_id", "int", 3000, 4, min_value=3000, max_value=10000),
+            Column("d_ytd", "decimal", 1000, 8),
+        ],
+    )
+    catalog.add_table(
+        "customer",
+        n_customers,
+        [
+            Column("c_id", "int", _CUSTOMERS_PER_DISTRICT, 4),
+            Column("c_d_id", "int", _DISTRICTS_PER_WAREHOUSE, 4),
+            Column("c_w_id", "int", _N_WAREHOUSES, 4),
+            Column("c_last", "varchar", 1000, 16, skew=0.4),
+            Column("c_balance", "decimal", 100000, 8),
+            Column("c_ytd_payment", "decimal", 100000, 8),
+            Column("c_payment_cnt", "int", 200, 4),
+            Column("c_credit", "varchar", 2, 2),
+        ],
+    )
+    catalog.add_table(
+        "history",
+        n_customers,
+        [
+            Column("h_c_id", "int", _CUSTOMERS_PER_DISTRICT, 4),
+            Column("h_c_d_id", "int", _DISTRICTS_PER_WAREHOUSE, 4),
+            Column("h_c_w_id", "int", _N_WAREHOUSES, 4),
+            Column("h_amount", "decimal", 10000, 8),
+        ],
+    )
+    catalog.add_table(
+        "orders",
+        n_customers,
+        [
+            Column("o_id", "int", _CUSTOMERS_PER_DISTRICT, 4),
+            Column("o_d_id", "int", _DISTRICTS_PER_WAREHOUSE, 4),
+            Column("o_w_id", "int", _N_WAREHOUSES, 4),
+            Column("o_c_id", "int", _CUSTOMERS_PER_DISTRICT, 4, skew=0.2),
+            Column("o_carrier_id", "int", 10, 4),
+            Column("o_entry_d", "int", 100000, 8),
+        ],
+    )
+    catalog.add_table(
+        "new_order",
+        n_customers // 3,
+        [
+            Column("no_o_id", "int", 900, 4),
+            Column("no_d_id", "int", _DISTRICTS_PER_WAREHOUSE, 4),
+            Column("no_w_id", "int", _N_WAREHOUSES, 4),
+        ],
+    )
+    catalog.add_table(
+        "order_line",
+        n_customers * 10,
+        [
+            Column("ol_o_id", "int", _CUSTOMERS_PER_DISTRICT, 4, skew=0.25, min_value=1, max_value=3000),
+            Column("ol_d_id", "int", _DISTRICTS_PER_WAREHOUSE, 4),
+            Column("ol_w_id", "int", _N_WAREHOUSES, 4),
+            Column("ol_i_id", "int", _ITEMS, 4, skew=0.3),
+            Column("ol_quantity", "int", 10, 4),
+            Column("ol_amount", "decimal", 100000, 8),
+            Column("ol_delivery_d", "int", 100000, 8),
+        ],
+    )
+    catalog.add_table(
+        "item",
+        _ITEMS,
+        [
+            Column("i_id", "int", _ITEMS, 4),
+            Column("i_price", "decimal", 10000, 8),
+            Column("i_name", "varchar", _ITEMS, 24),
+        ],
+    )
+    catalog.add_table(
+        "stock",
+        _N_WAREHOUSES * _ITEMS,
+        [
+            Column("s_i_id", "int", _ITEMS, 4),
+            Column("s_w_id", "int", _N_WAREHOUSES, 4),
+            Column("s_quantity", "int", 100, 4, skew=0.2, min_value=10, max_value=100),
+            Column("s_ytd", "decimal", 10000, 8),
+            Column("s_order_cnt", "int", 1000, 4),
+        ],
+    )
+
+    for table, column in [
+        ("warehouse", "w_id"),
+        ("district", "d_w_id"),
+        ("customer", "c_w_id"),
+        ("orders", "o_w_id"),
+        ("new_order", "no_w_id"),
+        ("order_line", "ol_w_id"),
+        ("item", "i_id"),
+        ("stock", "s_w_id"),
+        ("customer", "c_last"),
+        ("order_line", "ol_i_id"),
+        ("stock", "s_i_id"),
+    ]:
+        catalog.add_index(
+            Index(name=f"idx_{table}_{column}", table=table, columns=(column,))
+        )
+    return catalog
+
+
+class TPCCGenerator(BenchmarkGenerator):
+    """Generates individual TPC-C statements from the five transaction profiles.
+
+    Seed templates are the distinct statement shapes of the standard
+    transactions; :meth:`generate` samples them with weights proportional to
+    the official transaction mix (New-Order 45%, Payment 43%, Order-Status 4%,
+    Delivery 4%, Stock-Level 4%) times the statements per transaction.
+    """
+
+    name = "tpcc"
+
+    def __init__(self) -> None:
+        self._builders = [
+            # --- New-Order ---------------------------------------------------
+            self._no_customer_info,
+            self._no_item_lookup,
+            self._no_stock_lookup,
+            self._no_insert_order,
+            self._no_insert_new_order,
+            self._no_insert_order_line,
+            self._no_update_stock,
+            self._no_update_district,
+            # --- Payment -----------------------------------------------------
+            self._pay_update_warehouse,
+            self._pay_update_district,
+            self._pay_select_customer_by_last,
+            self._pay_update_customer,
+            self._pay_insert_history,
+            # --- Order-Status ------------------------------------------------
+            self._os_select_customer,
+            self._os_select_last_order,
+            self._os_select_order_lines,
+            # --- Delivery ----------------------------------------------------
+            self._dl_select_oldest_new_order,
+            self._dl_delete_new_order,
+            self._dl_update_orders,
+            self._dl_sum_order_lines,
+            self._dl_update_customer,
+            # --- Stock-Level -------------------------------------------------
+            self._sl_select_district,
+            self._sl_count_low_stock,
+        ]
+        # Transaction-mix-derived sampling weights (one weight per statement).
+        weights = (
+            [0.45] * 8 + [0.43] * 5 + [0.04] * 3 + [0.04] * 5 + [0.04] * 2
+        )
+        total = sum(weights)
+        self._weights = np.array([w / total for w in weights])
+
+    # -- BenchmarkGenerator interface ------------------------------------------------
+
+    def catalog(self) -> Catalog:
+        return build_tpcc_catalog()
+
+    @property
+    def seed_template_count(self) -> int:
+        return len(self._builders)
+
+    def generate_one(self, template_id: int, rng: np.random.Generator) -> str:
+        return self._builders[template_id](rng)
+
+    def generate(self, n_queries: int, *, seed: int | None = None):
+        """Generate statements sampled with the TPC-C transaction-mix weights."""
+        from repro.workloads.base import GeneratedQuery
+
+        rng = np.random.default_rng(seed)
+        queries = []
+        template_ids = rng.choice(
+            len(self._builders), size=n_queries, p=self._weights
+        )
+        for template_id in template_ids:
+            sql = self.generate_one(int(template_id), rng)
+            queries.append(GeneratedQuery(sql=sql, template_id=int(template_id)))
+        return queries
+
+    # -- parameter helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _wid(rng: np.random.Generator) -> int:
+        return int(rng.integers(1, _N_WAREHOUSES + 1))
+
+    @staticmethod
+    def _did(rng: np.random.Generator) -> int:
+        return int(rng.integers(1, _DISTRICTS_PER_WAREHOUSE + 1))
+
+    @staticmethod
+    def _cid(rng: np.random.Generator) -> int:
+        return int(rng.integers(1, _CUSTOMERS_PER_DISTRICT + 1))
+
+    @staticmethod
+    def _iid(rng: np.random.Generator) -> int:
+        return int(rng.integers(1, _ITEMS + 1))
+
+    # -- New-Order statements --------------------------------------------------------------
+
+    def _no_customer_info(self, rng: np.random.Generator) -> str:
+        return (
+            "select c.c_balance, c.c_credit, w.w_tax, d.d_tax "
+            "from customer c, warehouse w, district d "
+            "where c.c_w_id = w.w_id and c.c_w_id = d.d_w_id "
+            f"and c.c_w_id = {self._wid(rng)} and c.c_d_id = {self._did(rng)} "
+            f"and c.c_id = {self._cid(rng)}"
+        )
+
+    def _no_item_lookup(self, rng: np.random.Generator) -> str:
+        return f"select i_price, i_name from item where i_id = {self._iid(rng)}"
+
+    def _no_stock_lookup(self, rng: np.random.Generator) -> str:
+        return (
+            "select s_quantity, s_ytd, s_order_cnt from stock "
+            f"where s_i_id = {self._iid(rng)} and s_w_id = {self._wid(rng)}"
+        )
+
+    def _no_insert_order(self, rng: np.random.Generator) -> str:
+        return (
+            "insert into orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d) values "
+            f"({self._cid(rng)}, {self._did(rng)}, {self._wid(rng)}, {self._cid(rng)}, 20260616)"
+        )
+
+    def _no_insert_new_order(self, rng: np.random.Generator) -> str:
+        return (
+            "insert into new_order (no_o_id, no_d_id, no_w_id) values "
+            f"({self._cid(rng)}, {self._did(rng)}, {self._wid(rng)})"
+        )
+
+    def _no_insert_order_line(self, rng: np.random.Generator) -> str:
+        n_lines = int(rng.integers(5, 16))
+        rows = ", ".join(
+            f"({self._cid(rng)}, {self._did(rng)}, {self._wid(rng)}, "
+            f"{self._iid(rng)}, {int(rng.integers(1, 11))}, {float(rng.random() * 100):.2f})"
+            for _ in range(n_lines)
+        )
+        return (
+            "insert into order_line "
+            "(ol_o_id, ol_d_id, ol_w_id, ol_i_id, ol_quantity, ol_amount) values "
+            + rows
+        )
+
+    def _no_update_stock(self, rng: np.random.Generator) -> str:
+        return (
+            f"update stock set s_quantity = {int(rng.integers(10, 100))}, "
+            f"s_ytd = {float(rng.random() * 1000):.2f}, s_order_cnt = {int(rng.integers(1, 1000))} "
+            f"where s_i_id = {self._iid(rng)} and s_w_id = {self._wid(rng)}"
+        )
+
+    def _no_update_district(self, rng: np.random.Generator) -> str:
+        return (
+            f"update district set d_next_o_id = {int(rng.integers(3000, 10000))} "
+            f"where d_w_id = {self._wid(rng)} and d_id = {self._did(rng)}"
+        )
+
+    # -- Payment statements ----------------------------------------------------------------
+
+    def _pay_update_warehouse(self, rng: np.random.Generator) -> str:
+        return (
+            f"update warehouse set w_ytd = {float(rng.random() * 10000):.2f} "
+            f"where w_id = {self._wid(rng)}"
+        )
+
+    def _pay_update_district(self, rng: np.random.Generator) -> str:
+        return (
+            f"update district set d_ytd = {float(rng.random() * 10000):.2f} "
+            f"where d_w_id = {self._wid(rng)} and d_id = {self._did(rng)}"
+        )
+
+    def _pay_select_customer_by_last(self, rng: np.random.Generator) -> str:
+        last = f"name{int(rng.integers(0, 1000))}"
+        return (
+            "select c_id, c_balance, c_credit from customer "
+            f"where c_w_id = {self._wid(rng)} and c_d_id = {self._did(rng)} "
+            f"and c_last = '{last}' order by c_id"
+        )
+
+    def _pay_update_customer(self, rng: np.random.Generator) -> str:
+        return (
+            f"update customer set c_balance = {float(rng.random() * 5000):.2f}, "
+            f"c_ytd_payment = {float(rng.random() * 5000):.2f}, "
+            f"c_payment_cnt = {int(rng.integers(1, 200))} "
+            f"where c_w_id = {self._wid(rng)} and c_d_id = {self._did(rng)} "
+            f"and c_id = {self._cid(rng)}"
+        )
+
+    def _pay_insert_history(self, rng: np.random.Generator) -> str:
+        return (
+            "insert into history (h_c_id, h_c_d_id, h_c_w_id, h_amount) values "
+            f"({self._cid(rng)}, {self._did(rng)}, {self._wid(rng)}, "
+            f"{float(rng.random() * 5000):.2f})"
+        )
+
+    # -- Order-Status statements ------------------------------------------------------------
+
+    def _os_select_customer(self, rng: np.random.Generator) -> str:
+        return (
+            "select c_balance, c_last from customer "
+            f"where c_w_id = {self._wid(rng)} and c_d_id = {self._did(rng)} "
+            f"and c_id = {self._cid(rng)}"
+        )
+
+    def _os_select_last_order(self, rng: np.random.Generator) -> str:
+        return (
+            "select o_id, o_carrier_id, o_entry_d from orders "
+            f"where o_w_id = {self._wid(rng)} and o_d_id = {self._did(rng)} "
+            f"and o_c_id = {self._cid(rng)} order by o_id desc limit 1"
+        )
+
+    def _os_select_order_lines(self, rng: np.random.Generator) -> str:
+        return (
+            "select ol_i_id, ol_quantity, ol_amount, ol_delivery_d from order_line "
+            f"where ol_w_id = {self._wid(rng)} and ol_d_id = {self._did(rng)} "
+            f"and ol_o_id = {self._cid(rng)}"
+        )
+
+    # -- Delivery statements ------------------------------------------------------------------
+
+    def _dl_select_oldest_new_order(self, rng: np.random.Generator) -> str:
+        return (
+            "select min(no_o_id) from new_order "
+            f"where no_w_id = {self._wid(rng)} and no_d_id = {self._did(rng)}"
+        )
+
+    def _dl_delete_new_order(self, rng: np.random.Generator) -> str:
+        return (
+            "delete from new_order "
+            f"where no_w_id = {self._wid(rng)} and no_d_id = {self._did(rng)} "
+            f"and no_o_id = {int(rng.integers(1, 900))}"
+        )
+
+    def _dl_update_orders(self, rng: np.random.Generator) -> str:
+        return (
+            f"update orders set o_carrier_id = {int(rng.integers(1, 11))} "
+            f"where o_w_id = {self._wid(rng)} and o_d_id = {self._did(rng)} "
+            f"and o_id = {self._cid(rng)}"
+        )
+
+    def _dl_sum_order_lines(self, rng: np.random.Generator) -> str:
+        return (
+            "select sum(ol_amount) from order_line "
+            f"where ol_w_id = {self._wid(rng)} and ol_d_id = {self._did(rng)} "
+            f"and ol_o_id = {self._cid(rng)}"
+        )
+
+    def _dl_update_customer(self, rng: np.random.Generator) -> str:
+        return (
+            f"update customer set c_balance = {float(rng.random() * 9000):.2f} "
+            f"where c_w_id = {self._wid(rng)} and c_d_id = {self._did(rng)} "
+            f"and c_id = {self._cid(rng)}"
+        )
+
+    # -- Stock-Level statements ---------------------------------------------------------------
+
+    def _sl_select_district(self, rng: np.random.Generator) -> str:
+        return (
+            "select d_next_o_id from district "
+            f"where d_w_id = {self._wid(rng)} and d_id = {self._did(rng)}"
+        )
+
+    def _sl_count_low_stock(self, rng: np.random.Generator) -> str:
+        threshold = int(rng.integers(10, 21))
+        order_low = int(rng.integers(2000, 2980))
+        return (
+            "select count(distinct s.s_i_id) from order_line ol, stock s "
+            "where ol.ol_i_id = s.s_i_id "
+            f"and ol.ol_w_id = {self._wid(rng)} and ol.ol_d_id = {self._did(rng)} "
+            f"and ol.ol_o_id between {order_low} and {order_low + 20} "
+            f"and s.s_w_id = {self._wid(rng)} and s.s_quantity < {threshold}"
+        )

@@ -1,0 +1,551 @@
+"""TPC-DS benchmark substrate: schema, statistics and 99 seed query templates.
+
+The paper generates 93 000 TPC-DS queries from the benchmark's 99 query
+templates.  The official dsqgen toolkit is not available offline, so this
+module rebuilds the essential structure: a star/snowflake schema over the
+TPC-DS fact and dimension tables (scale-factor-1-like row counts and NDVs)
+and 99 programmatically derived seed templates — each a distinct combination
+of driver fact table, dimension joins, local predicates, aggregation and
+ordering.  Instantiating a template binds fresh parameter values, exactly the
+role the official templates play for the paper's dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dbms.catalog import Catalog, Column, Index
+from repro.workloads.base import (
+    AggregateSpec,
+    JoinSpec,
+    PredicateSpec,
+    QueryTemplateSpec,
+    SpecBackedGenerator,
+)
+
+__all__ = ["TPCDSGenerator", "build_tpcds_catalog"]
+
+#: Deterministic seed for deriving the 99 seed templates (not query parameters).
+_TEMPLATE_DERIVATION_SEED = 20240122
+_N_SEED_TEMPLATES = 99
+
+_STATES = (
+    "CA", "NY", "TX", "FL", "IL", "PA", "OH", "GA", "NC", "MI",
+    "WA", "TN", "AZ", "MA", "IN", "MO", "MD", "WI", "CO", "MN",
+)
+_CATEGORIES = (
+    "Books", "Electronics", "Home", "Jewelry", "Men", "Music",
+    "Shoes", "Sports", "Children", "Women",
+)
+_EDUCATION = (
+    "Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree",
+    "Advanced Degree", "Unknown",
+)
+_BUY_POTENTIAL = ("0-500", "501-1000", "1001-5000", "5001-10000", ">10000", "Unknown")
+_GENDERS = ("M", "F")
+_SHIP_TYPES = ("EXPRESS", "NEXT DAY", "OVERNIGHT", "REGULAR", "TWO DAY", "LIBRARY")
+
+
+def build_tpcds_catalog() -> Catalog:
+    """Build the TPC-DS catalog with SF1-like row counts and column statistics."""
+    catalog = Catalog(name="tpcds")
+
+    catalog.add_table(
+        "store_sales",
+        2_880_404,
+        [
+            Column("ss_sold_date_sk", "int", 1823, 8),
+            Column("ss_sold_time_sk", "int", 46200, 8),
+            Column("ss_item_sk", "int", 18000, 8),
+            Column("ss_customer_sk", "int", 100000, 8),
+            Column("ss_cdemo_sk", "int", 1920800, 8),
+            Column("ss_hdemo_sk", "int", 7200, 8),
+            Column("ss_addr_sk", "int", 50000, 8),
+            Column("ss_store_sk", "int", 12, 8, skew=0.3),
+            Column("ss_promo_sk", "int", 300, 8),
+            Column("ss_quantity", "int", 100, 4, skew=0.2, min_value=1, max_value=100),
+            Column("ss_wholesale_cost", "decimal", 9800, 8),
+            Column("ss_list_price", "decimal", 19000, 8),
+            Column("ss_sales_price", "decimal", 19000, 8, skew=0.3, min_value=0.0, max_value=200.0),
+            Column("ss_net_paid", "decimal", 100000, 8),
+            Column("ss_net_profit", "decimal", 150000, 8, skew=0.4, min_value=-10000.0, max_value=10000.0),
+        ],
+    )
+    catalog.add_table(
+        "catalog_sales",
+        1_441_548,
+        [
+            Column("cs_sold_date_sk", "int", 1823, 8),
+            Column("cs_item_sk", "int", 18000, 8),
+            Column("cs_bill_customer_sk", "int", 100000, 8),
+            Column("cs_call_center_sk", "int", 6, 8, skew=0.3),
+            Column("cs_catalog_page_sk", "int", 11718, 8),
+            Column("cs_ship_mode_sk", "int", 20, 8),
+            Column("cs_warehouse_sk", "int", 5, 8),
+            Column("cs_promo_sk", "int", 300, 8),
+            Column("cs_quantity", "int", 100, 4, skew=0.2, min_value=1, max_value=100),
+            Column("cs_list_price", "decimal", 29000, 8),
+            Column("cs_sales_price", "decimal", 29000, 8, skew=0.3, min_value=0.0, max_value=300.0),
+            Column("cs_net_paid", "decimal", 140000, 8),
+            Column("cs_net_profit", "decimal", 200000, 8, skew=0.4),
+        ],
+    )
+    catalog.add_table(
+        "web_sales",
+        719_384,
+        [
+            Column("ws_sold_date_sk", "int", 1823, 8),
+            Column("ws_item_sk", "int", 18000, 8),
+            Column("ws_bill_customer_sk", "int", 100000, 8),
+            Column("ws_web_site_sk", "int", 30, 8),
+            Column("ws_warehouse_sk", "int", 5, 8),
+            Column("ws_ship_mode_sk", "int", 20, 8),
+            Column("ws_promo_sk", "int", 300, 8),
+            Column("ws_quantity", "int", 100, 4, skew=0.2, min_value=1, max_value=100),
+            Column("ws_sales_price", "decimal", 29000, 8, skew=0.3, min_value=0.0, max_value=300.0),
+            Column("ws_net_paid", "decimal", 140000, 8),
+            Column("ws_net_profit", "decimal", 200000, 8, skew=0.4),
+        ],
+    )
+    catalog.add_table(
+        "store_returns",
+        287_514,
+        [
+            Column("sr_returned_date_sk", "int", 1823, 8),
+            Column("sr_item_sk", "int", 18000, 8),
+            Column("sr_customer_sk", "int", 100000, 8),
+            Column("sr_store_sk", "int", 12, 8, skew=0.3),
+            Column("sr_reason_sk", "int", 35, 8),
+            Column("sr_return_quantity", "int", 100, 4, min_value=1, max_value=100),
+            Column("sr_return_amt", "decimal", 50000, 8, skew=0.3, min_value=0.0, max_value=2000.0),
+        ],
+    )
+    catalog.add_table(
+        "inventory",
+        11_745_000,
+        [
+            Column("inv_date_sk", "int", 261, 8),
+            Column("inv_item_sk", "int", 18000, 8),
+            Column("inv_warehouse_sk", "int", 5, 8),
+            Column("inv_quantity_on_hand", "int", 1000, 4, skew=0.2, min_value=0, max_value=1000),
+        ],
+    )
+
+    catalog.add_table(
+        "date_dim",
+        73_049,
+        [
+            Column("d_date_sk", "int", 73049, 8),
+            Column("d_year", "int", 200, 4, skew=0.1, min_value=1900, max_value=2100),
+            Column("d_moy", "int", 12, 4),
+            Column("d_qoy", "int", 4, 4),
+            Column("d_dom", "int", 31, 4),
+            Column("d_day_name", "varchar", 7, 9),
+        ],
+    )
+    catalog.add_table(
+        "time_dim",
+        86_400,
+        [
+            Column("t_time_sk", "int", 86400, 8),
+            Column("t_hour", "int", 24, 4),
+            Column("t_minute", "int", 60, 4),
+        ],
+    )
+    catalog.add_table(
+        "item",
+        18_000,
+        [
+            Column("i_item_sk", "int", 18000, 8),
+            Column("i_category", "varchar", 10, 20, skew=0.5),
+            Column("i_class", "varchar", 100, 20, skew=0.3),
+            Column("i_brand_id", "int", 700, 4),
+            Column("i_manufact_id", "int", 1000, 4, min_value=1, max_value=1000),
+            Column("i_current_price", "decimal", 9000, 8, skew=0.2, min_value=0.09, max_value=99.99),
+            Column("i_color", "varchar", 92, 12, skew=0.3),
+        ],
+    )
+    catalog.add_table(
+        "customer",
+        100_000,
+        [
+            Column("c_customer_sk", "int", 100000, 8),
+            Column("c_current_addr_sk", "int", 50000, 8),
+            Column("c_current_cdemo_sk", "int", 1920800, 8),
+            Column("c_current_hdemo_sk", "int", 7200, 8),
+            Column("c_birth_year", "int", 100, 4, skew=0.1, min_value=1924, max_value=1992),
+            Column("c_birth_month", "int", 12, 4),
+            Column("c_preferred_cust_flag", "varchar", 2, 1, skew=0.2),
+        ],
+    )
+    catalog.add_table(
+        "customer_address",
+        50_000,
+        [
+            Column("ca_address_sk", "int", 50000, 8),
+            Column("ca_state", "varchar", 51, 2, skew=0.5),
+            Column("ca_city", "varchar", 600, 20, skew=0.3),
+            Column("ca_gmt_offset", "int", 6, 4),
+        ],
+    )
+    catalog.add_table(
+        "customer_demographics",
+        1_920_800,
+        [
+            Column("cd_demo_sk", "int", 1920800, 8),
+            Column("cd_gender", "varchar", 2, 1),
+            Column("cd_marital_status", "varchar", 5, 1),
+            Column("cd_education_status", "varchar", 7, 16, skew=0.3),
+            Column("cd_purchase_estimate", "int", 20, 4, min_value=500, max_value=10000),
+            Column("cd_credit_rating", "varchar", 4, 10),
+        ],
+    )
+    catalog.add_table(
+        "household_demographics",
+        7_200,
+        [
+            Column("hd_demo_sk", "int", 7200, 8),
+            Column("hd_income_band_sk", "int", 20, 8),
+            Column("hd_buy_potential", "varchar", 6, 15, skew=0.3),
+            Column("hd_dep_count", "int", 10, 4),
+            Column("hd_vehicle_count", "int", 6, 4, min_value=-1, max_value=4),
+        ],
+    )
+    catalog.add_table(
+        "store",
+        12,
+        [
+            Column("s_store_sk", "int", 12, 8),
+            Column("s_state", "varchar", 9, 2, skew=0.4),
+            Column("s_county", "varchar", 10, 20),
+            Column("s_number_employees", "int", 12, 4),
+        ],
+    )
+    catalog.add_table(
+        "promotion",
+        300,
+        [
+            Column("p_promo_sk", "int", 300, 8),
+            Column("p_channel_email", "varchar", 2, 1),
+            Column("p_channel_tv", "varchar", 2, 1),
+        ],
+    )
+    catalog.add_table(
+        "warehouse",
+        5,
+        [
+            Column("w_warehouse_sk", "int", 5, 8),
+            Column("w_state", "varchar", 5, 2),
+        ],
+    )
+    catalog.add_table(
+        "ship_mode",
+        20,
+        [
+            Column("sm_ship_mode_sk", "int", 20, 8),
+            Column("sm_type", "varchar", 6, 12),
+        ],
+    )
+    catalog.add_table(
+        "web_site",
+        30,
+        [
+            Column("web_site_sk", "int", 30, 8),
+            Column("web_state", "varchar", 9, 2),
+        ],
+    )
+    catalog.add_table(
+        "call_center",
+        6,
+        [
+            Column("cc_call_center_sk", "int", 6, 8),
+            Column("cc_class", "varchar", 3, 10),
+        ],
+    )
+    catalog.add_table(
+        "catalog_page",
+        11_718,
+        [
+            Column("cp_catalog_page_sk", "int", 11718, 8),
+            Column("cp_catalog_number", "int", 109, 4),
+        ],
+    )
+    catalog.add_table(
+        "reason",
+        35,
+        [
+            Column("r_reason_sk", "int", 35, 8),
+            Column("r_reason_desc", "varchar", 35, 25),
+        ],
+    )
+
+    # Primary-key indexes on the dimension tables and the fact foreign keys most
+    # often used for index-nested-loop plans.
+    for table, column in [
+        ("date_dim", "d_date_sk"),
+        ("time_dim", "t_time_sk"),
+        ("item", "i_item_sk"),
+        ("customer", "c_customer_sk"),
+        ("customer_address", "ca_address_sk"),
+        ("customer_demographics", "cd_demo_sk"),
+        ("household_demographics", "hd_demo_sk"),
+        ("store", "s_store_sk"),
+        ("promotion", "p_promo_sk"),
+        ("warehouse", "w_warehouse_sk"),
+        ("ship_mode", "sm_ship_mode_sk"),
+        ("web_site", "web_site_sk"),
+        ("call_center", "cc_call_center_sk"),
+        ("catalog_page", "cp_catalog_page_sk"),
+        ("reason", "r_reason_sk"),
+        ("store_sales", "ss_item_sk"),
+        ("catalog_sales", "cs_item_sk"),
+        ("web_sales", "ws_item_sk"),
+        ("store_returns", "sr_item_sk"),
+        ("inventory", "inv_item_sk"),
+    ]:
+        catalog.add_index(Index(name=f"idx_{table}_{column}", table=table, columns=(column,), unique=True))
+    return catalog
+
+
+# Per fact table: alias, and the dimensions reachable from it as
+# dim -> (dim alias, fact FK column, dim PK column).
+_FACT_TABLES: dict[str, tuple[str, dict[str, tuple[str, str, str]]]] = {
+    "store_sales": (
+        "ss",
+        {
+            "date_dim": ("d", "ss.ss_sold_date_sk", "d.d_date_sk"),
+            "time_dim": ("t", "ss.ss_sold_time_sk", "t.t_time_sk"),
+            "item": ("i", "ss.ss_item_sk", "i.i_item_sk"),
+            "customer": ("c", "ss.ss_customer_sk", "c.c_customer_sk"),
+            "customer_demographics": ("cd", "ss.ss_cdemo_sk", "cd.cd_demo_sk"),
+            "household_demographics": ("hd", "ss.ss_hdemo_sk", "hd.hd_demo_sk"),
+            "customer_address": ("ca", "ss.ss_addr_sk", "ca.ca_address_sk"),
+            "store": ("s", "ss.ss_store_sk", "s.s_store_sk"),
+            "promotion": ("p", "ss.ss_promo_sk", "p.p_promo_sk"),
+        },
+    ),
+    "catalog_sales": (
+        "cs",
+        {
+            "date_dim": ("d", "cs.cs_sold_date_sk", "d.d_date_sk"),
+            "item": ("i", "cs.cs_item_sk", "i.i_item_sk"),
+            "customer": ("c", "cs.cs_bill_customer_sk", "c.c_customer_sk"),
+            "call_center": ("cc", "cs.cs_call_center_sk", "cc.cc_call_center_sk"),
+            "catalog_page": ("cp", "cs.cs_catalog_page_sk", "cp.cp_catalog_page_sk"),
+            "ship_mode": ("sm", "cs.cs_ship_mode_sk", "sm.sm_ship_mode_sk"),
+            "warehouse": ("w", "cs.cs_warehouse_sk", "w.w_warehouse_sk"),
+            "promotion": ("p", "cs.cs_promo_sk", "p.p_promo_sk"),
+        },
+    ),
+    "web_sales": (
+        "ws",
+        {
+            "date_dim": ("d", "ws.ws_sold_date_sk", "d.d_date_sk"),
+            "item": ("i", "ws.ws_item_sk", "i.i_item_sk"),
+            "customer": ("c", "ws.ws_bill_customer_sk", "c.c_customer_sk"),
+            "web_site": ("web", "ws.ws_web_site_sk", "web.web_site_sk"),
+            "warehouse": ("w", "ws.ws_warehouse_sk", "w.w_warehouse_sk"),
+            "ship_mode": ("sm", "ws.ws_ship_mode_sk", "sm.sm_ship_mode_sk"),
+            "promotion": ("p", "ws.ws_promo_sk", "p.p_promo_sk"),
+        },
+    ),
+    "store_returns": (
+        "sr",
+        {
+            "date_dim": ("d", "sr.sr_returned_date_sk", "d.d_date_sk"),
+            "item": ("i", "sr.sr_item_sk", "i.i_item_sk"),
+            "customer": ("c", "sr.sr_customer_sk", "c.c_customer_sk"),
+            "store": ("s", "sr.sr_store_sk", "s.s_store_sk"),
+            "reason": ("r", "sr.sr_reason_sk", "r.r_reason_sk"),
+        },
+    ),
+    "inventory": (
+        "inv",
+        {
+            "date_dim": ("d", "inv.inv_date_sk", "d.d_date_sk"),
+            "item": ("i", "inv.inv_item_sk", "i.i_item_sk"),
+            "warehouse": ("w", "inv.inv_warehouse_sk", "w.w_warehouse_sk"),
+        },
+    ),
+}
+
+# Candidate parameterized predicates per dimension / fact table (by alias).
+_PREDICATE_POOL: dict[str, list[PredicateSpec]] = {
+    "date_dim": [
+        PredicateSpec("d.d_year", "eq_int", 1990, 2002),
+        PredicateSpec("d.d_moy", "eq_int", 1, 12),
+        PredicateSpec("d.d_qoy", "eq_int", 1, 4),
+        PredicateSpec("d.d_year", "range_int", 1990, 2002),
+    ],
+    "item": [
+        PredicateSpec("i.i_category", "eq_choice", choices=_CATEGORIES),
+        PredicateSpec("i.i_category", "in_choice", choices=_CATEGORIES, in_size=3),
+        PredicateSpec("i.i_current_price", "range_float", 1, 100),
+        PredicateSpec("i.i_manufact_id", "range_int", 1, 1000),
+    ],
+    "customer": [
+        PredicateSpec("c.c_birth_year", "range_int", 1930, 1990),
+        PredicateSpec("c.c_birth_month", "eq_int", 1, 12),
+        PredicateSpec("c.c_preferred_cust_flag", "eq_choice", choices=("Y", "N")),
+    ],
+    "customer_address": [
+        PredicateSpec("ca.ca_state", "eq_choice", choices=_STATES),
+        PredicateSpec("ca.ca_state", "in_choice", choices=_STATES, in_size=5),
+        PredicateSpec("ca.ca_gmt_offset", "eq_int", -10, -5),
+    ],
+    "customer_demographics": [
+        PredicateSpec("cd.cd_gender", "eq_choice", choices=_GENDERS),
+        PredicateSpec("cd.cd_education_status", "eq_choice", choices=_EDUCATION),
+        PredicateSpec("cd.cd_purchase_estimate", "range_int", 500, 10000),
+    ],
+    "household_demographics": [
+        PredicateSpec("hd.hd_dep_count", "eq_int", 0, 9),
+        PredicateSpec("hd.hd_buy_potential", "eq_choice", choices=_BUY_POTENTIAL),
+        PredicateSpec("hd.hd_vehicle_count", "gt_int", 0, 4),
+    ],
+    "store": [
+        PredicateSpec("s.s_state", "eq_choice", choices=_STATES[:9]),
+    ],
+    "warehouse": [
+        PredicateSpec("w.w_state", "eq_choice", choices=_STATES[:5]),
+    ],
+    "ship_mode": [
+        PredicateSpec("sm.sm_type", "eq_choice", choices=_SHIP_TYPES),
+    ],
+    "promotion": [
+        PredicateSpec("p.p_channel_email", "eq_choice", choices=("Y", "N")),
+    ],
+    "store_sales": [
+        PredicateSpec("ss.ss_quantity", "range_int", 1, 100),
+        PredicateSpec("ss.ss_sales_price", "range_float", 1, 200),
+        PredicateSpec("ss.ss_net_profit", "range_float", -5000, 5000),
+    ],
+    "catalog_sales": [
+        PredicateSpec("cs.cs_quantity", "range_int", 1, 100),
+        PredicateSpec("cs.cs_sales_price", "range_float", 1, 300),
+    ],
+    "web_sales": [
+        PredicateSpec("ws.ws_quantity", "range_int", 1, 100),
+        PredicateSpec("ws.ws_sales_price", "range_float", 1, 300),
+    ],
+    "store_returns": [
+        PredicateSpec("sr.sr_return_quantity", "range_int", 1, 100),
+        PredicateSpec("sr.sr_return_amt", "range_float", 1, 2000),
+    ],
+    "inventory": [
+        PredicateSpec("inv.inv_quantity_on_hand", "range_int", 0, 1000),
+    ],
+}
+
+# Numeric measures usable as aggregate arguments, per fact alias.
+_MEASURES: dict[str, list[str]] = {
+    "store_sales": ["ss.ss_quantity", "ss.ss_net_paid", "ss.ss_net_profit", "ss.ss_sales_price"],
+    "catalog_sales": ["cs.cs_quantity", "cs.cs_net_paid", "cs.cs_net_profit", "cs.cs_sales_price"],
+    "web_sales": ["ws.ws_quantity", "ws.ws_net_paid", "ws.ws_net_profit", "ws.ws_sales_price"],
+    "store_returns": ["sr.sr_return_quantity", "sr.sr_return_amt"],
+    "inventory": ["inv.inv_quantity_on_hand"],
+}
+
+# Group-by candidates offered by each dimension (alias-qualified).
+_GROUP_COLUMNS: dict[str, list[str]] = {
+    "date_dim": ["d.d_year", "d.d_moy", "d.d_qoy"],
+    "item": ["i.i_category", "i.i_class", "i.i_brand_id"],
+    "customer": ["c.c_birth_year"],
+    "customer_address": ["ca.ca_state", "ca.ca_city"],
+    "customer_demographics": ["cd.cd_gender", "cd.cd_education_status"],
+    "household_demographics": ["hd.hd_buy_potential"],
+    "store": ["s.s_state"],
+    "warehouse": ["w.w_state"],
+    "ship_mode": ["sm.sm_type"],
+    "call_center": ["cc.cc_class"],
+    "web_site": ["web.web_state"],
+}
+
+_AGG_FUNCS = ("sum", "avg", "count", "min", "max")
+
+
+def _derive_seed_templates() -> list[QueryTemplateSpec]:
+    """Derive the 99 seed templates deterministically from the schema."""
+    rng = np.random.default_rng(_TEMPLATE_DERIVATION_SEED)
+    fact_names = list(_FACT_TABLES)
+    specs: list[QueryTemplateSpec] = []
+    for template_id in range(_N_SEED_TEMPLATES):
+        fact = fact_names[template_id % len(fact_names)]
+        fact_alias, dim_map = _FACT_TABLES[fact]
+        dim_names = list(dim_map)
+
+        n_dims = int(rng.integers(1, min(5, len(dim_names)) + 1))
+        chosen_dims = [
+            dim_names[i]
+            for i in rng.choice(len(dim_names), size=n_dims, replace=False)
+        ]
+
+        tables: list[tuple[str, str]] = [(fact, fact_alias)]
+        joins: list[JoinSpec] = []
+        for dim in chosen_dims:
+            alias, fk, pk = dim_map[dim]
+            tables.append((dim, alias))
+            joins.append(JoinSpec(left=fk, right=pk))
+
+        predicate_sources = [fact, *chosen_dims]
+        predicates: list[PredicateSpec] = []
+        n_predicates = int(rng.integers(1, 4))
+        for _ in range(n_predicates):
+            source = predicate_sources[int(rng.integers(len(predicate_sources)))]
+            pool = _PREDICATE_POOL.get(source)
+            if pool:
+                predicates.append(pool[int(rng.integers(len(pool)))])
+
+        measures = _MEASURES[fact]
+        n_aggs = int(rng.integers(1, 4))
+        aggregates = tuple(
+            AggregateSpec(
+                func=_AGG_FUNCS[int(rng.integers(len(_AGG_FUNCS)))],
+                column=measures[int(rng.integers(len(measures)))],
+            )
+            for _ in range(n_aggs)
+        )
+
+        group_candidates = [
+            column
+            for dim in chosen_dims
+            for column in _GROUP_COLUMNS.get(dim, [])
+        ]
+        group_by: tuple[str, ...] = ()
+        if group_candidates and rng.random() < 0.75:
+            n_groups = int(rng.integers(1, min(3, len(group_candidates)) + 1))
+            picked = rng.choice(len(group_candidates), size=n_groups, replace=False)
+            group_by = tuple(group_candidates[i] for i in sorted(picked))
+
+        order_by: tuple[str, ...] = ()
+        if group_by and rng.random() < 0.5:
+            order_by = (group_by[0],)
+
+        limit = 100 if rng.random() < 0.3 else None
+
+        specs.append(
+            QueryTemplateSpec(
+                template_id=template_id,
+                tables=tuple(tables),
+                joins=tuple(joins),
+                predicates=tuple(dict.fromkeys(predicates)),
+                aggregates=aggregates,
+                group_by=group_by,
+                select_columns=group_by,
+                order_by=order_by,
+                limit=limit,
+            )
+        )
+    return specs
+
+
+class TPCDSGenerator(SpecBackedGenerator):
+    """Generates parameterized TPC-DS-style analytical queries."""
+
+    name = "tpcds"
+
+    def __init__(self) -> None:
+        super().__init__(specs=_derive_seed_templates())
+
+    def catalog(self) -> Catalog:
+        return build_tpcds_catalog()

@@ -1,0 +1,119 @@
+"""Shared fixtures for the test suite.
+
+Dataset-producing fixtures are session-scoped: generating and "executing" a
+few hundred benchmark queries takes a couple of seconds and many tests can
+share the result read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dbms.catalog import Catalog, Column, Index
+from repro.dbms.executor import SimulatedDBMS
+from repro.workloads.generator import generate_dataset
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def toy_catalog() -> Catalog:
+    """A small two-table star schema used by parser/planner/memory tests."""
+    catalog = Catalog(name="toy")
+    catalog.add_table(
+        "sales",
+        1_000_000,
+        [
+            Column("sale_id", "int", 1_000_000, 8),
+            Column("item_id", "int", 10_000, 8),
+            Column("store_id", "int", 50, 8, skew=0.4),
+            Column("quantity", "int", 100, 4),
+            Column("amount", "decimal", 50_000, 8, skew=0.3),
+        ],
+    )
+    catalog.add_table(
+        "items",
+        10_000,
+        [
+            Column("item_id", "int", 10_000, 8),
+            Column("category", "varchar", 20, 16, skew=0.5),
+            Column("price", "decimal", 5_000, 8),
+        ],
+    )
+    catalog.add_table(
+        "stores",
+        50,
+        [
+            Column("store_id", "int", 50, 8),
+            Column("region", "varchar", 5, 12),
+        ],
+    )
+    catalog.add_index(Index("idx_items_pk", "items", ("item_id",), unique=True))
+    catalog.add_index(Index("idx_stores_pk", "stores", ("store_id",), unique=True))
+    catalog.add_index(Index("idx_sales_item", "sales", ("item_id",)))
+    return catalog
+
+
+@pytest.fixture(scope="session")
+def toy_dbms(toy_catalog: Catalog) -> SimulatedDBMS:
+    return SimulatedDBMS(toy_catalog)
+
+
+@pytest.fixture(scope="session")
+def tpcds_small():
+    """A small executed TPC-DS dataset shared by core-model tests.
+
+    900 queries keeps session setup to a few seconds while leaving enough
+    training workloads (72 at batch size 10) for the accuracy-sanity tests to
+    be stable under the heavy-tailed memory labels.
+    """
+    return generate_dataset("tpcds", 900, seed=11)
+
+
+@pytest.fixture(scope="session")
+def job_small():
+    return generate_dataset("job", 350, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tpcc_small():
+    return generate_dataset("tpcc", 400, seed=11)
+
+
+@pytest.fixture(scope="session")
+def regression_problem(rng: np.random.Generator):
+    """A synthetic nonlinear regression problem for the ML substrate tests."""
+    X = rng.uniform(-2.0, 2.0, size=(400, 5))
+    y = (
+        3.0 * X[:, 0]
+        - 2.0 * X[:, 1] ** 2
+        + 1.5 * X[:, 2] * X[:, 3]
+        + 0.5 * X[:, 4]
+        + rng.normal(0.0, 0.1, size=400)
+    )
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def linear_problem(rng: np.random.Generator):
+    """A noisy linear regression problem (exact recovery expected)."""
+    X = rng.normal(size=(300, 4))
+    coef = np.array([2.0, -1.0, 0.5, 3.0])
+    y = X @ coef + 1.5 + rng.normal(0.0, 0.05, size=300)
+    return X, y, coef
+
+
+@pytest.fixture(scope="session")
+def blobs(rng: np.random.Generator):
+    """Three well-separated gaussian blobs for clustering tests."""
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 8.0]])
+    points = []
+    labels = []
+    for label, center in enumerate(centers):
+        points.append(center + rng.normal(0.0, 0.5, size=(60, 2)))
+        labels.extend([label] * 60)
+    return np.vstack(points), np.array(labels)

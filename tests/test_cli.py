@@ -1,0 +1,102 @@
+"""Tests for the ``learnedwmp`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.model import LearnedWMP
+from repro.core.serialization import load_model
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "not-a-benchmark"])
+
+    def test_train_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "tpcc"])
+
+
+class TestGenerate:
+    def test_writes_json_summary(self, tmp_path, capsys):
+        output = tmp_path / "log.json"
+        exit_code = main(
+            ["generate", "tpcc", "--queries", "120", "--seed", "3", "--output", str(output)]
+        )
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        assert len(payload) == 120
+        assert {"sql", "actual_memory_mb", "optimizer_estimate_mb", "partition"} <= set(
+            payload[0]
+        )
+        partitions = {record["partition"] for record in payload}
+        assert partitions == {"train", "test"}
+
+    def test_prints_to_stdout_without_output(self, capsys):
+        exit_code = main(["generate", "tpcc", "--queries", "40", "--seed", "3"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert len(json.loads(captured)) == 40
+
+
+class TestTrainAndEvaluate:
+    def test_round_trip(self, tmp_path, capsys):
+        model_path = tmp_path / "model.pkl"
+        exit_code = main(
+            [
+                "train",
+                "tpcc",
+                "--queries",
+                "400",
+                "--regressor",
+                "xgb",
+                "--templates",
+                "12",
+                "--seed",
+                "5",
+                "--fast",
+                "--output",
+                str(model_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "holdout RMSE" in out
+        assert model_path.exists()
+        assert isinstance(load_model(model_path), LearnedWMP)
+
+        exit_code = main(
+            [
+                "evaluate",
+                str(model_path),
+                "tpcc",
+                "--queries",
+                "200",
+                "--seed",
+                "11",
+                "--compare-dbms",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "MAPE" in out
+        assert "DBMS heuristic RMSE" in out
+
+
+class TestFigures:
+    def test_lists_available_figures(self, capsys):
+        exit_code = main(["figures"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "figure4" in out and "figure11" in out
+
+    def test_rejects_unknown_figure(self, capsys):
+        exit_code = main(["figures", "figure99"])
+        assert exit_code == 2
+        assert "unknown figures" in capsys.readouterr().err

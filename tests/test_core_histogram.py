@@ -1,0 +1,67 @@
+"""Tests for workload-histogram construction (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import bin_queries, bin_workload, build_histogram_dataset
+from repro.core.template_methods import PlanTemplates
+from repro.core.workload import Workload, make_workloads
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def templates(tpcds_small):
+    return PlanTemplates(12, random_state=0).fit(tpcds_small.train_records)
+
+
+class TestBinQueries:
+    def test_histogram_sums_to_query_count(self, templates, tpcds_small):
+        queries = tpcds_small.test_records[:10]
+        histogram = bin_queries(queries, templates)
+        assert histogram.shape == (templates.k,)
+        assert histogram.sum() == pytest.approx(len(queries))
+
+    def test_histogram_counts_nonnegative_integers(self, templates, tpcds_small):
+        histogram = bin_queries(tpcds_small.test_records[:25], templates)
+        assert np.all(histogram >= 0.0)
+        assert np.allclose(histogram, np.round(histogram))
+
+    def test_sparsity_expected(self, templates, tpcds_small):
+        # A 10-query workload cannot populate more than 10 of the k bins.
+        histogram = bin_queries(tpcds_small.test_records[:10], templates)
+        assert np.count_nonzero(histogram) <= 10
+
+
+class TestBinWorkload:
+    def test_returns_histogram_and_label(self, templates, tpcds_small):
+        workload = Workload(queries=list(tpcds_small.test_records[:10]))
+        histogram, label = bin_workload(workload, templates)
+        assert histogram.sum() == pytest.approx(10)
+        assert label == pytest.approx(workload.actual_memory_mb)
+
+    def test_unlabelled_workload_gives_none(self, templates, tpcds_small):
+        workload = Workload(queries=[])
+        workload.queries = list(tpcds_small.test_records[:5])  # label stays None
+        histogram, label = bin_workload(workload, templates)
+        assert label is None
+        assert histogram.sum() == pytest.approx(5)
+
+
+class TestBuildHistogramDataset:
+    def test_shapes_and_labels(self, templates, tpcds_small):
+        workloads = make_workloads(tpcds_small.train_records[:100], 10, seed=0)
+        X, y = build_histogram_dataset(workloads, templates)
+        assert X.shape == (10, templates.k)
+        assert y.shape == (10,)
+        assert np.all(X.sum(axis=1) == 10)
+        assert np.all(y > 0)
+
+    def test_empty_workload_list_rejected(self, templates):
+        with pytest.raises(InvalidParameterError):
+            build_histogram_dataset([], templates)
+
+    def test_unlabelled_workload_rejected(self, templates, tpcds_small):
+        workload = Workload(queries=[])
+        workload.queries = list(tpcds_small.train_records[:5])
+        with pytest.raises(InvalidParameterError):
+            build_histogram_dataset([workload], templates)

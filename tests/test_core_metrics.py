@@ -1,0 +1,102 @@
+"""Tests for the evaluation metrics (RMSE, MAPE, IQR, residual summaries)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    interquartile_range,
+    mape,
+    mean_absolute_error,
+    residuals,
+    rmse,
+    summarize_residuals,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestRmse:
+    def test_zero_for_perfect_predictions(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_scale_sensitivity(self):
+        small = rmse([100.0], [101.0])
+        large = rmse([100.0], [110.0])
+        assert large == pytest.approx(10 * small)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            rmse([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            rmse([], [])
+
+
+class TestMape:
+    def test_known_value(self):
+        assert mape([100.0, 200.0], [110.0, 180.0]) == pytest.approx(10.0)
+
+    def test_zero_targets_excluded(self):
+        assert mape([0.0, 100.0], [5.0, 110.0]) == pytest.approx(10.0)
+
+    def test_all_zero_targets_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            mape([0.0, 0.0], [1.0, 2.0])
+
+    def test_scale_invariance(self):
+        assert mape([10.0], [11.0]) == pytest.approx(mape([1000.0], [1100.0]))
+
+
+class TestMae:
+    def test_known_value(self):
+        assert mean_absolute_error([1.0, 3.0], [2.0, 1.0]) == pytest.approx(1.5)
+
+
+class TestResiduals:
+    def test_sign_convention(self):
+        # Positive residual means the model under-estimated.
+        errors = residuals([10.0], [7.0])
+        assert errors[0] == pytest.approx(3.0)
+
+
+class TestIqr:
+    def test_known_value(self):
+        values = np.arange(1, 101, dtype=float)
+        assert interquartile_range(values) == pytest.approx(49.5)
+
+    def test_constant_sample_zero(self):
+        assert interquartile_range([5.0, 5.0, 5.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            interquartile_range([])
+
+
+class TestSummarizeResiduals:
+    def test_fields_consistent(self, rng):
+        actual = rng.uniform(50, 150, size=500)
+        predicted = actual + rng.normal(0, 5, size=500)
+        summary = summarize_residuals(actual, predicted)
+        assert summary.q1 <= summary.median <= summary.q3
+        assert summary.iqr == pytest.approx(summary.q3 - summary.q1)
+        assert summary.minimum <= summary.q1
+        assert summary.maximum >= summary.q3
+        assert 0.0 <= summary.skew_share_under <= 1.0
+
+    def test_unbiased_predictions_are_balanced(self, rng):
+        actual = rng.uniform(50, 150, size=2000)
+        predicted = actual + rng.normal(0, 10, size=2000)
+        summary = summarize_residuals(actual, predicted)
+        assert summary.is_balanced(tolerance=0.1)
+        assert abs(summary.median) < 2.0
+
+    def test_systematic_underestimation_detected(self):
+        actual = np.full(100, 100.0)
+        predicted = np.full(100, 60.0)  # always too low
+        summary = summarize_residuals(actual, predicted)
+        assert summary.skew_share_under == 1.0
+        assert not summary.is_balanced()
+        assert summary.median == pytest.approx(40.0)

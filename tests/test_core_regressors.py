@@ -1,0 +1,66 @@
+"""Tests for the regressor factory."""
+
+import pytest
+
+from repro.core.regressors import REGRESSOR_NAMES, make_regressor
+from repro.exceptions import InvalidParameterError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.linear import Ridge
+from repro.ml.mlp import MLPRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestMakeRegressor:
+    def test_all_paper_names_supported(self):
+        expected_types = {
+            "dnn": MLPRegressor,
+            "ridge": Ridge,
+            "dt": DecisionTreeRegressor,
+            "rf": RandomForestRegressor,
+            "xgb": GradientBoostingRegressor,
+        }
+        for name in REGRESSOR_NAMES:
+            assert isinstance(make_regressor(name), expected_types[name])
+
+    def test_aliases(self):
+        assert isinstance(make_regressor("mlp"), MLPRegressor)
+        assert isinstance(make_regressor("xgboost"), GradientBoostingRegressor)
+        assert isinstance(make_regressor("random_forest"), RandomForestRegressor)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_regressor("XGB"), GradientBoostingRegressor)
+
+    def test_fast_mode_is_smaller(self):
+        fast = make_regressor("rf", fast=True)
+        full = make_regressor("rf", fast=False)
+        assert fast.n_estimators < full.n_estimators
+
+    def test_fast_dnn_uses_lbfgs(self):
+        model = make_regressor("dnn", fast=True)
+        assert model.solver == "lbfgs"
+
+    def test_full_dnn_uses_paper_architecture(self):
+        model = make_regressor("dnn", fast=False)
+        assert model.hidden_layer_sizes == (48, 39, 27, 16, 7, 5)
+
+    def test_overrides_win(self):
+        model = make_regressor("xgb", n_estimators=5, max_depth=2)
+        assert model.n_estimators == 5
+        assert model.max_depth == 2
+
+    def test_random_state_forwarded(self):
+        assert make_regressor("rf", random_state=99).random_state == 99
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_regressor("svm")
+
+    def test_each_regressor_fits_small_problem(self, linear_problem):
+        X, y, _ = linear_problem
+        for name in REGRESSOR_NAMES:
+            model = make_regressor(name, random_state=0, fast=True)
+            if name == "xgb":
+                model = make_regressor(name, random_state=0, fast=True, n_estimators=10)
+            model.fit(X[:100], y[:100])
+            assert model.predict(X[:5]).shape == (5,)

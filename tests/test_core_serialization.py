@@ -1,0 +1,48 @@
+"""Tests for model persistence and size accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import LearnedWMP
+from repro.core.serialization import load_model, save_model, serialized_size_kb
+from repro.exceptions import SerializationError
+from repro.ml.linear import Ridge
+
+
+class TestSerializedSize:
+    def test_size_positive_and_grows_with_model(self, linear_problem):
+        X, y, _ = linear_problem
+        small = Ridge().fit(X[:, :2], y)
+        large = Ridge().fit(np.hstack([X] * 50), y)
+        assert serialized_size_kb(small) > 0.0
+        assert serialized_size_kb(large) > serialized_size_kb(small)
+
+    def test_unpicklable_model_raises(self):
+        with pytest.raises(SerializationError):
+            serialized_size_kb(lambda x: x)  # lambdas cannot be pickled
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_predictions(self, tmp_path, linear_problem):
+        X, y, _ = linear_problem
+        model = Ridge(alpha=0.5).fit(X, y)
+        path = save_model(model, tmp_path / "ridge.pkl")
+        restored = load_model(path)
+        assert np.allclose(restored.predict(X[:10]), model.predict(X[:10]))
+
+    def test_roundtrip_full_learnedwmp(self, tmp_path, tpcds_small):
+        model = LearnedWMP(regressor="ridge", n_templates=8, batch_size=10, random_state=0)
+        model.fit(tpcds_small.train_records[:200])
+        expected = model.predict_workload(tpcds_small.test_records[:10])
+        restored = load_model(save_model(model, tmp_path / "wmp.pkl"))
+        assert restored.predict_workload(tpcds_small.test_records[:10]) == pytest.approx(expected)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_model(tmp_path / "missing.pkl")
+
+    def test_save_to_invalid_path_raises(self, linear_problem, tmp_path):
+        X, y, _ = linear_problem
+        model = Ridge().fit(X, y)
+        with pytest.raises(SerializationError):
+            save_model(model, tmp_path / "no_such_dir" / "model.pkl")

@@ -1,0 +1,80 @@
+"""Tests for the SingleWMP baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.single_wmp import SingleWMP, SingleWMPDBMS
+from repro.core.workload import Workload, make_workloads
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def single_model(tpcds_small):
+    model = SingleWMP("xgb", random_state=0, fast=True)
+    model.fit(tpcds_small.train_records)
+    return model
+
+
+class TestSingleWMP:
+    def test_per_query_predictions_positive(self, single_model, tpcds_small):
+        predictions = single_model.predict_queries(tpcds_small.test_records[:20])
+        assert predictions.shape == (20,)
+        assert np.all(np.isfinite(predictions))
+
+    def test_workload_prediction_is_sum_of_query_predictions(self, single_model, tpcds_small):
+        queries = tpcds_small.test_records[:10]
+        per_query = single_model.predict_queries(queries)
+        assert single_model.predict_workload(queries) == pytest.approx(per_query.sum())
+
+    def test_accepts_workload_object(self, single_model, tpcds_small):
+        workload = Workload(queries=list(tpcds_small.test_records[:10]))
+        assert single_model.predict_workload(workload) > 0.0
+
+    def test_predict_matrix_of_workloads(self, single_model, tpcds_small):
+        workloads = make_workloads(tpcds_small.test_records, 10, seed=0)
+        predictions = single_model.predict(workloads)
+        assert predictions.shape == (len(workloads),)
+
+    def test_training_report(self, single_model, tpcds_small):
+        report = single_model.training_report_
+        assert report.n_queries == len(tpcds_small.train_records)
+        assert report.regressor_time_s > 0.0
+
+    def test_evaluate_reasonable_accuracy(self, single_model, tpcds_small):
+        workloads = make_workloads(tpcds_small.test_records, 10, seed=0)
+        metrics = single_model.evaluate(workloads)
+        assert metrics["mape"] < 60.0
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SingleWMP().fit([])
+
+    def test_unfitted_predict_raises(self, tpcds_small):
+        with pytest.raises(NotFittedError):
+            SingleWMP().predict_queries(tpcds_small.test_records[:5])
+
+    def test_empty_query_list_prediction(self, single_model):
+        assert single_model.predict_queries([]).shape == (0,)
+
+
+class TestSingleWMPDBMS:
+    def test_prediction_is_sum_of_optimizer_estimates(self, tpcds_small):
+        queries = tpcds_small.test_records[:10]
+        expected = sum(q.optimizer_estimate_mb for q in queries)
+        assert SingleWMPDBMS().predict_workload(queries) == pytest.approx(expected)
+
+    def test_fit_is_noop(self, tpcds_small):
+        model = SingleWMPDBMS()
+        assert model.fit(tpcds_small.train_records) is model
+
+    def test_evaluate_returns_metrics(self, tpcds_small):
+        workloads = make_workloads(tpcds_small.test_records, 10, seed=0)
+        metrics = SingleWMPDBMS().evaluate(workloads)
+        assert metrics["rmse"] > 0.0
+
+    def test_ml_model_beats_heuristic_on_tpcds(self, single_model, tpcds_small):
+        """The paper's central claim at small scale: ML beats the heuristic."""
+        workloads = make_workloads(tpcds_small.test_records, 10, seed=0)
+        ml_rmse = single_model.evaluate(workloads)["rmse"]
+        dbms_rmse = SingleWMPDBMS().evaluate(workloads)["rmse"]
+        assert ml_rmse < dbms_rmse

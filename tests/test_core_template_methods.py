@@ -1,0 +1,112 @@
+"""Tests for the alternative template-learning methods (Fig. 9 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.template_methods import (
+    TEMPLATE_METHOD_NAMES,
+    BagOfWordsTemplates,
+    DBSCANTemplates,
+    PlanTemplates,
+    RuleBasedTemplates,
+    TextMiningTemplates,
+    WordEmbeddingTemplates,
+    make_template_method,
+)
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def records(tpcds_small):
+    return tpcds_small.train_records[:250]
+
+
+class TestFactory:
+    def test_all_names_constructible(self, tpcds_small):
+        for name in TEMPLATE_METHOD_NAMES:
+            method = make_template_method(
+                name, n_templates=8, catalog=tpcds_small.dbms.catalog, random_state=0
+            )
+            assert method is not None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_template_method("nope")
+
+    def test_text_mining_requires_catalog(self):
+        with pytest.raises(InvalidParameterError):
+            make_template_method("text_mining")
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda catalog: PlanTemplates(8, random_state=0),
+        lambda catalog: RuleBasedTemplates(8),
+        lambda catalog: BagOfWordsTemplates(8, random_state=0),
+        lambda catalog: TextMiningTemplates(catalog, 8, random_state=0),
+        lambda catalog: WordEmbeddingTemplates(8, embedding_dim=8, random_state=0),
+        lambda catalog: DBSCANTemplates(eps=1.5, min_samples=4),
+    ],
+    ids=["plan", "rule", "bow", "text_mining", "embedding", "dbscan"],
+)
+class TestTemplateMethodContract:
+    """Every method must satisfy the fit/assign/k contract used by Algorithm 2."""
+
+    def test_assignments_within_k(self, factory, records, tpcds_small):
+        method = factory(tpcds_small.dbms.catalog)
+        method.fit(records)
+        assignments = method.assign(records)
+        assert assignments.shape == (len(records),)
+        assert assignments.min() >= 0
+        assert assignments.max() < method.k
+
+    def test_assignment_deterministic(self, factory, records, tpcds_small):
+        method = factory(tpcds_small.dbms.catalog)
+        method.fit(records)
+        assert np.array_equal(method.assign(records[:40]), method.assign(records[:40]))
+
+    def test_unseen_queries_assignable(self, factory, records, tpcds_small):
+        method = factory(tpcds_small.dbms.catalog)
+        method.fit(records)
+        unseen = tpcds_small.test_records[:30]
+        assignments = method.assign(unseen)
+        assert assignments.min() >= 0
+        assert assignments.max() < method.k
+
+
+class TestRuleBasedTemplates:
+    def test_same_shape_same_rule(self, toy_dbms):
+        a = toy_dbms.execute("select count(*) from sales where store_id = 1", log=False)
+        b = toy_dbms.execute("select count(*) from sales where store_id = 2", log=False)
+        method = RuleBasedTemplates().fit([a, b])
+        labels = method.assign([a, b])
+        assert labels[0] == labels[1]
+
+    def test_different_verb_different_rule(self, toy_dbms):
+        select = toy_dbms.execute("select count(*) from stores", log=False)
+        update = toy_dbms.execute("update stores set region = 'X' where store_id = 1", log=False)
+        method = RuleBasedTemplates().fit([select, update])
+        labels = method.assign([select, update])
+        assert labels[0] != labels[1]
+
+    def test_unseen_rule_falls_back(self, toy_dbms):
+        select = toy_dbms.execute("select count(*) from stores", log=False)
+        method = RuleBasedTemplates().fit([select])
+        unseen = toy_dbms.execute(
+            "select region, count(*) from stores group by region order by region", log=False
+        )
+        assert method.assign([unseen])[0] == 0
+
+    def test_not_fitted_raises(self, toy_dbms):
+        record = toy_dbms.execute("select count(*) from stores", log=False)
+        with pytest.raises(NotFittedError):
+            RuleBasedTemplates().assign([record])
+
+
+class TestDBSCANTemplates:
+    def test_noise_bucket_is_last(self, records):
+        method = DBSCANTemplates(eps=0.5, min_samples=3)
+        method.fit(records)
+        assignments = method.assign(records)
+        assert assignments.max() <= method.k - 1

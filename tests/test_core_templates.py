@@ -1,0 +1,81 @@
+"""Tests for plan-based query-template learning (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.templates import DEFAULT_N_TEMPLATES, QueryTemplateLearner
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+
+class TestQueryTemplateLearner:
+    def test_assignments_in_range(self, tpcds_small):
+        learner = QueryTemplateLearner(15, random_state=0).fit(tpcds_small.train_records)
+        assignments = learner.assign(tpcds_small.test_records)
+        assert assignments.min() >= 0
+        assert assignments.max() < learner.k
+        assert learner.k == 15
+
+    def test_assignment_deterministic(self, tpcds_small):
+        learner = QueryTemplateLearner(10, random_state=3).fit(tpcds_small.train_records)
+        a = learner.assign(tpcds_small.test_records)
+        b = learner.assign(tpcds_small.test_records)
+        assert np.array_equal(a, b)
+
+    def test_similar_queries_share_template(self, toy_dbms):
+        # Two parameterizations of the same query shape must land in the same
+        # template, while a structurally different query should not.  The two
+        # parameterizations have slightly different cardinality estimates
+        # (store_id is a skewed column), but the structural gap to the
+        # join/group-by query dominates the clustering distance.
+        same_a = toy_dbms.execute("select count(*) from sales where store_id = 1", log=False)
+        same_b = toy_dbms.execute("select count(*) from sales where store_id = 7", log=False)
+        different = toy_dbms.execute(
+            "select category, sum(amount) from sales s, items i "
+            "where s.item_id = i.item_id group by category order by category",
+            log=False,
+        )
+        corpus = [same_a, same_b, different] * 5
+        learner = QueryTemplateLearner(2, random_state=0).fit(corpus)
+        labels = learner.assign([same_a, same_b, different])
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[0]
+
+    def test_template_sizes_sum_to_corpus(self, tpcds_small):
+        learner = QueryTemplateLearner(12, random_state=0).fit(tpcds_small.train_records)
+        sizes = learner.template_sizes(tpcds_small.train_records)
+        assert sizes.sum() == len(tpcds_small.train_records)
+        assert sizes.shape == (learner.k,)
+
+    def test_auto_k_uses_elbow(self, tpcds_small):
+        learner = QueryTemplateLearner(
+            5, auto_k=True, elbow_candidates=(5, 10, 20, 40), random_state=0
+        ).fit(tpcds_small.train_records[:200])
+        assert learner.k in (5, 10, 20, 40)
+        assert learner.elbow_profile_ is not None
+
+    def test_k_capped_by_corpus_size(self, tpcds_small):
+        learner = QueryTemplateLearner(500, random_state=0).fit(tpcds_small.train_records[:50])
+        assert learner.k <= 50
+
+    def test_assign_one(self, tpcds_small):
+        learner = QueryTemplateLearner(8, random_state=0).fit(tpcds_small.train_records)
+        template = learner.assign_one(tpcds_small.test_records[0])
+        assert 0 <= template < learner.k
+
+    def test_not_fitted_raises(self, tpcds_small):
+        learner = QueryTemplateLearner(5)
+        with pytest.raises(NotFittedError):
+            learner.assign(tpcds_small.test_records)
+        with pytest.raises(NotFittedError):
+            _ = learner.k
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QueryTemplateLearner(5).fit([])
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QueryTemplateLearner(0)
+
+    def test_default_constant(self):
+        assert DEFAULT_N_TEMPLATES == 20

@@ -1,0 +1,78 @@
+"""Tests for variable-length workload construction and its use with LearnedWMP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import LearnedWMP
+from repro.core.workload import make_variable_workloads, make_workloads
+from repro.exceptions import WorkloadError
+
+
+class TestMakeVariableWorkloads:
+    def test_every_record_is_used_exactly_once(self, tpcc_small):
+        records = tpcc_small.train_records
+        workloads = make_variable_workloads(records, (5, 15), seed=1)
+        assert sum(len(w) for w in workloads) == len(records)
+        seen = {id(record) for workload in workloads for record in workload.queries}
+        assert len(seen) == len(records)
+
+    def test_sizes_respect_the_range(self, tpcc_small):
+        workloads = make_variable_workloads(tpcc_small.train_records, (5, 15), seed=1)
+        sizes = [len(w) for w in workloads]
+        # Every batch is at least the minimum; the last may have absorbed a
+        # small remainder so only bound the maximum loosely.
+        assert min(sizes) >= 5
+        assert max(sizes) <= 15 + 4
+        assert len(set(sizes)) > 1  # the sizes actually vary
+
+    def test_labels_are_sums_of_members(self, tpcc_small):
+        workloads = make_variable_workloads(tpcc_small.train_records[:100], (3, 7), seed=2)
+        for workload in workloads:
+            expected = sum(record.actual_memory_mb for record in workload.queries)
+            assert workload.actual_memory_mb == pytest.approx(expected)
+
+    def test_deterministic_for_same_seed(self, tpcc_small):
+        records = tpcc_small.train_records[:200]
+        a = make_variable_workloads(records, (5, 15), seed=9)
+        b = make_variable_workloads(records, (5, 15), seed=9)
+        assert [len(w) for w in a] == [len(w) for w in b]
+        assert all(x.queries[0].sql == y.queries[0].sql for x, y in zip(a, b))
+
+    def test_invalid_inputs_rejected(self, tpcc_small):
+        with pytest.raises(WorkloadError):
+            make_variable_workloads([], (5, 15))
+        with pytest.raises(WorkloadError):
+            make_variable_workloads(tpcc_small.train_records[:10], (0, 5))
+        with pytest.raises(WorkloadError):
+            make_variable_workloads(tpcc_small.train_records[:10], (7, 3))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        low=st.integers(min_value=1, max_value=6),
+        extra=st.integers(min_value=0, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_partition_property(self, low, extra, seed, tpcc_small):
+        """For any size range and seed, the workloads partition the records."""
+        records = tpcc_small.train_records[:120]
+        workloads = make_variable_workloads(records, (low, low + extra), seed=seed)
+        assert sum(len(w) for w in workloads) == len(records)
+        assert all(len(w) >= min(low, len(records)) for w in workloads)
+
+
+class TestVariableLengthTraining:
+    def test_model_trains_and_predicts_on_variable_workloads(self, tpcds_small):
+        """The paper's variable-length extension: train on mixed batch sizes."""
+        train = make_variable_workloads(tpcds_small.train_records, (5, 15), seed=4)
+        test = make_variable_workloads(tpcds_small.test_records, (5, 15), seed=5)
+        model = LearnedWMP(regressor="xgb", n_templates=20, random_state=0, fast=True)
+        model.fit_workloads(train)
+        predictions = model.predict(test)
+        assert predictions.shape == (len(test),)
+        assert np.all(np.isfinite(predictions))
+        metrics = model.evaluate(test)
+        # Sanity: the model clearly tracks the scale of the demand.
+        actual = np.array([w.actual_memory_mb for w in test])
+        assert metrics["rmse"] < np.sqrt(np.mean((actual - actual.mean()) ** 2)) * 1.5

@@ -1,0 +1,84 @@
+"""Tests for workload batching and labels."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import DEFAULT_BATCH_SIZE, Workload, make_workloads, workload_targets
+from repro.exceptions import WorkloadError
+
+
+class TestWorkload:
+    def test_label_is_sum_of_query_memory(self, tpcds_small):
+        queries = tpcds_small.train_records[:5]
+        workload = Workload(queries=list(queries))
+        assert workload.actual_memory_mb == pytest.approx(
+            sum(q.actual_memory_mb for q in queries)
+        )
+
+    def test_explicit_label_preserved(self, tpcds_small):
+        workload = Workload(queries=list(tpcds_small.train_records[:3]), actual_memory_mb=42.0)
+        assert workload.actual_memory_mb == 42.0
+
+    def test_optimizer_estimate_sums_heuristic_estimates(self, tpcds_small):
+        queries = tpcds_small.train_records[:4]
+        workload = Workload(queries=list(queries))
+        assert workload.optimizer_estimate_mb == pytest.approx(
+            sum(q.optimizer_estimate_mb for q in queries)
+        )
+
+    def test_len_and_iter(self, tpcds_small):
+        workload = Workload(queries=list(tpcds_small.train_records[:7]))
+        assert len(workload) == 7
+        assert len(list(workload)) == 7
+
+
+class TestMakeWorkloads:
+    def test_fixed_size_batches(self, tpcds_small):
+        workloads = make_workloads(tpcds_small.train_records, 10, seed=0)
+        assert all(len(w) == 10 for w in workloads)
+        assert len(workloads) == len(tpcds_small.train_records) // 10
+
+    def test_drop_last_false_keeps_remainder(self, tpcds_small):
+        records = tpcds_small.train_records[:25]
+        workloads = make_workloads(records, 10, seed=0, drop_last=False)
+        assert [len(w) for w in workloads] == [10, 10, 5]
+
+    def test_every_query_appears_at_most_once(self, tpcds_small):
+        records = tpcds_small.train_records[:40]
+        workloads = make_workloads(records, 10, seed=1)
+        seen = [id(q) for w in workloads for q in w.queries]
+        assert len(seen) == len(set(seen))
+
+    def test_shuffle_reproducible(self, tpcds_small):
+        records = tpcds_small.train_records[:50]
+        a = make_workloads(records, 10, seed=5)
+        b = make_workloads(records, 10, seed=5)
+        assert [[q.sql for q in w.queries] for w in a] == [[q.sql for q in w.queries] for w in b]
+
+    def test_no_seed_keeps_order(self, tpcds_small):
+        records = tpcds_small.train_records[:20]
+        workloads = make_workloads(records, 10)
+        assert workloads[0].queries[0] is records[0]
+
+    def test_invalid_batch_size(self, tpcds_small):
+        with pytest.raises(WorkloadError):
+            make_workloads(tpcds_small.train_records, 0)
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_workloads([], 10)
+
+    def test_batch_larger_than_corpus_rejected(self, tpcds_small):
+        with pytest.raises(WorkloadError):
+            make_workloads(tpcds_small.train_records[:5], 10)
+
+    def test_default_batch_size_constant(self):
+        assert DEFAULT_BATCH_SIZE == 10
+
+
+class TestWorkloadTargets:
+    def test_vector_matches_labels(self, tpcds_small):
+        workloads = make_workloads(tpcds_small.train_records[:30], 10, seed=0)
+        targets = workload_targets(workloads)
+        assert targets.shape == (3,)
+        assert np.all(targets > 0.0)

@@ -1,0 +1,164 @@
+"""Tests for estimated and true cardinality computation."""
+
+import pytest
+
+from repro.dbms.plan.cardinality import CardinalityModel
+from repro.dbms.sql.parser import parse
+
+
+@pytest.fixture()
+def model(toy_catalog):
+    return CardinalityModel(toy_catalog)
+
+
+def _select(sql: str):
+    statement = parse(sql)
+    return statement
+
+
+class TestSelectivities:
+    def test_equality_selectivity_is_one_over_ndv(self, model, toy_catalog):
+        statement = _select("select * from sales where item_id = 5")
+        cards = model.table_cardinalities(statement.tables[0], statement)
+        expected = toy_catalog.table("sales").row_count / 10_000
+        assert cards.estimated == pytest.approx(expected, rel=1e-6)
+
+    def test_uniform_column_true_equals_estimate(self, model):
+        # quantity has skew 0, so the true selectivity must equal the estimate.
+        statement = _select("select * from sales where quantity = 10")
+        cards = model.table_cardinalities(statement.tables[0], statement)
+        assert cards.true == pytest.approx(cards.estimated, rel=1e-9)
+
+    def test_skewed_column_true_differs_by_value(self, model):
+        statement_a = _select("select * from sales where store_id = 1")
+        statement_b = _select("select * from sales where store_id = 2")
+        cards_a = model.table_cardinalities(statement_a.tables[0], statement_a)
+        cards_b = model.table_cardinalities(statement_b.tables[0], statement_b)
+        # The frequent-value statistics make the estimate value-dependent on a
+        # skewed column...
+        assert cards_a.estimated != pytest.approx(cards_b.estimated)
+        # ...and the true cardinalities depend on the bound literal as well.
+        assert cards_a.true != pytest.approx(cards_b.true)
+
+    def test_skewed_column_estimate_under_reacts_to_skew(self, model, toy_catalog):
+        """The optimizer tracks the direction of the skew but not its full size."""
+        import math
+
+        rows = toy_catalog.table("sales").row_count
+        uniform = rows / 50  # 1/NDV baseline for store_id
+        for value in (1, 2, 3, 5, 8, 13):
+            statement = _select(f"select * from sales where store_id = {value}")
+            cards = model.table_cardinalities(statement.tables[0], statement)
+            est_dev = math.log(cards.estimated / uniform)
+            true_dev = math.log(cards.true / uniform)
+            # Same direction, smaller magnitude.
+            assert est_dev * true_dev >= 0.0
+            assert abs(est_dev) < abs(true_dev) + 1e-9
+
+    def test_between_interpolates_over_domain_stats(self, model, toy_catalog):
+        """A column with min/max stats gets width-proportional range estimates."""
+        from repro.dbms.catalog import Catalog, Column
+
+        catalog = Catalog(name="range")
+        catalog.add_table(
+            "events",
+            100_000,
+            [Column("ts", "int", 5000, 8, min_value=0, max_value=10_000)],
+        )
+        range_model = CardinalityModel(catalog)
+        narrow = parse("select * from events where ts between 0 and 100")
+        wide = parse("select * from events where ts between 0 and 5000")
+        est_narrow = range_model.table_cardinalities(narrow.tables[0], narrow).estimated
+        est_wide = range_model.table_cardinalities(wide.tables[0], wide).estimated
+        assert est_narrow == pytest.approx(100_000 * 100 / 10_000, rel=1e-6)
+        assert est_wide == pytest.approx(100_000 * 5000 / 10_000, rel=1e-6)
+        assert est_wide > est_narrow
+
+    def test_inequality_interpolates_over_domain_stats(self, model):
+        from repro.dbms.catalog import Catalog, Column
+
+        catalog = Catalog(name="range")
+        catalog.add_table(
+            "events",
+            10_000,
+            [Column("ts", "int", 5000, 8, min_value=0, max_value=1_000)],
+        )
+        range_model = CardinalityModel(catalog)
+        low_cut = parse("select * from events where ts > 900")
+        high_cut = parse("select * from events where ts > 100")
+        est_low = range_model.table_cardinalities(low_cut.tables[0], low_cut).estimated
+        est_high = range_model.table_cardinalities(high_cut.tables[0], high_cut).estimated
+        assert est_low == pytest.approx(10_000 * 0.1, rel=1e-6)
+        assert est_high == pytest.approx(10_000 * 0.9, rel=1e-6)
+
+    def test_true_cardinality_deterministic(self, model):
+        statement = _select("select * from sales where store_id = 7")
+        first = model.table_cardinalities(statement.tables[0], statement).true
+        second = model.table_cardinalities(statement.tables[0], statement).true
+        assert first == second
+
+    def test_conjunctive_predicates_multiply_estimates(self, model, toy_catalog):
+        single = _select("select * from sales where item_id = 5")
+        double = _select("select * from sales where item_id = 5 and quantity = 3")
+        rows = toy_catalog.table("sales").row_count
+        est_single = model.table_cardinalities(single.tables[0], single).estimated
+        est_double = model.table_cardinalities(double.tables[0], double).estimated
+        assert est_double == pytest.approx(est_single / 100.0, rel=1e-6)
+        assert est_double >= 1.0
+        assert est_single <= rows
+
+    def test_correlated_predicates_keep_more_rows_than_independence(self, model):
+        double = _select("select * from sales where quantity = 3 and amount = 100")
+        cards = model.table_cardinalities(double.tables[0], double)
+        # Both columns are (nearly) unskewed so the only difference is the
+        # correlation relief on the second predicate.
+        assert cards.true > cards.estimated
+
+    def test_in_predicate_selectivity_scales_with_list(self, model):
+        small = _select("select * from sales where item_id in (1, 2)")
+        large = _select("select * from sales where item_id in (1, 2, 3, 4, 5, 6)")
+        est_small = model.table_cardinalities(small.tables[0], small).estimated
+        est_large = model.table_cardinalities(large.tables[0], large).estimated
+        assert est_large == pytest.approx(3.0 * est_small, rel=1e-6)
+
+    def test_range_and_like_have_fixed_default_selectivities(self, model, toy_catalog):
+        rows = toy_catalog.table("sales").row_count
+        between = _select("select * from sales where quantity between 1 and 10")
+        cards = model.table_cardinalities(between.tables[0], between)
+        assert cards.estimated == pytest.approx(rows / 6.0, rel=1e-6)
+
+    def test_unknown_column_does_not_crash(self, model):
+        statement = _select("select * from sales where mystery_col = 1")
+        cards = model.table_cardinalities(statement.tables[0], statement)
+        assert cards.estimated >= 1.0
+
+
+class TestJoins:
+    def test_join_selectivity_uses_larger_ndv(self, model):
+        statement = _select(
+            "select * from sales s, items i where s.item_id = i.item_id"
+        )
+        selectivity = model.join_selectivity(statement.join_conditions[0], statement)
+        assert selectivity == pytest.approx(1.0 / 10_000)
+
+    def test_true_join_selectivity_positive_and_bounded(self, model):
+        statement = _select(
+            "select * from sales s, stores st where s.store_id = st.store_id"
+        )
+        true_sel = model.join_selectivity(statement.join_conditions[0], statement, true=True)
+        assert 0.0 < true_sel <= 1.0
+
+
+class TestGroupCount:
+    def test_group_count_bounded_by_ndv_and_input(self, model):
+        statement = _select(
+            "select category, count(*) from items where price > 10 group by category"
+        )
+        est, true = model.group_count(statement, 500.0, 400.0)
+        assert est <= 20.0  # category NDV
+        est_small, _ = model.group_count(statement, 3.0, 3.0)
+        assert est_small <= 3.0
+
+    def test_scalar_aggregate_single_group(self, model):
+        statement = _select("select count(*) from items")
+        assert model.group_count(statement, 1000.0, 1000.0) == (1.0, 1.0)

@@ -1,0 +1,93 @@
+"""Tests for the catalog: tables, columns, statistics and indexes."""
+
+import pytest
+
+from repro.dbms.catalog import Catalog, Column, Index, Table
+from repro.exceptions import CatalogError, InvalidParameterError
+
+
+class TestColumn:
+    def test_defaults(self):
+        column = Column("c")
+        assert column.dtype == "int"
+        assert column.distinct_values == 1000
+        assert column.skew == 0.0
+
+    def test_invalid_statistics_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Column("c", distinct_values=0)
+        with pytest.raises(InvalidParameterError):
+            Column("c", width_bytes=0)
+        with pytest.raises(InvalidParameterError):
+            Column("c", skew=1.5)
+
+
+class TestTable:
+    def test_row_width_sums_columns(self):
+        table = Table("t", 100)
+        table.add_column(Column("a", width_bytes=8))
+        table.add_column(Column("b", width_bytes=16))
+        assert table.row_width == 24
+
+    def test_row_width_has_floor(self):
+        assert Table("t", 10).row_width == 8
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            Table("t", 10).column("missing")
+
+    def test_negative_row_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Table("t", -1)
+
+
+class TestCatalog:
+    def test_case_insensitive_lookup(self):
+        catalog = Catalog()
+        catalog.add_table("Sales", 100, [Column("a")])
+        assert catalog.table("SALES").name == "sales"
+        assert "sAlEs" in catalog
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.add_table("t", 1)
+        with pytest.raises(CatalogError):
+            catalog.add_table("T", 2)
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+
+    def test_index_registration_and_lookup(self):
+        catalog = Catalog()
+        catalog.add_table("t", 100, [Column("a"), Column("b")])
+        catalog.add_index(Index("idx_a", "t", ("a",)))
+        assert catalog.has_index_on("t", "a")
+        assert not catalog.has_index_on("t", "b")
+        assert len(catalog.indexes_on("t")) == 1
+
+    def test_index_on_unknown_column_rejected(self):
+        catalog = Catalog()
+        catalog.add_table("t", 100, [Column("a")])
+        with pytest.raises(CatalogError):
+            catalog.add_index(Index("idx", "t", ("missing",)))
+
+    def test_multi_column_index_leading_column_semantics(self):
+        catalog = Catalog()
+        catalog.add_table("t", 100, [Column("a"), Column("b")])
+        catalog.add_index(Index("idx_ab", "t", ("a", "b")))
+        assert catalog.has_index_on("t", "a")
+        assert not catalog.has_index_on("t", "b")
+
+    def test_column_names_aggregated(self):
+        catalog = Catalog()
+        catalog.add_table("t1", 1, [Column("x")])
+        catalog.add_table("t2", 1, [Column("y")])
+        assert catalog.column_names() == ["x", "y"]
+
+    def test_len_and_names(self):
+        catalog = Catalog()
+        catalog.add_table("b", 1)
+        catalog.add_table("a", 1)
+        assert len(catalog) == 2
+        assert catalog.table_names() == ["a", "b"]

@@ -1,0 +1,58 @@
+"""Tests for the abstract cost model."""
+
+import pytest
+
+from repro.dbms.plan.cost import CostEstimate, CostModel
+from repro.dbms.plan.planner import QueryPlanner
+
+
+class TestCostEstimate:
+    def test_total_and_addition(self):
+        a = CostEstimate(io=1.0, cpu=2.0)
+        b = CostEstimate(io=0.5, cpu=0.25)
+        combined = a + b
+        assert combined.total == pytest.approx(3.75)
+        assert combined.io == pytest.approx(1.5)
+
+
+class TestCostModel:
+    def test_index_scan_cheaper_for_selective_access(self):
+        model = CostModel()
+        table_scan = model.scan_cost(1_000_000, 10, via_index=False)
+        index_scan = model.scan_cost(1_000_000, 10, via_index=True)
+        assert index_scan.total < table_scan.total
+
+    def test_table_scan_cheaper_for_full_access(self):
+        model = CostModel()
+        table_scan = model.scan_cost(10_000, 10_000, via_index=False)
+        index_scan = model.scan_cost(10_000, 10_000, via_index=True)
+        assert table_scan.total < index_scan.total
+
+    def test_hash_join_cost_scales_with_build_side(self):
+        model = CostModel()
+        small_build = model.hash_join_cost(100, 1_000_000)
+        large_build = model.hash_join_cost(1_000_000, 100)
+        assert small_build.total < large_build.total
+
+    def test_indexed_nested_loop_beats_unindexed_for_large_inner(self):
+        model = CostModel()
+        indexed = model.nested_loop_cost(1_000, 1_000_000, inner_indexed=True)
+        unindexed = model.nested_loop_cost(1_000, 1_000_000, inner_indexed=False)
+        assert indexed.total < unindexed.total
+
+    def test_sort_cost_superlinear(self):
+        model = CostModel()
+        small = model.sort_cost(1_000).total
+        large = model.sort_cost(100_000).total
+        assert large > 100 * small * 0.9  # n log n growth
+
+    def test_plan_cost_positive_for_real_plan(self, toy_catalog):
+        planner = QueryPlanner(toy_catalog)
+        plan = planner.plan_sql(
+            "select category, sum(amount) from sales s, items i "
+            "where s.item_id = i.item_id group by category order by category"
+        )
+        estimate = CostModel().plan_cost(plan)
+        assert estimate.total > 0.0
+        assert estimate.io >= 0.0
+        assert estimate.cpu > 0.0

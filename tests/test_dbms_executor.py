@@ -1,0 +1,85 @@
+"""Tests for the simulated DBMS facade and the query log."""
+
+import pytest
+
+from repro.dbms.executor import SimulatedDBMS
+from repro.dbms.query_log import QueryLog, QueryRecord
+from repro.dbms.plan.operators import PlanNode, OperatorType
+
+
+class TestSimulatedDBMS:
+    def test_execute_returns_complete_record(self, toy_dbms):
+        record = toy_dbms.execute(
+            "select sum(amount) from sales where store_id = 3", benchmark="toy"
+        )
+        assert record.sql.startswith("select")
+        assert record.actual_memory_mb > 0.0
+        assert record.optimizer_estimate_mb > 0.0
+        assert record.benchmark == "toy"
+        assert record.plan.op_type is OperatorType.RETURN
+
+    def test_execution_is_deterministic_per_sql(self, toy_dbms):
+        sql = "select count(*) from items where category = 'Books'"
+        first = toy_dbms.execute(sql, log=False)
+        second = toy_dbms.execute(sql, log=False)
+        assert first.actual_memory_mb == second.actual_memory_mb
+
+    def test_different_parameters_change_actual_memory(self, toy_dbms):
+        a = toy_dbms.execute("select count(*) from sales where store_id = 1", log=False)
+        b = toy_dbms.execute("select count(*) from sales where store_id = 9", log=False)
+        assert a.actual_memory_mb != b.actual_memory_mb
+
+    def test_query_log_accumulates(self, toy_catalog):
+        dbms = SimulatedDBMS(toy_catalog)
+        dbms.execute("select count(*) from stores")
+        dbms.execute("select count(*) from items")
+        assert len(dbms.query_log) == 2
+
+    def test_log_opt_out(self, toy_catalog):
+        dbms = SimulatedDBMS(toy_catalog)
+        dbms.execute("select count(*) from stores", log=False)
+        assert len(dbms.query_log) == 0
+
+    def test_execute_many_preserves_order_and_seeds(self, toy_catalog):
+        dbms = SimulatedDBMS(toy_catalog)
+        statements = [
+            "select count(*) from stores",
+            "select count(*) from items",
+        ]
+        records = dbms.execute_many(statements, benchmark="toy", template_seeds=[4, 9])
+        assert [r.template_seed for r in records] == [4, 9]
+        assert [r.sql for r in records] == statements
+
+    def test_explain_does_not_log(self, toy_catalog):
+        dbms = SimulatedDBMS(toy_catalog)
+        plan = dbms.explain("select count(*) from stores")
+        assert plan.op_type is OperatorType.RETURN
+        assert len(dbms.query_log) == 0
+
+
+class TestQueryLog:
+    def _record(self, memory: float) -> QueryRecord:
+        return QueryRecord(
+            sql="select 1 from stores",
+            plan=PlanNode(OperatorType.RETURN),
+            actual_memory_mb=memory,
+            optimizer_estimate_mb=memory * 2,
+        )
+
+    def test_total_memory(self):
+        log = QueryLog()
+        log.extend([self._record(1.0), self._record(2.5)])
+        assert log.total_memory_mb() == pytest.approx(3.5)
+
+    def test_indexing_and_iteration(self):
+        log = QueryLog([self._record(1.0), self._record(2.0)])
+        assert log[1].actual_memory_mb == 2.0
+        assert len(list(iter(log))) == 2
+
+    def test_summary_json_roundtrip(self, tmp_path):
+        log = QueryLog([self._record(1.0)])
+        path = tmp_path / "log.json"
+        log.to_summary_json(path)
+        summary = QueryLog.summary_from_json(path)
+        assert summary[0]["actual_memory_mb"] == 1.0
+        assert "plan" not in summary[0]

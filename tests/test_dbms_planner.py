@@ -1,0 +1,154 @@
+"""Tests for the rule-based query planner."""
+
+import pytest
+
+from repro.dbms.plan.operators import OperatorType
+from repro.dbms.plan.planner import QueryPlanner
+from repro.exceptions import PlanningError
+
+
+@pytest.fixture()
+def planner(toy_catalog):
+    return QueryPlanner(toy_catalog)
+
+
+class TestAccessPaths:
+    def test_unselective_query_uses_table_scan(self, planner):
+        plan = planner.plan_sql("select amount from sales where quantity > 5")
+        assert plan.count_operator(OperatorType.TBSCAN) == 1
+        assert plan.count_operator(OperatorType.IXSCAN) == 0
+
+    def test_selective_indexed_equality_uses_index(self, planner):
+        plan = planner.plan_sql("select price from items where item_id = 42")
+        assert plan.count_operator(OperatorType.IXSCAN) == 1
+        assert plan.count_operator(OperatorType.FETCH) == 1
+
+    def test_unindexed_column_stays_table_scan(self, planner):
+        plan = planner.plan_sql("select item_id from items where category = 'Books'")
+        assert plan.count_operator(OperatorType.IXSCAN) == 0
+
+    def test_root_is_return(self, planner):
+        plan = planner.plan_sql("select amount from sales")
+        assert plan.op_type is OperatorType.RETURN
+
+
+class TestJoins:
+    def test_two_way_join_produces_one_join_operator(self, planner):
+        plan = planner.plan_sql(
+            "select s.amount from sales s, items i where s.item_id = i.item_id"
+        )
+        joins = plan.count_operator(OperatorType.HSJOIN) + plan.count_operator(
+            OperatorType.NLJOIN
+        )
+        assert joins == 1
+        assert set(plan.leaf_tables()) == {"sales", "items"}
+
+    def test_three_way_join(self, planner):
+        plan = planner.plan_sql(
+            "select s.amount from sales s, items i, stores st "
+            "where s.item_id = i.item_id and s.store_id = st.store_id"
+        )
+        joins = plan.count_operator(OperatorType.HSJOIN) + plan.count_operator(
+            OperatorType.NLJOIN
+        )
+        assert joins == 2
+        assert len(plan.leaf_tables()) == 3
+
+    def test_small_outer_with_indexed_inner_prefers_nested_loop(self, planner):
+        # stores (50 rows) joined to indexed items → NLJOIN territory.
+        plan = planner.plan_sql(
+            "select i.price from stores st, items i where st.store_id = i.item_id"
+        )
+        assert plan.count_operator(OperatorType.NLJOIN) == 1
+
+    def test_large_inputs_prefer_hash_join(self, planner):
+        plan = planner.plan_sql(
+            "select s.amount from sales s, items i "
+            "where s.item_id = i.item_id and s.quantity > 1"
+        )
+        # sales after a weak filter is far above the NL threshold.
+        assert plan.count_operator(OperatorType.HSJOIN) >= 1
+
+    def test_join_cardinality_not_below_one(self, planner):
+        plan = planner.plan_sql(
+            "select s.amount from sales s, items i where s.item_id = i.item_id and i.item_id = 1"
+        )
+        for node in plan.walk():
+            assert node.est_cardinality >= 1.0
+            assert node.true_cardinality >= 1.0
+
+
+class TestAggregationAndOrdering:
+    def test_group_by_adds_grpby(self, planner):
+        plan = planner.plan_sql(
+            "select category, sum(price) from items group by category"
+        )
+        assert plan.count_operator(OperatorType.GRPBY) == 1
+
+    def test_scalar_aggregate_adds_grpby_with_single_group(self, planner):
+        plan = planner.plan_sql("select count(*) from sales")
+        grpby = [n for n in plan.walk() if n.op_type is OperatorType.GRPBY][0]
+        assert grpby.est_cardinality == pytest.approx(1.0)
+
+    def test_order_by_adds_sort(self, planner):
+        plan = planner.plan_sql("select amount from sales order by amount")
+        assert plan.count_operator(OperatorType.SORT) == 1
+
+    def test_distinct_adds_sort(self, planner):
+        plan = planner.plan_sql("select distinct store_id from sales")
+        assert plan.count_operator(OperatorType.SORT) == 1
+
+    def test_limit_caps_return_cardinality(self, planner):
+        plan = planner.plan_sql("select amount from sales limit 10")
+        assert plan.est_cardinality <= 10.0
+
+    def test_group_count_bounded_by_ndv(self, planner):
+        plan = planner.plan_sql(
+            "select category, count(*) from items group by category"
+        )
+        grpby = [n for n in plan.walk() if n.op_type is OperatorType.GRPBY][0]
+        assert grpby.est_cardinality <= 20.0
+
+
+class TestDmlPlans:
+    def test_insert_plan(self, planner):
+        plan = planner.plan_sql("insert into stores (store_id, region) values (1, 'West')")
+        assert plan.count_operator(OperatorType.INSERT) == 1
+
+    def test_update_plan_contains_scan_and_update(self, planner):
+        plan = planner.plan_sql("update items set price = 9 where item_id = 3")
+        assert plan.count_operator(OperatorType.UPDATE) == 1
+        assert plan.count_operator(OperatorType.IXSCAN) + plan.count_operator(OperatorType.TBSCAN) == 1
+
+    def test_delete_plan(self, planner):
+        plan = planner.plan_sql("delete from stores where store_id = 1")
+        assert plan.count_operator(OperatorType.DELETE) == 1
+
+
+class TestCardinalityAnnotations:
+    def test_every_node_has_consistent_cardinalities(self, planner):
+        plan = planner.plan_sql(
+            "select category, sum(amount) from sales s, items i "
+            "where s.item_id = i.item_id and i.category = 'Books' group by category"
+        )
+        for node in plan.walk():
+            assert node.est_cardinality > 0.0
+            assert node.true_cardinality > 0.0
+            assert node.row_width >= 8
+
+    def test_scan_output_not_above_table_rows(self, planner, toy_catalog):
+        plan = planner.plan_sql("select amount from sales where store_id = 3")
+        scan = [n for n in plan.walk() if n.op_type is OperatorType.TBSCAN][0]
+        assert scan.est_cardinality <= toy_catalog.table("sales").row_count
+
+
+class TestPlannerErrors:
+    def test_unknown_table_raises(self, planner):
+        from repro.exceptions import CatalogError
+
+        with pytest.raises(CatalogError):
+            planner.plan_sql("select a from missing_table")
+
+    def test_plan_unsupported_statement_type(self, planner):
+        with pytest.raises(PlanningError):
+            planner.plan("not a statement")  # type: ignore[arg-type]

@@ -1,0 +1,50 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.dbms.sql.lexer import Token, tokenize
+from repro.exceptions import SQLSyntaxError
+
+
+class TestTokenize:
+    def test_keywords_lowercased_and_tagged(self):
+        tokens = tokenize("SELECT a FROM b")
+        assert tokens[0] == Token("KEYWORD", "select", 0)
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["KEYWORD", "IDENT", "KEYWORD", "IDENT"]
+
+    def test_numbers(self):
+        tokens = tokenize("select 42 , 3.14 , -7")
+        numbers = [t.text for t in tokens if t.kind == "NUMBER"]
+        assert numbers == ["42", "3.14", "-7"]
+
+    def test_string_literal_single_token(self):
+        tokens = tokenize("where name = 'hello world'")
+        strings = [t for t in tokens if t.kind == "STRING"]
+        assert len(strings) == 1
+        assert strings[0].text == "'hello world'"
+
+    def test_operators(self):
+        tokens = tokenize("a >= 1 and b <> 2 and c <= 3")
+        ops = [t.text for t in tokens if t.kind == "OP"]
+        assert ops == [">=", "<>", "<="]
+
+    def test_punctuation(self):
+        kinds = [t.kind for t in tokenize("count(*) , t.col ;")]
+        assert kinds == ["KEYWORD", "LPAREN", "STAR", "RPAREN", "COMMA", "IDENT", "DOT", "IDENT", "SEMI"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("select  abc")
+        assert tokens[1].position == 8
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select #oops")
+
+    def test_is_keyword_property(self):
+        select, ident = tokenize("select foo")
+        assert select.is_keyword
+        assert not ident.is_keyword
+
+    def test_whitespace_only(self):
+        assert tokenize("   \n\t ") == []

@@ -1,0 +1,153 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.dbms.sql.ast_nodes import (
+    BetweenPredicate,
+    Comparison,
+    DeleteStatement,
+    InPredicate,
+    InsertStatement,
+    LikePredicate,
+    SelectStatement,
+    UpdateStatement,
+)
+from repro.dbms.sql.parser import parse
+from repro.exceptions import SQLSyntaxError
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        statement = parse("select a, b from t")
+        assert isinstance(statement, SelectStatement)
+        assert [c.column for c in statement.select_columns] == ["a", "b"]
+        assert statement.tables[0].table == "t"
+
+    def test_table_alias(self):
+        statement = parse("select s.a from sales s")
+        assert statement.tables[0].alias == "s"
+        assert statement.select_columns[0].table == "s"
+
+    def test_aggregates(self):
+        statement = parse("select count(*), sum(x), min(t.y) from t")
+        funcs = [a.func for a in statement.aggregates]
+        assert funcs == ["count", "sum", "min"]
+        assert statement.aggregates[0].argument is None
+        assert statement.aggregates[2].argument.table == "t"
+
+    def test_count_distinct(self):
+        statement = parse("select count(distinct a) from t")
+        assert statement.aggregates[0].argument.column == "a"
+
+    def test_where_comparisons(self):
+        statement = parse("select a from t where a = 5 and b > 2.5 and c <> 7")
+        ops = [p.op for p in statement.predicates if isinstance(p, Comparison)]
+        assert ops == ["=", ">", "<>"]
+        assert statement.predicates[1].value.value == 2.5
+
+    def test_between_in_like(self):
+        statement = parse(
+            "select a from t where a between 1 and 10 and b in (1, 2, 3) and c like '%x%'"
+        )
+        kinds = [type(p) for p in statement.predicates]
+        assert kinds == [BetweenPredicate, InPredicate, LikePredicate]
+        assert len(statement.predicates[1].values) == 3
+        assert statement.predicates[2].pattern == "%x%"
+
+    def test_string_literal_predicate(self):
+        statement = parse("select a from t where city = 'New York'")
+        assert statement.predicates[0].value.value == "New York"
+
+    def test_implicit_join_condition_goes_to_join_list(self):
+        statement = parse("select a from t1, t2 where t1.id = t2.fk and t1.x = 3")
+        assert len(statement.join_conditions) == 1
+        assert len(statement.predicates) == 1
+        assert str(statement.join_conditions[0].left) == "t1.id"
+
+    def test_explicit_join_syntax(self):
+        statement = parse("select a from t1 join t2 on t1.id = t2.fk where t2.x = 1")
+        assert len(statement.tables) == 2
+        assert len(statement.join_conditions) == 1
+
+    def test_group_by_order_by_limit(self):
+        statement = parse(
+            "select a, count(*) from t group by a order by a desc limit 10"
+        )
+        assert [c.column for c in statement.group_by] == ["a"]
+        assert statement.order_by[0].descending
+        assert statement.limit == 10
+
+    def test_distinct(self):
+        assert parse("select distinct a from t").distinct
+
+    def test_having_clause_accepted(self):
+        statement = parse("select a, sum(b) from t group by a having sum(b) > 100")
+        assert statement.is_aggregate
+
+    def test_negative_literal(self):
+        statement = parse("select a from t where x between -10 and -1")
+        assert statement.predicates[0].low.value == -10
+
+    def test_non_equality_column_comparison_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("select a from t1, t2 where t1.a > t2.b")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("select a from t where a = 1 extra")
+
+    def test_empty_statement_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("   ")
+
+    def test_unsupported_statement_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("create table t (a int)")
+
+    def test_semicolon_tolerated(self):
+        statement = parse("select a from t;")
+        assert isinstance(statement, SelectStatement)
+
+
+class TestDmlParsing:
+    def test_insert_single_row(self):
+        statement = parse("insert into t (a, b) values (1, 'x')")
+        assert isinstance(statement, InsertStatement)
+        assert statement.columns == ["a", "b"]
+        assert statement.n_rows == 1
+
+    def test_insert_multi_row(self):
+        statement = parse("insert into t (a) values (1), (2), (3)")
+        assert statement.n_rows == 3
+
+    def test_update(self):
+        statement = parse("update t set a = 1, b = 2.5 where c = 3")
+        assert isinstance(statement, UpdateStatement)
+        assert statement.set_columns == ["a", "b"]
+        assert len(statement.predicates) == 1
+
+    def test_update_without_where(self):
+        statement = parse("update t set a = 1")
+        assert statement.predicates == []
+
+    def test_delete(self):
+        statement = parse("delete from t where a = 5 and b = 6")
+        assert isinstance(statement, DeleteStatement)
+        assert len(statement.predicates) == 2
+
+    def test_update_with_join_predicate_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("update t set a = 1 where t.x = s.y")
+
+
+class TestBenchmarkQueriesParse:
+    """Every statement emitted by the three generators must parse."""
+
+    @pytest.mark.parametrize("benchmark_name", ["tpcds", "job", "tpcc"])
+    def test_generated_queries_parse(self, benchmark_name):
+        from repro.workloads.generator import build_benchmark
+
+        generator = build_benchmark(benchmark_name)
+        for query in generator.generate(80, seed=5):
+            statement = parse(query.sql)
+            assert statement is not None

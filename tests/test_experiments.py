@@ -1,0 +1,117 @@
+"""Tests for the experiment harness (config, reporting, suite, figures).
+
+These use a deliberately tiny configuration so the full paths execute in
+seconds; the benchmark harness runs the realistic sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.figures import figure4_rmse, figure5_residuals, figure8_model_size
+from repro.experiments.reporting import format_figure, format_table
+from repro.experiments.suite import run_model_suite
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        query_counts={"tpcds": 400, "job": 300, "tpcc": 300},
+        template_counts={"tpcds": 12, "job": 10, "tpcc": 8},
+        batch_size=10,
+        seed=11,
+        fast_models=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def tpcc_suite(tiny_config):
+    return run_model_suite("tpcc", config=tiny_config, regressors=("ridge", "dt"))
+
+
+class TestConfig:
+    def test_default_config_counts(self):
+        config = default_config()
+        assert config.n_queries("job") == 2300
+        assert config.n_templates("tpcds") == 100
+        assert config.batch_size == 10
+
+    def test_query_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUERY_SCALE", "0.1")
+        config = default_config()
+        assert config.n_queries("tpcds") == 600
+
+    def test_paper_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        config = default_config()
+        assert config.n_queries("tpcds") == 93_000
+        assert not config.fast_models
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"model": "LearnedWMP-XGB", "rmse": 12.3456}, {"model": "DBMS", "rmse": 1868.0}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("model")
+        assert "LearnedWMP-XGB" in lines[2]
+        assert "1,868" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_figure_title(self):
+        text = format_figure("Figure 4: RMSE", [{"a": 1}])
+        assert text.startswith("== Figure 4: RMSE ==")
+
+    def test_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestModelSuite:
+    def test_suite_contains_all_model_variants(self, tpcc_suite):
+        labels = {result.label for result in tpcc_suite.results}
+        assert "SingleWMP-DBMS" in labels
+        assert "LearnedWMP-RIDGE" in labels
+        assert "SingleWMP-DT" in labels
+        assert len(tpcc_suite.results) == 1 + 2 * 2
+
+    def test_metrics_populated(self, tpcc_suite):
+        for result in tpcc_suite.results:
+            assert result.rmse >= 0.0
+            assert result.mape >= 0.0
+            assert result.inference_time_us > 0.0
+            if result.approach != "SingleWMP-DBMS":
+                assert result.training_time_ms > 0.0
+                assert result.model_size_kb > 0.0
+
+    def test_ml_models_beat_dbms_heuristic_on_tpcc(self, tpcc_suite):
+        dbms_rmse = tpcc_suite.dbms().rmse
+        for result in tpcc_suite.learned():
+            assert result.rmse < dbms_rmse
+
+    def test_lookup_helpers(self, tpcc_suite):
+        assert len(tpcc_suite.learned()) == 2
+        assert len(tpcc_suite.single_ml()) == 2
+        assert tpcc_suite.by_label()["SingleWMP-DBMS"].regressor == "heuristic"
+
+
+class TestFigures:
+    def test_figure4_rows(self, tiny_config, tpcc_suite):
+        figure = figure4_rmse(tiny_config, suites={"tpcc": tpcc_suite})
+        assert len(figure.rows) == len(tpcc_suite.results)
+        assert {"benchmark", "model", "rmse_mb", "mape_pct"} <= set(figure.rows[0])
+        assert "Figure 4" in figure.render()
+
+    def test_figure5_rows_have_quartiles(self, tiny_config, tpcc_suite):
+        figure = figure5_residuals(tiny_config, suites={"tpcc": tpcc_suite})
+        row = figure.rows[0]
+        assert row["q1"] <= row["q3"]
+        assert row["iqr"] == pytest.approx(row["q3"] - row["q1"])
+
+    def test_figure8_excludes_heuristic(self, tiny_config, tpcc_suite):
+        figure = figure8_model_size(tiny_config, suites={"tpcc": tpcc_suite})
+        assert all(row["model"] != "SingleWMP-DBMS" for row in figure.rows)
+        assert all(np.isfinite(row["model_size_kb"]) for row in figure.rows)

@@ -1,0 +1,98 @@
+"""End-to-end integration tests across the substrates and the core model."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LearnedWMP,
+    SingleWMP,
+    SingleWMPDBMS,
+    generate_dataset,
+    make_workloads,
+)
+from repro.core.metrics import summarize_residuals
+
+
+class TestEndToEndTPCDS:
+    """Generate → execute → train → predict, asserting the paper's qualitative shapes."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, tpcds_small):
+        train, test = tpcds_small.train_records, tpcds_small.test_records
+        test_workloads = make_workloads(test, 10, seed=0)
+        learned = LearnedWMP(
+            regressor="ridge", n_templates=25, batch_size=10, random_state=0, fast=True
+        ).fit(train)
+        single = SingleWMP("xgb", random_state=0, fast=True).fit(train)
+        dbms = SingleWMPDBMS()
+        return learned, single, dbms, test_workloads
+
+    def test_learned_model_beats_dbms_heuristic(self, setup):
+        learned, _, dbms, workloads = setup
+        assert learned.evaluate(workloads)["rmse"] < dbms.evaluate(workloads)["rmse"]
+
+    def test_single_ml_beats_dbms_heuristic(self, setup):
+        _, single, dbms, workloads = setup
+        assert single.evaluate(workloads)["rmse"] < dbms.evaluate(workloads)["rmse"]
+
+    def test_ml_residuals_more_balanced_than_heuristic(self, setup):
+        learned, _, dbms, workloads = setup
+        actuals = np.array([w.actual_memory_mb for w in workloads])
+        learned_summary = summarize_residuals(actuals, learned.predict(workloads))
+        dbms_summary = summarize_residuals(actuals, dbms.predict(workloads))
+        # The heuristic is skewed towards one side; the learned model is not.
+        assert abs(learned_summary.skew_share_under - 0.5) <= abs(
+            dbms_summary.skew_share_under - 0.5
+        )
+
+    def test_learned_histogram_regression_consistency(self, setup, tpcds_small):
+        learned, _, _, _ = setup
+        workload = tpcds_small.test_records[:10]
+        histogram = learned.histogram(workload)
+        direct = learned.regressor.predict(histogram.reshape(1, -1))[0]
+        assert learned.predict_workload(workload) == pytest.approx(float(direct))
+
+
+class TestEndToEndTPCC:
+    def test_transactional_workloads_trainable(self, tpcc_small):
+        learned = LearnedWMP(
+            regressor="xgb", n_templates=10, batch_size=10, random_state=0, fast=True
+        ).fit(tpcc_small.train_records)
+        workloads = make_workloads(tpcc_small.test_records, 10, seed=0)
+        metrics = learned.evaluate(workloads)
+        assert metrics["mape"] < 25.0
+
+    def test_dbms_overestimates_small_transactional_queries(self, tpcc_small):
+        workloads = make_workloads(tpcc_small.test_records, 10, seed=0)
+        dbms = SingleWMPDBMS()
+        actuals = np.array([w.actual_memory_mb for w in workloads])
+        predictions = dbms.predict(workloads)
+        # The minimum-grant rule makes the heuristic systematically high.
+        assert np.mean(predictions > actuals) > 0.9
+
+
+class TestEndToEndJOB:
+    def test_join_heavy_workloads_trainable(self, job_small):
+        learned = LearnedWMP(
+            regressor="ridge", n_templates=30, batch_size=10, random_state=0, fast=True
+        ).fit(job_small.train_records)
+        workloads = make_workloads(job_small.test_records, 10, seed=0)
+        predictions = learned.predict(workloads)
+        assert np.all(np.isfinite(predictions))
+        assert np.all(predictions > 0.0)
+
+
+class TestCrossBenchmarkIsolation:
+    def test_generate_dataset_is_deterministic(self):
+        a = generate_dataset("tpcc", 60, seed=4)
+        b = generate_dataset("tpcc", 60, seed=4)
+        assert [r.sql for r in a.all_records] == [r.sql for r in b.all_records]
+        assert [r.actual_memory_mb for r in a.all_records] == [
+            r.actual_memory_mb for r in b.all_records
+        ]
+
+    def test_memory_scale_differs_across_benchmarks(self, tpcds_small, tpcc_small):
+        tpcds_mean = np.mean([r.actual_memory_mb for r in tpcds_small.all_records])
+        tpcc_mean = np.mean([r.actual_memory_mb for r in tpcc_small.all_records])
+        # Analytical queries need far more working memory than transactional ones.
+        assert tpcds_mean > 10 * tpcc_mean

@@ -1,0 +1,105 @@
+"""Tests for the memory-based admission controller."""
+
+import pytest
+
+from repro.core.workload import Workload, make_workloads
+from repro.exceptions import InvalidParameterError
+from repro.integration.admission import (
+    AdmissionController,
+    AdmissionOutcome,
+)
+from repro.integration.predictors import ConstantMemoryPredictor, OracleMemoryPredictor
+
+
+def _workloads(tpcc_small, n=12):
+    return make_workloads(tpcc_small.test_records, 10, seed=3)[:n]
+
+
+class TestConstruction:
+    def test_rejects_non_positive_pool(self):
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(ConstantMemoryPredictor(1.0), 0.0)
+
+    def test_rejects_non_positive_safety_factor(self):
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(ConstantMemoryPredictor(1.0), 10.0, safety_factor=0.0)
+
+
+class TestSingleDecisions:
+    def test_admits_when_it_fits(self):
+        controller = AdmissionController(ConstantMemoryPredictor(10.0), 100.0)
+        workload = Workload(queries=[], actual_memory_mb=0.0)
+        assert controller.admits(workload, in_use_mb=0.0)
+        assert controller.admits(workload, in_use_mb=90.0)
+        assert not controller.admits(workload, in_use_mb=95.0)
+
+    def test_safety_factor_scales_demand(self):
+        controller = AdmissionController(
+            ConstantMemoryPredictor(10.0), 100.0, safety_factor=2.0
+        )
+        workload = Workload(queries=[], actual_memory_mb=0.0)
+        assert controller.predicted_demand(workload) == pytest.approx(20.0)
+        assert not controller.admits(workload, in_use_mb=85.0)
+
+    def test_negative_in_use_rejected(self):
+        controller = AdmissionController(ConstantMemoryPredictor(10.0), 100.0)
+        with pytest.raises(InvalidParameterError):
+            controller.admits(Workload(queries=[], actual_memory_mb=0.0), in_use_mb=-1.0)
+
+
+class TestQueueReplay:
+    def test_every_workload_eventually_admitted(self, tpcc_small):
+        workloads = _workloads(tpcc_small)
+        controller = AdmissionController(OracleMemoryPredictor(), memory_pool_mb=80.0)
+        report = controller.run(workloads)
+        admitted = [
+            r.workload_index
+            for r in report.records
+            if r.outcome is AdmissionOutcome.ADMITTED
+        ]
+        assert sorted(admitted) == list(range(len(workloads)))
+
+    def test_oracle_never_overcommits(self, tpcc_small):
+        workloads = _workloads(tpcc_small)
+        pool = 2.0 * max(w.actual_memory_mb for w in workloads)
+        controller = AdmissionController(OracleMemoryPredictor(), memory_pool_mb=pool)
+        report = controller.run(workloads)
+        assert report.overcommitted_rounds == 0
+        assert 0.0 < report.mean_utilization <= 1.0
+
+    def test_tiny_pool_runs_one_per_round(self, tpcc_small):
+        workloads = _workloads(tpcc_small, n=5)
+        controller = AdmissionController(OracleMemoryPredictor(), memory_pool_mb=0.5)
+        report = controller.run(workloads)
+        # Every workload is oversized relative to the pool, so each runs alone.
+        assert report.n_rounds == len(workloads)
+        assert all(len(r.admitted) == 1 for r in report.rounds)
+
+    def test_underestimating_predictor_overcommits(self, tpcc_small):
+        workloads = _workloads(tpcc_small)
+        pool = 1.5 * max(w.actual_memory_mb for w in workloads)
+        # A predictor that thinks every batch is free packs everything into
+        # one round, which must blow past the pool.
+        optimist = ConstantMemoryPredictor(0.0)
+        report = AdmissionController(optimist, memory_pool_mb=pool).run(workloads)
+        assert report.n_rounds == 1
+        assert report.overcommitted_rounds == 1
+
+    def test_summary_keys(self, tpcc_small):
+        workloads = _workloads(tpcc_small, n=6)
+        report = AdmissionController(OracleMemoryPredictor(), 50.0).run(workloads)
+        summary = report.summary()
+        assert set(summary) == {
+            "rounds",
+            "deferrals",
+            "overcommitted_rounds",
+            "mean_utilization",
+        }
+
+    def test_better_predictor_fewer_overcommits(self, tpcc_small):
+        """The admission-control value proposition: accuracy buys stability."""
+        workloads = _workloads(tpcc_small, n=20)
+        pool = 3.0 * float(max(w.actual_memory_mb for w in workloads))
+        oracle_report = AdmissionController(OracleMemoryPredictor(), pool).run(workloads)
+        optimist_report = AdmissionController(ConstantMemoryPredictor(0.0), pool).run(workloads)
+        assert oracle_report.overcommitted_rounds <= optimist_report.overcommitted_rounds

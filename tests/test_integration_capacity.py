@@ -1,0 +1,84 @@
+"""Tests for the capacity planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import make_workloads
+from repro.exceptions import InvalidParameterError
+from repro.integration.capacity import CapacityPlanner
+from repro.integration.predictors import ConstantMemoryPredictor, OracleMemoryPredictor
+
+
+def _workloads(dataset, n=20):
+    return make_workloads(dataset.test_records, 10, seed=9)[:n]
+
+
+class TestPlan:
+    def test_plan_covers_percentile_with_headroom(self, job_small):
+        workloads = _workloads(job_small)
+        planner = CapacityPlanner(OracleMemoryPredictor())
+        plan = planner.plan(workloads, percentile=90.0, headroom=0.2)
+        actual = np.array([w.actual_memory_mb for w in workloads])
+        assert plan.percentile_mb == pytest.approx(float(np.percentile(actual, 90.0)))
+        assert plan.recommended_mb >= plan.percentile_mb * 1.2 - 1e-9
+        assert plan.n_workloads == len(workloads)
+
+    def test_recommendation_never_below_peak(self, job_small):
+        workloads = _workloads(job_small)
+        plan = CapacityPlanner(OracleMemoryPredictor()).plan(
+            workloads, percentile=50.0, headroom=0.0
+        )
+        assert plan.recommended_mb >= plan.peak_predicted_mb
+
+    def test_growth_factor_scales_linearly(self, job_small):
+        workloads = _workloads(job_small)
+        planner = CapacityPlanner(OracleMemoryPredictor())
+        base = planner.plan(workloads, growth_factor=1.0)
+        grown = planner.plan(workloads, growth_factor=2.0)
+        assert grown.recommended_mb == pytest.approx(2.0 * base.recommended_mb, rel=1e-9)
+
+    def test_invalid_parameters_rejected(self, job_small):
+        workloads = _workloads(job_small, n=5)
+        planner = CapacityPlanner(OracleMemoryPredictor())
+        with pytest.raises(InvalidParameterError):
+            planner.plan(workloads, percentile=0.0)
+        with pytest.raises(InvalidParameterError):
+            planner.plan(workloads, headroom=-0.1)
+        with pytest.raises(InvalidParameterError):
+            planner.plan(workloads, growth_factor=0.0)
+        with pytest.raises(InvalidParameterError):
+            planner.plan([])
+
+    def test_summary_keys(self, job_small):
+        plan = CapacityPlanner(OracleMemoryPredictor()).plan(_workloads(job_small, n=6))
+        assert set(plan.summary()) == {
+            "recommended_mb",
+            "percentile_mb",
+            "peak_predicted_mb",
+            "mean_predicted_mb",
+        }
+
+
+class TestEvaluate:
+    def test_oracle_plan_rarely_exceeded(self, job_small):
+        workloads = _workloads(job_small)
+        planner = CapacityPlanner(OracleMemoryPredictor())
+        plan = planner.plan(workloads, percentile=100.0, headroom=0.0)
+        outcome = CapacityPlanner.evaluate(plan, workloads)
+        assert outcome["exceed_share"] == 0.0
+        assert outcome["worst_exceed_mb"] == 0.0
+        assert 0.0 < outcome["mean_utilization"] <= 1.0
+
+    def test_undersized_plan_is_exceeded(self, job_small):
+        workloads = _workloads(job_small)
+        tiny = CapacityPlanner(ConstantMemoryPredictor(0.001)).plan(
+            workloads, headroom=0.0
+        )
+        outcome = CapacityPlanner.evaluate(tiny, workloads)
+        assert outcome["exceed_share"] > 0.5
+        assert outcome["worst_exceed_mb"] > 0.0
+
+    def test_evaluate_rejects_empty(self, job_small):
+        plan = CapacityPlanner(OracleMemoryPredictor()).plan(_workloads(job_small, n=5))
+        with pytest.raises(InvalidParameterError):
+            CapacityPlanner.evaluate(plan, [])

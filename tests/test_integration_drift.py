@@ -1,0 +1,142 @@
+"""Tests for the workload-drift detectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.template_methods import PlanTemplates
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.integration.drift import (
+    ErrorDriftDetector,
+    HistogramDriftDetector,
+    population_stability_index,
+)
+
+
+class TestPopulationStabilityIndex:
+    def test_identical_distributions_score_zero(self):
+        counts = np.array([10.0, 20.0, 30.0, 40.0])
+        assert population_stability_index(counts, counts) == pytest.approx(0.0, abs=1e-9)
+
+    def test_scaling_does_not_matter(self):
+        reference = np.array([10.0, 20.0, 30.0])
+        assert population_stability_index(reference, reference * 7.5) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_shifted_distribution_scores_positive(self):
+        reference = np.array([40.0, 40.0, 10.0, 10.0])
+        observed = np.array([10.0, 10.0, 40.0, 40.0])
+        assert population_stability_index(reference, observed) > 0.25
+
+    def test_symmetry(self):
+        a = np.array([30.0, 50.0, 20.0])
+        b = np.array([20.0, 30.0, 50.0])
+        assert population_stability_index(a, b) == pytest.approx(
+            population_stability_index(b, a)
+        )
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            population_stability_index(np.array([]), np.array([]))
+        with pytest.raises(InvalidParameterError):
+            population_stability_index(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(InvalidParameterError):
+            population_stability_index(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+
+
+class TestHistogramDriftDetector:
+    def test_no_drift_on_same_benchmark(self, tpcds_small):
+        # A fresh window of the *same* benchmark should score well below the
+        # drift threshold (PSI carries some sampling noise, hence the larger
+        # TPC-DS fixture and a modest template count).
+        templates = PlanTemplates(12, random_state=0).fit(tpcds_small.train_records)
+        detector = HistogramDriftDetector(templates, threshold=0.25)
+        detector.fit_reference(tpcds_small.train_records)
+        report = detector.check(tpcds_small.test_records)
+        assert not report.drifted
+        assert report.score < 0.25
+
+    def test_drift_when_template_mix_changes(self, tpcds_small):
+        templates = PlanTemplates(12, random_state=0).fit(tpcds_small.train_records)
+        detector = HistogramDriftDetector(templates, threshold=0.25)
+        detector.fit_reference(tpcds_small.train_records)
+        # Simulate a shifted workload: only the queries of a single template.
+        assignments = templates.assign(tpcds_small.test_records)
+        dominant = int(np.bincount(assignments).argmax())
+        shifted = [
+            record
+            for record, label in zip(tpcds_small.test_records, assignments)
+            if label == dominant
+        ]
+        report = detector.check(shifted)
+        assert report.drifted
+        assert report.score > 0.25
+
+    def test_requires_reference(self, job_small):
+        templates = PlanTemplates(8, random_state=0).fit(job_small.train_records)
+        detector = HistogramDriftDetector(templates)
+        with pytest.raises(NotFittedError):
+            detector.check(job_small.test_records)
+
+    def test_rejects_empty_inputs(self, job_small):
+        templates = PlanTemplates(8, random_state=0).fit(job_small.train_records)
+        detector = HistogramDriftDetector(templates)
+        with pytest.raises(InvalidParameterError):
+            detector.fit_reference([])
+        detector.fit_reference(job_small.train_records)
+        with pytest.raises(InvalidParameterError):
+            detector.check([])
+
+
+class TestErrorDriftDetector:
+    def test_accurate_predictions_do_not_drift(self):
+        detector = ErrorDriftDetector(threshold_mape=25.0, min_observations=5)
+        for actual in np.linspace(10.0, 100.0, 20):
+            detector.observe(predicted_mb=actual * 1.05, actual_mb=actual)
+        report = detector.check()
+        assert not report.drifted
+        assert report.score == pytest.approx(5.0, rel=0.05)
+
+    def test_bad_predictions_drift(self):
+        detector = ErrorDriftDetector(threshold_mape=25.0, min_observations=5)
+        for actual in np.linspace(10.0, 100.0, 20):
+            detector.observe(predicted_mb=actual * 2.0, actual_mb=actual)
+        assert detector.check().drifted
+
+    def test_no_drift_before_min_observations(self):
+        detector = ErrorDriftDetector(threshold_mape=10.0, min_observations=10)
+        for _ in range(5):
+            detector.observe(predicted_mb=100.0, actual_mb=10.0)
+        assert not detector.check().drifted
+
+    def test_window_forgets_old_errors(self):
+        detector = ErrorDriftDetector(threshold_mape=25.0, window=10, min_observations=5)
+        for _ in range(10):
+            detector.observe(predicted_mb=200.0, actual_mb=10.0)
+        assert detector.check().drifted
+        for _ in range(10):
+            detector.observe(predicted_mb=10.0, actual_mb=10.0)
+        assert not detector.check().drifted
+
+    def test_zero_actual_skipped_and_reset(self):
+        detector = ErrorDriftDetector()
+        detector.observe(predicted_mb=5.0, actual_mb=0.0)
+        assert detector.n_observations == 0
+        detector.observe(predicted_mb=5.0, actual_mb=10.0)
+        assert detector.n_observations == 1
+        detector.reset()
+        assert detector.n_observations == 0
+        assert detector.rolling_mape == 0.0
+
+    def test_observe_many_validates_lengths(self):
+        detector = ErrorDriftDetector()
+        with pytest.raises(InvalidParameterError):
+            detector.observe_many([1.0, 2.0], [1.0])
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ErrorDriftDetector(threshold_mape=0.0)
+        with pytest.raises(InvalidParameterError):
+            ErrorDriftDetector(window=0)
+        with pytest.raises(InvalidParameterError):
+            ErrorDriftDetector(window=5, min_observations=10)

@@ -1,0 +1,134 @@
+"""Tests for the model registry and the pre-train / observe / retrain loop."""
+
+import pytest
+
+from repro.core.model import LearnedWMP
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.integration.lifecycle import ModelLifecycleManager, ModelRegistry
+
+
+def _factory():
+    return LearnedWMP(
+        regressor="xgb", n_templates=12, batch_size=10, random_state=0, fast=True
+    )
+
+
+def _manager(min_new_records=100):
+    return ModelLifecycleManager(
+        model_factory=_factory,
+        min_new_records=min_new_records,
+        batch_size=10,
+        seed=0,
+    )
+
+
+class TestModelRegistry:
+    def test_empty_registry_raises(self):
+        registry = ModelRegistry()
+        with pytest.raises(NotFittedError):
+            _ = registry.current
+        assert len(registry) == 0
+
+    def test_register_promotes_latest(self, tpcc_small):
+        registry = ModelRegistry()
+        first = _factory().fit(tpcc_small.train_records[:200])
+        second = _factory().fit(tpcc_small.train_records[:300])
+        registry.register(first, n_training_records=200, validation_mape=None, reason="bootstrap")
+        version = registry.register(
+            second, n_training_records=300, validation_mape=12.5, reason="drift"
+        )
+        assert registry.current is version
+        assert registry.current.version == 2
+        assert [v.version for v in registry.history] == [1, 2]
+
+
+class TestBootstrap:
+    def test_bootstrap_creates_version_one(self, tpcc_small):
+        manager = _manager()
+        version = manager.bootstrap(tpcc_small.train_records[:400])
+        assert version.version == 1
+        assert version.reason == "bootstrap"
+        assert version.validation_mape is not None and version.validation_mape >= 0.0
+        # The deployed model answers predictions immediately.
+        assert manager.predict_workload(tpcc_small.test_records[:10]) > 0.0
+
+    def test_double_bootstrap_rejected(self, tpcc_small):
+        manager = _manager()
+        manager.bootstrap(tpcc_small.train_records[:300])
+        with pytest.raises(InvalidParameterError):
+            manager.bootstrap(tpcc_small.train_records[:300])
+
+    def test_bootstrap_requires_enough_records(self, tpcc_small):
+        manager = _manager()
+        with pytest.raises(InvalidParameterError):
+            manager.bootstrap(tpcc_small.train_records[:5])
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ModelLifecycleManager(model_factory=_factory, validation_fraction=1.0)
+        with pytest.raises(InvalidParameterError):
+            ModelLifecycleManager(model_factory=_factory, min_new_records=0)
+
+
+class TestRetrainDecisions:
+    def test_no_model_means_no_retrain(self):
+        decision = _manager().should_retrain()
+        assert not decision.retrain
+        assert "no bootstrapped model" in decision.reason
+
+    def test_too_few_new_records(self, tpcc_small):
+        manager = _manager(min_new_records=200)
+        manager.bootstrap(tpcc_small.train_records[:300])
+        manager.observe(tpcc_small.test_records[:50])
+        decision = manager.should_retrain()
+        assert not decision.retrain
+        assert manager.n_new_records == 50
+
+    def test_same_workload_does_not_trigger_drift_retrain(self, tpcc_small):
+        manager = _manager(min_new_records=50)
+        manager.bootstrap(tpcc_small.train_records[:300])
+        manager.observe(tpcc_small.test_records[:60])
+        decision = manager.should_retrain()
+        # Same benchmark, same mix: only the "corpus doubled" rule could fire,
+        # and 60 < 300 observed records keeps it off.
+        assert not decision.retrain
+        assert decision.histogram_drift is not None
+        assert not decision.histogram_drift.drifted
+
+    def test_corpus_growth_triggers_refresh(self, tpcc_small):
+        manager = _manager(min_new_records=50)
+        manager.bootstrap(tpcc_small.train_records[:150])
+        manager.observe(tpcc_small.train_records[150:320])
+        decision = manager.should_retrain()
+        assert decision.retrain
+        assert decision.reason == "training corpus doubled"
+
+    def test_error_feedback_triggers_retrain(self, tpcc_small):
+        manager = _manager(min_new_records=50)
+        manager.bootstrap(tpcc_small.train_records[:300])
+        manager.observe(tpcc_small.test_records[:60])
+        for _ in range(20):
+            manager.observe_feedback(predicted_mb=500.0, actual_mb=10.0)
+        decision = manager.should_retrain()
+        assert decision.retrain
+        assert decision.reason == "prediction-error drift"
+
+
+class TestMaybeRetrain:
+    def test_retrain_promotes_new_version_and_resets_counters(self, tpcc_small):
+        manager = _manager(min_new_records=50)
+        manager.bootstrap(tpcc_small.train_records[:150])
+        manager.observe(tpcc_small.train_records[150:320])
+        version = manager.maybe_retrain()
+        assert version is not None
+        assert version.version == 2
+        assert manager.n_new_records == 0
+        assert manager.registry.current is version
+        # The new version trained on the combined corpus.
+        assert version.n_training_records > 150 * (1.0 - manager.validation_fraction) - 1
+
+    def test_no_retrain_returns_none(self, tpcc_small):
+        manager = _manager(min_new_records=500)
+        manager.bootstrap(tpcc_small.train_records[:300])
+        assert manager.maybe_retrain() is None
+        assert len(manager.registry) == 1

@@ -1,0 +1,52 @@
+"""Tests for the integration predictor protocol and reference predictors."""
+
+import pytest
+
+from repro.core.model import LearnedWMP
+from repro.core.single_wmp import SingleWMP, SingleWMPDBMS
+from repro.core.workload import make_workloads
+from repro.exceptions import InvalidParameterError
+from repro.integration.predictors import (
+    ConstantMemoryPredictor,
+    OracleMemoryPredictor,
+    WorkloadMemoryPredictor,
+)
+
+
+class TestOraclePredictor:
+    def test_returns_actual_memory(self, tpcc_small):
+        workload = make_workloads(tpcc_small.test_records, 10, seed=0)[0]
+        oracle = OracleMemoryPredictor()
+        assert oracle.predict_workload(workload) == pytest.approx(workload.actual_memory_mb)
+
+    def test_accepts_raw_record_lists(self, tpcc_small):
+        records = tpcc_small.test_records[:5]
+        expected = sum(record.actual_memory_mb for record in records)
+        assert OracleMemoryPredictor().predict_workload(records) == pytest.approx(expected)
+
+    def test_batch_prediction_matches_scalar(self, tpcc_small):
+        workloads = make_workloads(tpcc_small.test_records, 10, seed=0)[:4]
+        oracle = OracleMemoryPredictor()
+        batch = oracle.predict(workloads)
+        assert batch == [oracle.predict_workload(w) for w in workloads]
+
+
+class TestConstantPredictor:
+    def test_returns_fixed_value(self, tpcc_small):
+        workloads = make_workloads(tpcc_small.test_records, 10, seed=0)[:3]
+        predictor = ConstantMemoryPredictor(64.0)
+        assert all(predictor.predict_workload(w) == 64.0 for w in workloads)
+        assert predictor.predict(workloads) == [64.0, 64.0, 64.0]
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(InvalidParameterError):
+            ConstantMemoryPredictor(-1.0)
+
+
+class TestProtocolCompatibility:
+    def test_core_models_satisfy_protocol(self):
+        assert isinstance(OracleMemoryPredictor(), WorkloadMemoryPredictor)
+        assert isinstance(ConstantMemoryPredictor(1.0), WorkloadMemoryPredictor)
+        assert isinstance(SingleWMPDBMS(), WorkloadMemoryPredictor)
+        assert isinstance(LearnedWMP(fast=True), WorkloadMemoryPredictor)
+        assert isinstance(SingleWMP("ridge", fast=True), WorkloadMemoryPredictor)

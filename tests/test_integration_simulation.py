@@ -1,0 +1,109 @@
+"""Tests for the concurrent-execution simulator."""
+
+import pytest
+
+from repro.core.workload import make_workloads
+from repro.exceptions import InvalidParameterError
+from repro.integration.predictors import ConstantMemoryPredictor, OracleMemoryPredictor
+from repro.integration.simulation import (
+    ConcurrentExecutionSimulator,
+    query_work_units,
+)
+
+
+def _batches(dataset, n=10):
+    return make_workloads(dataset.test_records, 10, seed=7)[:n]
+
+
+class TestQueryWorkUnits:
+    def test_positive_and_deterministic(self, tpcc_small):
+        record = tpcc_small.test_records[0]
+        assert query_work_units(record) > 0.0
+        assert query_work_units(record) == query_work_units(record)
+
+    def test_bigger_plans_do_more_work(self, tpcds_small, tpcc_small):
+        analytic = max(query_work_units(r) for r in tpcds_small.test_records[:50])
+        transactional = min(query_work_units(r) for r in tpcc_small.test_records[:50])
+        assert analytic > transactional
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            ConcurrentExecutionSimulator(0.0)
+        with pytest.raises(InvalidParameterError):
+            ConcurrentExecutionSimulator(100.0, spill_penalty=0.5)
+        with pytest.raises(InvalidParameterError):
+            ConcurrentExecutionSimulator(100.0, work_rate=0.0)
+
+    def test_empty_batches_rejected(self):
+        simulator = ConcurrentExecutionSimulator(100.0)
+        with pytest.raises(InvalidParameterError):
+            simulator.run([], OracleMemoryPredictor())
+
+
+class TestSimulation:
+    def test_all_work_completes(self, tpcc_small):
+        batches = _batches(tpcc_small)
+        simulator = ConcurrentExecutionSimulator(60.0)
+        report = simulator.run(batches, OracleMemoryPredictor())
+        assert report.makespan > 0.0
+        assert report.n_queries == sum(len(b) for b in batches)
+        assert len(report.query_latencies) == report.n_queries
+        assert report.mean_concurrency > 0.0
+
+    def test_oracle_admission_never_overcommits(self, tpcc_small):
+        batches = _batches(tpcc_small)
+        pool = 2.0 * max(b.actual_memory_mb for b in batches)
+        report = ConcurrentExecutionSimulator(pool).run(batches, OracleMemoryPredictor())
+        assert report.overcommitted_time == 0.0
+        assert report.peak_memory_mb <= pool + 1e-9
+
+    def test_optimistic_admission_overcommits_and_spills(self, tpcds_small):
+        batches = _batches(tpcds_small, n=8)
+        pool = 1.2 * max(b.actual_memory_mb for b in batches)
+        simulator = ConcurrentExecutionSimulator(pool, spill_penalty=3.0)
+        oracle = simulator.run(batches, OracleMemoryPredictor())
+        optimist = simulator.run(batches, ConstantMemoryPredictor(0.0))
+        # Admitting everything at once holds more memory than the pool ...
+        assert optimist.peak_memory_mb > pool
+        assert optimist.overcommit_share > 0.0
+        # ... while the oracle-driven run stays within it.
+        assert oracle.peak_memory_mb <= pool + 1e-9
+
+    def test_spill_penalty_slows_the_overcommitted_run(self, tpcds_small):
+        batches = _batches(tpcds_small, n=8)
+        pool = 1.2 * max(b.actual_memory_mb for b in batches)
+        gentle = ConcurrentExecutionSimulator(pool, spill_penalty=1.0)
+        harsh = ConcurrentExecutionSimulator(pool, spill_penalty=5.0)
+        optimist = ConstantMemoryPredictor(0.0)
+        assert (
+            harsh.run(batches, optimist).makespan
+            > gentle.run(batches, optimist).makespan
+        )
+
+    def test_larger_pool_does_not_hurt_makespan(self, tpcds_small):
+        batches = _batches(tpcds_small, n=8)
+        small_pool = 1.5 * max(b.actual_memory_mb for b in batches)
+        oracle = OracleMemoryPredictor()
+        small = ConcurrentExecutionSimulator(small_pool).run(batches, oracle)
+        large = ConcurrentExecutionSimulator(small_pool * 4).run(batches, oracle)
+        assert large.makespan <= small.makespan + 1e-6
+
+    def test_compare_returns_one_report_per_predictor(self, tpcc_small):
+        batches = _batches(tpcc_small, n=6)
+        simulator = ConcurrentExecutionSimulator(50.0)
+        reports = simulator.compare(
+            batches,
+            {"oracle": OracleMemoryPredictor(), "constant": ConstantMemoryPredictor(5.0)},
+        )
+        assert set(reports) == {"oracle", "constant"}
+        for report in reports.values():
+            assert set(report.summary()) == {
+                "makespan",
+                "overcommit_share",
+                "peak_memory_mb",
+                "mean_concurrency",
+                "mean_latency",
+                "spilled_queries",
+            }

@@ -1,0 +1,128 @@
+"""Tests for the estimator base classes and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.base import (
+    BaseEstimator,
+    RegressorMixin,
+    check_array,
+    check_is_fitted,
+    check_random_state,
+    check_X_y,
+)
+
+
+class _DummyRegressor(BaseEstimator, RegressorMixin):
+    def __init__(self, alpha: float = 1.0, *, verbose: bool = False) -> None:
+        self.alpha = alpha
+        self.verbose = verbose
+        self.mean_ = None
+
+    def fit(self, X, y):
+        self.mean_ = float(np.mean(y))
+        return self
+
+    def predict(self, X):
+        return np.full(len(X), self.mean_)
+
+
+class TestCheckArray:
+    def test_accepts_list_of_lists(self):
+        result = check_array([[1, 2], [3, 4]])
+        assert result.shape == (2, 2)
+        assert result.dtype == np.float64
+
+    def test_rejects_1d_by_default(self):
+        with pytest.raises(InvalidParameterError):
+            check_array([1.0, 2.0, 3.0])
+
+    def test_accepts_1d_when_allowed(self):
+        result = check_array([1.0, 2.0], ensure_2d=False)
+        assert result.shape == (2,)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            check_array([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidParameterError):
+            check_array([[np.inf, 1.0]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            check_array(np.zeros((0, 3)))
+
+
+class TestCheckXY:
+    def test_matching_lengths(self):
+        X, y = check_X_y([[1.0], [2.0]], [1.0, 2.0])
+        assert X.shape == (2, 1)
+        assert y.shape == (2,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            check_X_y([[1.0], [2.0]], [1.0])
+
+    def test_nan_target_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_X_y([[1.0]], [np.nan])
+
+
+class TestCheckRandomState:
+    def test_seed_gives_generator(self):
+        generator = check_random_state(3)
+        assert isinstance(generator, np.random.Generator)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert check_random_state(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+
+class TestBaseEstimator:
+    def test_get_params(self):
+        model = _DummyRegressor(alpha=2.5, verbose=True)
+        assert model.get_params() == {"alpha": 2.5, "verbose": True}
+
+    def test_set_params_roundtrip(self):
+        model = _DummyRegressor()
+        model.set_params(alpha=9.0)
+        assert model.alpha == 9.0
+
+    def test_set_params_unknown_raises(self):
+        with pytest.raises(InvalidParameterError):
+            _DummyRegressor().set_params(gamma=1.0)
+
+    def test_clone_is_unfitted_copy(self):
+        model = _DummyRegressor(alpha=4.0)
+        model.fit([[1.0]], [2.0])
+        copy = model.clone()
+        assert copy.alpha == 4.0
+        assert copy.mean_ is None
+
+    def test_repr_contains_params(self):
+        assert "alpha=1.0" in repr(_DummyRegressor())
+
+
+class TestRegressorMixin:
+    def test_perfect_score_is_one(self):
+        model = _DummyRegressor().fit([[0.0], [0.0]], [5.0, 5.0])
+        assert model.score([[0.0], [0.0]], [5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_mean_prediction_scores_zero(self):
+        model = _DummyRegressor().fit([[0.0], [0.0]], [0.0, 10.0])
+        assert model.score([[0.0], [0.0]], [0.0, 10.0]) == pytest.approx(0.0)
+
+
+class TestCheckIsFitted:
+    def test_raises_before_fit(self):
+        with pytest.raises(NotFittedError):
+            check_is_fitted(_DummyRegressor(), "mean_")
+
+    def test_passes_after_fit(self):
+        model = _DummyRegressor().fit([[1.0]], [1.0])
+        check_is_fitted(model, "mean_")

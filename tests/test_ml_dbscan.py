@@ -1,0 +1,68 @@
+"""Tests for DBSCAN clustering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.ml.dbscan import DBSCAN
+
+
+class TestDBSCAN:
+    def test_finds_dense_blobs(self, blobs):
+        X, truth = blobs
+        labels = DBSCAN(eps=1.5, min_samples=4).fit_predict(X)
+        clusters = set(labels) - {-1}
+        assert len(clusters) == 3
+
+    def test_isolated_point_is_noise(self):
+        X = np.vstack(
+            [
+                np.random.default_rng(0).normal(0.0, 0.1, size=(30, 2)),
+                np.array([[100.0, 100.0]]),
+            ]
+        )
+        labels = DBSCAN(eps=0.5, min_samples=3).fit_predict(X)
+        assert labels[-1] == -1
+
+    def test_all_noise_when_eps_tiny(self, blobs):
+        X, _ = blobs
+        labels = DBSCAN(eps=1e-6, min_samples=3).fit_predict(X)
+        assert set(labels) == {-1}
+
+    def test_single_cluster_when_eps_huge(self, blobs):
+        X, _ = blobs
+        labels = DBSCAN(eps=1e3, min_samples=3).fit_predict(X)
+        assert set(labels) == {0}
+
+    def test_predict_assigns_new_points_to_nearest_core(self, blobs):
+        X, truth = blobs
+        model = DBSCAN(eps=1.5, min_samples=4)
+        model.fit(X)
+        # A point near the first blob centre should get the same cluster as
+        # the blob's training points.
+        blob0_label = model.labels_[truth == 0][0]
+        prediction = model.predict(np.array([[0.2, -0.1]]))
+        assert prediction[0] == blob0_label
+
+    def test_predict_far_point_is_noise(self, blobs):
+        X, _ = blobs
+        model = DBSCAN(eps=1.5, min_samples=4)
+        model.fit(X)
+        assert model.predict(np.array([[500.0, 500.0]]))[0] == -1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            DBSCAN(eps=0.0)
+        with pytest.raises(InvalidParameterError):
+            DBSCAN(min_samples=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(InvalidParameterError):
+            DBSCAN().predict(np.array([[0.0, 0.0]]))
+
+    def test_core_sample_indices_are_sorted_unique(self, blobs):
+        X, _ = blobs
+        model = DBSCAN(eps=1.5, min_samples=4)
+        model.fit(X)
+        core = model.core_sample_indices_
+        assert np.array_equal(core, np.unique(core))

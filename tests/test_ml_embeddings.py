@@ -1,0 +1,64 @@
+"""Tests for the co-occurrence word-embedding vectorizer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.embeddings import WordEmbeddingVectorizer
+
+_CORPUS = [
+    "select sum(amount) from sales where store_id = 3",
+    "select sum(amount) from sales where item_id = 7",
+    "select count(*) from items where category = 'Books'",
+    "select region from stores where store_id = 5",
+    "update stores set region = 'West' where store_id = 2",
+]
+
+
+class TestWordEmbeddingVectorizer:
+    def test_output_shape(self):
+        vectorizer = WordEmbeddingVectorizer(embedding_dim=8)
+        matrix = vectorizer.fit_transform(_CORPUS)
+        assert matrix.shape == (len(_CORPUS), 8)
+
+    def test_dimension_padding_when_vocabulary_small(self):
+        vectorizer = WordEmbeddingVectorizer(embedding_dim=64)
+        matrix = vectorizer.fit_transform(["select a from b", "select a from c"])
+        assert matrix.shape[1] == 64
+        assert np.all(np.isfinite(matrix))
+
+    def test_similar_queries_closer_than_dissimilar(self):
+        vectorizer = WordEmbeddingVectorizer(embedding_dim=8)
+        matrix = vectorizer.fit_transform(_CORPUS)
+        # The two sum-over-sales queries should be mutually closer than either
+        # is to the UPDATE statement.
+        d_similar = np.linalg.norm(matrix[0] - matrix[1])
+        d_different = np.linalg.norm(matrix[0] - matrix[4])
+        assert d_similar < d_different
+
+    def test_unknown_tokens_give_zero_vector(self):
+        vectorizer = WordEmbeddingVectorizer(embedding_dim=4)
+        vectorizer.fit(_CORPUS)
+        matrix = vectorizer.transform(["zzz qqq"])
+        assert np.allclose(matrix, 0.0)
+
+    def test_min_count_prunes_rare_tokens(self):
+        vectorizer = WordEmbeddingVectorizer(embedding_dim=4, min_count=2)
+        vectorizer.fit(_CORPUS)
+        assert "category" not in vectorizer.vocabulary_  # appears once
+        assert "select" in vectorizer.vocabulary_
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            WordEmbeddingVectorizer(embedding_dim=0)
+        with pytest.raises(InvalidParameterError):
+            WordEmbeddingVectorizer(window=0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            WordEmbeddingVectorizer().transform(["select 1"])
+
+    def test_deterministic(self):
+        a = WordEmbeddingVectorizer(embedding_dim=6).fit_transform(_CORPUS)
+        b = WordEmbeddingVectorizer(embedding_dim=6).fit_transform(_CORPUS)
+        assert np.allclose(a, b)

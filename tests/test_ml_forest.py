@@ -1,0 +1,68 @@
+"""Tests for the random-forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestRandomForestRegressor:
+    def test_fits_nonlinear_problem(self, regression_problem):
+        X, y = regression_problem
+        model = RandomForestRegressor(n_estimators=15, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.75
+
+    def test_ensemble_size(self, regression_problem):
+        X, y = regression_problem
+        model = RandomForestRegressor(n_estimators=7, random_state=0).fit(X, y)
+        assert len(model.estimators_) == 7
+
+    def test_prediction_is_average_of_trees(self, regression_problem):
+        X, y = regression_problem
+        model = RandomForestRegressor(n_estimators=5, random_state=1).fit(X, y)
+        per_tree = np.vstack([tree.predict(X[:10]) for tree in model.estimators_])
+        assert np.allclose(model.predict(X[:10]), per_tree.mean(axis=0))
+
+    def test_smoother_than_single_tree_on_holdout(self, rng):
+        X = rng.uniform(-3, 3, size=(300, 3))
+        y = np.sin(X[:, 0]) * 3 + X[:, 1] ** 2 + rng.normal(0, 0.4, 300)
+        X_test = rng.uniform(-3, 3, size=(150, 3))
+        y_test = np.sin(X_test[:, 0]) * 3 + X_test[:, 1] ** 2
+        tree = DecisionTreeRegressor(random_state=0).fit(X, y)
+        forest = RandomForestRegressor(
+            n_estimators=25, max_features=None, random_state=0
+        ).fit(X, y)
+        tree_err = np.mean((tree.predict(X_test) - y_test) ** 2)
+        forest_err = np.mean((forest.predict(X_test) - y_test) ** 2)
+        assert forest_err < tree_err
+
+    def test_no_bootstrap_mode(self, regression_problem):
+        X, y = regression_problem
+        model = RandomForestRegressor(
+            n_estimators=3, bootstrap=False, max_features=None, random_state=0
+        ).fit(X, y)
+        # Without bootstrapping or feature sampling all trees are identical.
+        first = model.estimators_[0].predict(X[:20])
+        for tree in model.estimators_[1:]:
+            assert np.allclose(tree.predict(X[:20]), first)
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(InvalidParameterError):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict([[0.0]])
+
+    def test_node_count_positive(self, regression_problem):
+        X, y = regression_problem
+        model = RandomForestRegressor(n_estimators=4, random_state=0).fit(X, y)
+        assert model.node_count() >= 4
+
+    def test_reproducible_with_seed(self, regression_problem):
+        X, y = regression_problem
+        a = RandomForestRegressor(n_estimators=5, random_state=9).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=5, random_state=9).fit(X, y).predict(X)
+        assert np.allclose(a, b)

@@ -1,0 +1,80 @@
+"""Tests for the gradient-boosted tree regressor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.gbm import GradientBoostingRegressor
+
+
+class TestGradientBoostingRegressor:
+    def test_fits_nonlinear_problem(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostingRegressor(60, learning_rate=0.1, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_more_rounds_reduce_training_error(self, regression_problem):
+        X, y = regression_problem
+        few = GradientBoostingRegressor(5, random_state=0).fit(X, y)
+        many = GradientBoostingRegressor(80, random_state=0).fit(X, y)
+        few_err = np.mean((few.predict(X) - y) ** 2)
+        many_err = np.mean((many.predict(X) - y) ** 2)
+        assert many_err < few_err
+
+    def test_base_score_is_target_mean(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostingRegressor(3, random_state=0).fit(X, y)
+        assert model.base_score_ == pytest.approx(float(y.mean()))
+
+    def test_staged_predict_last_stage_matches_predict(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostingRegressor(10, random_state=0).fit(X, y)
+        stages = model.staged_predict(X[:25])
+        assert stages.shape == (10, 25)
+        assert np.allclose(stages[-1], model.predict(X[:25]))
+
+    def test_regularization_shrinks_leaf_weights(self, regression_problem):
+        X, y = regression_problem
+        loose = GradientBoostingRegressor(20, reg_lambda=0.0, random_state=0).fit(X, y)
+        tight = GradientBoostingRegressor(20, reg_lambda=100.0, random_state=0).fit(X, y)
+        loose_err = np.mean((loose.predict(X) - y) ** 2)
+        tight_err = np.mean((tight.predict(X) - y) ** 2)
+        # Heavier regularization fits the training data less aggressively.
+        assert tight_err >= loose_err
+
+    def test_subsample_mode_runs(self, regression_problem):
+        X, y = regression_problem
+        model = GradientBoostingRegressor(15, subsample=0.5, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            GradientBoostingRegressor(0)
+        with pytest.raises(InvalidParameterError):
+            GradientBoostingRegressor(10, learning_rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            GradientBoostingRegressor(10, subsample=1.5)
+        with pytest.raises(InvalidParameterError):
+            GradientBoostingRegressor(10, max_depth=0)
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingRegressor().predict([[1.0]])
+
+    def test_node_count_grows_with_rounds(self, regression_problem):
+        X, y = regression_problem
+        small = GradientBoostingRegressor(5, random_state=0).fit(X, y)
+        large = GradientBoostingRegressor(25, random_state=0).fit(X, y)
+        assert large.node_count() > small.node_count()
+
+    def test_reproducible_with_seed(self, regression_problem):
+        X, y = regression_problem
+        a = GradientBoostingRegressor(10, subsample=0.7, random_state=4).fit(X, y)
+        b = GradientBoostingRegressor(10, subsample=0.7, random_state=4).fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+    def test_constant_target(self):
+        X = np.arange(30, dtype=float).reshape(-1, 1)
+        y = np.full(30, 4.2)
+        model = GradientBoostingRegressor(5, random_state=0).fit(X, y)
+        assert np.allclose(model.predict(X), 4.2)

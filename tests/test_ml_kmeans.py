@@ -1,0 +1,100 @@
+"""Tests for k-means clustering and the elbow method."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.kmeans import KMeans, elbow_method
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, blobs):
+        X, truth = blobs
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        labels = model.labels_
+        # Each true blob must map to a single distinct predicted cluster.
+        mapping = {}
+        for true_label in np.unique(truth):
+            values, counts = np.unique(labels[truth == true_label], return_counts=True)
+            dominant = values[np.argmax(counts)]
+            assert counts.max() == np.sum(truth == true_label)
+            mapping[true_label] = dominant
+        assert len(set(mapping.values())) == 3
+
+    def test_inertia_decreases_with_more_clusters(self, blobs):
+        X, _ = blobs
+        inertia_2 = KMeans(n_clusters=2, random_state=0).fit(X).inertia_
+        inertia_6 = KMeans(n_clusters=6, random_state=0).fit(X).inertia_
+        assert inertia_6 < inertia_2
+
+    def test_predict_matches_fit_labels(self, blobs):
+        X, _ = blobs
+        model = KMeans(n_clusters=3, random_state=1).fit(X)
+        assert np.array_equal(model.predict(X), model.labels_)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeans(n_clusters=2).predict([[1.0, 2.0]])
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(InvalidParameterError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(InvalidParameterError):
+            KMeans(n_clusters=0)
+
+    def test_reproducible_with_seed(self, blobs):
+        X, _ = blobs
+        a = KMeans(n_clusters=3, random_state=42).fit(X)
+        b = KMeans(n_clusters=3, random_state=42).fit(X)
+        assert np.array_equal(a.labels_, b.labels_)
+        assert np.allclose(a.cluster_centers_, b.cluster_centers_)
+
+    def test_transform_shape_and_nonnegativity(self, blobs):
+        X, _ = blobs
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        distances = model.transform(X[:10])
+        assert distances.shape == (10, 3)
+        assert np.all(distances >= 0.0)
+
+    def test_single_cluster(self, blobs):
+        X, _ = blobs
+        model = KMeans(n_clusters=1, random_state=0).fit(X)
+        assert np.allclose(model.cluster_centers_[0], X.mean(axis=0))
+
+    def test_duplicate_points_handled(self):
+        X = np.tile(np.array([[1.0, 1.0]]), (20, 1))
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_fit_predict_equivalent(self, blobs):
+        X, _ = blobs
+        labels = KMeans(n_clusters=3, random_state=5).fit_predict(X)
+        assert labels.shape == (X.shape[0],)
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+
+class TestElbowMethod:
+    def test_finds_true_cluster_count_region(self, blobs):
+        X, _ = blobs
+        best_k, profile = elbow_method(X, [1, 2, 3, 4, 5, 6, 8], random_state=0)
+        assert 2 <= best_k <= 4
+        assert set(profile) == {1, 2, 3, 4, 5, 6, 8}
+
+    def test_profile_monotone_decreasing(self, blobs):
+        X, _ = blobs
+        _, profile = elbow_method(X, [1, 2, 3, 5, 8], random_state=0)
+        values = [profile[k] for k in sorted(profile)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_empty_candidates_rejected(self, blobs):
+        X, _ = blobs
+        with pytest.raises(InvalidParameterError):
+            elbow_method(X, [])
+
+    def test_candidates_above_sample_count_skipped(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [10.0, 10.0]])
+        best_k, profile = elbow_method(X, [2, 50], random_state=0)
+        assert best_k == 2
+        assert 50 not in profile

@@ -1,0 +1,139 @@
+"""Tests for train/test splitting, K-fold CV and randomized search."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.ml.linear import Ridge
+from repro.ml.model_selection import (
+    KFold,
+    ParameterSampler,
+    RandomizedSearchCV,
+    cross_val_score,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        data = list(range(100))
+        train, test = train_test_split(data, test_size=0.2, random_state=0)
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_partition_is_disjoint_and_complete(self):
+        data = list(range(50))
+        train, test = train_test_split(data, test_size=0.3, random_state=1)
+        assert sorted(train + test) == data
+
+    def test_multiple_arrays_stay_aligned(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20) * 10
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25, random_state=3)
+        for row, target in zip(X_train, y_train):
+            assert row[0] * 5 == target  # x[0] = 2i, y = 10i
+
+    def test_no_shuffle_keeps_order(self):
+        data = list(range(10))
+        train, test = train_test_split(data, test_size=0.2, shuffle=False)
+        assert test == [0, 1]
+        assert train == list(range(2, 10))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            train_test_split([1, 2, 3], [1, 2], test_size=0.5)
+
+    def test_invalid_test_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            train_test_split([1, 2, 3], test_size=1.5)
+
+    def test_reproducible(self):
+        data = list(range(30))
+        a = train_test_split(data, random_state=5)
+        b = train_test_split(data, random_state=5)
+        assert a == b
+
+
+class TestKFold:
+    def test_folds_cover_all_indices_once(self):
+        data = list(range(23))
+        seen = []
+        for _, test_idx in KFold(n_splits=5, random_state=0).split(data):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_train_test_disjoint(self):
+        data = list(range(20))
+        for train_idx, test_idx in KFold(n_splits=4, random_state=0).split(data):
+            assert not set(train_idx) & set(test_idx)
+
+    def test_invalid_splits(self):
+        with pytest.raises(InvalidParameterError):
+            list(KFold(n_splits=1).split([1, 2, 3]))
+        with pytest.raises(InvalidParameterError):
+            list(KFold(n_splits=10).split([1, 2, 3]))
+
+
+class TestCrossValScore:
+    def test_scores_near_one_for_linear_data(self, linear_problem):
+        X, y, _ = linear_problem
+        scores = cross_val_score(Ridge(alpha=0.1), X, y, cv=4, random_state=0)
+        assert scores.shape == (4,)
+        assert scores.mean() > 0.95
+
+    def test_custom_scoring(self, linear_problem):
+        X, y, _ = linear_problem
+
+        def neg_mae(y_true, y_pred):
+            return -float(np.mean(np.abs(y_true - y_pred)))
+
+        scores = cross_val_score(Ridge(), X, y, cv=3, scoring=neg_mae, random_state=0)
+        assert np.all(scores <= 0.0)
+
+
+class TestParameterSampler:
+    def test_samples_from_lists(self):
+        sampler = ParameterSampler({"alpha": [0.1, 1.0, 10.0]}, n_iter=20, random_state=0)
+        samples = list(sampler)
+        assert len(samples) == 20
+        assert {s["alpha"] for s in samples} <= {0.1, 1.0, 10.0}
+
+    def test_supports_rvs_distributions(self):
+        class Uniform01:
+            def rvs(self, random_state=None):
+                return np.random.default_rng(random_state).random()
+
+        sampler = ParameterSampler({"alpha": Uniform01()}, n_iter=5, random_state=1)
+        values = [s["alpha"] for s in sampler]
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_invalid_n_iter(self):
+        with pytest.raises(InvalidParameterError):
+            ParameterSampler({"a": [1]}, n_iter=0)
+
+
+class TestRandomizedSearchCV:
+    def test_finds_reasonable_alpha(self, linear_problem):
+        X, y, _ = linear_problem
+        search = RandomizedSearchCV(
+            Ridge(),
+            {"alpha": [0.01, 0.1, 1.0, 1000.0, 100000.0]},
+            n_iter=5,
+            cv=3,
+            random_state=0,
+        )
+        search.fit(X, y)
+        assert search.best_params_["alpha"] < 1000.0
+        assert search.best_score_ > 0.9
+        assert len(search.cv_results_) == 5
+
+    def test_predict_uses_refitted_best(self, linear_problem):
+        X, y, _ = linear_problem
+        search = RandomizedSearchCV(Ridge(), {"alpha": [0.1, 1.0]}, n_iter=2, cv=3, random_state=0)
+        search.fit(X, y)
+        assert search.predict(X).shape == y.shape
+
+    def test_predict_before_fit_raises(self):
+        search = RandomizedSearchCV(Ridge(), {"alpha": [1.0]}, n_iter=1)
+        with pytest.raises(InvalidParameterError):
+            search.predict([[1.0]])

@@ -1,0 +1,74 @@
+"""Tests for feature scaling utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler, log1p_scale
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_not_divided(self):
+        X = np.array([[1.0, 5.0], [1.0, 7.0], [1.0, 9.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    def test_without_mean(self, rng):
+        X = rng.normal(10.0, 1.0, size=(100, 2))
+        scaled = StandardScaler(with_mean=False).fit_transform(X)
+        assert scaled.mean() > 1.0  # mean not removed
+
+    def test_transform_uses_training_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        out = scaler.transform(np.array([[4.0]]))
+        assert out[0, 0] == pytest.approx(3.0)
+
+
+class TestMinMaxScaler:
+    def test_range_is_unit_interval(self, rng):
+        X = rng.uniform(-5.0, 17.0, size=(100, 3))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() >= 0.0
+        assert scaled.max() <= 1.0 + 1e-12
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.array([[3.0], [3.0], [3.0]])
+        assert np.allclose(MinMaxScaler().fit_transform(X), 0.0)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.uniform(size=(30, 2))
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform([[0.5]])
+
+
+class TestLog1pScale:
+    def test_values(self):
+        assert np.allclose(log1p_scale(np.array([0.0, np.e - 1.0])), [0.0, 1.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log1p_scale(np.array([-1.0]))
+
+    def test_monotone(self, rng):
+        values = np.sort(rng.uniform(0, 1e9, size=100))
+        scaled = log1p_scale(values)
+        assert np.all(np.diff(scaled) >= 0.0)

@@ -1,0 +1,92 @@
+"""Tests for SQL tokenization and the text vectorizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml.text import BagOfWordsVectorizer, TextMiningVectorizer, tokenize_sql
+
+_QUERIES = [
+    "select sum(ss_net_paid) from store_sales where ss_quantity > 10",
+    "select d_year, count(*) from store_sales, date_dim where ss_sold_date_sk = d_date_sk group by d_year",
+    "select c_last from customer where c_w_id = 3 and c_last = 'smith' order by c_id",
+]
+
+
+class TestTokenizeSql:
+    def test_lowercases_identifiers_and_keywords(self):
+        tokens = tokenize_sql("SELECT A FROM B")
+        assert tokens == ["select", "a", "from", "b"]
+
+    def test_string_literals_collapsed(self):
+        tokens = tokenize_sql("select * from t where name = 'Alice Smith'")
+        assert "strliteral" in tokens
+        assert "alice" not in tokens
+
+    def test_qualified_names_kept_whole(self):
+        assert "t1.col" in tokenize_sql("select t1.col from t1")
+
+    def test_numbers_and_operators(self):
+        tokens = tokenize_sql("select a from t where b >= 10")
+        assert ">=" in tokens
+        assert "10" in tokens
+
+    def test_empty_string(self):
+        assert tokenize_sql("") == []
+
+
+class TestBagOfWordsVectorizer:
+    def test_matrix_shape(self):
+        vectorizer = BagOfWordsVectorizer()
+        matrix = vectorizer.fit_transform(_QUERIES)
+        assert matrix.shape[0] == len(_QUERIES)
+        assert matrix.shape[1] == len(vectorizer.vocabulary_)
+
+    def test_counts_reflect_occurrences(self):
+        vectorizer = BagOfWordsVectorizer()
+        matrix = vectorizer.fit_transform(["select a a a from t"])
+        column = vectorizer.vocabulary_["a"]
+        assert matrix[0, column] == 3.0
+
+    def test_numbers_collapse_to_num_token(self):
+        vectorizer = BagOfWordsVectorizer()
+        vectorizer.fit(["select a from t where b = 5 and c = 77"])
+        assert "<num>" in vectorizer.vocabulary_
+        assert "77" not in vectorizer.vocabulary_
+
+    def test_max_features_limits_vocabulary(self):
+        vectorizer = BagOfWordsVectorizer(max_features=5)
+        vectorizer.fit(_QUERIES)
+        assert len(vectorizer.vocabulary_) <= 5
+
+    def test_unknown_tokens_ignored_at_transform(self):
+        vectorizer = BagOfWordsVectorizer()
+        vectorizer.fit(["select a from t"])
+        matrix = vectorizer.transform(["select zzz from qqq"])
+        assert matrix.sum() >= 0.0  # unknown tokens contribute nothing
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            BagOfWordsVectorizer().transform(["select 1"])
+
+
+class TestTextMiningVectorizer:
+    def test_vocabulary_restricted_to_objects_and_clauses(self):
+        vectorizer = TextMiningVectorizer(object_names={"store_sales", "ss_quantity"})
+        vectorizer.fit(_QUERIES)
+        vocabulary = set(vectorizer.vocabulary_)
+        assert "store_sales" in vocabulary
+        assert "select" in vocabulary
+        # customer is not a registered object name, so it is excluded.
+        assert "customer" not in vocabulary
+        assert "<num>" not in vocabulary
+
+    def test_qualified_column_matches_object_name(self):
+        vectorizer = TextMiningVectorizer(object_names={"ol_i_id"})
+        vectorizer.fit(["select ol.ol_i_id from order_line ol"])
+        assert any("ol_i_id" in token for token in vectorizer.vocabulary_)
+
+    def test_feature_matrix_nonnegative(self):
+        vectorizer = TextMiningVectorizer(object_names={"store_sales"})
+        matrix = vectorizer.fit_transform(_QUERIES)
+        assert np.all(matrix >= 0.0)

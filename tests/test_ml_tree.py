@@ -1,0 +1,107 @@
+"""Tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.ml.tree import DecisionTreeRegressor, TreeNode
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_piecewise_constant_exactly(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [10.0], [11.0], [12.0], [13.0]])
+        y = np.array([1.0, 1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 5.0])
+        model = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(model.predict(X), y)
+
+    def test_beats_mean_on_nonlinear_problem(self, regression_problem):
+        X, y = regression_problem
+        model = DecisionTreeRegressor(max_depth=8, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_max_depth_limits_tree(self, regression_problem):
+        X, y = regression_problem
+        shallow = DecisionTreeRegressor(max_depth=2, random_state=0).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=8, random_state=0).fit(X, y)
+        assert shallow.depth() <= 2
+        assert deep.node_count() > shallow.node_count()
+
+    def test_min_samples_leaf_respected(self, regression_problem):
+        X, y = regression_problem
+        model = DecisionTreeRegressor(min_samples_leaf=40, random_state=0).fit(X, y)
+
+        def leaf_sizes(node: TreeNode):
+            if node.is_leaf:
+                yield node.n_samples
+            else:
+                yield from leaf_sizes(node.left)
+                yield from leaf_sizes(node.right)
+
+        assert min(leaf_sizes(model.tree_)) >= 40
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.full(20, 7.0)
+        model = DecisionTreeRegressor().fit(X, y)
+        assert model.node_count() == 1
+        assert np.allclose(model.predict(X), 7.0)
+
+    def test_prediction_is_training_mean_at_root(self):
+        X = np.array([[1.0], [1.0]])
+        y = np.array([2.0, 4.0])
+        model = DecisionTreeRegressor().fit(X, y)
+        # Identical features cannot be split, so the prediction is the mean.
+        assert model.predict([[1.0]])[0] == pytest.approx(3.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_max_features_sqrt(self, regression_problem):
+        X, y = regression_problem
+        model = DecisionTreeRegressor(max_features="sqrt", random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.5
+
+    def test_max_features_invalid(self, regression_problem):
+        X, y = regression_problem
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeRegressor(max_features=1.5).fit(X, y)
+        with pytest.raises(InvalidParameterError):
+            DecisionTreeRegressor(max_features=0).fit(X, y)
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict([[1.0]])
+
+    def test_deterministic_with_seed(self, regression_problem):
+        X, y = regression_problem
+        a = DecisionTreeRegressor(max_features="sqrt", random_state=3).fit(X, y)
+        b = DecisionTreeRegressor(max_features="sqrt", random_state=3).fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+    def test_duplicate_feature_values_dont_crash(self):
+        X = np.array([[1.0, 2.0]] * 50 + [[1.0, 3.0]] * 50)
+        y = np.array([0.0] * 50 + [10.0] * 50)
+        model = DecisionTreeRegressor().fit(X, y)
+        assert model.score(X, y) == pytest.approx(1.0)
+
+
+class TestTreeNode:
+    def test_leaf_properties(self):
+        leaf = TreeNode(value=1.0, n_samples=5, impurity=0.0)
+        assert leaf.is_leaf
+        assert leaf.count_nodes() == 1
+        assert leaf.depth() == 0
+
+    def test_internal_node_counts(self):
+        left = TreeNode(value=1.0, n_samples=5, impurity=0.0)
+        right = TreeNode(value=2.0, n_samples=5, impurity=0.0)
+        root = TreeNode(
+            value=1.5, n_samples=10, impurity=0.25, feature=0, threshold=0.5,
+            left=left, right=right,
+        )
+        assert not root.is_leaf
+        assert root.count_nodes() == 3
+        assert root.depth() == 1

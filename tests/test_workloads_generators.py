@@ -1,0 +1,155 @@
+"""Tests for the TPC-DS, JOB and TPC-C workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.base import PredicateSpec, render_select
+from repro.workloads.generator import (
+    BENCHMARK_NAMES,
+    PAPER_QUERY_COUNTS,
+    build_benchmark,
+    generate_dataset,
+)
+from repro.workloads.job import JOBGenerator, build_job_catalog
+from repro.workloads.tpcc import TPCCGenerator, build_tpcc_catalog
+from repro.workloads.tpcds import TPCDSGenerator, build_tpcds_catalog
+
+
+class TestCatalogs:
+    def test_tpcds_catalog_contents(self):
+        catalog = build_tpcds_catalog()
+        assert catalog.table("store_sales").row_count > 1_000_000
+        assert catalog.has_index_on("item", "i_item_sk")
+        assert len(catalog) >= 20
+
+    def test_job_catalog_contents(self):
+        catalog = build_job_catalog()
+        assert catalog.table("cast_info").row_count > 10_000_000
+        assert catalog.has_index_on("movie_keyword", "movie_id")
+        assert len(catalog) >= 19
+
+    def test_tpcc_catalog_contents(self):
+        catalog = build_tpcc_catalog()
+        assert catalog.table("order_line").row_count > catalog.table("orders").row_count
+        assert catalog.has_index_on("stock", "s_w_id")
+        assert len(catalog) == 9
+
+
+class TestSeedTemplates:
+    def test_tpcds_has_99_seed_templates(self):
+        assert TPCDSGenerator().seed_template_count == 99
+
+    def test_job_has_113_seed_queries(self):
+        assert JOBGenerator().seed_template_count == 113
+
+    def test_tpcc_covers_five_transaction_profiles(self):
+        generator = TPCCGenerator()
+        assert generator.seed_template_count >= 20
+
+    def test_seed_templates_are_deterministic(self):
+        a = TPCDSGenerator().spec(17)
+        b = TPCDSGenerator().spec(17)
+        assert a == b
+
+    def test_tpcds_templates_reference_known_tables(self):
+        generator = TPCDSGenerator()
+        catalog = generator.catalog()
+        for spec in generator.specs:
+            for table, _alias in spec.tables:
+                assert catalog.has_table(table)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_generate_produces_requested_count(self, name):
+        generator = build_benchmark(name)
+        queries = generator.generate(25, seed=3)
+        assert len(queries) == 25
+        assert all(q.sql for q in queries)
+        assert all(0 <= q.template_id < generator.seed_template_count for q in queries)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_generation_reproducible_with_seed(self, name):
+        generator = build_benchmark(name)
+        a = [q.sql for q in generator.generate(15, seed=9)]
+        b = [q.sql for q in generator.generate(15, seed=9)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        generator = TPCDSGenerator()
+        a = [q.sql for q in generator.generate(15, seed=1)]
+        b = [q.sql for q in generator.generate(15, seed=2)]
+        assert a != b
+
+    def test_same_template_different_parameters(self):
+        generator = TPCDSGenerator()
+        rng = np.random.default_rng(0)
+        first = generator.generate_one(5, rng)
+        second = generator.generate_one(5, rng)
+        assert first != second
+
+    def test_tpcc_generates_dml_and_selects(self):
+        generator = TPCCGenerator()
+        statements = [q.sql for q in generator.generate(300, seed=1)]
+        verbs = {sql.split()[0] for sql in statements}
+        assert {"select", "insert", "update"} <= verbs
+
+    def test_job_queries_join_on_title(self):
+        generator = JOBGenerator()
+        queries = generator.generate(20, seed=0)
+        assert all("title t" in q.sql for q in queries)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            TPCDSGenerator().generate(0)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_benchmark("tpch")
+
+
+class TestRenderSelect:
+    def test_unknown_predicate_kind_raises(self):
+        from repro.workloads.base import QueryTemplateSpec
+
+        spec = QueryTemplateSpec(
+            template_id=0,
+            tables=(("t", "t"),),
+            joins=(),
+            predicates=(PredicateSpec("t.a", "bogus"),),
+        )
+        with pytest.raises(WorkloadError):
+            render_select(spec, np.random.default_rng(0))
+
+    def test_count_star_default_when_no_select_list(self):
+        from repro.workloads.base import QueryTemplateSpec
+
+        spec = QueryTemplateSpec(template_id=0, tables=(("t", "t"),), joins=(), predicates=())
+        sql = render_select(spec, np.random.default_rng(0))
+        assert sql.startswith("select count(*) from t")
+
+
+class TestGenerateDataset:
+    def test_split_sizes(self, tpcds_small):
+        total = len(tpcds_small)
+        assert total == 900
+        assert len(tpcds_small.test_records) == pytest.approx(180, abs=2)
+        assert len(tpcds_small.train_records) == total - len(tpcds_small.test_records)
+
+    def test_records_fully_populated(self, tpcds_small):
+        for record in tpcds_small.all_records[:50]:
+            assert record.actual_memory_mb > 0
+            assert record.optimizer_estimate_mb > 0
+            assert record.benchmark == "tpcds"
+            assert record.template_seed >= 0
+
+    def test_paper_query_counts_exposed(self):
+        assert PAPER_QUERY_COUNTS["tpcds"] == 93_000
+        assert PAPER_QUERY_COUNTS["job"] == 2_300
+        assert PAPER_QUERY_COUNTS["tpcc"] == 3_958
+
+    def test_generator_instance_accepted(self):
+        dataset = generate_dataset(TPCCGenerator(), 40, seed=2)
+        assert dataset.name == "tpcc"
+        assert len(dataset) == 40

@@ -1,0 +1,87 @@
+"""Serving throughput — served (cache + micro-batch + coalescing) vs naive loop.
+
+Shape to demonstrate: the online serving stack answers a skewed replay
+stream faster than calling ``predict_workload`` one request at a time on the
+same predictor.  The win comes from three compounding mechanisms: repeated
+workload shapes are answered from the LRU cache, identical in-flight
+requests are coalesced into one computation, and the residual misses are
+micro-batched into vectorized ``predict`` calls.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core.model import LearnedWMP
+from repro.core.workload import make_workloads
+from repro.serving import PredictionServer, ServerConfig
+from repro.workloads.generator import generate_dataset
+from repro.workloads.replay import replay_requests_from_workloads
+
+N_QUERIES = 600
+BATCH_SIZE = 10
+N_REQUESTS = 400
+REPEAT_FRACTION = 0.75
+SEED = 7
+
+
+def _setup():
+    dataset = generate_dataset("tpcds", N_QUERIES, seed=SEED)
+    model = LearnedWMP(
+        regressor="ridge",
+        n_templates=24,
+        batch_size=BATCH_SIZE,
+        random_state=SEED,
+        fast=True,
+    )
+    model.fit(dataset.train_records)
+    pool = make_workloads(dataset.all_records, BATCH_SIZE, seed=SEED)
+    requests = replay_requests_from_workloads(
+        pool, N_REQUESTS, repeat_fraction=REPEAT_FRACTION, seed=SEED
+    )
+    return model, requests
+
+
+def _naive_qps(model, requests) -> float:
+    start = time.perf_counter()
+    for workload in requests:
+        model.predict_workload(workload)
+    return len(requests) / (time.perf_counter() - start)
+
+
+def _served_qps(model, requests) -> tuple[float, PredictionServer]:
+    config = ServerConfig(max_batch_size=64, max_wait_s=0.002)
+    with PredictionServer(model, config=config) as server:
+        start = time.perf_counter()
+        futures = [server.submit(workload) for workload in requests]
+        for future in futures:
+            future.result()
+        elapsed = time.perf_counter() - start
+    return len(requests) / elapsed, server
+
+
+def test_serving_throughput_beats_naive_loop(benchmark):
+    model, requests = _setup()
+
+    # Warm both paths once (JIT-free Python, but touches lazy caches fairly).
+    model.predict_workload(requests[0])
+
+    naive = _naive_qps(model, requests)
+    served, server = run_once(benchmark, _served_qps, model, requests)
+
+    cache = server.cache_stats()
+    batcher = server.batcher_stats()
+    print()
+    print(f"naive one-call-at-a-time : {naive:10.0f} req/s")
+    print(f"served (cache+batching)  : {served:10.0f} req/s")
+    print(f"speedup                  : {served / naive:10.2f}x")
+    print(f"coalesced requests       : {server.coalesced_requests:10d}")
+    print(f"cache hit rate           : {100.0 * cache.hit_rate:9.1f} %")
+    print(f"mean batch size          : {batcher.mean_batch_size:10.1f}")
+
+    # The serving stack must beat the naive loop on skewed replay traffic.
+    assert served > naive
+    # And the win must come from the mechanisms under test, not noise:
+    # repeats are answered without duplicate model work.
+    assert server.coalesced_requests + cache.hits > 0
+    assert batcher.requests < len(requests)

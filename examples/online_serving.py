@@ -1,0 +1,84 @@
+"""Online serving: registry, micro-batched server, cache, load test, hot swap.
+
+Walks the full lifecycle of serving LearnedWMP predictions online:
+
+1. train two model versions (a quick ridge model and a stronger XGBoost one),
+2. register both in a :class:`~repro.serving.registry.ModelRegistry`,
+3. serve version 1 through a :class:`~repro.serving.server.PredictionServer`
+   (micro-batching + LRU/TTL prediction cache + request coalescing),
+4. load-test it with skewed replay traffic at a target request rate,
+5. hot-swap to version 2 (and roll back) without restarting the server.
+
+Run with:  PYTHONPATH=src python examples/online_serving.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LearnedWMP,
+    LoadGenerator,
+    ModelRegistry,
+    PredictionServer,
+    ServerConfig,
+    generate_dataset,
+    make_workloads,
+)
+from repro.workloads.replay import replay_requests_from_workloads
+
+BENCHMARK = "tpcds"
+N_QUERIES = 1_500
+BATCH_SIZE = 10
+N_REQUESTS = 300
+TARGET_QPS = 250.0
+SEED = 7
+
+
+def main() -> None:
+    print(f"Generating and executing {N_QUERIES} {BENCHMARK.upper()} queries ...")
+    dataset = generate_dataset(BENCHMARK, N_QUERIES, seed=SEED)
+
+    print("\nTraining two model versions ...")
+    v1 = LearnedWMP(regressor="ridge", n_templates=24, batch_size=BATCH_SIZE, random_state=SEED)
+    v1.fit(dataset.train_records)
+    v2 = LearnedWMP(
+        regressor="xgb", n_templates=24, batch_size=BATCH_SIZE, random_state=SEED, fast=True
+    )
+    v2.fit(dataset.train_records)
+
+    registry = ModelRegistry()
+    registry.register("tpcds", v1)  # version 1 auto-promoted
+    registry.register("tpcds", v2)  # version 2 registered, still passive
+    print(f"  registry: {registry.describe()['tpcds']['active_version']=}")
+
+    config = ServerConfig(max_batch_size=32, max_wait_s=0.002, cache_entries=1024)
+    requests = replay_requests_from_workloads(
+        make_workloads(dataset.all_records, BATCH_SIZE, seed=SEED),
+        N_REQUESTS,
+        repeat_fraction=0.7,
+        seed=SEED,
+    )
+
+    with PredictionServer(registry, model_name="tpcds", config=config) as server:
+        print(f"\nLoad-testing version 1 at {TARGET_QPS:.0f} req/s ...")
+        report = LoadGenerator(server, requests, qps=TARGET_QPS, benchmark=BENCHMARK).run()
+        print(report.render())
+
+        sample = make_workloads(dataset.test_records, BATCH_SIZE, seed=1)[0]
+        before = server.predict_workload(sample)
+
+        print("\nHot-swapping to version 2 (no restart) ...")
+        registry.promote("tpcds", 2)
+        after = server.predict_workload(sample)
+        print(f"  same workload, v1 -> v2 : {before:8.1f} MB -> {after:8.1f} MB")
+
+        print("Rolling back to version 1 ...")
+        registry.rollback("tpcds")
+        restored = server.predict_workload(sample)
+        print(f"  after rollback          : {restored:8.1f} MB")
+
+        print("\nFinal serving telemetry:")
+        print(server.snapshot().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,9 @@ the following layers:
 * :mod:`repro.integration` — the consumers of the predictions: admission
   control, workload scheduling, capacity planning, drift detection, the model
   retraining lifecycle and a concurrent-execution simulator.
+* :mod:`repro.serving` — the online layer: model registry with hot-swap
+  promotion, micro-batched prediction serving, LRU+TTL caching, telemetry
+  and a QPS load-test harness.
 * :mod:`repro.ml` — the from-scratch ML substrate everything is built on.
 * :mod:`repro.cli` — the ``learnedwmp`` command-line interface.
 
@@ -50,6 +53,12 @@ from repro.core import (
     summarize_residuals,
 )
 from repro.dbms import SimulatedDBMS
+from repro.serving import (
+    LoadGenerator,
+    ModelRegistry,
+    PredictionServer,
+    ServerConfig,
+)
 from repro.workloads import (
     BenchmarkDataset,
     JOBGenerator,
@@ -86,4 +95,8 @@ __all__ = [
     "TPCDSGenerator",
     "JOBGenerator",
     "TPCCGenerator",
+    "ModelRegistry",
+    "PredictionServer",
+    "ServerConfig",
+    "LoadGenerator",
 ]

@@ -1,7 +1,7 @@
 """Command-line interface of the LearnedWMP reproduction.
 
 Installed as the ``learnedwmp`` console script (see ``pyproject.toml``); all
-commands are also reachable with ``python -m repro.cli``.  Four subcommands
+commands are also reachable with ``python -m repro.cli``.  Six subcommands
 cover the day-to-day tasks of working with the reproduction:
 
 ``generate``
@@ -9,12 +9,23 @@ cover the day-to-day tasks of working with the reproduction:
     a JSON summary of the resulting query log.
 
 ``train``
-    Train a LearnedWMP model on a benchmark and save it to disk (pickle via
-    :mod:`repro.core.serialization`), printing the holdout metrics.
+    Train a LearnedWMP model on a benchmark and save it to disk (versioned
+    pickle via :mod:`repro.core.serialization`), printing the holdout metrics.
 
 ``evaluate``
     Load a saved model and score it on freshly generated workloads of the same
     (or a different) benchmark.
+
+``serve``
+    Stand up an online :class:`~repro.serving.server.PredictionServer`
+    (model registry + micro-batching + LRU/TTL caching) around a trained or
+    freshly trained model, drive it with replayed benchmark traffic and print
+    the serving telemetry.
+
+``loadtest``
+    Replay skewed benchmark traffic against a served model at a target QPS
+    and report throughput, latency percentiles and cache hit rate
+    (optionally as JSON for the benchmark trajectory).
 
 ``figures``
     Regenerate one or more of the paper's evaluation figures as text tables
@@ -37,6 +48,32 @@ from repro.core.workload import make_workloads
 from repro.workloads.generator import BENCHMARK_NAMES, generate_dataset
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_serving_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the ``serve`` and ``loadtest`` subcommands."""
+    parser.add_argument(
+        "--benchmark", choices=BENCHMARK_NAMES, default="tpcds", help="traffic source"
+    )
+    parser.add_argument(
+        "--model", type=Path, default=None, help="saved model (default: train a fresh fast model)"
+    )
+    parser.add_argument("--queries", type=int, default=600, help="generated queries for traffic")
+    parser.add_argument("--requests", type=int, default=400, help="number of replayed requests")
+    parser.add_argument("--batch-size", type=int, default=10, help="queries per workload request")
+    parser.add_argument(
+        "--repeat-fraction",
+        type=float,
+        default=0.7,
+        help="fraction of requests re-issuing an already-seen workload",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--max-batch", type=int, default=32, help="micro-batch flush size")
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0, help="micro-batch flush deadline (ms)"
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable the prediction cache")
+    parser.add_argument("--no-batching", action="store_true", help="disable micro-batching")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +114,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare-dbms",
         action="store_true",
         help="also report the DBMS heuristic (SingleWMP-DBMS) on the same workloads",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a model online (registry + micro-batching + cache)"
+    )
+    _add_serving_options(serve)
+    serve.add_argument(
+        "--qps", type=float, default=100.0, help="request rate of the demo traffic"
+    )
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="replay benchmark traffic against a served model at a target QPS"
+    )
+    _add_serving_options(loadtest)
+    loadtest.add_argument("--qps", type=float, default=200.0, help="target request rate")
+    loadtest.add_argument(
+        "--output", type=Path, default=None, help="write the report as JSON (e.g. BENCH_serving.json)"
+    )
+    loadtest.add_argument(
+        "--compare-naive",
+        action="store_true",
+        help="also time the naive one-call-at-a-time loop on the same requests",
     )
 
     figures = subparsers.add_parser(
@@ -167,6 +226,93 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_setup(args: argparse.Namespace):
+    """Build (registry, server, requests) for the serving subcommands."""
+    from repro.serving import ModelRegistry, PredictionServer, ServerConfig
+    from repro.workloads.replay import build_replay_requests
+
+    dataset = generate_dataset(args.benchmark, args.queries, seed=args.seed)
+    registry = ModelRegistry()
+    if args.model is not None:
+        version = registry.load("default", args.model, promote=True)
+        print(f"loaded model        : {args.model} (version {version})")
+    else:
+        print(f"training a fast ridge model on {args.benchmark} ...")
+        model = LearnedWMP(
+            regressor="ridge",
+            n_templates=24,
+            batch_size=args.batch_size,
+            random_state=args.seed,
+            fast=True,
+        )
+        model.fit(dataset.train_records)
+        registry.register("default", model)
+
+    config = ServerConfig(
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        enable_cache=not args.no_cache,
+        enable_batching=not args.no_batching,
+    )
+    server = PredictionServer(registry, model_name="default", config=config)
+    requests = build_replay_requests(
+        args.benchmark,
+        dataset=dataset,
+        batch_size=args.batch_size,
+        n_requests=args.requests,
+        repeat_fraction=args.repeat_fraction,
+        seed=args.seed,
+    )
+    return registry, server, requests
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    registry, server, requests = _serving_setup(args)
+    print(
+        f"serving model 'default' v{registry.active_version('default')} "
+        f"(cache={'on' if not args.no_cache else 'off'}, "
+        f"batching={'on' if not args.no_batching else 'off'})"
+    )
+    print(f"replaying {len(requests)} requests at {args.qps:.0f} req/s ...\n")
+    with server:
+        from repro.serving import LoadGenerator
+
+        LoadGenerator(server, requests, qps=args.qps, benchmark=args.benchmark).run()
+        print(server.snapshot().render())
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import time
+
+    _, server, requests = _serving_setup(args)
+    print(f"load-testing at {args.qps:.0f} req/s with {len(requests)} requests ...\n")
+    with server:
+        from repro.serving import LoadGenerator
+
+        report = LoadGenerator(
+            server, requests, qps=args.qps, benchmark=args.benchmark
+        ).run()
+        naive_qps = None
+        if args.compare_naive:
+            model = server.registry.active("default")
+            start = time.monotonic()
+            for workload in requests:
+                model.predict_workload(workload)
+            naive_qps = len(requests) / max(time.monotonic() - start, 1e-9)
+    print(report.render())
+    if naive_qps is not None:
+        print(f"naive loop          : {naive_qps:.1f} req/s")
+        print(f"serving speedup     : {report.achieved_qps / naive_qps:.2f}x")
+    if args.output is not None:
+        payload = report.to_dict()
+        if naive_qps is not None:
+            payload["naive_qps"] = naive_qps
+        args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote JSON report to {args.output}")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     # Imported lazily: the experiments package pulls in every model variant.
     from repro.experiments.config import ExperimentConfig, default_config
@@ -203,6 +349,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
+        "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
         "figures": _cmd_figures,
     }
     return handlers[args.command](args)

@@ -4,17 +4,47 @@ The paper compares the serialized size (in kB) of LearnedWMP-based and
 SingleWMP-based models (Fig. 8).  Models here are persisted with pickle — the
 same mechanism scikit-learn models ship with — and their size measured from
 the serialized byte string so in-memory and on-disk figures agree.
+
+Persisted files carry a small versioned header in front of the pickle
+payload::
+
+    LWMP\\x00 | u32 header length | JSON header | pickle payload
+
+The JSON header records the format version and the model's class name, so
+:func:`load_model` can fail with a clear :class:`SerializationError` (wrong
+format version, wrong model class, truncated file) instead of an opaque
+unpickle failure, and the model registry can inspect a file without
+unpickling it.  Headerless files written by older versions of this module
+are still readable: a file that does not start with the magic bytes falls
+back to a plain pickle load.
 """
 
 from __future__ import annotations
 
+import json
 import pickle
+import struct
 from pathlib import Path
 from typing import Any
 
 from repro.exceptions import SerializationError
 
-__all__ = ["serialized_size_kb", "save_model", "load_model"]
+__all__ = [
+    "serialized_size_kb",
+    "save_model",
+    "load_model",
+    "read_model_header",
+    "FORMAT_VERSION",
+    "MAGIC",
+]
+
+#: Magic bytes identifying a versioned LearnedWMP model file.
+MAGIC: bytes = b"LWMP\x00"
+
+#: Current on-disk format version written by :func:`save_model`.
+FORMAT_VERSION: int = 1
+
+_LENGTH_STRUCT = struct.Struct(">I")
 
 
 def serialized_size_kb(model: Any) -> float:
@@ -26,21 +56,106 @@ def serialized_size_kb(model: Any) -> float:
     return len(payload) / 1024.0
 
 
+def _encode_header(model: Any) -> bytes:
+    header = {
+        "format_version": FORMAT_VERSION,
+        "model_class": type(model).__name__,
+        "model_module": type(model).__module__,
+    }
+    payload = json.dumps(header, sort_keys=True).encode("utf-8")
+    return MAGIC + _LENGTH_STRUCT.pack(len(payload)) + payload
+
+
 def save_model(model: Any, path: str | Path) -> Path:
-    """Persist a model to ``path`` and return the resolved path."""
+    """Persist a model (versioned header + pickle) and return the resolved path."""
     path = Path(path)
     try:
         with path.open("wb") as handle:
+            handle.write(_encode_header(model))
             pickle.dump(model, handle, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
         raise SerializationError(f"failed to save model to {path}") from exc
     return path
 
 
-def load_model(path: str | Path) -> Any:
-    """Load a model previously written with :func:`save_model`."""
-    path = Path(path)
+def _read_header_and_offset(path: Path) -> tuple[dict[str, Any] | None, int]:
+    """Parse the versioned header; return ``(header, payload_offset)``.
+
+    ``(None, 0)`` identifies a legacy headerless file.  Every malformed-file
+    condition maps to :class:`SerializationError`.
+    """
     if not path.exists():
         raise SerializationError(f"model file {path} does not exist")
     with path.open("rb") as handle:
-        return pickle.load(handle)
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            return None, 0
+        raw_length = handle.read(_LENGTH_STRUCT.size)
+        if len(raw_length) < _LENGTH_STRUCT.size:
+            raise SerializationError(f"model file {path} is truncated (no header length)")
+        (length,) = _LENGTH_STRUCT.unpack(raw_length)
+        raw_header = handle.read(length)
+        if len(raw_header) < length:
+            raise SerializationError(f"model file {path} is truncated (incomplete header)")
+        offset = handle.tell()
+    try:
+        header = json.loads(raw_header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"model file {path} has a corrupt header") from exc
+    version = header.get("format_version")
+    if not isinstance(version, int) or version < 1:
+        raise SerializationError(f"model file {path} has an invalid format version {version!r}")
+    if version > FORMAT_VERSION:
+        raise SerializationError(
+            f"model file {path} uses format version {version}, but this library "
+            f"only reads versions up to {FORMAT_VERSION}"
+        )
+    return header, offset
+
+
+def read_model_header(path: str | Path) -> dict[str, Any] | None:
+    """The JSON header of a model file, or ``None`` for legacy headerless files.
+
+    Raises :class:`SerializationError` when the file does not exist, is
+    truncated, or carries a header this library version cannot read.
+    """
+    header, _ = _read_header_and_offset(Path(path))
+    return header
+
+
+def load_model(path: str | Path, *, expected_class: str | None = None) -> Any:
+    """Load a model previously written with :func:`save_model`.
+
+    Parameters
+    ----------
+    path:
+        Model file.  Both versioned files (with the ``LWMP`` header) and
+        legacy plain-pickle files are accepted.
+    expected_class:
+        When given, the class name recorded in the header (or, for legacy
+        files, the class of the unpickled object) must match, otherwise a
+        :class:`SerializationError` is raised.  This is how callers that
+        expect e.g. a ``LearnedWMP`` reject arbitrary pickles early.
+    """
+    path = Path(path)
+    header, offset = _read_header_and_offset(path)
+    if header is not None and expected_class is not None:
+        if header.get("model_class") != expected_class:
+            raise SerializationError(
+                f"model file {path} holds a {header.get('model_class')!r}, "
+                f"expected {expected_class!r}"
+            )
+    try:
+        with path.open("rb") as handle:
+            handle.seek(offset)
+            model = pickle.load(handle)
+    except SerializationError:
+        raise
+    except Exception as exc:
+        kind = "versioned" if header is not None else "legacy (headerless)"
+        raise SerializationError(f"failed to unpickle {kind} model file {path}") from exc
+    if header is None and expected_class is not None and type(model).__name__ != expected_class:
+        raise SerializationError(
+            f"model file {path} holds a {type(model).__name__!r}, expected {expected_class!r}"
+        )
+    return model

@@ -43,3 +43,7 @@ class WorkloadError(ReproError, ValueError):
 
 class SerializationError(ReproError):
     """Raised when a model cannot be serialized or deserialized."""
+
+
+class ServingError(ReproError):
+    """Raised by the online serving subsystem (registry, server, load tester)."""

@@ -42,9 +42,11 @@ from repro.integration.lifecycle import (
     RetrainDecision,
 )
 from repro.integration.predictors import (
+    CachedPredictor,
     ConstantMemoryPredictor,
     OracleMemoryPredictor,
     WorkloadMemoryPredictor,
+    batch_predict,
 )
 from repro.integration.scheduler import RoundScheduler, ScheduleReport, ScheduledRound
 from repro.integration.simulation import (
@@ -57,6 +59,8 @@ __all__ = [
     "WorkloadMemoryPredictor",
     "OracleMemoryPredictor",
     "ConstantMemoryPredictor",
+    "CachedPredictor",
+    "batch_predict",
     "AdmissionController",
     "AdmissionOutcome",
     "AdmissionRecord",

@@ -24,7 +24,7 @@ from typing import Sequence
 
 from repro.core.workload import Workload
 from repro.exceptions import InvalidParameterError
-from repro.integration.predictors import WorkloadMemoryPredictor
+from repro.integration.predictors import WorkloadMemoryPredictor, batch_predict
 
 __all__ = [
     "AdmissionOutcome",
@@ -173,8 +173,18 @@ class AdmissionController:
         and releases the memory.  A workload whose *individual* prediction
         exceeds the pool is admitted alone rather than starved forever —
         mirroring how real workload managers special-case oversized requests.
+
+        All demands are predicted once, up front, through
+        :func:`~repro.integration.predictors.batch_predict` — one vectorized
+        model call (or one micro-batched round trip against a
+        :class:`~repro.serving.server.PredictionServer`) instead of one
+        invocation per workload per round.
         """
         report = AdmissionReport(memory_pool_mb=self.memory_pool_mb)
+        demands = [
+            value * self.safety_factor
+            for value in batch_predict(self.predictor, list(workloads))
+        ]
         pending = list(enumerate(workloads))
         round_index = 0
         while pending:
@@ -182,7 +192,7 @@ class AdmissionController:
             in_use = 0.0
             still_pending: list[tuple[int, Workload]] = []
             for workload_index, workload in pending:
-                predicted = self.predicted_demand(workload)
+                predicted = demands[workload_index]
                 oversized = predicted > self.memory_pool_mb and not current_round.admitted
                 if in_use + predicted <= self.memory_pool_mb or oversized:
                     record = AdmissionRecord(

@@ -16,13 +16,16 @@ workload.  This module provides the pieces of that loop:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.model import LearnedWMP
 from repro.core.workload import make_workloads
 from repro.dbms.query_log import QueryRecord
 from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.integration.drift import DriftReport, ErrorDriftDetector, HistogramDriftDetector
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.serving.registry import ModelRegistry as ServingModelRegistry
 
 __all__ = ["ModelVersion", "ModelRegistry", "RetrainDecision", "ModelLifecycleManager"]
 
@@ -132,6 +135,12 @@ class ModelLifecycleManager:
         Workload batch size used for validation and feedback.
     seed:
         Seed for the validation split and workload batching.
+    serving_registry / serving_name:
+        Optional bridge to the online layer: when a
+        :class:`repro.serving.registry.ModelRegistry` is given, every version
+        this manager trains is registered under ``serving_name`` and promoted,
+        so a running :class:`~repro.serving.server.PredictionServer` hot-swaps
+        to it on its next batch (and ``rollback`` remains available there).
     """
 
     model_factory: Callable[[], LearnedWMP]
@@ -142,6 +151,8 @@ class ModelLifecycleManager:
     validation_fraction: float = 0.2
     batch_size: int = 10
     seed: int = 0
+    serving_registry: "ServingModelRegistry | None" = None
+    serving_name: str = "default"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.validation_fraction < 1.0:
@@ -182,6 +193,8 @@ class ModelLifecycleManager:
             validation_mape=validation_mape,
             reason=reason,
         )
+        if self.serving_registry is not None:
+            self.serving_registry.register(self.serving_name, model, promote=True)
         # Reset drift tracking against the new model's reference distribution.
         self._histogram_detector = HistogramDriftDetector(
             model.templates, threshold=self.histogram_drift_threshold

@@ -12,6 +12,15 @@ provided for experiments and tests:
   upper bound on what any learned predictor can achieve),
 * :class:`ConstantMemoryPredictor` — returns a fixed value (the "no model"
   straw man, useful as a lower bound and in unit tests).
+
+Two serving-oriented helpers complete the module: :func:`batch_predict`
+routes a list of workloads through a predictor's vectorized ``predict`` when
+it has one (LearnedWMP, the baselines and
+:class:`~repro.serving.server.PredictionServer` all do) and falls back to a
+``predict_workload`` loop otherwise, and :class:`CachedPredictor` wraps any
+predictor with the serving layer's LRU+TTL cache so integration components
+that re-consult the model for the same workload (admission rounds, repeated
+scheduling runs) skip redundant model calls.
 """
 
 from __future__ import annotations
@@ -21,11 +30,14 @@ from typing import Protocol, Sequence, runtime_checkable
 from repro.core.workload import Workload
 from repro.dbms.query_log import QueryRecord
 from repro.exceptions import InvalidParameterError
+from repro.serving.cache import LRUTTLCache, workload_signature
 
 __all__ = [
     "WorkloadMemoryPredictor",
     "OracleMemoryPredictor",
     "ConstantMemoryPredictor",
+    "CachedPredictor",
+    "batch_predict",
 ]
 
 
@@ -79,3 +91,95 @@ class ConstantMemoryPredictor:
 
     def predict(self, workloads: Sequence[Workload]) -> list[float]:
         return [self.memory_mb for _ in workloads]
+
+
+def batch_predict(
+    predictor: WorkloadMemoryPredictor, workloads: Sequence[Workload]
+) -> list[float]:
+    """Predict every workload, batched when the predictor supports it.
+
+    The core models, the reference predictors and the serving layer's
+    :class:`~repro.serving.server.PredictionServer` all expose a vectorized
+    ``predict(workloads)``; using it turns N model invocations into one
+    (LearnedWMP assigns templates over the concatenated queries and calls the
+    regressor once).  Predictors exposing only the protocol's
+    ``predict_workload`` are handled with a plain loop — including objects
+    whose ``predict`` turns out not to follow the workload-batch convention
+    (e.g. an sklearn-style ``predict(X)``): a vectorized call that raises or
+    returns the wrong number of values falls back to the loop, so satisfying
+    the protocol alone remains sufficient.
+    """
+    if not workloads:
+        return []
+    vectorized = getattr(predictor, "predict", None)
+    if callable(vectorized):
+        try:
+            values = [float(value) for value in vectorized(list(workloads))]
+        except Exception:  # noqa: BLE001 - foreign predict(); use the protocol
+            values = None
+        if values is not None and len(values) == len(workloads):
+            return values
+    return [float(predictor.predict_workload(workload)) for workload in workloads]
+
+
+class CachedPredictor:
+    """Memoizing adapter around any :class:`WorkloadMemoryPredictor`.
+
+    Wraps the inner predictor with the serving layer's LRU+TTL cache, keyed
+    on the workload's content signature.  Integration components that
+    re-consult the model for the same workload — admission control re-costs
+    every still-pending workload each round — hit the cache instead of
+    re-running featurization and the regressor.
+
+    Parameters
+    ----------
+    predictor:
+        The inner predictor.
+    max_entries / ttl_s:
+        Cache capacity and optional time-to-live (see
+        :class:`~repro.serving.cache.LRUTTLCache`).
+    """
+
+    def __init__(
+        self,
+        predictor: WorkloadMemoryPredictor,
+        *,
+        max_entries: int = 2048,
+        ttl_s: float | None = None,
+    ) -> None:
+        self.predictor = predictor
+        self._cache = LRUTTLCache(max_entries, ttl_s=ttl_s)
+
+    def predict_workload(self, queries: Sequence[QueryRecord] | Workload) -> float:
+        key = workload_signature(queries)
+        sentinel = object()
+        cached = self._cache.get(key, sentinel)
+        if cached is not sentinel:
+            return float(cached)
+        value = float(self.predictor.predict_workload(queries))
+        self._cache.put(key, value)
+        return value
+
+    def predict(self, workloads: Sequence[Workload]) -> list[float]:
+        """Batch prediction: only cache misses reach the inner predictor."""
+        sentinel = object()
+        results: list[float | None] = [None] * len(workloads)
+        misses: list[int] = []
+        for i, workload in enumerate(workloads):
+            cached = self._cache.get(workload_signature(workload), sentinel)
+            if cached is sentinel:
+                misses.append(i)
+            else:
+                results[i] = float(cached)
+        if misses:
+            fresh = batch_predict(self.predictor, [workloads[i] for i in misses])
+            for i, value in zip(misses, fresh):
+                results[i] = value
+                self._cache.put(workload_signature(workloads[i]), value)
+        return [float(value) for value in results]  # type: ignore[arg-type]
+
+    def cache_stats(self):
+        return self._cache.stats()
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

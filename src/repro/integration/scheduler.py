@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.workload import Workload
 from repro.exceptions import InvalidParameterError
-from repro.integration.predictors import WorkloadMemoryPredictor
+from repro.integration.predictors import WorkloadMemoryPredictor, batch_predict
 
 __all__ = ["ScheduledRound", "ScheduleReport", "RoundScheduler"]
 
@@ -120,9 +120,11 @@ class RoundScheduler:
         """
         if not workloads:
             raise InvalidParameterError("cannot schedule an empty workload list")
+        # One vectorized (or served, micro-batched) model call for the whole
+        # queue rather than one invocation per workload.
         predictions = [
-            float(self.predictor.predict_workload(workload)) * self.safety_factor
-            for workload in workloads
+            value * self.safety_factor
+            for value in batch_predict(self.predictor, list(workloads))
         ]
         actuals = [float(workload.actual_memory_mb or 0.0) for workload in workloads]
         order = sorted(range(len(workloads)), key=lambda i: predictions[i], reverse=True)

@@ -1,0 +1,42 @@
+"""Online prediction serving for LearnedWMP models.
+
+The offline pipeline (``repro.core``) answers one prediction per synchronous
+call; this package is the online layer that serves those predictions at
+production request rates:
+
+* :mod:`~repro.serving.registry` — named, versioned models with hot-swap
+  promotion and rollback;
+* :mod:`~repro.serving.cache` — LRU+TTL prediction caching keyed on workload
+  signatures;
+* :mod:`~repro.serving.batcher` — micro-batching of concurrent requests into
+  batched model calls;
+* :mod:`~repro.serving.telemetry` — latency percentiles, throughput, cache
+  hit rate and queue depth;
+* :mod:`~repro.serving.server` — the :class:`PredictionServer` tying the
+  layers together;
+* :mod:`~repro.serving.loadgen` — an open-loop load-test harness replaying
+  benchmark traffic at a target QPS.
+"""
+
+from repro.serving.batcher import BatcherStats, MicroBatcher
+from repro.serving.cache import CacheStats, LRUTTLCache, workload_signature
+from repro.serving.loadgen import LoadGenerator, LoadTestReport
+from repro.serving.registry import ModelRegistry, ModelVersion
+from repro.serving.server import PredictionServer, ServerConfig
+from repro.serving.telemetry import ServingTelemetry, TelemetryReport
+
+__all__ = [
+    "BatcherStats",
+    "CacheStats",
+    "LRUTTLCache",
+    "LoadGenerator",
+    "LoadTestReport",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelVersion",
+    "PredictionServer",
+    "ServerConfig",
+    "ServingTelemetry",
+    "TelemetryReport",
+    "workload_signature",
+]

@@ -1,0 +1,208 @@
+"""Micro-batching: coalesce concurrent prediction requests into batched calls.
+
+Per-request model invocation pays fixed costs — template assignment set-up,
+histogram allocation, a regressor ``predict`` call — for every workload.
+:meth:`LearnedWMP.predict <repro.core.model.LearnedWMP.predict>` amortizes
+those costs across a whole batch (one concatenated template assignment, one
+stacked regressor call), so an online server wants to gather the requests
+that arrive close together and answer them with a single batched call.
+
+:class:`MicroBatcher` implements the standard two-knob policy used by online
+inference systems: a batch is flushed as soon as it reaches
+``max_batch_size`` requests (*flush-on-size*) or as soon as the oldest
+request in it has waited ``max_wait_s`` seconds (*flush-on-deadline*).  Both
+knobs bound tail latency; the wait knob trades a small queueing delay for
+larger (cheaper per-request) batches under load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.workload import Workload
+from repro.exceptions import InvalidParameterError, ServingError
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatcherStats:
+    """Counters describing the batches a :class:`MicroBatcher` has formed."""
+
+    requests: int
+    batches: int
+    size_flushes: int
+    deadline_flushes: int
+    close_flushes: int
+    max_batch_size_seen: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _Pending:
+    workload: Workload
+    future: Future
+    enqueued_at: float
+
+
+class MicroBatcher:
+    """Coalesces concurrent ``submit`` calls into batched predictor calls.
+
+    Parameters
+    ----------
+    predict_batch:
+        Callable mapping a list of workloads to their predictions (one float
+        per workload, in order).  Called on the batcher's worker thread.
+    max_batch_size:
+        Flush as soon as this many requests are pending.
+    max_wait_s:
+        Flush as soon as the oldest pending request has waited this long.
+    clock:
+        Monotonic time source, injectable for tests.
+
+    The batcher owns one daemon worker thread.  ``submit`` returns a
+    :class:`~concurrent.futures.Future`; a failing ``predict_batch`` fails
+    every future in that batch with the raised exception.
+    """
+
+    def __init__(
+        self,
+        predict_batch: Callable[[list[Workload]], Sequence[float]],
+        *,
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch_size < 1:
+            raise InvalidParameterError("max_batch_size must be >= 1")
+        if max_wait_s < 0.0:
+            raise InvalidParameterError("max_wait_s must be >= 0")
+        self._predict_batch = predict_batch
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self._clock = clock
+        self._pending: list[_Pending] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._requests = 0
+        self._batches = 0
+        self._size_flushes = 0
+        self._deadline_flushes = 0
+        self._close_flushes = 0
+        self._max_batch_seen = 0
+        self._worker = threading.Thread(target=self._run, name="micro-batcher", daemon=True)
+        self._worker.start()
+
+    # -- public API ---------------------------------------------------------------
+
+    def submit(self, workload: Workload) -> "Future[float]":
+        """Enqueue one workload; the future resolves to its predicted MB."""
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise ServingError("cannot submit to a closed MicroBatcher")
+            self._pending.append(_Pending(workload, future, self._clock()))
+            self._requests += 1
+            self._wakeup.notify()
+        return future
+
+    def pending(self) -> int:
+        """Current queue depth (requests accepted but not yet executed)."""
+        with self._lock:
+            return len(self._pending)
+
+    def stats(self) -> BatcherStats:
+        with self._lock:
+            return BatcherStats(
+                requests=self._requests,
+                batches=self._batches,
+                size_flushes=self._size_flushes,
+                deadline_flushes=self._deadline_flushes,
+                close_flushes=self._close_flushes,
+                max_batch_size_seen=self._max_batch_seen,
+            )
+
+    def close(self, *, timeout_s: float = 5.0) -> None:
+        """Stop accepting requests, drain the queue, and join the worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wakeup.notify()
+        self._worker.join(timeout=timeout_s)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- worker loop --------------------------------------------------------------
+
+    def _take_batch_locked(self) -> tuple[list[_Pending], str]:
+        batch = self._pending[: self.max_batch_size]
+        del self._pending[: len(batch)]
+        if len(batch) == self.max_batch_size:
+            reason = "size"
+        elif self._closed:
+            reason = "close"
+        else:
+            reason = "deadline"
+        return batch, reason
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._closed:
+                    self._wakeup.wait()
+                if not self._pending and self._closed:
+                    return
+                # Wait out the coalescing window: flush early on size, at the
+                # deadline of the oldest request otherwise.
+                deadline = self._pending[0].enqueued_at + self.max_wait_s
+                while (
+                    len(self._pending) < self.max_batch_size
+                    and not self._closed
+                    and (remaining := deadline - self._clock()) > 0.0
+                ):
+                    self._wakeup.wait(timeout=remaining)
+                    if not self._pending:
+                        break
+                if not self._pending:
+                    continue
+                batch, reason = self._take_batch_locked()
+                self._batches += 1
+                self._max_batch_seen = max(self._max_batch_seen, len(batch))
+                if reason == "size":
+                    self._size_flushes += 1
+                elif reason == "close":
+                    self._close_flushes += 1
+                else:
+                    self._deadline_flushes += 1
+            self._execute(batch)
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        try:
+            predictions = self._predict_batch([item.workload for item in batch])
+        except Exception as exc:  # noqa: BLE001 - forwarded to every caller
+            for item in batch:
+                item.future.set_exception(exc)
+            return
+        if len(predictions) != len(batch):
+            error = ServingError(
+                f"predict_batch returned {len(predictions)} predictions "
+                f"for a batch of {len(batch)}"
+            )
+            for item in batch:
+                item.future.set_exception(error)
+            return
+        for item, value in zip(batch, predictions):
+            item.future.set_result(float(value))

@@ -1,0 +1,197 @@
+"""Load-test harness: replay benchmark traffic against a prediction server.
+
+The paper's motivating deployment is a workload manager consulting the
+memory model for *every* arriving batch, so the serving layer has to be
+measured the way online systems are: offered load at a target request rate,
+observed throughput, and the latency distribution under that load.
+
+:class:`LoadGenerator` drives a :class:`~repro.serving.server.PredictionServer`
+open-loop: request ``i`` is *scheduled* at ``i / qps`` seconds and submitted
+as soon as the wall clock reaches that point, whether or not earlier
+requests have completed — exactly how traffic from independent users
+behaves.  Latency is measured from the scheduled arrival, so queueing delay
+caused by an overloaded server shows up in the percentiles instead of
+silently stretching the run.  The resulting :class:`LoadTestReport` renders
+the throughput/latency table the CLI prints and serializes to JSON for the
+benchmark trajectory (``BENCH_serving.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.exceptions import InvalidParameterError
+from repro.serving.server import PredictionServer
+
+__all__ = ["LoadTestReport", "LoadGenerator"]
+
+
+@dataclass(frozen=True)
+class LoadTestReport:
+    """Result of one load-test run.
+
+    ``achieved_qps`` counts completed requests over the whole run;
+    ``offered_qps`` is the target arrival rate.  Latency percentiles are
+    measured from each request's *scheduled* arrival time.
+    """
+
+    benchmark: str
+    n_requests: int
+    n_errors: int
+    offered_qps: float
+    achieved_qps: float
+    duration_s: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    cache_hit_rate: float
+    mean_batch_size: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "benchmark": self.benchmark,
+            "n_requests": self.n_requests,
+            "n_errors": self.n_errors,
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+            "duration_s": self.duration_s,
+            "latency_mean_ms": self.latency_mean_ms,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "cache_hit_rate": self.cache_hit_rate,
+            "mean_batch_size": self.mean_batch_size,
+        }
+        payload.update(self.extras)
+        return payload
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    def render(self) -> str:
+        lines = [
+            f"benchmark           : {self.benchmark}",
+            f"requests            : {self.n_requests}",
+            f"errors              : {self.n_errors}",
+            f"offered load        : {self.offered_qps:.1f} req/s",
+            f"throughput          : {self.achieved_qps:.1f} req/s",
+            f"duration            : {self.duration_s:.2f} s",
+            f"latency mean        : {self.latency_mean_ms:.2f} ms",
+            f"latency p50         : {self.latency_p50_ms:.2f} ms",
+            f"latency p95         : {self.latency_p95_ms:.2f} ms",
+            f"latency p99         : {self.latency_p99_ms:.2f} ms",
+            f"cache hit rate      : {100.0 * self.cache_hit_rate:.1f} %",
+            f"mean batch size     : {self.mean_batch_size:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Open-loop constant-rate replay of workload requests against a server.
+
+    Parameters
+    ----------
+    server:
+        The :class:`PredictionServer` under test.
+    requests:
+        The workload sequence to replay (typically built with
+        :func:`repro.workloads.replay.build_replay_requests`, which models
+        production repetition so the cache has something to do).
+    qps:
+        Target arrival rate, requests per second.
+    benchmark:
+        Label carried into the report.
+    """
+
+    def __init__(
+        self,
+        server: PredictionServer,
+        requests: Sequence[Workload],
+        *,
+        qps: float,
+        benchmark: str = "",
+    ) -> None:
+        if qps <= 0.0:
+            raise InvalidParameterError("qps must be > 0")
+        if not requests:
+            raise InvalidParameterError("cannot load-test with zero requests")
+        self.server = server
+        self.requests = list(requests)
+        self.qps = float(qps)
+        self.benchmark = benchmark
+
+    def run(self) -> LoadTestReport:
+        """Replay every request at the target rate and wait for completion."""
+        interval = 1.0 / self.qps
+        n = len(self.requests)
+        completed_at: list[float | None] = [None] * n
+        start = time.monotonic()
+        futures: list[Future] = []
+        for i, workload in enumerate(self.requests):
+            scheduled = start + i * interval
+            delay = scheduled - time.monotonic()
+            if delay > 0.0:
+                time.sleep(delay)
+
+            def _stamp(done: Future, index: int = i) -> None:
+                # Completion time is captured in the callback (not after a
+                # sequential result() wait) so latency of request i is not
+                # inflated by time spent waiting on requests before it.
+                completed_at[index] = time.monotonic()
+
+            future = self.server.submit(workload)
+            future.add_done_callback(_stamp)
+            futures.append(future)
+
+        latencies: list[float] = []
+        errors = 0
+        for i, future in enumerate(futures):
+            try:
+                future.result()
+            except Exception:  # noqa: BLE001 - counted, not propagated
+                errors += 1
+                continue
+            finished = completed_at[i]
+            if finished is None:
+                # result() can wake fractionally before the done callback runs
+                # on the worker thread; fall back to "now".
+                finished = time.monotonic()
+            latencies.append(finished - (start + i * interval))
+        duration = max(time.monotonic() - start, 1e-9)
+
+        if latencies:
+            values = np.asarray(latencies, dtype=np.float64)
+            p50, p95, p99 = np.percentile(values, [50.0, 95.0, 99.0])
+            mean = float(values.mean())
+        else:
+            p50 = p95 = p99 = mean = 0.0
+        cache_stats = self.server.cache_stats()
+        batcher_stats = self.server.batcher_stats()
+        return LoadTestReport(
+            benchmark=self.benchmark,
+            n_requests=len(self.requests),
+            n_errors=errors,
+            offered_qps=self.qps,
+            achieved_qps=len(latencies) / duration,
+            duration_s=duration,
+            latency_mean_ms=1e3 * mean,
+            latency_p50_ms=1e3 * float(p50),
+            latency_p95_ms=1e3 * float(p95),
+            latency_p99_ms=1e3 * float(p99),
+            cache_hit_rate=cache_stats.hit_rate if cache_stats is not None else 0.0,
+            mean_batch_size=(
+                batcher_stats.mean_batch_size if batcher_stats is not None else 1.0
+            ),
+        )

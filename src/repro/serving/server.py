@@ -1,0 +1,320 @@
+"""The online prediction server: registry + cache + micro-batcher + telemetry.
+
+:class:`PredictionServer` turns any registered ``WorkloadMemoryPredictor``
+into an online service.  A request travels through four layers:
+
+1. **cache** — the workload's signature is looked up in an LRU+TTL cache;
+   repeated workload shapes are answered without touching the model at all;
+2. **in-flight coalescing** (singleflight) — a request whose signature is
+   already being computed attaches to the in-flight future instead of
+   queueing duplicate model work, so a burst of identical requests costs
+   one model call even before the cache is populated;
+3. **micro-batcher** — remaining misses are coalesced with concurrently
+   arriving misses into one batched model call (flush on size or deadline);
+4. **model** — resolved from the :class:`~repro.serving.registry.ModelRegistry`
+   *per batch*, so a promotion or rollback takes effect on the next batch
+   without restarting the server (the cache is invalidated on swap).
+
+The server itself satisfies the
+:class:`~repro.integration.predictors.WorkloadMemoryPredictor` protocol
+(``predict_workload``) and the batch convention of the core models
+(``predict``), so admission control and the round scheduler can be pointed
+at a served model unchanged — that is the "served-predictor path" used by
+the integration layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.workload import Workload
+from repro.dbms.query_log import QueryRecord
+from repro.exceptions import InvalidParameterError, ServingError
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import LRUTTLCache, workload_signature
+from repro.serving.registry import ModelRegistry
+from repro.serving.telemetry import ServingTelemetry, TelemetryReport
+
+__all__ = ["ServerConfig", "PredictionServer"]
+
+#: Name used when a server is built directly from a predictor object.
+DEFAULT_MODEL_NAME = "default"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs of a :class:`PredictionServer`.
+
+    Attributes
+    ----------
+    max_batch_size / max_wait_s:
+        Micro-batching policy (flush on size / on deadline).
+    cache_entries / cache_ttl_s:
+        Prediction-cache capacity and optional time-to-live.
+    enable_cache / enable_batching:
+        Feature switches; with batching disabled requests are executed
+        synchronously on the caller thread (the naive baseline).
+    stream_window:
+        Maximum number of in-flight requests :meth:`PredictionServer.predict_stream`
+        keeps outstanding, which is what lets the batcher coalesce a stream.
+    """
+
+    max_batch_size: int = 32
+    max_wait_s: float = 0.002
+    cache_entries: int = 2048
+    cache_ttl_s: float | None = None
+    enable_cache: bool = True
+    enable_batching: bool = True
+    stream_window: int = 64
+
+    def __post_init__(self) -> None:
+        if self.stream_window < 1:
+            raise InvalidParameterError("stream_window must be >= 1")
+
+
+class PredictionServer:
+    """Online workload-memory prediction service over a model registry.
+
+    Parameters
+    ----------
+    source:
+        Either a :class:`ModelRegistry` (the model named ``model_name`` is
+        served, tracking promotions) or a bare predictor object, which is
+        wrapped in a fresh single-entry registry.
+    model_name:
+        Registry name to serve.
+    config:
+        Serving policy; defaults enable caching and micro-batching.
+    """
+
+    def __init__(
+        self,
+        source: ModelRegistry | Any,
+        *,
+        model_name: str = DEFAULT_MODEL_NAME,
+        config: ServerConfig | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        if isinstance(source, ModelRegistry):
+            self.registry = source
+        else:
+            self.registry = ModelRegistry()
+            self.registry.register(model_name, source)
+        self.model_name = model_name
+        self.registry.get(model_name)  # fail fast on unknown names
+        self.telemetry = ServingTelemetry()
+        self._cache: LRUTTLCache | None = (
+            LRUTTLCache(self.config.cache_entries, ttl_s=self.config.cache_ttl_s)
+            if self.config.enable_cache
+            else None
+        )
+        self._served_version: int | None = None
+        self._swap_lock = threading.Lock()
+        self._inflight: dict[Any, Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._coalesced = 0
+        self._batcher: MicroBatcher | None = (
+            MicroBatcher(
+                self._predict_batch,
+                max_batch_size=self.config.max_batch_size,
+                max_wait_s=self.config.max_wait_s,
+            )
+            if self.config.enable_batching
+            else None
+        )
+        self._closed = False
+
+    # -- model resolution ---------------------------------------------------------
+
+    def _sync_version(self) -> None:
+        """Detect a promotion/rollback and invalidate the cache.
+
+        Called on the request path *before* the cache lookup, so a promoted
+        model's answers are never shadowed by the previous model's cache
+        entries.  (A batch already executing during the swap may still
+        repopulate the cache with the old model's values for its own
+        workloads — promotion is best-effort consistent, not transactional.)
+        """
+        version = self.registry.active_version(self.model_name)
+        if version != self._served_version:
+            with self._swap_lock:
+                if version != self._served_version:
+                    if self._cache is not None and self._served_version is not None:
+                        self._cache.clear()
+                    self._served_version = version
+
+    def _predict_batch(self, workloads: list[Workload]) -> Sequence[float]:
+        # Mirrors repro.integration.predictors.batch_predict (not imported to
+        # avoid a serving <-> integration cycle): prefer the vectorized
+        # workload-batch convention, fall back to the predict_workload
+        # protocol when the model's predict doesn't follow it.
+        model = self.registry.active(self.model_name)
+        self.telemetry.observe_batch(len(workloads))
+        vectorized = getattr(model, "predict", None)
+        if callable(vectorized):
+            try:
+                values = [float(value) for value in vectorized(workloads)]
+            except Exception:  # noqa: BLE001 - foreign predict(); use the protocol
+                values = None
+            if values is not None and len(values) == len(workloads):
+                return values
+        return [float(model.predict_workload(workload)) for workload in workloads]
+
+    # -- request paths ------------------------------------------------------------
+
+    @staticmethod
+    def _as_workload(queries: Sequence[QueryRecord] | Workload) -> Workload:
+        if isinstance(queries, Workload):
+            return queries
+        return Workload(queries=list(queries))
+
+    def submit(self, queries: Sequence[QueryRecord] | Workload) -> "Future[float]":
+        """Asynchronously predict one workload's memory demand (MB).
+
+        Cache hits resolve immediately; misses are handed to the
+        micro-batcher (or executed inline when batching is disabled).  The
+        returned future also feeds telemetry and populates the cache.
+        """
+        if self._closed:
+            raise ServingError("cannot submit to a closed PredictionServer")
+        arrival = time.monotonic()
+        self._sync_version()
+        workload = self._as_workload(queries)
+        key = workload_signature(workload) if self._cache is not None else None
+        if self._cache is not None:
+            sentinel = object()
+            cached = self._cache.get(key, sentinel)
+            if cached is not sentinel:
+                future: Future = Future()
+                future.set_result(float(cached))
+                self.telemetry.record(time.monotonic() - arrival, cache_hit=True)
+                return future
+            # Singleflight: attach to an identical request already being
+            # computed instead of enqueueing duplicate model work.  This is
+            # what deduplicates a burst of identical workloads arriving
+            # faster than one prediction completes.
+            with self._inflight_lock:
+                pending = self._inflight.get(key)
+                if pending is not None:
+                    self._coalesced += 1
+                    shared: Future = Future()
+
+                    def _share(done: "Future[float]") -> None:
+                        error = done.exception()
+                        if error is not None:
+                            self.telemetry.record_error()
+                            shared.set_exception(error)
+                            return
+                        self.telemetry.record(time.monotonic() - arrival, cache_hit=True)
+                        shared.set_result(float(done.result()))
+
+                    pending.add_done_callback(_share)
+                    return shared
+
+        if self._batcher is not None:
+            inner = self._batcher.submit(workload)
+            self.telemetry.observe_queue_depth(self._batcher.pending())
+            if self._cache is not None:
+                with self._inflight_lock:
+                    self._inflight.setdefault(key, inner)
+        else:
+            inner = Future()
+            try:
+                inner.set_result(self._predict_batch([workload])[0])
+            except Exception as exc:  # noqa: BLE001 - forwarded to the caller
+                inner.set_exception(exc)
+
+        outer: Future = Future()
+
+        def _finish(done: "Future[float]") -> None:
+            error = done.exception()
+            if error is not None:
+                self._clear_inflight(key, done)
+                self.telemetry.record_error()
+                outer.set_exception(error)
+                return
+            value = float(done.result())
+            if self._cache is not None:
+                self._cache.put(key, value)
+            self._clear_inflight(key, done)
+            self.telemetry.record(time.monotonic() - arrival, cache_hit=False)
+            outer.set_result(value)
+
+        inner.add_done_callback(_finish)
+        return outer
+
+    def _clear_inflight(self, key: Any, inner: "Future[float]") -> None:
+        if self._cache is None:
+            return
+        with self._inflight_lock:
+            if self._inflight.get(key) is inner:
+                del self._inflight[key]
+
+    def predict_workload(self, queries: Sequence[QueryRecord] | Workload) -> float:
+        """Blocking single prediction (WorkloadMemoryPredictor protocol)."""
+        return self.submit(queries).result()
+
+    def predict(self, workloads: Sequence[Workload]) -> np.ndarray:
+        """Batch prediction matching the core models' convention.
+
+        All workloads are submitted up front, so the micro-batcher can form
+        full batches even though the caller is a single thread.
+        """
+        futures = [self.submit(workload) for workload in workloads]
+        return np.array([future.result() for future in futures], dtype=np.float64)
+
+    def predict_stream(
+        self, workloads: Iterable[Sequence[QueryRecord] | Workload]
+    ) -> Iterator[float]:
+        """Streaming prediction: yields results in input order.
+
+        Keeps up to ``config.stream_window`` requests in flight, which gives
+        the micro-batcher enough concurrency to coalesce while bounding
+        memory for unbounded streams.
+        """
+        window: list[Future] = []
+        for item in workloads:
+            window.append(self.submit(item))
+            if len(window) >= self.config.stream_window:
+                yield window.pop(0).result()
+        for future in window:
+            yield future.result()
+
+    # -- lifecycle / introspection -------------------------------------------------
+
+    def snapshot(self) -> TelemetryReport:
+        """Current telemetry snapshot (latency percentiles, throughput, ...)."""
+        return self.telemetry.snapshot()
+
+    def cache_stats(self):
+        """Cache counters, or ``None`` when caching is disabled."""
+        return self._cache.stats() if self._cache is not None else None
+
+    @property
+    def coalesced_requests(self) -> int:
+        """Requests answered by attaching to an identical in-flight request."""
+        return self._coalesced
+
+    def batcher_stats(self):
+        """Micro-batcher counters, or ``None`` when batching is disabled."""
+        return self._batcher.stats() if self._batcher is not None else None
+
+    def close(self) -> None:
+        """Drain in-flight requests and stop the worker thread."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._batcher is not None:
+            self._batcher.close()
+
+    def __enter__(self) -> "PredictionServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

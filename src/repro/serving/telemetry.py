@@ -1,0 +1,143 @@
+"""Serving telemetry: latency percentiles, throughput, cache and queue health.
+
+The offline pipeline reports its bookkeeping through
+:class:`~repro.core.model.TrainingReport`; this module is the online
+counterpart.  :class:`ServingTelemetry` is a thread-safe accumulator the
+server feeds one observation per completed request; :meth:`snapshot` distils
+the observations into an immutable :class:`TelemetryReport` with the numbers
+any serving dashboard starts from — p50/p95/p99 latency, sustained
+throughput, cache hit rate, batch-size distribution and peak queue depth.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["TelemetryReport", "ServingTelemetry"]
+
+
+@dataclass(frozen=True)
+class TelemetryReport:
+    """Immutable snapshot of a serving window.
+
+    Latencies are reported in milliseconds; throughput is requests per
+    second over the window between the first and the last observation.
+    """
+
+    n_requests: int
+    n_errors: int
+    duration_s: float
+    throughput_qps: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_max_ms: float
+    cache_hit_rate: float
+    mean_batch_size: float
+    max_queue_depth: int
+
+    def to_dict(self) -> dict[str, float]:
+        return asdict(self)
+
+    def render(self) -> str:
+        """Fixed-width text table in the style of the CLI train output."""
+        lines = [
+            f"requests            : {self.n_requests}",
+            f"errors              : {self.n_errors}",
+            f"duration            : {self.duration_s:.2f} s",
+            f"throughput          : {self.throughput_qps:.1f} req/s",
+            f"latency mean        : {self.latency_mean_ms:.2f} ms",
+            f"latency p50         : {self.latency_p50_ms:.2f} ms",
+            f"latency p95         : {self.latency_p95_ms:.2f} ms",
+            f"latency p99         : {self.latency_p99_ms:.2f} ms",
+            f"latency max         : {self.latency_max_ms:.2f} ms",
+            f"cache hit rate      : {100.0 * self.cache_hit_rate:.1f} %",
+            f"mean batch size     : {self.mean_batch_size:.2f}",
+            f"max queue depth     : {self.max_queue_depth}",
+        ]
+        return "\n".join(lines)
+
+
+class ServingTelemetry:
+    """Thread-safe accumulator of per-request serving observations."""
+
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._latencies_s: list[float] = []
+        self._cache_hits = 0
+        self._errors = 0
+        self._batch_sizes: list[int] = []
+        self._max_queue_depth = 0
+        self._first_at: float | None = None
+        self._last_at: float | None = None
+
+    def record(self, latency_s: float, *, cache_hit: bool = False) -> None:
+        """Record one completed request."""
+        now = self._clock()
+        with self._lock:
+            self._latencies_s.append(float(latency_s))
+            if cache_hit:
+                self._cache_hits += 1
+            if self._first_at is None:
+                self._first_at = now
+            self._last_at = now
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self._batch_sizes.append(int(size))
+
+    def observe_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self._max_queue_depth = max(self._max_queue_depth, int(depth))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._latencies_s.clear()
+            self._batch_sizes.clear()
+            self._cache_hits = 0
+            self._errors = 0
+            self._max_queue_depth = 0
+            self._first_at = None
+            self._last_at = None
+
+    def snapshot(self) -> TelemetryReport:
+        with self._lock:
+            latencies = np.asarray(self._latencies_s, dtype=np.float64)
+            n = len(latencies)
+            if n and self._first_at is not None and self._last_at is not None:
+                duration = max(self._last_at - self._first_at, 1e-9)
+            else:
+                duration = 0.0
+            if n:
+                p50, p95, p99 = np.percentile(latencies, [50.0, 95.0, 99.0])
+                mean = float(latencies.mean())
+                worst = float(latencies.max())
+            else:
+                p50 = p95 = p99 = mean = worst = 0.0
+            return TelemetryReport(
+                n_requests=n,
+                n_errors=self._errors,
+                duration_s=duration,
+                throughput_qps=n / duration if duration else 0.0,
+                latency_mean_ms=1e3 * mean,
+                latency_p50_ms=1e3 * float(p50),
+                latency_p95_ms=1e3 * float(p95),
+                latency_p99_ms=1e3 * float(p99),
+                latency_max_ms=1e3 * worst,
+                cache_hit_rate=self._cache_hits / n if n else 0.0,
+                mean_batch_size=(
+                    float(np.mean(self._batch_sizes)) if self._batch_sizes else 0.0
+                ),
+                max_queue_depth=self._max_queue_depth,
+            )

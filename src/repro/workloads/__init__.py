@@ -17,6 +17,7 @@ from repro.workloads.generator import (
     generate_dataset,
 )
 from repro.workloads.job import JOBGenerator, build_job_catalog
+from repro.workloads.replay import build_replay_requests, replay_requests_from_workloads
 from repro.workloads.tpcc import TPCCGenerator, build_tpcc_catalog
 from repro.workloads.tpcds import TPCDSGenerator, build_tpcds_catalog
 
@@ -33,6 +34,8 @@ __all__ = [
     "BenchmarkDataset",
     "build_benchmark",
     "generate_dataset",
+    "build_replay_requests",
+    "replay_requests_from_workloads",
     "JOBGenerator",
     "build_job_catalog",
     "TPCCGenerator",

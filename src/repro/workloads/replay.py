@@ -1,0 +1,104 @@
+"""Replay traffic: request streams for serving and load testing.
+
+A load test is only as honest as its traffic.  Production prediction
+services see *skewed, repetitive* request streams — the same nightly report
+batch, the same dashboard refresh — not a uniform pass over distinct
+workloads.  :func:`build_replay_requests` turns a benchmark's generated
+query log into such a stream: a pool of distinct workloads is drawn first,
+then requests are sampled so that a configurable fraction re-issues an
+already-seen workload, with popular workloads repeated more often than
+unpopular ones (a geometric preference for recently introduced shapes,
+approximating the Zipf-like skew of real query traffic).
+
+The stream's ``repeat_fraction`` is what gives the serving layer's
+prediction cache realistic work: at 0.0 every request is cold, at 1.0 all
+but the first requests are repeats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.workload import Workload, make_workloads
+from repro.exceptions import WorkloadError
+from repro.workloads.base import BenchmarkGenerator
+from repro.workloads.generator import BenchmarkDataset, generate_dataset
+
+__all__ = ["build_replay_requests", "replay_requests_from_workloads"]
+
+#: Success probability of the geometric popularity draw: ~30% of repeats go
+#: to the most recently introduced workload, with a long tail over the rest.
+_GEOMETRIC_P = 0.3
+
+
+def replay_requests_from_workloads(
+    pool: list[Workload],
+    n_requests: int,
+    *,
+    repeat_fraction: float = 0.7,
+    seed: int | None = 7,
+) -> list[Workload]:
+    """Sample a skewed request stream from a pool of distinct workloads.
+
+    Parameters
+    ----------
+    pool:
+        Distinct workloads to draw from (in introduction order).
+    n_requests:
+        Length of the returned stream.
+    repeat_fraction:
+        Probability that a request re-issues an already-introduced workload
+        instead of introducing the next fresh one.  Once the pool is
+        exhausted every request is necessarily a repeat.
+    seed:
+        RNG seed for the repeat/fresh coin flips and the popularity draws.
+    """
+    if not pool:
+        raise WorkloadError("replay pool must contain at least one workload")
+    if n_requests < 1:
+        raise WorkloadError("n_requests must be >= 1")
+    if not 0.0 <= repeat_fraction <= 1.0:
+        raise WorkloadError("repeat_fraction must be within [0, 1]")
+
+    rng = np.random.default_rng(seed)
+    requests: list[Workload] = []
+    introduced = 0
+    for _ in range(n_requests):
+        fresh_available = introduced < len(pool)
+        if introduced == 0 or (fresh_available and rng.random() >= repeat_fraction):
+            requests.append(pool[introduced])
+            introduced += 1
+        else:
+            # Geometric preference for earlier-introduced workloads: a few
+            # hot shapes dominate, the tail is long — Zipf-like skew without
+            # a heavyweight distribution fit.
+            index = min(int(rng.geometric(p=_GEOMETRIC_P)) - 1, introduced - 1)
+            requests.append(pool[index])
+    return requests
+
+
+def build_replay_requests(
+    benchmark: str | BenchmarkGenerator,
+    *,
+    n_queries: int = 600,
+    batch_size: int = 10,
+    n_requests: int = 200,
+    repeat_fraction: float = 0.7,
+    seed: int = 7,
+    dataset: BenchmarkDataset | None = None,
+) -> list[Workload]:
+    """Generate benchmark queries and build a skewed replay request stream.
+
+    Convenience wrapper: generates and executes ``n_queries`` of the
+    benchmark, partitions all records into workloads of ``batch_size``
+    queries, and samples ``n_requests`` requests from that pool with
+    :func:`replay_requests_from_workloads`.  Callers that already generated
+    (and e.g. trained on) a dataset can pass it as ``dataset`` to skip the
+    regeneration; ``n_queries`` is then ignored.
+    """
+    if dataset is None:
+        dataset = generate_dataset(benchmark, n_queries, seed=seed)
+    pool = make_workloads(dataset.all_records, batch_size, seed=seed, drop_last=True)
+    return replay_requests_from_workloads(
+        pool, n_requests, repeat_fraction=repeat_fraction, seed=seed
+    )

@@ -89,6 +89,100 @@ class TestTrainAndEvaluate:
         assert "DBMS heuristic RMSE" in out
 
 
+class TestServeAndLoadtest:
+    def test_serve_replays_traffic_and_prints_telemetry(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--benchmark",
+                "tpcc",
+                "--queries",
+                "200",
+                "--requests",
+                "40",
+                "--qps",
+                "500",
+                "--seed",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "cache hit rate" in out
+
+    def test_loadtest_reports_and_writes_json(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_serving.json"
+        exit_code = main(
+            [
+                "loadtest",
+                "--benchmark",
+                "tpcc",
+                "--queries",
+                "200",
+                "--requests",
+                "60",
+                "--qps",
+                "400",
+                "--seed",
+                "3",
+                "--compare-naive",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "latency p99" in out
+        assert "naive loop" in out
+        payload = json.loads(output.read_text())
+        assert payload["n_requests"] == 60
+        assert payload["n_errors"] == 0
+        assert "cache_hit_rate" in payload and "naive_qps" in payload
+
+    def test_loadtest_with_saved_model(self, tmp_path, capsys):
+        model_path = tmp_path / "model.pkl"
+        main(
+            [
+                "train",
+                "tpcc",
+                "--queries",
+                "300",
+                "--regressor",
+                "ridge",
+                "--templates",
+                "8",
+                "--seed",
+                "5",
+                "--fast",
+                "--output",
+                str(model_path),
+            ]
+        )
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "loadtest",
+                "--benchmark",
+                "tpcc",
+                "--model",
+                str(model_path),
+                "--queries",
+                "200",
+                "--requests",
+                "30",
+                "--qps",
+                "300",
+                "--seed",
+                "5",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "loaded model" in out
+        assert "throughput" in out
+
+
 class TestFigures:
     def test_lists_available_figures(self, capsys):
         exit_code = main(["figures"])

@@ -1,10 +1,21 @@
 """Tests for model persistence and size accounting."""
 
+import json
+import pickle
+import struct
+
 import numpy as np
 import pytest
 
 from repro.core.model import LearnedWMP
-from repro.core.serialization import load_model, save_model, serialized_size_kb
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    MAGIC,
+    load_model,
+    read_model_header,
+    save_model,
+    serialized_size_kb,
+)
 from repro.exceptions import SerializationError
 from repro.ml.linear import Ridge
 
@@ -46,3 +57,78 @@ class TestSaveLoad:
         model = Ridge().fit(X, y)
         with pytest.raises(SerializationError):
             save_model(model, tmp_path / "no_such_dir" / "model.pkl")
+
+
+def _write_versioned(path, header: dict, payload: bytes) -> None:
+    raw = json.dumps(header).encode("utf-8")
+    path.write_bytes(MAGIC + struct.pack(">I", len(raw)) + raw + payload)
+
+
+class TestVersionedHeader:
+    def test_save_writes_magic_and_header(self, tmp_path, linear_problem):
+        X, y, _ = linear_problem
+        path = save_model(Ridge().fit(X, y), tmp_path / "m.pkl")
+        assert path.read_bytes().startswith(MAGIC)
+        header = read_model_header(path)
+        assert header["format_version"] == FORMAT_VERSION
+        assert header["model_class"] == "Ridge"
+
+    def test_legacy_headerless_pickle_still_loads(self, tmp_path, linear_problem):
+        X, y, _ = linear_problem
+        model = Ridge(alpha=0.5).fit(X, y)
+        legacy = tmp_path / "legacy.pkl"
+        legacy.write_bytes(pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL))
+        assert read_model_header(legacy) is None
+        restored = load_model(legacy)
+        assert np.allclose(restored.predict(X[:5]), model.predict(X[:5]))
+
+    def test_future_format_version_raises_clearly(self, tmp_path):
+        path = tmp_path / "future.pkl"
+        _write_versioned(
+            path,
+            {"format_version": FORMAT_VERSION + 1, "model_class": "Ridge"},
+            pickle.dumps(object()),
+        )
+        with pytest.raises(SerializationError, match="format version"):
+            load_model(path)
+
+    def test_invalid_format_version_raises(self, tmp_path):
+        path = tmp_path / "bad.pkl"
+        _write_versioned(path, {"format_version": "one"}, b"")
+        with pytest.raises(SerializationError, match="invalid format version"):
+            load_model(path)
+
+    def test_corrupt_header_raises(self, tmp_path):
+        path = tmp_path / "corrupt.pkl"
+        raw = b"this is not json"
+        path.write_bytes(MAGIC + struct.pack(">I", len(raw)) + raw)
+        with pytest.raises(SerializationError, match="corrupt header"):
+            load_model(path)
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "truncated.pkl"
+        path.write_bytes(MAGIC + struct.pack(">I", 500) + b"{}")
+        with pytest.raises(SerializationError, match="truncated"):
+            read_model_header(path)
+
+    def test_expected_class_match_and_mismatch(self, tmp_path, linear_problem):
+        X, y, _ = linear_problem
+        path = save_model(Ridge().fit(X, y), tmp_path / "m.pkl")
+        assert load_model(path, expected_class="Ridge") is not None
+        with pytest.raises(SerializationError, match="expected 'LearnedWMP'"):
+            load_model(path, expected_class="LearnedWMP")
+
+    def test_expected_class_checked_for_legacy_files(self, tmp_path, linear_problem):
+        X, y, _ = linear_problem
+        legacy = tmp_path / "legacy.pkl"
+        legacy.write_bytes(pickle.dumps(Ridge().fit(X, y)))
+        with pytest.raises(SerializationError, match="expected 'LearnedWMP'"):
+            load_model(legacy, expected_class="LearnedWMP")
+
+    def test_corrupt_payload_raises_serialization_error(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        _write_versioned(
+            path, {"format_version": FORMAT_VERSION, "model_class": "X"}, b"\x00garbage"
+        )
+        with pytest.raises(SerializationError, match="unpickle"):
+            load_model(path)

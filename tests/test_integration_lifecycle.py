@@ -132,3 +132,44 @@ class TestMaybeRetrain:
         manager.bootstrap(tpcc_small.train_records[:300])
         assert manager.maybe_retrain() is None
         assert len(manager.registry) == 1
+
+
+class TestServingBridge:
+    """Retrained versions are published into a serving registry when given."""
+
+    def test_bootstrap_publishes_to_serving_registry(self, tpcc_small):
+        from repro.serving import ModelRegistry as ServingRegistry
+
+        serving = ServingRegistry()
+        manager = ModelLifecycleManager(
+            model_factory=_factory,
+            min_new_records=100,
+            batch_size=10,
+            seed=0,
+            serving_registry=serving,
+            serving_name="tpcc",
+        )
+        version = manager.bootstrap(tpcc_small.train_records[:300])
+        assert serving.active_version("tpcc") == 1
+        assert serving.active("tpcc") is version.model
+
+    def test_retrain_hot_swaps_served_model(self, tpcc_small):
+        from repro.serving import ModelRegistry as ServingRegistry
+
+        serving = ServingRegistry()
+        manager = ModelLifecycleManager(
+            model_factory=_factory,
+            min_new_records=50,
+            batch_size=10,
+            seed=0,
+            serving_registry=serving,
+        )
+        manager.bootstrap(tpcc_small.train_records[:200])
+        # Corpus-doubling refresh: observe more records than the corpus.
+        manager.observe(tpcc_small.train_records[:250])
+        retrained = manager.maybe_retrain()
+        assert retrained is not None
+        assert serving.active_version("default") == 2
+        assert serving.active("default") is retrained.model
+        # The previous version is still there for rollback.
+        assert serving.rollback("default") == 1

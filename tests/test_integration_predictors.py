@@ -50,3 +50,80 @@ class TestProtocolCompatibility:
         assert isinstance(SingleWMPDBMS(), WorkloadMemoryPredictor)
         assert isinstance(LearnedWMP(fast=True), WorkloadMemoryPredictor)
         assert isinstance(SingleWMP("ridge", fast=True), WorkloadMemoryPredictor)
+
+
+class TestBatchPredict:
+    """batch_predict prefers vectorized predict but never requires it."""
+
+    def test_uses_vectorized_predict(self, tpcc_small):
+        from repro.core.workload import make_workloads
+        from repro.integration.predictors import ConstantMemoryPredictor, batch_predict
+
+        workloads = make_workloads(tpcc_small.test_records, 10, seed=0)[:4]
+        assert batch_predict(ConstantMemoryPredictor(9.0), workloads) == [9.0] * 4
+
+    def test_empty_input(self):
+        from repro.integration.predictors import ConstantMemoryPredictor, batch_predict
+
+        assert batch_predict(ConstantMemoryPredictor(9.0), []) == []
+
+    def test_protocol_only_predictor_uses_loop(self, tpcc_small):
+        from repro.core.workload import make_workloads
+        from repro.integration.predictors import batch_predict
+
+        class ProtocolOnly:
+            def predict_workload(self, queries):
+                return 5.0
+
+        workloads = make_workloads(tpcc_small.test_records, 10, seed=0)[:3]
+        assert batch_predict(ProtocolOnly(), workloads) == [5.0] * 3
+
+    def test_foreign_predict_falls_back_to_protocol(self, tpcc_small):
+        """An sklearn-style predict(X) must not break protocol satisfaction."""
+        from repro.core.workload import make_workloads
+        from repro.integration.predictors import batch_predict
+
+        class SklearnLike:
+            def predict(self, X):
+                # Expects a feature matrix, not workloads.
+                return X.sum(axis=1)
+
+            def predict_workload(self, queries):
+                return 7.0
+
+        workloads = make_workloads(tpcc_small.test_records, 10, seed=0)[:3]
+        assert batch_predict(SklearnLike(), workloads) == [7.0] * 3
+
+
+class TestCachedPredictor:
+    def test_caches_repeated_workloads(self, tpcc_small):
+        from repro.core.workload import make_workloads
+        from repro.integration.predictors import CachedPredictor
+
+        class Counting:
+            calls = 0
+
+            def predict_workload(self, queries):
+                self.calls += 1
+                return 3.0
+
+        inner = Counting()
+        cached = CachedPredictor(inner)
+        workload = make_workloads(tpcc_small.test_records, 10, seed=0)[0]
+        for _ in range(4):
+            assert cached.predict_workload(workload) == 3.0
+        assert inner.calls == 1
+        assert cached.cache_stats().hits == 3
+
+    def test_batch_predict_only_computes_misses(self, tpcc_small):
+        from repro.core.workload import make_workloads
+        from repro.integration.predictors import CachedPredictor, ConstantMemoryPredictor
+
+        workloads = make_workloads(tpcc_small.test_records, 10, seed=0)[:4]
+        cached = CachedPredictor(ConstantMemoryPredictor(2.0))
+        cached.predict_workload(workloads[0])
+        assert cached.predict(workloads) == [2.0] * 4
+        stats = cached.cache_stats()
+        assert stats.hits == 1  # workloads[0] was already cached
+        cached.clear_cache()
+        assert len(cached.predict(workloads)) == 4

@@ -158,6 +158,83 @@ class TestHashDeterminism:
         assert value == _hash_gaussian(key)
 
 
+class TestServingProperties:
+    """Batched / served prediction must agree with the unbatched path."""
+
+    @_SETTINGS
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_batched_serving_equals_unbatched(self, demands, max_batch):
+        """For any request mix and batch size, serving returns the same
+        predictions as calling the predictor one request at a time."""
+        from repro.core.workload import Workload
+        from repro.serving import PredictionServer, ServerConfig
+
+        class LookupPredictor:
+            def predict_workload(self, workload):
+                return float(workload.actual_memory_mb or 0.0)
+
+            def predict(self, workloads):
+                return [float(w.actual_memory_mb or 0.0) for w in workloads]
+
+        workloads = [Workload(queries=[], actual_memory_mb=d) for d in demands]
+        unbatched = [LookupPredictor().predict_workload(w) for w in workloads]
+        config = ServerConfig(
+            max_batch_size=max_batch, max_wait_s=0.001, enable_cache=False
+        )
+        with PredictionServer(LookupPredictor(), config=config) as server:
+            served = server.predict(workloads)
+        assert np.allclose(served, unbatched)
+
+    @_SETTINGS
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_cached_serving_equals_unbatched(self, picks, max_batch):
+        """Caching + coalescing must not change any prediction, for any
+        repetition pattern of a small workload pool."""
+        from repro.core.workload import Workload
+        from repro.serving import PredictionServer, ServerConfig
+
+        class LookupPredictor:
+            def predict(self, workloads):
+                return [float(w.actual_memory_mb or 0.0) for w in workloads]
+
+            def predict_workload(self, workload):
+                return float(workload.actual_memory_mb or 0.0)
+
+        from repro.dbms.query_log import QueryRecord
+
+        # Each pool entry carries a distinct query text: the cache keys on
+        # query content, so distinct workloads must have distinct queries.
+        pool = [
+            Workload(
+                queries=[
+                    QueryRecord(
+                        sql=f"select {i} from t",
+                        plan=None,
+                        actual_memory_mb=10.0 * (i + 1),
+                        optimizer_estimate_mb=0.0,
+                    )
+                ]
+            )
+            for i in range(6)
+        ]
+        requests = [pool[p] for p in picks]
+        expected = [float(w.actual_memory_mb or 0.0) for w in requests]
+        config = ServerConfig(max_batch_size=max_batch, max_wait_s=0.001)
+        with PredictionServer(LookupPredictor(), config=config) as server:
+            served = server.predict(requests)
+        assert np.allclose(served, expected)
+
+
 class TestTokenizerProperties:
     @_SETTINGS
     @given(st.text(alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" _.,()*'=<>"), max_size=120))

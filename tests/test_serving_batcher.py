@@ -1,0 +1,119 @@
+"""Tests for the micro-batcher (flush-on-size, flush-on-deadline, errors)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.workload import Workload
+from repro.exceptions import InvalidParameterError, ServingError
+from repro.serving.batcher import MicroBatcher
+
+
+def make_workload(value: float = 0.0) -> Workload:
+    return Workload(queries=[], actual_memory_mb=value)
+
+
+class RecordingPredictor:
+    """Counts calls and batch sizes; returns each workload's label."""
+
+    def __init__(self, delay_s: float = 0.0) -> None:
+        self.batches: list[int] = []
+        self.delay_s = delay_s
+        self._lock = threading.Lock()
+
+    def __call__(self, workloads):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        with self._lock:
+            self.batches.append(len(workloads))
+        return [float(w.actual_memory_mb or 0.0) for w in workloads]
+
+
+class TestFlushOnSize:
+    def test_full_batch_flushes_without_waiting(self):
+        predictor = RecordingPredictor()
+        # A wait long enough that only a size flush can explain fast results.
+        with MicroBatcher(predictor, max_batch_size=4, max_wait_s=30.0) as batcher:
+            futures = [batcher.submit(make_workload(i)) for i in range(4)]
+            results = [f.result(timeout=5.0) for f in futures]
+        assert results == [0.0, 1.0, 2.0, 3.0]
+        assert predictor.batches == [4]
+        assert batcher.stats().size_flushes == 1
+
+    def test_oversubmission_splits_into_size_batches(self):
+        predictor = RecordingPredictor(delay_s=0.02)
+        with MicroBatcher(predictor, max_batch_size=3, max_wait_s=30.0) as batcher:
+            futures = [batcher.submit(make_workload(i)) for i in range(9)]
+            assert [f.result(timeout=5.0) for f in futures] == [float(i) for i in range(9)]
+        assert predictor.batches == [3, 3, 3]
+
+
+class TestFlushOnDeadline:
+    def test_single_request_flushes_at_deadline(self):
+        predictor = RecordingPredictor()
+        with MicroBatcher(predictor, max_batch_size=1000, max_wait_s=0.01) as batcher:
+            start = time.monotonic()
+            result = batcher.submit(make_workload(7.0)).result(timeout=5.0)
+            elapsed = time.monotonic() - start
+        assert result == 7.0
+        assert elapsed < 2.0  # released by the deadline, not by batch size
+        assert predictor.batches == [1]
+        assert batcher.stats().deadline_flushes >= 1
+
+    def test_zero_wait_serves_immediately(self):
+        predictor = RecordingPredictor()
+        with MicroBatcher(predictor, max_batch_size=1000, max_wait_s=0.0) as batcher:
+            assert batcher.submit(make_workload(3.0)).result(timeout=5.0) == 3.0
+
+
+class TestErrorsAndLifecycle:
+    def test_failing_predictor_fails_every_future(self):
+        def explode(workloads):
+            raise RuntimeError("model fell over")
+
+        with MicroBatcher(explode, max_batch_size=2, max_wait_s=0.005) as batcher:
+            futures = [batcher.submit(make_workload()) for _ in range(2)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="model fell over"):
+                    future.result(timeout=5.0)
+
+    def test_wrong_prediction_count_raises_serving_error(self):
+        with MicroBatcher(lambda ws: [1.0, 2.0, 3.0], max_batch_size=1, max_wait_s=0.0) as batcher:
+            with pytest.raises(ServingError):
+                batcher.submit(make_workload()).result(timeout=5.0)
+
+    def test_close_drains_pending_requests(self):
+        predictor = RecordingPredictor(delay_s=0.01)
+        batcher = MicroBatcher(predictor, max_batch_size=100, max_wait_s=30.0)
+        futures = [batcher.submit(make_workload(i)) for i in range(5)]
+        batcher.close()
+        assert [f.result(timeout=1.0) for f in futures] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(lambda ws: [0.0] * len(ws))
+        batcher.close()
+        with pytest.raises(ServingError):
+            batcher.submit(make_workload())
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(lambda ws: [0.0] * len(ws))
+        batcher.close()
+        batcher.close()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            MicroBatcher(lambda ws: [], max_batch_size=0)
+        with pytest.raises(InvalidParameterError):
+            MicroBatcher(lambda ws: [], max_wait_s=-1.0)
+
+    def test_stats_accumulate(self):
+        predictor = RecordingPredictor()
+        with MicroBatcher(predictor, max_batch_size=2, max_wait_s=0.005) as batcher:
+            futures = [batcher.submit(make_workload(i)) for i in range(4)]
+            [f.result(timeout=5.0) for f in futures]
+            stats = batcher.stats()
+        assert stats.requests == 4
+        assert stats.batches >= 2
+        assert stats.mean_batch_size <= 2.0
+        assert stats.max_batch_size_seen <= 2

@@ -1,0 +1,125 @@
+"""Tests for the serving model registry (register / promote / rollback)."""
+
+import pytest
+
+from repro.core.serialization import save_model
+from repro.exceptions import SerializationError, ServingError
+from repro.integration.predictors import ConstantMemoryPredictor
+from repro.serving.registry import ModelRegistry
+
+
+def predictor(value: float = 64.0) -> ConstantMemoryPredictor:
+    return ConstantMemoryPredictor(value)
+
+
+class TestRegister:
+    def test_versions_are_monotonic(self):
+        registry = ModelRegistry()
+        assert registry.register("m", predictor()) == 1
+        assert registry.register("m", predictor()) == 2
+        assert registry.register("m", predictor()) == 3
+        assert registry.versions("m") == [1, 2, 3]
+
+    def test_first_version_is_auto_promoted(self):
+        registry = ModelRegistry()
+        registry.register("m", predictor(10.0))
+        assert registry.active_version("m") == 1
+        assert registry.active("m").memory_mb == 10.0
+
+    def test_later_versions_stay_passive_unless_promoted(self):
+        registry = ModelRegistry()
+        registry.register("m", predictor(10.0))
+        registry.register("m", predictor(20.0))
+        assert registry.active_version("m") == 1
+        registry.register("m", predictor(30.0), promote=True)
+        assert registry.active_version("m") == 3
+        assert registry.active("m").memory_mb == 30.0
+
+    def test_names_are_independent(self):
+        registry = ModelRegistry()
+        registry.register("a", predictor(1.0))
+        registry.register("b", predictor(2.0))
+        assert registry.names() == ["a", "b"]
+        assert registry.active("a").memory_mb == 1.0
+        assert registry.active("b").memory_mb == 2.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ServingError):
+            ModelRegistry().register("", predictor())
+
+
+class TestPromoteRollback:
+    def test_promote_hot_swaps_active(self):
+        registry = ModelRegistry()
+        registry.register("m", predictor(10.0))
+        registry.register("m", predictor(20.0))
+        registry.promote("m", 2)
+        assert registry.active("m").memory_mb == 20.0
+
+    def test_rollback_restores_previous_active(self):
+        registry = ModelRegistry()
+        registry.register("m", predictor(10.0))
+        registry.register("m", predictor(20.0), promote=True)
+        assert registry.active_version("m") == 2
+        assert registry.rollback("m") == 1
+        assert registry.active("m").memory_mb == 10.0
+
+    def test_rollback_walks_promotion_history(self):
+        registry = ModelRegistry()
+        registry.register("m", predictor(10.0))
+        registry.register("m", predictor(20.0), promote=True)
+        registry.register("m", predictor(30.0), promote=True)
+        assert registry.rollback("m") == 2
+        assert registry.rollback("m") == 1
+        with pytest.raises(ServingError):
+            registry.rollback("m")
+
+    def test_promote_unknown_version_raises(self):
+        registry = ModelRegistry()
+        registry.register("m", predictor())
+        with pytest.raises(ServingError):
+            registry.promote("m", 99)
+
+    def test_unknown_name_raises(self):
+        registry = ModelRegistry()
+        with pytest.raises(ServingError):
+            registry.active("nope")
+        with pytest.raises(ServingError):
+            registry.rollback("nope")
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        registry = ModelRegistry()
+        registry.register("m", predictor(42.0))
+        path = registry.save("m", tmp_path / "m.pkl")
+        fresh = ModelRegistry()
+        version = fresh.load("restored", path, promote=True)
+        assert version == 1
+        assert fresh.active("restored").memory_mb == 42.0
+        assert fresh.get("restored").source_path == path
+
+    def test_inspect_file_reads_header_without_unpickling(self, tmp_path):
+        path = save_model(predictor(7.0), tmp_path / "m.pkl")
+        header = ModelRegistry.inspect_file(path)
+        assert header is not None
+        assert header["model_class"] == "ConstantMemoryPredictor"
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            ModelRegistry().load("m", tmp_path / "missing.pkl")
+
+    def test_load_validates_expected_class(self, tmp_path):
+        path = save_model(predictor(7.0), tmp_path / "m.pkl")
+        registry = ModelRegistry()
+        with pytest.raises(SerializationError, match="expected 'LearnedWMP'"):
+            registry.load("m", path, expected_class="LearnedWMP")
+        assert registry.load("m", path, expected_class="ConstantMemoryPredictor") == 1
+
+    def test_describe_snapshot(self):
+        registry = ModelRegistry()
+        registry.register("m", predictor(1.0))
+        registry.register("m", predictor(2.0), promote=True)
+        description = registry.describe()
+        assert description["m"]["active_version"] == 2
+        assert set(description["m"]["versions"]) == {1, 2}

@@ -1,0 +1,223 @@
+"""Tests for the prediction server, load generator and telemetry."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.workload import Workload
+from repro.exceptions import ServingError
+from repro.integration.admission import AdmissionController
+from repro.integration.predictors import ConstantMemoryPredictor
+from repro.integration.scheduler import RoundScheduler
+from repro.serving import (
+    LoadGenerator,
+    ModelRegistry,
+    PredictionServer,
+    ServerConfig,
+    ServingTelemetry,
+)
+
+
+class CountingPredictor:
+    """Constant predictor that counts predict calls and batch sizes."""
+
+    def __init__(self, value: float = 32.0) -> None:
+        self.value = value
+        self.calls = 0
+        self.batch_sizes: list[int] = []
+        self._lock = threading.Lock()
+
+    def predict_workload(self, queries) -> float:
+        with self._lock:
+            self.calls += 1
+            self.batch_sizes.append(1)
+        return self.value
+
+    def predict(self, workloads):
+        with self._lock:
+            self.calls += 1
+            self.batch_sizes.append(len(workloads))
+        return np.full(len(workloads), self.value)
+
+
+@pytest.fixture(scope="module")
+def workload_pool(tpcds_small):
+    from repro.core.workload import make_workloads
+
+    return make_workloads(tpcds_small.test_records, 10, seed=3)
+
+
+class TestPredict:
+    def test_single_prediction(self, workload_pool):
+        with PredictionServer(ConstantMemoryPredictor(48.0)) as server:
+            assert server.predict_workload(workload_pool[0]) == 48.0
+
+    def test_accepts_plain_record_sequence(self, tpcds_small):
+        with PredictionServer(ConstantMemoryPredictor(48.0)) as server:
+            assert server.predict_workload(tpcds_small.test_records[:5]) == 48.0
+
+    def test_batch_prediction_matches_model(self, tpcds_small, workload_pool):
+        from repro.core.model import LearnedWMP
+
+        model = LearnedWMP(regressor="ridge", n_templates=8, batch_size=10, random_state=0)
+        model.fit(tpcds_small.train_records[:300])
+        expected = model.predict(workload_pool[:8])
+        with PredictionServer(model) as server:
+            served = server.predict(workload_pool[:8])
+        np.testing.assert_allclose(served, expected, rtol=1e-9)
+
+    def test_predict_stream_preserves_order(self, workload_pool):
+        predictor = CountingPredictor()
+        with PredictionServer(predictor) as server:
+            results = list(server.predict_stream(workload_pool[:12]))
+        assert results == [predictor.value] * 12
+
+    def test_submit_after_close_raises(self, workload_pool):
+        server = PredictionServer(ConstantMemoryPredictor(1.0))
+        server.close()
+        with pytest.raises(ServingError):
+            server.submit(workload_pool[0])
+
+
+class TestCachingAndCoalescing:
+    def test_repeated_workload_hits_cache(self, workload_pool):
+        predictor = CountingPredictor()
+        with PredictionServer(predictor, config=ServerConfig(max_wait_s=0.0)) as server:
+            server.predict_workload(workload_pool[0])
+            first_calls = predictor.calls
+            for _ in range(5):
+                server.predict_workload(workload_pool[0])
+            assert predictor.calls == first_calls
+            stats = server.cache_stats()
+        assert stats.hits == 5
+
+    def test_burst_of_identical_requests_coalesces(self, workload_pool):
+        predictor = CountingPredictor()
+        config = ServerConfig(max_batch_size=64, max_wait_s=0.05)
+        with PredictionServer(predictor, config=config) as server:
+            futures = [server.submit(workload_pool[0]) for _ in range(20)]
+            results = [f.result(timeout=5.0) for f in futures]
+            assert results == [predictor.value] * 20
+            # One unique signature -> at most one batched model call.
+            assert sum(predictor.batch_sizes) == 1
+            assert server.coalesced_requests == 19
+
+    def test_cache_disabled_calls_model_every_time(self, workload_pool):
+        predictor = CountingPredictor()
+        config = ServerConfig(enable_cache=False, enable_batching=False)
+        with PredictionServer(predictor, config=config) as server:
+            for _ in range(3):
+                server.predict_workload(workload_pool[0])
+            assert server.cache_stats() is None
+        assert predictor.calls == 3
+
+    def test_inline_mode_without_batching(self, workload_pool):
+        predictor = CountingPredictor()
+        config = ServerConfig(enable_batching=False)
+        with PredictionServer(predictor, config=config) as server:
+            assert server.predict_workload(workload_pool[1]) == predictor.value
+            assert server.batcher_stats() is None
+
+
+class TestHotSwap:
+    def test_promotion_changes_served_model_and_clears_cache(self, workload_pool):
+        registry = ModelRegistry()
+        registry.register("m", ConstantMemoryPredictor(10.0))
+        with PredictionServer(registry, model_name="m") as server:
+            assert server.predict_workload(workload_pool[0]) == 10.0
+            registry.register("m", ConstantMemoryPredictor(99.0), promote=True)
+            # Same workload: the cache must not serve the old model's answer.
+            assert server.predict_workload(workload_pool[0]) == 99.0
+
+    def test_rollback_restores_old_answers(self, workload_pool):
+        registry = ModelRegistry()
+        registry.register("m", ConstantMemoryPredictor(10.0))
+        registry.register("m", ConstantMemoryPredictor(99.0), promote=True)
+        with PredictionServer(registry, model_name="m") as server:
+            assert server.predict_workload(workload_pool[0]) == 99.0
+            registry.rollback("m")
+            assert server.predict_workload(workload_pool[0]) == 10.0
+
+    def test_unknown_model_name_fails_fast(self):
+        with pytest.raises(ServingError):
+            PredictionServer(ModelRegistry(), model_name="missing")
+
+
+class TestServedPredictorPath:
+    """The server satisfies the integration layer's predictor protocol."""
+
+    def test_admission_controller_accepts_server(self, workload_pool):
+        with PredictionServer(ConstantMemoryPredictor(40.0)) as server:
+            controller = AdmissionController(server, memory_pool_mb=100.0)
+            report = controller.run(workload_pool[:6])
+        assert report.n_rounds == 3  # 2 x 40 MB per 100 MB round
+
+    def test_round_scheduler_accepts_server(self, workload_pool):
+        with PredictionServer(ConstantMemoryPredictor(40.0)) as server:
+            scheduler = RoundScheduler(server, memory_pool_mb=100.0)
+            report = scheduler.schedule(workload_pool[:6])
+        assert report.n_rounds == 3
+
+
+class TestTelemetry:
+    def test_snapshot_counts_and_percentiles(self, workload_pool):
+        with PredictionServer(ConstantMemoryPredictor(5.0)) as server:
+            server.predict(workload_pool[:10])
+            report = server.snapshot()
+        assert report.n_requests == 10
+        assert report.throughput_qps > 0.0
+        assert report.latency_p50_ms <= report.latency_p95_ms <= report.latency_p99_ms
+        rendered = report.render()
+        assert "throughput" in rendered and "latency p99" in rendered
+
+    def test_error_and_reset(self):
+        telemetry = ServingTelemetry()
+        telemetry.record(0.010)
+        telemetry.record(0.020, cache_hit=True)
+        telemetry.record_error()
+        report = telemetry.snapshot()
+        assert report.n_requests == 2
+        assert report.n_errors == 1
+        assert report.cache_hit_rate == pytest.approx(0.5)
+        telemetry.reset()
+        assert telemetry.snapshot().n_requests == 0
+
+    def test_empty_snapshot_is_all_zero(self):
+        report = ServingTelemetry().snapshot()
+        assert report.n_requests == 0
+        assert report.throughput_qps == 0.0
+        assert report.latency_p99_ms == 0.0
+
+
+class TestLoadGenerator:
+    def test_replay_reports_throughput_and_latency(self, workload_pool):
+        from repro.workloads.replay import replay_requests_from_workloads
+
+        requests = replay_requests_from_workloads(workload_pool, 60, repeat_fraction=0.6, seed=1)
+        with PredictionServer(ConstantMemoryPredictor(8.0)) as server:
+            report = LoadGenerator(server, requests, qps=600.0, benchmark="tpcds").run()
+        assert report.n_requests == 60
+        assert report.n_errors == 0
+        assert report.achieved_qps > 0.0
+        assert 0.0 <= report.cache_hit_rate <= 1.0
+        assert report.latency_p50_ms <= report.latency_p99_ms
+        rendered = report.render()
+        assert "offered load" in rendered and "cache hit rate" in rendered
+
+    def test_report_json_roundtrip(self, tmp_path, workload_pool):
+        with PredictionServer(ConstantMemoryPredictor(8.0)) as server:
+            report = LoadGenerator(server, workload_pool[:10], qps=1000.0).run()
+        path = report.write_json(tmp_path / "bench.json")
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["n_requests"] == 10
+        assert "latency_p95_ms" in payload
+
+    def test_rejects_bad_parameters(self, workload_pool):
+        with PredictionServer(ConstantMemoryPredictor(8.0)) as server:
+            with pytest.raises(Exception):
+                LoadGenerator(server, workload_pool[:5], qps=0.0)
+            with pytest.raises(Exception):
+                LoadGenerator(server, [], qps=10.0)

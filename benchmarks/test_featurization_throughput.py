@@ -1,0 +1,167 @@
+"""Featurization throughput — memoized plan-feature cache vs naive re-walks.
+
+Shape to demonstrate: plan featurization is the per-query hot path of
+inference, and feature vectors are pure functions of the plan, so a
+warm :class:`~repro.core.features.MemoizedFeaturizer` must beat the naive
+path that re-walks every plan tree on every call — both at the featurizer
+level (batch matrix assembly from cached rows) and end-to-end through
+``LearnedWMP.predict`` on skewed replay traffic.  A third test drives
+admission control and the round scheduler through a served predictor, the
+configuration where the feature cache and the serving-layer prediction
+cache compound.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.featurizer import PlanFeaturizer
+from repro.core.features import MemoizedFeaturizer
+from repro.core.model import LearnedWMP
+from repro.core.workload import make_workloads
+from repro.integration.admission import AdmissionController
+from repro.integration.scheduler import RoundScheduler
+from repro.serving import PredictionServer, ServerConfig
+from repro.workloads.generator import generate_dataset
+from repro.workloads.replay import replay_requests_from_workloads
+
+N_QUERIES = 600
+BATCH_SIZE = 10
+N_REQUESTS = 400
+REPEAT_FRACTION = 0.75
+SEED = 7
+
+
+def _replay_records():
+    """A skewed record stream: replay traffic flattened to its queries."""
+    dataset = generate_dataset("tpcds", N_QUERIES, seed=SEED)
+    pool = make_workloads(dataset.all_records, BATCH_SIZE, seed=SEED)
+    requests = replay_requests_from_workloads(
+        pool, N_REQUESTS, repeat_fraction=REPEAT_FRACTION, seed=SEED
+    )
+    records = [record for workload in requests for record in workload.queries]
+    return dataset, requests, records
+
+
+def _best_of(n, func, *args):
+    """Best-of-n wall clock, robust against scheduler noise on CI runners."""
+    best = float("inf")
+    result = None
+    for _ in range(n):
+        start = time.perf_counter()
+        result = func(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_warm_cache_featurization_beats_naive(benchmark):
+    _, _, records = _replay_records()
+    naive = PlanFeaturizer()
+    memoized = MemoizedFeaturizer(PlanFeaturizer(), max_entries=8192)
+    memoized.featurize_records(records)  # warm the cache
+
+    naive_s, naive_matrix = _best_of(3, naive.featurize_records, records)
+    warm_s, warm_matrix = run_once(
+        benchmark, lambda: _best_of(3, memoized.featurize_records, records)
+    )
+
+    stats = memoized.stats()
+    print()
+    print(f"records featurized       : {len(records)}")
+    print(f"naive re-walk            : {len(records) / naive_s:10.0f} records/s")
+    print(f"warm memoized            : {len(records) / warm_s:10.0f} records/s")
+    print(f"speedup                  : {naive_s / warm_s:10.2f}x")
+    print(f"cache entries            : {stats.size:10d}")
+    print(f"cache hit rate           : {100.0 * stats.hit_rate:9.1f} %")
+
+    # Exactness first: memoization must be bit-identical to the naive path.
+    assert np.array_equal(naive_matrix, warm_matrix)
+    # The warm batched path must beat re-walking every plan tree.
+    assert warm_s < naive_s
+    # And the win must come from the cache: the warm passes were all hits.
+    assert stats.hits >= len(records)
+    assert stats.evictions == 0
+
+
+def test_warm_cache_batched_predict_beats_naive_refeaturize(benchmark):
+    dataset, requests, _ = _replay_records()
+    model = LearnedWMP(
+        regressor="ridge",
+        n_templates=24,
+        batch_size=BATCH_SIZE,
+        random_state=SEED,
+        fast=True,
+    )
+    model.fit(dataset.train_records)
+    memoized = model.featurizer
+    assert isinstance(memoized, MemoizedFeaturizer)  # the default path
+
+    model.predict(requests)  # warm the feature cache
+    warm_s, warm_predictions = run_once(
+        benchmark, lambda: _best_of(3, model.predict, requests)
+    )
+
+    # Same fitted model, featurizer swapped for the naive re-walk path.
+    model.featurizer = memoized.base
+    naive_s, naive_predictions = _best_of(3, model.predict, requests)
+    model.featurizer = memoized
+
+    print()
+    print(f"requests predicted       : {len(requests)}")
+    print(f"naive re-featurize       : {len(requests) / naive_s:10.0f} req/s")
+    print(f"warm memoized predict    : {len(requests) / warm_s:10.0f} req/s")
+    print(f"speedup                  : {naive_s / warm_s:10.2f}x")
+
+    # Memoization must not change a single prediction bit.
+    assert np.array_equal(warm_predictions, naive_predictions)
+    # Warm-cache batched predict must beat the naive re-featurize path.
+    assert warm_s < naive_s
+
+
+def test_admission_and_scheduler_through_served_predictor(benchmark):
+    """Admission control and scheduling driven end-to-end through a server.
+
+    The served path must reproduce the direct model's decisions exactly
+    while exercising both cache tiers: the server's prediction cache for
+    repeated workloads and the model's plan-feature cache for everything
+    else.
+    """
+    dataset, _, _ = _replay_records()
+    model = LearnedWMP(
+        regressor="ridge",
+        n_templates=24,
+        batch_size=BATCH_SIZE,
+        random_state=SEED,
+        fast=True,
+    )
+    model.fit(dataset.train_records)
+    window = make_workloads(dataset.test_records, BATCH_SIZE, seed=SEED)
+    pool_mb = 3.0 * float(np.mean([w.actual_memory_mb for w in window]))
+
+    direct_admission = AdmissionController(model, pool_mb).run(window)
+    direct_schedule = RoundScheduler(model, pool_mb).schedule(window)
+
+    def _served():
+        config = ServerConfig(max_batch_size=64, max_wait_s=0.002)
+        with PredictionServer(model, config=config) as server:
+            admission = AdmissionController(server, pool_mb).run(window)
+            schedule = RoundScheduler(server, pool_mb).schedule(window)
+            return admission, schedule, server.snapshot()
+
+    served_admission, served_schedule, snapshot = run_once(benchmark, _served)
+
+    print()
+    print(f"workloads in window      : {len(window)}")
+    print(f"admission rounds         : {served_admission.n_rounds:10d}")
+    print(f"schedule rounds          : {served_schedule.n_rounds:10d}")
+    print(f"served requests          : {snapshot.n_requests:10d}")
+    print(f"feature cache hit %      : {100.0 * snapshot.feature_cache_hit_rate:9.1f} %")
+
+    # The served predictor must make the same decisions as the direct model.
+    assert served_admission.summary() == direct_admission.summary()
+    assert served_schedule.summary() == direct_schedule.summary()
+    # The scheduler's batch re-used the admission batch's plans: the feature
+    # cache (shared through the model) answered them without re-walks.
+    assert snapshot.n_requests > 0
+    assert snapshot.feature_cache_hits > 0

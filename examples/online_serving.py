@@ -79,6 +79,15 @@ def main() -> None:
         print("\nFinal serving telemetry:")
         print(server.snapshot().render())
 
+        feature_stats = server.feature_cache_stats()
+        if feature_stats is not None:
+            print(
+                f"\nPlan-feature cache (v1 model): {feature_stats.hits} hits, "
+                f"{feature_stats.misses} misses "
+                f"({100.0 * feature_stats.hit_rate:.1f} % of rows served "
+                f"without re-walking the plan)"
+            )
+
 
 if __name__ == "__main__":
     main()

@@ -37,8 +37,11 @@ Quickstart::
 from repro.core import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_N_TEMPLATES,
+    FeatureCacheStats,
     LearnedWMP,
+    MemoizedFeaturizer,
     PlanFeaturizer,
+    plan_fingerprint,
     QueryTemplateLearner,
     SingleWMP,
     SingleWMPDBMS,
@@ -76,6 +79,9 @@ __all__ = [
     "SingleWMP",
     "SingleWMPDBMS",
     "PlanFeaturizer",
+    "MemoizedFeaturizer",
+    "FeatureCacheStats",
+    "plan_fingerprint",
     "QueryTemplateLearner",
     "Workload",
     "make_workloads",

@@ -20,11 +20,13 @@ cover the day-to-day tasks of working with the reproduction:
     Stand up an online :class:`~repro.serving.server.PredictionServer`
     (model registry + micro-batching + LRU/TTL caching) around a trained or
     freshly trained model, drive it with replayed benchmark traffic and print
-    the serving telemetry.
+    the serving telemetry — including the model's plan-feature cache counters
+    (sized with ``--feature-cache-size``).
 
 ``loadtest``
     Replay skewed benchmark traffic against a served model at a target QPS
-    and report throughput, latency percentiles and cache hit rate
+    and report throughput, latency percentiles and the hit rates of both
+    cache tiers — the prediction cache and the plan-feature cache
     (optionally as JSON for the benchmark trajectory).
 
 ``figures``
@@ -40,6 +42,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.core.features import DEFAULT_FEATURE_CACHE_SIZE, MemoizedFeaturizer
 from repro.core.model import LearnedWMP
 from repro.core.regressors import REGRESSOR_NAMES
 from repro.core.serialization import load_model, save_model, serialized_size_kb
@@ -67,13 +70,19 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
         default=0.7,
         help="fraction of requests re-issuing an already-seen workload",
     )
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=7, help="traffic and training seed")
     parser.add_argument("--max-batch", type=int, default=32, help="micro-batch flush size")
     parser.add_argument(
         "--max-wait-ms", type=float, default=2.0, help="micro-batch flush deadline (ms)"
     )
     parser.add_argument("--no-cache", action="store_true", help="disable the prediction cache")
     parser.add_argument("--no-batching", action="store_true", help="disable micro-batching")
+    parser.add_argument(
+        "--feature-cache-size",
+        type=int,
+        default=DEFAULT_FEATURE_CACHE_SIZE,
+        help="plan-feature cache entries on the served model (0 disables memoization)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,27 +98,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     generate.add_argument("benchmark", choices=BENCHMARK_NAMES)
     generate.add_argument("--queries", type=int, default=2000, help="number of queries")
-    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--seed", type=int, default=7, help="generator seed")
     generate.add_argument(
         "--output", type=Path, default=None, help="JSON summary path (default: stdout)"
     )
 
     train = subparsers.add_parser("train", help="train and save a LearnedWMP model")
     train.add_argument("benchmark", choices=BENCHMARK_NAMES)
-    train.add_argument("--queries", type=int, default=4000)
-    train.add_argument("--regressor", choices=REGRESSOR_NAMES, default="xgb")
+    train.add_argument("--queries", type=int, default=4000, help="training queries to generate")
+    train.add_argument(
+        "--regressor", choices=REGRESSOR_NAMES, default="xgb", help="regression back end"
+    )
     train.add_argument("--templates", type=int, default=40, help="number of query templates")
-    train.add_argument("--batch-size", type=int, default=10)
-    train.add_argument("--seed", type=int, default=7)
+    train.add_argument("--batch-size", type=int, default=10, help="queries per workload")
+    train.add_argument("--seed", type=int, default=7, help="generator and training seed")
     train.add_argument("--fast", action="store_true", help="use reduced model sizes")
     train.add_argument("--output", type=Path, required=True, help="path of the saved model")
 
     evaluate = subparsers.add_parser("evaluate", help="evaluate a saved model")
     evaluate.add_argument("model", type=Path, help="model file produced by 'train'")
     evaluate.add_argument("benchmark", choices=BENCHMARK_NAMES)
-    evaluate.add_argument("--queries", type=int, default=2000)
-    evaluate.add_argument("--batch-size", type=int, default=10)
-    evaluate.add_argument("--seed", type=int, default=99)
+    evaluate.add_argument("--queries", type=int, default=2000, help="evaluation queries to generate")
+    evaluate.add_argument("--batch-size", type=int, default=10, help="queries per workload")
+    evaluate.add_argument("--seed", type=int, default=99, help="generator seed")
     evaluate.add_argument(
         "--compare-dbms",
         action="store_true",
@@ -248,6 +259,10 @@ def _serving_setup(args: argparse.Namespace):
         model.fit(dataset.train_records)
         registry.register("default", model)
 
+    served = registry.active("default")
+    if hasattr(served, "configure_feature_cache"):
+        served.configure_feature_cache(args.feature_cache_size)
+
     config = ServerConfig(
         max_batch_size=args.max_batch,
         max_wait_s=args.max_wait_ms / 1e3,
@@ -293,19 +308,37 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         report = LoadGenerator(
             server, requests, qps=args.qps, benchmark=args.benchmark
         ).run()
+        feature_stats = server.feature_cache_stats()
         naive_qps = None
         if args.compare_naive:
             model = server.registry.active("default")
-            start = time.monotonic()
-            for workload in requests:
-                model.predict_workload(workload)
-            naive_qps = len(requests) / max(time.monotonic() - start, 1e-9)
+            # The serving run just warmed the model's plan-feature cache;
+            # swap in the un-memoized base featurizer so the naive loop
+            # actually re-featurizes, as the flag advertises.
+            memoized = getattr(model, "featurizer", None)
+            if isinstance(memoized, MemoizedFeaturizer):
+                model.featurizer = memoized.base
+            try:
+                start = time.monotonic()
+                for workload in requests:
+                    model.predict_workload(workload)
+                naive_qps = len(requests) / max(time.monotonic() - start, 1e-9)
+            finally:
+                if isinstance(memoized, MemoizedFeaturizer):
+                    model.featurizer = memoized
     print(report.render())
+    if feature_stats is not None:
+        print(f"feature cache hits  : {feature_stats.hits}")
+        print(f"feature cache hit % : {100.0 * feature_stats.hit_rate:.1f} %")
     if naive_qps is not None:
         print(f"naive loop          : {naive_qps:.1f} req/s")
         print(f"serving speedup     : {report.achieved_qps / naive_qps:.2f}x")
     if args.output is not None:
         payload = report.to_dict()
+        if feature_stats is not None:
+            payload["feature_cache_hits"] = feature_stats.hits
+            payload["feature_cache_misses"] = feature_stats.misses
+            payload["feature_cache_hit_rate"] = feature_stats.hit_rate
         if naive_qps is not None:
             payload["naive_qps"] = naive_qps
         args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))

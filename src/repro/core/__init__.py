@@ -1,5 +1,12 @@
 """LearnedWMP core: the paper's primary contribution and its baselines."""
 
+from repro.core.features import (
+    DEFAULT_FEATURE_CACHE_SIZE,
+    FeatureCacheStats,
+    MemoizedFeaturizer,
+    feature_cache_stats,
+    plan_fingerprint,
+)
 from repro.core.featurizer import OPERATOR_VOCABULARY, PlanFeaturizer
 from repro.core.histogram import bin_queries, bin_workload, build_histogram_dataset
 from repro.core.metrics import (
@@ -38,6 +45,11 @@ from repro.core.workload import (
 __all__ = [
     "OPERATOR_VOCABULARY",
     "PlanFeaturizer",
+    "DEFAULT_FEATURE_CACHE_SIZE",
+    "FeatureCacheStats",
+    "MemoizedFeaturizer",
+    "feature_cache_stats",
+    "plan_fingerprint",
     "bin_queries",
     "bin_workload",
     "build_histogram_dataset",

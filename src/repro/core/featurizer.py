@@ -6,6 +6,12 @@ operator in the plan, and the sum of the optimizer-estimated output
 cardinalities of those instances.  The paper borrows this featurization from
 Ganapathi et al. and uses it both to learn query templates (k-means input)
 and as the direct per-query feature vector of the SingleWMP ML baselines.
+
+Feature vectors are pure functions of the plan, which is what makes the
+memoized wrapper in :mod:`repro.core.features`
+(:class:`~repro.core.features.MemoizedFeaturizer`, keyed on
+:func:`~repro.core.features.plan_fingerprint`) an exact drop-in: the models
+default to it so recurring plans skip the tree walk this module performs.
 """
 
 from __future__ import annotations
@@ -86,7 +92,12 @@ class PlanFeaturizer:
         return self.featurize_plan(record.plan)
 
     def featurize_records(self, records: Sequence[QueryRecord]) -> np.ndarray:
-        """Feature matrix (n_records, n_features) for a sequence of records."""
+        """Feature matrix (n_records, n_features) for a sequence of records.
+
+        Every record's plan is re-walked, even when plans repeat; use
+        :class:`~repro.core.features.MemoizedFeaturizer` to assemble the
+        matrix from cached rows instead.
+        """
         if not records:
             return np.zeros((0, self.n_features), dtype=np.float64)
         return np.vstack([self.featurize_record(record) for record in records])

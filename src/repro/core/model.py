@@ -23,6 +23,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.features import FeatureCacheStats, MemoizedFeaturizer
+from repro.core.featurizer import PlanFeaturizer
 from repro.core.histogram import bin_queries, build_histogram_dataset
 from repro.core.regressors import make_regressor
 from repro.core.template_methods import TemplateMethod, make_template_method
@@ -192,6 +194,58 @@ class LearnedWMP:
         """The fitted distribution regressor."""
         return self._regressor
 
+    # -- featurization cache ----------------------------------------------------------
+
+    @property
+    def featurizer(self) -> PlanFeaturizer | MemoizedFeaturizer | None:
+        """The plan featurizer the template method runs on.
+
+        ``None`` for template methods that never featurize plans (the
+        SQL-text clustering ablations).  Plan-based methods default to a
+        :class:`~repro.core.features.MemoizedFeaturizer`, so every
+        ``predict`` / ``predict_workload`` call reuses cached feature rows
+        for previously seen plans.
+        """
+        return getattr(self._templates, "featurizer", None)
+
+    @featurizer.setter
+    def featurizer(self, value: PlanFeaturizer | MemoizedFeaturizer) -> None:
+        if not hasattr(self._templates, "featurizer"):
+            raise InvalidParameterError(
+                f"template method {self.template_method_name!r} has no plan featurizer"
+            )
+        self._templates.featurizer = value  # type: ignore[attr-defined]
+
+    def feature_cache_stats(self) -> FeatureCacheStats | None:
+        """Plan-feature cache counters, or ``None`` when memoization is off.
+
+        The cache lives on the model's featurizer, so every consumer of this
+        model instance — direct calls, a
+        :class:`~repro.serving.server.PredictionServer`, admission control,
+        the round scheduler — shares one cache and one set of counters.
+        """
+        featurizer = self.featurizer
+        return featurizer.stats() if isinstance(featurizer, MemoizedFeaturizer) else None
+
+    def configure_feature_cache(self, max_entries: int) -> None:
+        """Size the plan-feature cache; ``0`` disables memoization entirely.
+
+        Enabling (``max_entries > 0``) wraps a plain featurizer in a
+        :class:`~repro.core.features.MemoizedFeaturizer` or resizes an
+        existing one; disabling unwraps back to the base featurizer.  No-op
+        for template methods without a plan featurizer.
+        """
+        featurizer = self.featurizer
+        if featurizer is None:
+            return
+        if max_entries <= 0:
+            if isinstance(featurizer, MemoizedFeaturizer):
+                self.featurizer = featurizer.base
+        elif isinstance(featurizer, MemoizedFeaturizer):
+            featurizer.resize(max_entries)
+        else:
+            self.featurizer = MemoizedFeaturizer(featurizer, max_entries=max_entries)
+
     def histogram(self, queries: Sequence[QueryRecord] | Workload) -> np.ndarray:
         """The template histogram of a workload (inference steps IN1–IN4)."""
         self._check_fitted()
@@ -210,7 +264,9 @@ class LearnedWMP:
         Template assignment runs once over the concatenated queries of all
         workloads and the regressor once over the stacked histograms, so the
         per-workload cost is dominated by plan featurization rather than by
-        repeated model invocations.
+        repeated model invocations — and with the default memoized
+        featurizer, plans already seen by any earlier call skip even that
+        (see :meth:`feature_cache_stats`).
         """
         self._check_fitted()
         if not workloads:

@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.features import FeatureCacheStats, MemoizedFeaturizer
 from repro.core.featurizer import PlanFeaturizer
 from repro.core.workload import Workload
 from repro.dbms.query_log import QueryRecord
@@ -66,13 +67,40 @@ class SingleWMP:
         # cardinalities, so SingleWMP feeds the regressor the raw (not
         # log-compressed) cardinality features, matching the paper's use of
         # plan features "as direct input" to the per-query model.
-        self._featurizer = PlanFeaturizer(log_cardinality=False)
+        self._featurizer: PlanFeaturizer | MemoizedFeaturizer = MemoizedFeaturizer(
+            PlanFeaturizer(log_cardinality=False)
+        )
         self._fitted = False
         self.training_report_: SingleTrainingReport | None = None
 
     @property
     def regressor(self) -> BaseEstimator:
         return self._regressor
+
+    @property
+    def featurizer(self) -> PlanFeaturizer | MemoizedFeaturizer:
+        """The per-query plan featurizer (memoized by default)."""
+        return self._featurizer
+
+    @featurizer.setter
+    def featurizer(self, value: PlanFeaturizer | MemoizedFeaturizer) -> None:
+        self._featurizer = value
+
+    def feature_cache_stats(self) -> FeatureCacheStats | None:
+        """Plan-feature cache counters, or ``None`` when memoization is off."""
+        featurizer = self._featurizer
+        return featurizer.stats() if isinstance(featurizer, MemoizedFeaturizer) else None
+
+    def configure_feature_cache(self, max_entries: int) -> None:
+        """Size the plan-feature cache; ``0`` disables memoization entirely."""
+        featurizer = self._featurizer
+        if max_entries <= 0:
+            if isinstance(featurizer, MemoizedFeaturizer):
+                self._featurizer = featurizer.base
+        elif isinstance(featurizer, MemoizedFeaturizer):
+            featurizer.resize(max_entries)
+        else:
+            self._featurizer = MemoizedFeaturizer(featurizer, max_entries=max_entries)
 
     def fit(self, records: Sequence[QueryRecord]) -> "SingleWMP":
         """Train the per-query regressor on (plan features, actual memory) pairs."""

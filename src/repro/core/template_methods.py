@@ -17,6 +17,7 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro.core.features import MemoizedFeaturizer
 from repro.core.featurizer import PlanFeaturizer
 from repro.core.templates import DEFAULT_N_TEMPLATES, QueryTemplateLearner
 from repro.dbms.catalog import Catalog
@@ -74,6 +75,15 @@ class PlanTemplates:
     @property
     def k(self) -> int:
         return self._learner.k
+
+    @property
+    def featurizer(self) -> PlanFeaturizer | MemoizedFeaturizer:
+        """The plan featurizer assignment runs on (memoized by default)."""
+        return self._learner.featurizer
+
+    @featurizer.setter
+    def featurizer(self, value: PlanFeaturizer | MemoizedFeaturizer) -> None:
+        self._learner.featurizer = value
 
     def fit(self, records: Sequence[QueryRecord]) -> "PlanTemplates":
         self._learner.fit(records)
@@ -250,10 +260,19 @@ class DBSCANTemplates:
     def __init__(self, *, eps: float = 1.0, min_samples: int = 5) -> None:
         self.eps = eps
         self.min_samples = min_samples
-        self._featurizer = PlanFeaturizer()
+        self._featurizer: PlanFeaturizer | MemoizedFeaturizer = MemoizedFeaturizer()
         self._scaler: StandardScaler | None = None
         self._dbscan: DBSCAN | None = None
         self._n_clusters = 0
+
+    @property
+    def featurizer(self) -> PlanFeaturizer | MemoizedFeaturizer:
+        """The plan featurizer clustering runs on (memoized by default)."""
+        return self._featurizer
+
+    @featurizer.setter
+    def featurizer(self, value: PlanFeaturizer | MemoizedFeaturizer) -> None:
+        self._featurizer = value
 
     @property
     def k(self) -> int:

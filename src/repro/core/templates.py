@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.features import MemoizedFeaturizer
 from repro.core.featurizer import PlanFeaturizer
 from repro.dbms.query_log import QueryRecord
 from repro.exceptions import InvalidParameterError, NotFittedError
@@ -41,7 +42,10 @@ class QueryTemplateLearner:
     random_state:
         Seed for the clustering.
     featurizer:
-        Plan featurizer; a default instance is created when omitted.
+        Plan featurizer; when omitted a
+        :class:`~repro.core.features.MemoizedFeaturizer` is created, so
+        repeated ``assign`` calls on recurring plans skip the plan walk.
+        Pass a bare :class:`PlanFeaturizer` to disable memoization.
     """
 
     def __init__(
@@ -51,7 +55,7 @@ class QueryTemplateLearner:
         auto_k: bool = False,
         elbow_candidates: Sequence[int] = (5, 10, 20, 30, 40, 60, 80, 100),
         random_state: int | None = None,
-        featurizer: PlanFeaturizer | None = None,
+        featurizer: PlanFeaturizer | MemoizedFeaturizer | None = None,
     ) -> None:
         if n_templates < 1:
             raise InvalidParameterError("n_templates must be >= 1")
@@ -59,7 +63,7 @@ class QueryTemplateLearner:
         self.auto_k = auto_k
         self.elbow_candidates = tuple(elbow_candidates)
         self.random_state = random_state
-        self.featurizer = featurizer or PlanFeaturizer()
+        self.featurizer = featurizer or MemoizedFeaturizer()
         self._scaler: StandardScaler | None = None
         self._kmeans: KMeans | None = None
         self.elbow_profile_: dict[int, float] | None = None

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Protocol, Sequence, runtime_checkable
 
+from repro.core.features import FeatureCacheStats
+from repro.core.features import feature_cache_stats as _feature_cache_stats
 from repro.core.workload import Workload
 from repro.dbms.query_log import QueryRecord
 from repro.exceptions import InvalidParameterError
@@ -131,6 +133,13 @@ class CachedPredictor:
     every still-pending workload each round — hit the cache instead of
     re-running featurization and the regressor.
 
+    This is the prediction-cache tier; it compounds with the inner model's
+    own plan-feature cache (:class:`~repro.core.features.MemoizedFeaturizer`,
+    on by default for the core models): a workload miss here still reuses
+    cached feature rows for every plan the model has seen before, in any
+    workload.  :meth:`feature_cache_stats` exposes that inner tier's
+    counters alongside :meth:`cache_stats`.
+
     Parameters
     ----------
     predictor:
@@ -179,7 +188,13 @@ class CachedPredictor:
         return [float(value) for value in results]  # type: ignore[arg-type]
 
     def cache_stats(self):
+        """Prediction-cache counters of this wrapper."""
         return self._cache.stats()
 
+    def feature_cache_stats(self) -> FeatureCacheStats | None:
+        """The inner model's plan-feature cache counters, if it has any."""
+        return _feature_cache_stats(self.predictor)
+
     def clear_cache(self) -> None:
+        """Drop every cached prediction (the inner feature cache is untouched)."""
         self._cache.clear()

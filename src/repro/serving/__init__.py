@@ -7,7 +7,8 @@ production request rates:
 * :mod:`~repro.serving.registry` — named, versioned models with hot-swap
   promotion and rollback;
 * :mod:`~repro.serving.cache` — LRU+TTL prediction caching keyed on workload
-  signatures;
+  signatures (the per-plan feature-cache tier below it lives with the model,
+  in :mod:`repro.core.features`);
 * :mod:`~repro.serving.batcher` — micro-batching of concurrent requests into
   batched model calls;
 * :mod:`~repro.serving.telemetry` — latency percentiles, throughput, cache

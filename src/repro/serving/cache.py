@@ -1,10 +1,14 @@
-"""LRU + TTL caching of predictions and workload features.
+"""LRU + TTL caching of workload predictions (the upper cache tier).
 
 Production workload managers see heavily repeated traffic shapes: the same
 report batches run every morning, the same dashboard queries arrive in
 bursts.  Once a workload's template histogram has been seen, its predicted
 memory demand does not change until the model is swapped, so the serving
 layer can answer repeats without touching the featurizer or the regressor.
+
+This module is the *prediction*-cache tier, keyed on whole workloads; the
+per-plan *feature*-cache tier below it lives with the model
+(:mod:`repro.core.features`) and accelerates workloads that miss here.
 
 :class:`LRUTTLCache` is a small thread-safe cache combining a capacity bound
 (least-recently-used eviction) with an optional time-to-live, so stale

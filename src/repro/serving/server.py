@@ -15,6 +15,13 @@ into an online service.  A request travels through four layers:
    *per batch*, so a promotion or rollback takes effect on the next batch
    without restarting the server (the cache is invalidated on swap).
 
+Below the model sits a fifth, model-owned layer: the plan-feature cache of a
+:class:`~repro.core.features.MemoizedFeaturizer`.  The prediction cache
+(layer 1) only helps on exact workload repeats; the feature cache also
+accelerates *fresh* workloads whose individual plans have been seen before.
+Its counters surface through :meth:`PredictionServer.feature_cache_stats`
+and the ``feature_cache_*`` fields of :meth:`PredictionServer.snapshot`.
+
 The server itself satisfies the
 :class:`~repro.integration.predictors.WorkloadMemoryPredictor` protocol
 (``predict_workload``) and the batch convention of the core models
@@ -25,6 +32,7 @@ the integration layer.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from concurrent.futures import Future
@@ -33,6 +41,8 @@ from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.features import FeatureCacheStats
+from repro.core.features import feature_cache_stats as _model_feature_cache_stats
 from repro.core.workload import Workload
 from repro.dbms.query_log import QueryRecord
 from repro.exceptions import InvalidParameterError, ServingError
@@ -289,12 +299,38 @@ class PredictionServer:
     # -- lifecycle / introspection -------------------------------------------------
 
     def snapshot(self) -> TelemetryReport:
-        """Current telemetry snapshot (latency percentiles, throughput, ...)."""
-        return self.telemetry.snapshot()
+        """Current telemetry snapshot (latency percentiles, throughput, ...).
+
+        When the served model carries a memoized featurizer, its
+        plan-feature cache counters are folded into the report's
+        ``feature_cache_*`` fields, so one snapshot covers both cache tiers:
+        the prediction cache (repeated workloads) and the feature cache
+        (repeated plans inside fresh workloads).
+        """
+        report = self.telemetry.snapshot()
+        stats = self.feature_cache_stats()
+        if stats is not None:
+            report = dataclasses.replace(
+                report,
+                feature_cache_hits=stats.hits,
+                feature_cache_misses=stats.misses,
+                feature_cache_evictions=stats.evictions,
+                feature_cache_hit_rate=stats.hit_rate,
+            )
+        return report
 
     def cache_stats(self):
-        """Cache counters, or ``None`` when caching is disabled."""
+        """Prediction-cache counters, or ``None`` when caching is disabled."""
         return self._cache.stats() if self._cache is not None else None
+
+    def feature_cache_stats(self) -> FeatureCacheStats | None:
+        """The active model's plan-feature cache counters, if it has any.
+
+        The cache lives on the model (not the server), so the counters are
+        shared with every other consumer of the same model instance —
+        admission control, the scheduler, direct calls.
+        """
+        return _model_feature_cache_stats(self.registry.active(self.model_name))
 
     @property
     def coalesced_requests(self) -> int:

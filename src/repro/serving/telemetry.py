@@ -27,6 +27,13 @@ class TelemetryReport:
 
     Latencies are reported in milliseconds; throughput is requests per
     second over the window between the first and the last observation.
+
+    The ``feature_cache_*`` fields mirror the served model's plan-feature
+    cache (:class:`~repro.core.features.MemoizedFeaturizer`) — the second
+    cache tier below the prediction cache that ``cache_hit_rate`` reports
+    on.  They stay zero for models without a memoized featurizer; only
+    :meth:`~repro.serving.server.PredictionServer.snapshot` fills them in
+    (a bare :class:`ServingTelemetry` never sees the model).
     """
 
     n_requests: int
@@ -41,6 +48,10 @@ class TelemetryReport:
     cache_hit_rate: float
     mean_batch_size: float
     max_queue_depth: int
+    feature_cache_hits: int = 0
+    feature_cache_misses: int = 0
+    feature_cache_evictions: int = 0
+    feature_cache_hit_rate: float = 0.0
 
     def to_dict(self) -> dict[str, float]:
         return asdict(self)
@@ -61,6 +72,14 @@ class TelemetryReport:
             f"mean batch size     : {self.mean_batch_size:.2f}",
             f"max queue depth     : {self.max_queue_depth}",
         ]
+        if self.feature_cache_hits or self.feature_cache_misses:
+            lines.extend(
+                [
+                    f"feature cache hits  : {self.feature_cache_hits}",
+                    f"feature cache misses: {self.feature_cache_misses}",
+                    f"feature cache hit % : {100.0 * self.feature_cache_hit_rate:.1f} %",
+                ]
+            )
         return "\n".join(lines)
 
 

@@ -1,0 +1,40 @@
+"""The markdown docs must not carry broken relative links or anchors.
+
+Runs the same checker the CI docs job uses (``tools/check_links.py``), so a
+broken link fails the tier-1 suite locally before it fails CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_links.py"
+
+
+def _run_checker(*arguments: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *arguments],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestDocsLinks:
+    def test_readme_and_docs_have_no_broken_links(self):
+        result = _run_checker("README.md", "docs")
+        assert result.returncode == 0, result.stderr
+
+    def test_required_docs_exist_and_are_linked_from_readme(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for page in ("docs/ARCHITECTURE.md", "docs/API.md"):
+            assert (REPO_ROOT / page).exists()
+            assert page in readme
+
+    def test_checker_reports_broken_links(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](./does-not-exist.md)\n")
+        result = _run_checker(str(bad))
+        assert result.returncode == 1
+        assert "broken link" in result.stderr

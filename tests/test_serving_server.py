@@ -190,6 +190,60 @@ class TestTelemetry:
         assert report.latency_p99_ms == 0.0
 
 
+class TestFeatureCacheTelemetry:
+    """The served model's plan-feature cache surfaces through telemetry."""
+
+    @pytest.fixture(scope="class")
+    def fitted_model(self, tpcds_small):
+        from repro.core.model import LearnedWMP
+
+        model = LearnedWMP(regressor="ridge", n_templates=8, batch_size=10, random_state=0)
+        model.fit(tpcds_small.train_records[:300])
+        return model
+
+    def test_snapshot_carries_feature_cache_fields(self, fitted_model, workload_pool):
+        with PredictionServer(fitted_model) as server:
+            server.predict(workload_pool[:8])
+            report = server.snapshot()
+        stats = fitted_model.feature_cache_stats()
+        assert report.feature_cache_hits == stats.hits
+        assert report.feature_cache_misses == stats.misses
+        assert report.feature_cache_evictions == stats.evictions
+        assert report.feature_cache_hit_rate == pytest.approx(stats.hit_rate)
+        assert report.feature_cache_hits + report.feature_cache_misses > 0
+
+    def test_to_dict_and_render_include_feature_cache(self, fitted_model, workload_pool):
+        with PredictionServer(fitted_model) as server:
+            server.predict(workload_pool[:4])
+            report = server.snapshot()
+        payload = report.to_dict()
+        assert {
+            "feature_cache_hits",
+            "feature_cache_misses",
+            "feature_cache_evictions",
+            "feature_cache_hit_rate",
+        } <= set(payload)
+        assert "feature cache hit %" in report.render()
+
+    def test_fields_stay_zero_without_memoized_featurizer(self, workload_pool):
+        with PredictionServer(ConstantMemoryPredictor(8.0)) as server:
+            server.predict(workload_pool[:4])
+            report = server.snapshot()
+            assert server.feature_cache_stats() is None
+        assert report.feature_cache_hits == 0
+        assert report.feature_cache_misses == 0
+        assert "feature cache" not in report.render()
+
+    def test_server_feature_cache_stats_shared_with_model(self, fitted_model, workload_pool):
+        with PredictionServer(fitted_model) as server:
+            server.predict_workload(workload_pool[0])
+            served_stats = server.feature_cache_stats()
+        # Same cache instance as the model's: direct calls advance it too.
+        fitted_model.predict_workload(workload_pool[0])
+        direct_stats = fitted_model.feature_cache_stats()
+        assert direct_stats.requests > served_stats.requests
+
+
 class TestLoadGenerator:
     def test_replay_reports_throughput_and_latency(self, workload_pool):
         from repro.workloads.replay import replay_requests_from_workloads

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Link-check markdown files: every relative link must resolve.
+
+Scans the given markdown files (and, for directory arguments, their
+``*.md`` files) for inline links and validates the ones that point into the
+repository:
+
+* relative file links must name an existing file or directory;
+* intra-document anchors (``#section``) and anchors on relative links must
+  match a heading of the target document (GitHub anchor rules: lowercase,
+  punctuation stripped, spaces to dashes);
+* external links (``http://``, ``https://``, ``mailto:``) are *not* fetched
+  — CI must stay hermetic — but obviously malformed ones (empty target) fail.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+
+Exits non-zero listing every broken link.  No third-party dependencies, so
+the CI docs job can run it on a bare Python.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_anchor(heading: str) -> str:
+    """The GitHub-style anchor id of a heading text."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+_ANCHOR_CACHE: dict[Path, set[str]] = {}
+
+
+def document_anchors(path: Path) -> set[str]:
+    resolved = path.resolve()
+    anchors = _ANCHOR_CACHE.get(resolved)
+    if anchors is None:
+        content = _CODE_FENCE_RE.sub("", resolved.read_text(encoding="utf-8"))
+        anchors = {github_anchor(match) for match in _HEADING_RE.findall(content)}
+        _ANCHOR_CACHE[resolved] = anchors
+    return anchors
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    """Return a list of broken-link descriptions for one markdown file."""
+    errors: list[str] = []
+    content = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for target in _LINK_RE.findall(content):
+        if not target:
+            errors.append(f"{path}: empty link target")
+            continue
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        if target.startswith("#"):
+            if github_anchor(target[1:]) not in document_anchors(path):
+                errors.append(f"{path}: missing anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        source_in_repo = path.resolve().is_relative_to(repo_root.resolve())
+        if source_in_repo and not resolved.is_relative_to(repo_root.resolve()):
+            errors.append(f"{path}: link escapes the repository: {target!r}")
+            continue
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target!r} -> {resolved}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_anchor(anchor) not in document_anchors(resolved):
+                errors.append(f"{path}: missing anchor {target!r} in {file_part}")
+    return errors
+
+
+def collect(arguments: list[str]) -> list[Path]:
+    paths: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            paths.extend(sorted(path.glob("*.md")))
+        else:
+            paths.append(path)
+    return paths
+
+
+def main(argv: list[str]) -> int:
+    arguments = argv or ["README.md", "docs"]
+    repo_root = Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    checked = 0
+    for path in collect(arguments):
+        if not path.exists():
+            errors.append(f"{path}: file does not exist")
+            continue
+        errors.extend(check_file(path, repo_root))
+        checked += 1
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} markdown file(s): {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -16,11 +16,13 @@ import time
 import numpy as np
 from conftest import run_once
 
+from repro.api import CachePolicy, PredictionRequest, as_predictor
 from repro.core.featurizer import PlanFeaturizer
-from repro.core.features import MemoizedFeaturizer
+from repro.core.features import MemoizedFeaturizer, plan_fingerprint
 from repro.core.model import LearnedWMP
 from repro.core.workload import make_workloads
 from repro.integration.admission import AdmissionController
+from repro.integration.predictors import CachedPredictor
 from repro.integration.scheduler import RoundScheduler
 from repro.serving import PredictionServer, ServerConfig
 from repro.workloads.generator import generate_dataset
@@ -53,6 +55,52 @@ def _best_of(n, func, *args):
         result = func(*args)
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+def test_fingerprint_memo_beats_rehashing(benchmark):
+    """The plan-object fingerprint memo must beat re-hashing every tree.
+
+    Warm feature-cache hits used to pay a full blake2b re-hash of the plan
+    tree per call; with the invalidation-safe memo slot on ``PlanNode`` the
+    warm path is a cheap structural-token walk.  Exactness first: memoized
+    digests must equal freshly computed ones, and a mutation must still be
+    picked up.
+    """
+    _, _, records = _replay_records()
+    plans = [record.plan for record in records]
+
+    def cold_pass():
+        # Strip the memo before every call so each fingerprint re-hashes,
+        # which is what every call paid before the memo slot existed.
+        out = []
+        for plan in plans:
+            plan.__dict__.pop("_fp_memo", None)
+            out.append(plan_fingerprint(plan))
+        return out
+
+    cold_s, cold_digests = _best_of(3, cold_pass)
+    plan_fingerprint(plans[0])  # ensure memos are populated before timing
+    for plan in plans:
+        plan_fingerprint(plan)
+    warm_s, warm_digests = run_once(
+        benchmark, lambda: _best_of(3, lambda: [plan_fingerprint(p) for p in plans])
+    )
+
+    print()
+    print(f"plans fingerprinted      : {len(plans)}")
+    print(f"cold re-hash             : {len(plans) / cold_s:10.0f} plans/s")
+    print(f"warm memoized            : {len(plans) / warm_s:10.0f} plans/s")
+    print(f"memo delta               : {cold_s / warm_s:10.2f}x")
+
+    assert warm_digests == cold_digests
+    assert warm_s < cold_s
+    # Invalidation safety: a mutation must change the digest despite the memo.
+    victim = plans[0]
+    before = plan_fingerprint(victim)
+    victim.est_cardinality += 1.0
+    assert plan_fingerprint(victim) != before
+    victim.est_cardinality -= 1.0
+    assert plan_fingerprint(victim) == before
 
 
 def test_warm_cache_featurization_beats_naive(benchmark):
@@ -119,13 +167,16 @@ def test_warm_cache_batched_predict_beats_naive_refeaturize(benchmark):
     assert warm_s < naive_s
 
 
-def test_admission_and_scheduler_through_served_predictor(benchmark):
-    """Admission control and scheduling driven end-to-end through a server.
+def test_admission_and_scheduler_accept_any_predictor(benchmark):
+    """Admission/scheduler parity across every Predictor-protocol shape.
 
-    The served path must reproduce the direct model's decisions exactly
-    while exercising both cache tiers: the server's prediction cache for
-    repeated workloads and the model's plan-feature cache for everything
-    else.
+    The redesign's acceptance bar: a direct model, a ``CachedPredictor`` and
+    a ``PredictionServer`` are interchangeable behind the unified
+    :class:`repro.api.Predictor` protocol — identical admission and
+    scheduling decisions — and server-vs-direct parity is checked on typed
+    ``PredictionResult`` objects, not raw floats.  The served run exercises
+    both cache tiers: the server's prediction cache for repeated workloads
+    and the model's plan-feature cache for everything else.
     """
     dataset, _, _ = _replay_records()
     model = LearnedWMP(
@@ -142,14 +193,29 @@ def test_admission_and_scheduler_through_served_predictor(benchmark):
     direct_admission = AdmissionController(model, pool_mb).run(window)
     direct_schedule = RoundScheduler(model, pool_mb).schedule(window)
 
+    cached = CachedPredictor(model)
+    cached_admission = AdmissionController(cached, pool_mb).run(window)
+    cached_schedule = RoundScheduler(cached, pool_mb).schedule(window)
+
     def _served():
         config = ServerConfig(max_batch_size=64, max_wait_s=0.002)
         with PredictionServer(model, config=config) as server:
             admission = AdmissionController(server, pool_mb).run(window)
             schedule = RoundScheduler(server, pool_mb).schedule(window)
-            return admission, schedule, server.snapshot()
+            results = server.predict_batch(
+                [
+                    PredictionRequest.of(w, cache_policy=CachePolicy.BYPASS)
+                    for w in window
+                ]
+            )
+            return admission, schedule, results, server.snapshot()
 
-    served_admission, served_schedule, snapshot = run_once(benchmark, _served)
+    served_admission, served_schedule, served_results, snapshot = run_once(
+        benchmark, _served
+    )
+    direct_results = as_predictor(model).predict_batch(
+        [PredictionRequest.of(w) for w in window]
+    )
 
     print()
     print(f"workloads in window      : {len(window)}")
@@ -158,9 +224,17 @@ def test_admission_and_scheduler_through_served_predictor(benchmark):
     print(f"served requests          : {snapshot.n_requests:10d}")
     print(f"feature cache hit %      : {100.0 * snapshot.feature_cache_hit_rate:9.1f} %")
 
-    # The served predictor must make the same decisions as the direct model.
+    # Every predictor shape must make the same decisions as the direct model.
+    assert cached_admission.summary() == direct_admission.summary()
     assert served_admission.summary() == direct_admission.summary()
+    assert cached_schedule.summary() == direct_schedule.summary()
     assert served_schedule.summary() == direct_schedule.summary()
+    # Server-vs-direct parity over typed results: same estimates, and the
+    # provenance says where each answer came from.
+    for served, computed in zip(served_results, direct_results):
+        assert abs(served.memory_mb - computed.memory_mb) < 1e-9
+        assert served.model_version == 1 and computed.model_version is None
+        assert served.feature_cache_active and computed.feature_cache_active
     # The scheduler's batch re-used the admission batch's plans: the feature
     # cache (shared through the model) answered them without re-walks.
     assert snapshot.n_requests > 0

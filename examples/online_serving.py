@@ -18,6 +18,7 @@ from repro import (
     LearnedWMP,
     LoadGenerator,
     ModelRegistry,
+    PredictionRequest,
     PredictionServer,
     ServerConfig,
     generate_dataset,
@@ -63,18 +64,32 @@ def main() -> None:
         report = LoadGenerator(server, requests, qps=TARGET_QPS, benchmark=BENCHMARK).run()
         print(report.render())
 
+        # The typed API: a frozen PredictionRequest in, a PredictionResult
+        # out, carrying the answering model's name+version and provenance.
         sample = make_workloads(dataset.test_records, BATCH_SIZE, seed=1)[0]
-        before = server.predict_workload(sample)
+        before = server.predict(PredictionRequest.of(sample, request_id="swap-demo"))
+        print(
+            f"\n  typed result: {before.memory_mb:8.1f} MB "
+            f"from {before.model_name} v{before.model_version} "
+            f"(request {before.request_id}, cache_hit={before.cache_hit})"
+        )
 
         print("\nHot-swapping to version 2 (no restart) ...")
         registry.promote("tpcds", 2)
-        after = server.predict_workload(sample)
-        print(f"  same workload, v1 -> v2 : {before:8.1f} MB -> {after:8.1f} MB")
+        after = server.predict(PredictionRequest.of(sample))
+        print(
+            f"  same workload, v{before.model_version} -> v{after.model_version} : "
+            f"{before.memory_mb:8.1f} MB -> {after.memory_mb:8.1f} MB"
+        )
 
         print("Rolling back to version 1 ...")
         registry.rollback("tpcds")
-        restored = server.predict_workload(sample)
-        print(f"  after rollback          : {restored:8.1f} MB")
+        restored = server.predict(PredictionRequest.of(sample))
+        print(
+            f"  after rollback          : {restored.memory_mb:8.1f} MB "
+            f"(v{restored.model_version})"
+        )
+        assert restored.model_version == 1
 
         print("\nFinal serving telemetry:")
         print(server.snapshot().render())

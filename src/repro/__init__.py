@@ -13,12 +13,16 @@ the following layers:
 * :mod:`repro.experiments` — runners regenerating every figure of the paper's
   evaluation (plus an extension experiment on the downstream impact of
   prediction quality).
+* :mod:`repro.api` — the unified prediction API: the :class:`Predictor`
+  protocol with typed :class:`PredictionRequest` / :class:`PredictionResult`
+  objects every consumer programs against.
+* :mod:`repro.registry` — the unified named/versioned model registry with
+  hot-swap promotion, rollback and retrain lineage.
 * :mod:`repro.integration` — the consumers of the predictions: admission
   control, workload scheduling, capacity planning, drift detection, the model
   retraining lifecycle and a concurrent-execution simulator.
-* :mod:`repro.serving` — the online layer: model registry with hot-swap
-  promotion, micro-batched prediction serving, LRU+TTL caching, telemetry
-  and a QPS load-test harness.
+* :mod:`repro.serving` — the online layer: micro-batched prediction serving
+  over the registry, LRU+TTL caching, telemetry and a QPS load-test harness.
 * :mod:`repro.ml` — the from-scratch ML substrate everything is built on.
 * :mod:`repro.cli` — the ``learnedwmp`` command-line interface.
 
@@ -34,6 +38,14 @@ Quickstart::
     print(model.evaluate(test_workloads))
 """
 
+from repro.api import (
+    CachePolicy,
+    DirectPredictor,
+    PredictionRequest,
+    PredictionResult,
+    Predictor,
+    as_predictor,
+)
 from repro.core import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_N_TEMPLATES,
@@ -56,9 +68,9 @@ from repro.core import (
     summarize_residuals,
 )
 from repro.dbms import SimulatedDBMS
+from repro.registry import ModelRegistry, ModelVersion
 from repro.serving import (
     LoadGenerator,
-    ModelRegistry,
     PredictionServer,
     ServerConfig,
 )
@@ -75,6 +87,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "Predictor",
+    "PredictionRequest",
+    "PredictionResult",
+    "CachePolicy",
+    "DirectPredictor",
+    "as_predictor",
     "LearnedWMP",
     "SingleWMP",
     "SingleWMPDBMS",
@@ -102,6 +120,7 @@ __all__ = [
     "JOBGenerator",
     "TPCCGenerator",
     "ModelRegistry",
+    "ModelVersion",
     "PredictionServer",
     "ServerConfig",
     "LoadGenerator",

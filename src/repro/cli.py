@@ -239,7 +239,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _serving_setup(args: argparse.Namespace):
     """Build (registry, server, requests) for the serving subcommands."""
-    from repro.serving import ModelRegistry, PredictionServer, ServerConfig
+    from repro.registry import ModelRegistry
+    from repro.serving import PredictionServer, ServerConfig
     from repro.workloads.replay import build_replay_requests
 
     dataset = generate_dataset(args.benchmark, args.queries, seed=args.seed)
@@ -282,6 +283,8 @@ def _serving_setup(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import PredictionRequest
+
     registry, server, requests = _serving_setup(args)
     print(
         f"serving model 'default' v{registry.active_version('default')} "
@@ -294,11 +297,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         LoadGenerator(server, requests, qps=args.qps, benchmark=args.benchmark).run()
         print(server.snapshot().render())
+        sample = server.predict(PredictionRequest.of(requests[0]))
+        print(
+            f"sample typed result : {sample.memory_mb:.1f} MB from "
+            f"{sample.model_name} v{sample.model_version} "
+            f"(cache_hit={sample.cache_hit}, "
+            f"feature_cache={'on' if sample.feature_cache_active else 'off'})"
+        )
     return 0
+
+
+def _parity_check(server, model, requests, n_samples: int = 8) -> float:
+    """Max |served - direct| over a request sample, as PredictionResult objects.
+
+    Both sides answer typed :class:`~repro.api.PredictionRequest` objects
+    through the unified :class:`~repro.api.Predictor` protocol — the served
+    path with :attr:`~repro.api.CachePolicy.BYPASS` so the comparison
+    reaches the model rather than the prediction cache.
+    """
+    from repro.api import CachePolicy, PredictionRequest, as_predictor
+
+    sample = requests[: max(1, min(n_samples, len(requests)))]
+    direct = as_predictor(model)
+    served_results = server.predict_batch(
+        [PredictionRequest.of(w, cache_policy=CachePolicy.BYPASS) for w in sample]
+    )
+    direct_results = direct.predict_batch([PredictionRequest.of(w) for w in sample])
+    return max(
+        abs(served.memory_mb - computed.memory_mb)
+        for served, computed in zip(served_results, direct_results)
+    )
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     import time
+
+    from repro.api import PredictionRequest, as_predictor
 
     _, server, requests = _serving_setup(args)
     print(f"load-testing at {args.qps:.0f} req/s with {len(requests)} requests ...\n")
@@ -309,9 +343,10 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             server, requests, qps=args.qps, benchmark=args.benchmark
         ).run()
         feature_stats = server.feature_cache_stats()
+        model = server.registry.active("default")
+        parity_delta = _parity_check(server, model, requests)
         naive_qps = None
         if args.compare_naive:
-            model = server.registry.active("default")
             # The serving run just warmed the model's plan-feature cache;
             # swap in the un-memoized base featurizer so the naive loop
             # actually re-featurizes, as the flag advertises.
@@ -319,14 +354,16 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             if isinstance(memoized, MemoizedFeaturizer):
                 model.featurizer = memoized.base
             try:
+                direct = as_predictor(model)
                 start = time.monotonic()
                 for workload in requests:
-                    model.predict_workload(workload)
+                    direct.predict(PredictionRequest.of(workload))
                 naive_qps = len(requests) / max(time.monotonic() - start, 1e-9)
             finally:
                 if isinstance(memoized, MemoizedFeaturizer):
                     model.featurizer = memoized
     print(report.render())
+    print(f"server/direct parity: max |Δ| {parity_delta:.6f} MB over typed results")
     if feature_stats is not None:
         print(f"feature cache hits  : {feature_stats.hits}")
         print(f"feature cache hit % : {100.0 * feature_stats.hit_rate:.1f} %")
@@ -335,6 +372,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"serving speedup     : {report.achieved_qps / naive_qps:.2f}x")
     if args.output is not None:
         payload = report.to_dict()
+        payload["parity_max_delta_mb"] = parity_delta
         if feature_stats is not None:
             payload["feature_cache_hits"] = feature_stats.hits
             payload["feature_cache_misses"] = feature_stats.misses

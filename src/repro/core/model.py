@@ -23,7 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.features import FeatureCacheStats, MemoizedFeaturizer
+from repro.core.features import FeatureCacheStats, MemoizedFeaturizer, reconfigure_featurizer
 from repro.core.featurizer import PlanFeaturizer
 from repro.core.histogram import bin_queries, build_histogram_dataset
 from repro.core.regressors import make_regressor
@@ -227,24 +227,23 @@ class LearnedWMP:
         featurizer = self.featurizer
         return featurizer.stats() if isinstance(featurizer, MemoizedFeaturizer) else None
 
-    def configure_feature_cache(self, max_entries: int) -> None:
-        """Size the plan-feature cache; ``0`` disables memoization entirely.
+    def configure_feature_cache(
+        self, max_entries: int | None = None, *, shared: bool | None = None
+    ) -> None:
+        """Configure the plan-feature cache; ``max_entries=0`` disables it.
 
-        Enabling (``max_entries > 0``) wraps a plain featurizer in a
+        ``max_entries > 0`` wraps a plain featurizer in a
         :class:`~repro.core.features.MemoizedFeaturizer` or resizes an
-        existing one; disabling unwraps back to the base featurizer.  No-op
-        for template methods without a plan featurizer.
+        existing one.  ``shared=True`` switches the cache to the opt-in
+        process-level store keyed by (featurizer config fingerprint, plan
+        fingerprint), so multiple registered model versions share feature
+        rows across hot swaps; ``shared=False`` returns to a private cache.
+        No-op for template methods without a plan featurizer.
         """
         featurizer = self.featurizer
-        if featurizer is None:
-            return
-        if max_entries <= 0:
-            if isinstance(featurizer, MemoizedFeaturizer):
-                self.featurizer = featurizer.base
-        elif isinstance(featurizer, MemoizedFeaturizer):
-            featurizer.resize(max_entries)
-        else:
-            self.featurizer = MemoizedFeaturizer(featurizer, max_entries=max_entries)
+        new = reconfigure_featurizer(featurizer, max_entries, shared=shared)
+        if new is not featurizer and new is not None:
+            self.featurizer = new
 
     def histogram(self, queries: Sequence[QueryRecord] | Workload) -> np.ndarray:
         """The template histogram of a workload (inference steps IN1–IN4)."""

@@ -18,7 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.features import FeatureCacheStats, MemoizedFeaturizer
+from repro.core.features import FeatureCacheStats, MemoizedFeaturizer, reconfigure_featurizer
 from repro.core.featurizer import PlanFeaturizer
 from repro.core.workload import Workload
 from repro.dbms.query_log import QueryRecord
@@ -91,16 +91,17 @@ class SingleWMP:
         featurizer = self._featurizer
         return featurizer.stats() if isinstance(featurizer, MemoizedFeaturizer) else None
 
-    def configure_feature_cache(self, max_entries: int) -> None:
-        """Size the plan-feature cache; ``0`` disables memoization entirely."""
-        featurizer = self._featurizer
-        if max_entries <= 0:
-            if isinstance(featurizer, MemoizedFeaturizer):
-                self._featurizer = featurizer.base
-        elif isinstance(featurizer, MemoizedFeaturizer):
-            featurizer.resize(max_entries)
-        else:
-            self._featurizer = MemoizedFeaturizer(featurizer, max_entries=max_entries)
+    def configure_feature_cache(
+        self, max_entries: int | None = None, *, shared: bool | None = None
+    ) -> None:
+        """Configure the plan-feature cache; ``max_entries=0`` disables it.
+
+        ``shared=True`` opts into the process-level shared feature cache
+        (see :func:`repro.core.features.reconfigure_featurizer`).
+        """
+        new = reconfigure_featurizer(self._featurizer, max_entries, shared=shared)
+        if new is not None:
+            self._featurizer = new
 
     def fit(self, records: Sequence[QueryRecord]) -> "SingleWMP":
         """Train the per-query regressor on (plan features, actual memory) pairs."""

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator
 
-__all__ = ["OperatorType", "PlanNode", "BLOCKING_OPERATORS"]
+__all__ = ["OperatorType", "PlanNode", "BLOCKING_OPERATORS", "FINGERPRINT_FIELDS"]
 
 
 class OperatorType(str, Enum):
@@ -46,6 +46,11 @@ class OperatorType(str, Enum):
 BLOCKING_OPERATORS: frozenset[OperatorType] = frozenset(
     {OperatorType.SORT, OperatorType.HSJOIN, OperatorType.GRPBY}
 )
+
+#: PlanNode fields that participate in :func:`repro.core.features.plan_fingerprint`.
+#: Assigning any of them bumps the node's fingerprint version, which is what
+#: keeps the per-node fingerprint memo invalidation-safe (see PlanNode notes).
+FINGERPRINT_FIELDS: frozenset[str] = frozenset({"op_type", "est_cardinality", "children"})
 
 
 @dataclass
@@ -79,6 +84,25 @@ class PlanNode:
     table: str | None = None
     detail: str = ""
     children: list["PlanNode"] = field(default_factory=list)
+
+    # -- fingerprint bookkeeping --------------------------------------------------
+    #
+    # ``plan_fingerprint`` (repro.core.features) memoizes its digest on the
+    # node it was called on, guarded by a cheap structural token derived from
+    # per-node ``_fp_version`` counters.  Assigning any field the fingerprint
+    # reads (FINGERPRINT_FIELDS) bumps this node's counter, and the token
+    # walk re-reads the ``children`` lists, so *any* mutation of the subtree
+    # — field assignment, child replacement, in-place list edits — changes
+    # the token and invalidates the memo.  The bookkeeping lives in
+    # ``__dict__`` (not dataclass fields), so repr/eq/pickle semantics of the
+    # plan are unchanged.
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        if name in FINGERPRINT_FIELDS:
+            state = self.__dict__
+            state["_fp_version"] = state.get("_fp_version", 0) + 1
+            state.pop("_fp_memo", None)
 
     # -- traversal ----------------------------------------------------------------
 

@@ -35,12 +35,12 @@ from repro.integration.drift import (
     HistogramDriftDetector,
     population_stability_index,
 )
-from repro.integration.lifecycle import (
-    ModelLifecycleManager,
-    ModelRegistry,
-    ModelVersion,
-    RetrainDecision,
-)
+# ModelRegistry/ModelVersion resolve to the unified repro.registry classes —
+# the deprecated single-lineage shim stays reachable only at its full path
+# (repro.integration.lifecycle.ModelRegistry), so the bare name is
+# unambiguous across repro, repro.serving and repro.integration.
+from repro.integration.lifecycle import ModelLifecycleManager, RetrainDecision
+from repro.registry import ModelRegistry, ModelVersion
 from repro.integration.predictors import (
     CachedPredictor,
     ConstantMemoryPredictor,

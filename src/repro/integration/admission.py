@@ -22,9 +22,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.api import PredictionRequest, Predictor, as_predictor
 from repro.core.workload import Workload
 from repro.exceptions import InvalidParameterError
-from repro.integration.predictors import WorkloadMemoryPredictor, batch_predict
 
 __all__ = [
     "AdmissionOutcome",
@@ -127,8 +127,12 @@ class AdmissionController:
     Parameters
     ----------
     predictor:
-        Any object with ``predict_workload(workload) -> float`` (LearnedWMP,
-        SingleWMP, SingleWMPDBMS, or a reference predictor).
+        Anything :func:`repro.api.as_predictor` accepts: an object already
+        satisfying the :class:`repro.api.Predictor` protocol (e.g. a
+        :class:`~repro.serving.server.PredictionServer`) or a legacy
+        predictor with ``predict_workload`` (LearnedWMP, SingleWMP,
+        SingleWMPDBMS, a reference predictor, a ``CachedPredictor``).  The
+        controller itself consumes only the protocol.
     memory_pool_mb:
         Size of the working-memory pool the admitted set must fit into.
     safety_factor:
@@ -138,7 +142,7 @@ class AdmissionController:
 
     def __init__(
         self,
-        predictor: WorkloadMemoryPredictor,
+        predictor: Predictor | object,
         memory_pool_mb: float,
         *,
         safety_factor: float = 1.0,
@@ -147,7 +151,7 @@ class AdmissionController:
             raise InvalidParameterError("memory_pool_mb must be > 0")
         if safety_factor <= 0.0:
             raise InvalidParameterError("safety_factor must be > 0")
-        self.predictor = predictor
+        self.predictor: Predictor = as_predictor(predictor)
         self.memory_pool_mb = float(memory_pool_mb)
         self.safety_factor = float(safety_factor)
 
@@ -155,7 +159,8 @@ class AdmissionController:
 
     def predicted_demand(self, workload: Workload) -> float:
         """The (safety-adjusted) predicted demand the controller plans with."""
-        return float(self.predictor.predict_workload(workload)) * self.safety_factor
+        result = self.predictor.predict(PredictionRequest.of(workload))
+        return result.memory_mb * self.safety_factor
 
     def admits(self, workload: Workload, in_use_mb: float = 0.0) -> bool:
         """Would the controller admit ``workload`` given ``in_use_mb`` already granted?"""
@@ -174,17 +179,17 @@ class AdmissionController:
         exceeds the pool is admitted alone rather than starved forever —
         mirroring how real workload managers special-case oversized requests.
 
-        All demands are predicted once, up front, through
-        :func:`~repro.integration.predictors.batch_predict` — one vectorized
-        model call (or one micro-batched round trip against a
+        All demands are predicted once, up front, through the protocol's
+        ``predict_batch`` — one vectorized model call (or one micro-batched
+        round trip against a
         :class:`~repro.serving.server.PredictionServer`) instead of one
         invocation per workload per round.
         """
         report = AdmissionReport(memory_pool_mb=self.memory_pool_mb)
-        demands = [
-            value * self.safety_factor
-            for value in batch_predict(self.predictor, list(workloads))
-        ]
+        results = self.predictor.predict_batch(
+            [PredictionRequest.of(workload) for workload in workloads]
+        )
+        demands = [result.memory_mb * self.safety_factor for result in results]
         pending = list(enumerate(workloads))
         round_index = 0
         while pending:

@@ -15,9 +15,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api import PredictionRequest, Predictor, as_predictor
 from repro.core.workload import Workload
 from repro.exceptions import InvalidParameterError
-from repro.integration.predictors import WorkloadMemoryPredictor
 
 __all__ = ["CapacityPlan", "CapacityPlanner"]
 
@@ -68,19 +68,20 @@ class CapacityPlanner:
     Parameters
     ----------
     predictor:
-        Any object with ``predict_workload(workload) -> float``.
+        Anything :func:`repro.api.as_predictor` accepts; the planner
+        consumes only the :class:`repro.api.Predictor` protocol.
     """
 
-    def __init__(self, predictor: WorkloadMemoryPredictor) -> None:
-        self.predictor = predictor
+    def __init__(self, predictor: Predictor | object) -> None:
+        self.predictor: Predictor = as_predictor(predictor)
 
     def _predictions(self, workloads: Sequence[Workload]) -> np.ndarray:
         if not workloads:
             raise InvalidParameterError("cannot plan capacity for zero workloads")
-        return np.array(
-            [float(self.predictor.predict_workload(w)) for w in workloads],
-            dtype=np.float64,
+        results = self.predictor.predict_batch(
+            [PredictionRequest.of(workload) for workload in workloads]
         )
+        return np.array([result.memory_mb for result in results], dtype=np.float64)
 
     def plan(
         self,

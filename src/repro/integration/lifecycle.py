@@ -4,64 +4,65 @@ The paper's deployment story ("DBMS Integration & Broader Impact"): the
 vendor pre-trains a LearnedWMP model on sample workloads and ships it inside
 the DBMS; on the operational site the DBMS keeps collecting its own query log
 and periodically retrains the model so accuracy improves on the local
-workload.  This module provides the pieces of that loop:
+workload.  :class:`ModelLifecycleManager` is the controller of that loop: it
+bootstraps the first model, accumulates fresh query-log records, consults the
+drift detectors and decides when to retrain and promote a new version.
 
-* :class:`ModelVersion` / :class:`ModelRegistry` — versioned storage of fitted
-  models with their training metadata and validation metrics,
-* :class:`ModelLifecycleManager` — the controller that bootstraps the first
-  model, accumulates fresh query-log records, consults the drift detectors
-  and decides when to retrain and promote a new version.
+Versions live in the unified :class:`repro.registry.ModelRegistry` — the same
+registry an online :class:`~repro.serving.server.PredictionServer` resolves
+its active model from — so a retrain+promote here hot-swaps a running server
+on its next batch, and the per-name lineage (training-record counts,
+validation MAPE, retrain reasons) is recorded on the very versions the server
+serves.  The single-lineage ``ModelRegistry`` that used to live in this
+module remains importable as a deprecation shim wrapping one name of the
+unified registry.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import Callable, Sequence
 
+from repro.api import PredictionRequest, as_predictor
 from repro.core.model import LearnedWMP
 from repro.core.workload import make_workloads
 from repro.dbms.query_log import QueryRecord
 from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.integration.drift import DriftReport, ErrorDriftDetector, HistogramDriftDetector
-
-if TYPE_CHECKING:  # pragma: no cover - import only for annotations
-    from repro.serving.registry import ModelRegistry as ServingModelRegistry
+from repro.registry import ModelRegistry as UnifiedModelRegistry
+from repro.registry import ModelVersion
 
 __all__ = ["ModelVersion", "ModelRegistry", "RetrainDecision", "ModelLifecycleManager"]
 
 
-@dataclass(frozen=True)
-class ModelVersion:
-    """One fitted model together with its training provenance.
+class ModelRegistry:
+    """Deprecated single-lineage view over :class:`repro.registry.ModelRegistry`.
 
-    Attributes
-    ----------
-    version:
-        Monotonically increasing version number (1 = the shipped model).
-    model:
-        The fitted :class:`~repro.core.model.LearnedWMP` instance.
-    n_training_records:
-        How many query-log records the version was trained on.
-    validation_mape:
-        MAPE on the held-out validation workloads measured at training time
-        (``None`` when no validation split was possible).
-    reason:
-        Why this version was created (``"bootstrap"``, ``"scheduled"``,
-        ``"drift"`` ...).
+    The old lifecycle registry tracked exactly one lineage of retrained
+    versions.  This shim keeps that surface (``register`` with training
+    provenance, ``current``, ``history``, ``len``) as a view over one name
+    of the unified registry; new code should use
+    :class:`repro.registry.ModelRegistry` directly.
     """
 
-    version: int
-    model: LearnedWMP
-    n_training_records: int
-    validation_mape: float | None
-    reason: str
+    _deprecation_warned = False
 
-
-class ModelRegistry:
-    """In-memory registry of model versions (newest = the deployed one)."""
-
-    def __init__(self) -> None:
-        self._versions: list[ModelVersion] = []
+    def __init__(
+        self, *, registry: UnifiedModelRegistry | None = None, name: str = "default"
+    ) -> None:
+        cls = ModelRegistry
+        if not cls._deprecation_warned:
+            cls._deprecation_warned = True
+            warnings.warn(
+                "repro.integration.lifecycle.ModelRegistry is deprecated; "
+                "use repro.registry.ModelRegistry (named lineages via "
+                "history()/latest()) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self.registry = registry if registry is not None else UnifiedModelRegistry()
+        self.name = name
 
     def register(
         self,
@@ -72,30 +73,31 @@ class ModelRegistry:
         reason: str,
     ) -> ModelVersion:
         """Add a new version and make it the deployed model."""
-        version = ModelVersion(
-            version=len(self._versions) + 1,
-            model=model,
+        version = self.registry.register(
+            self.name,
+            model,
+            promote=True,
             n_training_records=n_training_records,
             validation_mape=validation_mape,
             reason=reason,
         )
-        self._versions.append(version)
-        return version
+        return self.registry.get(self.name, version)
 
     @property
     def current(self) -> ModelVersion:
         """The deployed (most recent) version."""
-        if not self._versions:
-            raise NotFittedError("the registry is empty; bootstrap a model first")
-        return self._versions[-1]
+        try:
+            return self.registry.latest(self.name)
+        except NotFittedError:
+            raise NotFittedError("the registry is empty; bootstrap a model first") from None
 
     @property
     def history(self) -> list[ModelVersion]:
         """All versions, oldest first."""
-        return list(self._versions)
+        return self.registry.history(self.name)
 
     def __len__(self) -> int:
-        return len(self._versions)
+        return len(self.registry.history(self.name))
 
 
 @dataclass(frozen=True)
@@ -119,8 +121,14 @@ class ModelLifecycleManager:
         :class:`~repro.core.model.LearnedWMP` (so every retrain starts from a
         clean model with the operator-chosen hyperparameters).
     registry:
-        Where fitted versions are stored; a fresh registry is created when
-        omitted.
+        The unified :class:`repro.registry.ModelRegistry` fitted versions are
+        registered (and promoted) in; a fresh registry is created when
+        omitted.  Point a :class:`~repro.serving.server.PredictionServer` at
+        the same registry and every retrain hot-swaps the served model on
+        its next batch, with ``rollback`` available there.
+    model_name:
+        The registry name this manager owns; lineage queries
+        (``registry.history(model_name)``) and server resolution use it.
     min_new_records:
         Never retrain before this many new query-log records have been
         observed since the deployed version was trained.
@@ -136,25 +144,44 @@ class ModelLifecycleManager:
     seed:
         Seed for the validation split and workload batching.
     serving_registry / serving_name:
-        Optional bridge to the online layer: when a
-        :class:`repro.serving.registry.ModelRegistry` is given, every version
-        this manager trains is registered under ``serving_name`` and promoted,
-        so a running :class:`~repro.serving.server.PredictionServer` hot-swaps
-        to it on its next batch (and ``rollback`` remains available there).
+        Deprecated aliases of ``registry`` / ``model_name`` from the era of
+        two registry classes; passing them emits a ``DeprecationWarning``
+        and redirects to the unified fields.
     """
 
     model_factory: Callable[[], LearnedWMP]
-    registry: ModelRegistry = field(default_factory=ModelRegistry)
+    registry: UnifiedModelRegistry = field(default_factory=UnifiedModelRegistry)
     min_new_records: int = 500
     histogram_drift_threshold: float = 0.25
     error_drift_threshold_mape: float = 30.0
     validation_fraction: float = 0.2
     batch_size: int = 10
     seed: int = 0
-    serving_registry: "ServingModelRegistry | None" = None
-    serving_name: str = "default"
+    # model_name sits after every pre-unification field so positional callers
+    # of the old signature keep meaning what they meant.
+    model_name: str = "default"
+    serving_registry: UnifiedModelRegistry | None = None
+    serving_name: str | None = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.registry, ModelRegistry):
+            # The deprecated single-lineage shim: unwrap to the unified
+            # registry (and its name) it is a view over — its own register()
+            # signature is incompatible with the manager's calls.
+            self.model_name = self.registry.name
+            self.registry = self.registry.registry
+        if self.serving_registry is not None or self.serving_name is not None:
+            warnings.warn(
+                "ModelLifecycleManager(serving_registry=..., serving_name=...) is "
+                "deprecated; pass registry=/model_name= — the unified registry "
+                "holds both the lineage and the served versions",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if self.serving_registry is not None:
+                self.registry = self.serving_registry
+            if self.serving_name is not None:
+                self.model_name = self.serving_name
         if not 0.0 <= self.validation_fraction < 1.0:
             raise InvalidParameterError("validation_fraction must be in [0, 1)")
         if self.min_new_records < 1:
@@ -165,6 +192,22 @@ class ModelLifecycleManager:
         self._error_detector = ErrorDriftDetector(
             threshold_mape=self.error_drift_threshold_mape
         )
+
+    # -- lineage --------------------------------------------------------------------
+
+    @property
+    def versions(self) -> list[ModelVersion]:
+        """The retrain lineage of this manager's model name, oldest first."""
+        return self.registry.history(self.model_name)
+
+    @property
+    def n_versions(self) -> int:
+        return len(self.registry.history(self.model_name))
+
+    @property
+    def current_version(self) -> ModelVersion:
+        """The most recently trained version (the deployed model)."""
+        return self.registry.latest(self.model_name)
 
     # -- training ------------------------------------------------------------------
 
@@ -187,14 +230,15 @@ class ModelLifecycleManager:
             workloads = make_workloads(validation_records, self.batch_size, seed=self.seed)
             validation_mape = model.evaluate(workloads)["mape"]
 
-        version = self.registry.register(
+        number = self.registry.register(
+            self.model_name,
             model,
+            promote=True,
             n_training_records=len(train_records),
             validation_mape=validation_mape,
             reason=reason,
         )
-        if self.serving_registry is not None:
-            self.serving_registry.register(self.serving_name, model, promote=True)
+        version = self.registry.get(self.model_name, number)
         # Reset drift tracking against the new model's reference distribution.
         self._histogram_detector = HistogramDriftDetector(
             model.templates, threshold=self.histogram_drift_threshold
@@ -206,7 +250,7 @@ class ModelLifecycleManager:
 
     def bootstrap(self, records: Sequence[QueryRecord]) -> ModelVersion:
         """Pre-train the first version (the model the vendor ships)."""
-        if len(self.registry) > 0:
+        if self.n_versions > 0:
             raise InvalidParameterError("registry already has a bootstrapped model")
         return self._fit_version(records, reason="bootstrap")
 
@@ -224,9 +268,18 @@ class ModelLifecycleManager:
     def n_new_records(self) -> int:
         return len(self._new_records)
 
+    def predictor(self):
+        """The deployed model behind the unified :class:`repro.api.Predictor` protocol.
+
+        Resolution happens through the registry's *active* version, so
+        consumers holding this predictor follow promotions and rollbacks.
+        """
+        entry = self.registry.get(self.model_name)
+        return as_predictor(entry.model, name=self.model_name, version=entry.version)
+
     def predict_workload(self, queries) -> float:
         """Predict with the currently deployed version (convenience passthrough)."""
-        return self.registry.current.model.predict_workload(queries)
+        return self.predictor().predict(PredictionRequest.of(queries)).memory_mb
 
     # -- retraining -----------------------------------------------------------------
 
@@ -238,7 +291,7 @@ class ModelLifecycleManager:
         drifted, or the new-record volume alone doubled the training corpus
         (a scheduled refresh).
         """
-        if len(self.registry) == 0:
+        if self.n_versions == 0:
             return RetrainDecision(retrain=False, reason="no bootstrapped model")
         if self.n_new_records < self.min_new_records:
             return RetrainDecision(

@@ -21,12 +21,19 @@ it has one (LearnedWMP, the baselines and
 predictor with the serving layer's LRU+TTL cache so integration components
 that re-consult the model for the same workload (admission rounds, repeated
 scheduling runs) skip redundant model calls.
+
+This is the *legacy* (untyped) surface.  The components in this package now
+consume the unified :class:`repro.api.Predictor` protocol — typed
+:class:`~repro.api.PredictionRequest` in,
+:class:`~repro.api.PredictionResult` out — and accept anything satisfying
+either surface by coercing through :func:`repro.api.as_predictor`.
 """
 
 from __future__ import annotations
 
 from typing import Protocol, Sequence, runtime_checkable
 
+from repro.api import predict_values
 from repro.core.features import FeatureCacheStats
 from repro.core.features import feature_cache_stats as _feature_cache_stats
 from repro.core.workload import Workload
@@ -111,17 +118,7 @@ def batch_predict(
     returns the wrong number of values falls back to the loop, so satisfying
     the protocol alone remains sufficient.
     """
-    if not workloads:
-        return []
-    vectorized = getattr(predictor, "predict", None)
-    if callable(vectorized):
-        try:
-            values = [float(value) for value in vectorized(list(workloads))]
-        except Exception:  # noqa: BLE001 - foreign predict(); use the protocol
-            values = None
-        if values is not None and len(values) == len(workloads):
-            return values
-    return [float(predictor.predict_workload(workload)) for workload in workloads]
+    return predict_values(predictor, list(workloads))
 
 
 class CachedPredictor:
@@ -186,6 +183,23 @@ class CachedPredictor:
                 results[i] = value
                 self._cache.put(workload_signature(workloads[i]), value)
         return [float(value) for value in results]  # type: ignore[arg-type]
+
+    def is_cached(self, queries: Sequence[QueryRecord] | Workload) -> bool:
+        """Whether the workload's prediction is currently cached (TTL-aware).
+
+        A pure probe — counters and LRU order are untouched — used by
+        :class:`repro.api.DirectPredictor` to stamp accurate ``cache_hit``
+        provenance on typed :class:`~repro.api.PredictionResult` objects.
+        """
+        return self._cache.peek(workload_signature(queries))
+
+    def predict_uncached(self, workloads: Sequence[Workload]) -> list[float]:
+        """Batch prediction straight through to the inner predictor.
+
+        The cache is neither read nor written: this is the
+        :attr:`repro.api.CachePolicy.BYPASS` path of the typed API.
+        """
+        return batch_predict(self.predictor, workloads)
 
     def cache_stats(self):
         """Prediction-cache counters of this wrapper."""

@@ -20,9 +20,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api import PredictionRequest, Predictor, as_predictor
 from repro.core.workload import Workload
 from repro.exceptions import InvalidParameterError
-from repro.integration.predictors import WorkloadMemoryPredictor, batch_predict
 
 __all__ = ["ScheduledRound", "ScheduleReport", "RoundScheduler"]
 
@@ -87,7 +87,11 @@ class RoundScheduler:
     Parameters
     ----------
     predictor:
-        Memory predictor used for packing decisions.
+        Memory predictor used for packing decisions — anything
+        :func:`repro.api.as_predictor` accepts (a typed
+        :class:`repro.api.Predictor`, a core model, a cached wrapper, or a
+        :class:`~repro.serving.server.PredictionServer`); the scheduler
+        consumes only the protocol.
     memory_pool_mb:
         Per-round working-memory pool.
     safety_factor:
@@ -97,7 +101,7 @@ class RoundScheduler:
 
     def __init__(
         self,
-        predictor: WorkloadMemoryPredictor,
+        predictor: Predictor | object,
         memory_pool_mb: float,
         *,
         safety_factor: float = 1.0,
@@ -106,7 +110,7 @@ class RoundScheduler:
             raise InvalidParameterError("memory_pool_mb must be > 0")
         if safety_factor <= 0.0:
             raise InvalidParameterError("safety_factor must be > 0")
-        self.predictor = predictor
+        self.predictor: Predictor = as_predictor(predictor)
         self.memory_pool_mb = float(memory_pool_mb)
         self.safety_factor = float(safety_factor)
 
@@ -122,10 +126,10 @@ class RoundScheduler:
             raise InvalidParameterError("cannot schedule an empty workload list")
         # One vectorized (or served, micro-batched) model call for the whole
         # queue rather than one invocation per workload.
-        predictions = [
-            value * self.safety_factor
-            for value in batch_predict(self.predictor, list(workloads))
-        ]
+        results = self.predictor.predict_batch(
+            [PredictionRequest.of(workload) for workload in workloads]
+        )
+        predictions = [result.memory_mb * self.safety_factor for result in results]
         actuals = [float(workload.actual_memory_mb or 0.0) for workload in workloads]
         order = sorted(range(len(workloads)), key=lambda i: predictions[i], reverse=True)
 
@@ -145,7 +149,7 @@ class RoundScheduler:
         return report
 
     def compare(
-        self, workloads: Sequence[Workload], others: dict[str, WorkloadMemoryPredictor]
+        self, workloads: Sequence[Workload], others: dict[str, Predictor | object]
     ) -> dict[str, dict[str, float]]:
         """Schedule the same workloads under this and alternative predictors.
 

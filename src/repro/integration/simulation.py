@@ -34,10 +34,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api import PredictionRequest, Predictor, as_predictor
 from repro.core.workload import Workload
 from repro.dbms.query_log import QueryRecord
 from repro.exceptions import InvalidParameterError
-from repro.integration.predictors import WorkloadMemoryPredictor
 
 __all__ = ["SimulationReport", "ConcurrentExecutionSimulator", "query_work_units"]
 
@@ -176,19 +176,29 @@ class ConcurrentExecutionSimulator:
     def run(
         self,
         batches: Sequence[Workload],
-        predictor: WorkloadMemoryPredictor,
+        predictor: Predictor | object,
         *,
         safety_factor: float = 1.0,
     ) -> SimulationReport:
-        """Execute the batches under admission decisions driven by ``predictor``."""
+        """Execute the batches under admission decisions driven by ``predictor``.
+
+        ``predictor`` is coerced through :func:`repro.api.as_predictor`, so a
+        core model, a cached wrapper and a
+        :class:`~repro.serving.server.PredictionServer` are interchangeable;
+        all demands are priced up front with one protocol ``predict_batch``
+        call.
+        """
         if not batches:
             raise InvalidParameterError("cannot simulate an empty batch list")
         if safety_factor <= 0.0:
             raise InvalidParameterError("safety_factor must be > 0")
 
+        results = as_predictor(predictor).predict_batch(
+            [PredictionRequest.of(batch) for batch in batches]
+        )
         pending: list[tuple[Workload, float]] = [
-            (batch, float(predictor.predict_workload(batch)) * safety_factor)
-            for batch in batches
+            (batch, result.memory_mb * safety_factor)
+            for batch, result in zip(batches, results)
         ]
         report = SimulationReport(memory_pool_mb=self.memory_pool_mb)
         report.n_queries = sum(len(batch) for batch in batches)
@@ -284,7 +294,7 @@ class ConcurrentExecutionSimulator:
     def compare(
         self,
         batches: Sequence[Workload],
-        predictors: dict[str, WorkloadMemoryPredictor],
+        predictors: dict[str, Predictor | object],
         *,
         safety_factor: float = 1.0,
     ) -> dict[str, SimulationReport]:

@@ -4,8 +4,9 @@ The offline pipeline (``repro.core``) answers one prediction per synchronous
 call; this package is the online layer that serves those predictions at
 production request rates:
 
-* :mod:`~repro.serving.registry` — named, versioned models with hot-swap
-  promotion and rollback;
+* :mod:`repro.registry` — the unified named/versioned model registry with
+  hot-swap promotion, rollback and retrain lineage (re-exported here;
+  :mod:`repro.serving.registry` remains as a deprecation shim);
 * :mod:`~repro.serving.cache` — LRU+TTL prediction caching keyed on workload
   signatures (the per-plan feature-cache tier below it lives with the model,
   in :mod:`repro.core.features`);
@@ -19,10 +20,14 @@ production request rates:
   benchmark traffic at a target QPS.
 """
 
+# ModelRegistry/ModelVersion come from the unified subsystem, NOT from the
+# repro.serving.registry shim: `from repro.serving import ModelRegistry`
+# resolves to the same class as `from repro import ModelRegistry`, so the
+# name is unambiguous everywhere it can be imported from.
+from repro.registry import ModelRegistry, ModelVersion
 from repro.serving.batcher import BatcherStats, MicroBatcher
 from repro.serving.cache import CacheStats, LRUTTLCache, workload_signature
 from repro.serving.loadgen import LoadGenerator, LoadTestReport
-from repro.serving.registry import ModelRegistry, ModelVersion
 from repro.serving.server import PredictionServer, ServerConfig
 from repro.serving.telemetry import ServingTelemetry, TelemetryReport
 

@@ -118,6 +118,22 @@ class LRUTTLCache:
             self._hits += 1
             return value
 
+    def peek(self, key: Hashable) -> bool:
+        """Whether ``key`` is cached (honoring TTL) — no counters, no recency.
+
+        Used for cache-provenance reporting: unlike :meth:`get` /
+        ``__contains__`` a peek does not distort the hit/miss counters or
+        the LRU order.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            if self.ttl_s is not None and now - entry[1] > self.ttl_s:
+                return False
+            return True
+
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``, evicting the LRU entry when full."""
         now = self._clock()

@@ -1,211 +1,41 @@
-"""Named, versioned model registry with hot-swap promotion and rollback.
+"""Deprecated import path for the model registry.
 
-An online prediction service cannot restart every time a model is retrained:
-new model versions are *registered* alongside the serving one, *promoted*
-atomically once validated, and *rolled back* instantly when they misbehave.
-:class:`ModelRegistry` provides exactly that lifecycle for any
-``WorkloadMemoryPredictor``:
+The named/versioned registry with hot-swap promotion and rollback that used
+to live here was merged with the integration layer's retrain-lineage
+registry into one subsystem: :mod:`repro.registry`.  This module remains as
+a thin deprecation shim so existing imports keep working::
 
-* every model lives under a name (``"tpcds"``, ``"default"``) and receives a
-  monotonically increasing version number when registered;
-* one version per name is *active*; :meth:`active` resolves it in O(1) under
-  a lock, so a :class:`~repro.serving.server.PredictionServer` picks up a
-  promotion on its very next batch without dropping requests;
-* promotions are recorded in a history stack, so :meth:`rollback` restores
-  the previously active version without needing the caller to remember it;
-* persistence is layered on :mod:`repro.core.serialization`: versions can be
-  saved to and loaded from versioned model files, optionally validating the
-  header's class name before unpickling (``load(..., expected_class=...)``).
+    from repro.serving.registry import ModelRegistry   # deprecated
+    from repro.registry import ModelRegistry           # canonical
+
+The shim class is a subclass of the canonical one (so ``isinstance`` checks
+hold in both directions of migration) that emits a :class:`DeprecationWarning`
+the first time it is instantiated.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Any
+import warnings
 
-from repro.core.serialization import load_model, read_model_header, save_model
-from repro.exceptions import ServingError
+from repro.registry import ModelRegistry as _UnifiedModelRegistry
+from repro.registry import ModelVersion
 
 __all__ = ["ModelVersion", "ModelRegistry"]
 
 
-@dataclass
-class ModelVersion:
-    """One registered model under a name.
+class ModelRegistry(_UnifiedModelRegistry):
+    """Deprecated alias of :class:`repro.registry.ModelRegistry`."""
 
-    Attributes
-    ----------
-    name / version:
-        Registry coordinates; versions start at 1 and only grow.
-    model:
-        The predictor object itself.
-    registered_at:
-        Wall-clock registration time (seconds since the epoch).
-    source_path:
-        File the model was loaded from, when it came from disk.
-    """
-
-    name: str
-    version: int
-    model: Any
-    registered_at: float = field(default_factory=time.time)
-    source_path: Path | None = None
-
-    @property
-    def model_class(self) -> str:
-        return type(self.model).__name__
-
-
-class ModelRegistry:
-    """Thread-safe registry of named, versioned models with one active version.
-
-    All mutating operations (register, promote, rollback) take the registry
-    lock, so concurrent serving threads always observe a consistent active
-    version — this is what makes promotion a *hot swap* rather than a
-    restart.
-    """
+    _deprecation_warned = False
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
-        self._versions: dict[str, dict[int, ModelVersion]] = {}
-        self._active: dict[str, int] = {}
-        self._history: dict[str, list[int]] = {}
-
-    # -- registration -------------------------------------------------------------
-
-    def register(self, name: str, model: Any, *, promote: bool = False) -> int:
-        """Add ``model`` under ``name`` and return its new version number.
-
-        The first version registered under a name is promoted automatically
-        (a service with exactly one model should serve it); later versions
-        stay passive unless ``promote=True``.
-        """
-        if not name:
-            raise ServingError("model name must be non-empty")
-        with self._lock:
-            versions = self._versions.setdefault(name, {})
-            version = max(versions, default=0) + 1
-            versions[version] = ModelVersion(name=name, version=version, model=model)
-            if promote or name not in self._active:
-                self._promote_locked(name, version)
-            return version
-
-    def load(
-        self,
-        name: str,
-        path: str | Path,
-        *,
-        promote: bool = False,
-        expected_class: str | None = None,
-    ) -> int:
-        """Register a model from a file written by ``save_model``.
-
-        ``expected_class`` rejects files holding the wrong model type with a
-        clear :class:`~repro.exceptions.SerializationError` before anything
-        is unpickled (header-only check for versioned files).
-        """
-        model = load_model(path, expected_class=expected_class)
-        with self._lock:
-            version = self.register(name, model, promote=promote)
-            self._versions[name][version].source_path = Path(path)
-            return version
-
-    def save(self, name: str, path: str | Path, *, version: int | None = None) -> Path:
-        """Persist a registered version (default: the active one) to ``path``."""
-        entry = self.get(name, version)
-        return save_model(entry.model, path)
-
-    # -- promotion / rollback -----------------------------------------------------
-
-    def _promote_locked(self, name: str, version: int) -> None:
-        previous = self._active.get(name)
-        if previous is not None and previous != version:
-            self._history.setdefault(name, []).append(previous)
-        self._active[name] = version
-
-    def promote(self, name: str, version: int) -> None:
-        """Make ``version`` the active model for ``name`` (hot swap)."""
-        with self._lock:
-            self._require(name, version)
-            self._promote_locked(name, version)
-
-    def rollback(self, name: str) -> int:
-        """Re-activate the previously active version and return its number."""
-        with self._lock:
-            self._require_name(name)
-            history = self._history.get(name, [])
-            if not history:
-                raise ServingError(f"model {name!r} has no previous version to roll back to")
-            version = history.pop()
-            self._active[name] = version
-            return version
-
-    # -- lookup -------------------------------------------------------------------
-
-    def _require_name(self, name: str) -> dict[int, ModelVersion]:
-        versions = self._versions.get(name)
-        if not versions:
-            raise ServingError(
-                f"unknown model {name!r}; registered: {sorted(self._versions) or 'none'}"
+        cls = ModelRegistry
+        if not cls._deprecation_warned:
+            cls._deprecation_warned = True
+            warnings.warn(
+                "repro.serving.registry.ModelRegistry is deprecated; "
+                "import ModelRegistry from repro.registry (or repro) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        return versions
-
-    def _require(self, name: str, version: int) -> ModelVersion:
-        versions = self._require_name(name)
-        entry = versions.get(version)
-        if entry is None:
-            raise ServingError(
-                f"model {name!r} has no version {version}; available: {sorted(versions)}"
-            )
-        return entry
-
-    def get(self, name: str, version: int | None = None) -> ModelVersion:
-        """The :class:`ModelVersion` for ``name`` (active one when unspecified)."""
-        with self._lock:
-            if version is None:
-                self._require_name(name)
-                version = self._active[name]
-            return self._require(name, version)
-
-    def active(self, name: str) -> Any:
-        """The active model object for ``name`` (the hot path of the server)."""
-        return self.get(name).model
-
-    def active_version(self, name: str) -> int:
-        with self._lock:
-            self._require_name(name)
-            return self._active[name]
-
-    def names(self) -> list[str]:
-        with self._lock:
-            return sorted(self._versions)
-
-    def versions(self, name: str) -> list[int]:
-        with self._lock:
-            return sorted(self._require_name(name))
-
-    def describe(self) -> dict[str, dict[str, Any]]:
-        """A JSON-friendly snapshot used by the CLI and telemetry output."""
-        with self._lock:
-            return {
-                name: {
-                    "active_version": self._active[name],
-                    "versions": {
-                        version: {
-                            "model_class": entry.model_class,
-                            "registered_at": entry.registered_at,
-                            "source_path": str(entry.source_path) if entry.source_path else None,
-                        }
-                        for version, entry in sorted(versions.items())
-                    },
-                }
-                for name, versions in self._versions.items()
-            }
-
-    @staticmethod
-    def inspect_file(path: str | Path) -> dict[str, Any] | None:
-        """The serialization header of a model file (no unpickling)."""
-        return read_model_header(path)
+        super().__init__()

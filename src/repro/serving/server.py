@@ -22,12 +22,16 @@ accelerates *fresh* workloads whose individual plans have been seen before.
 Its counters surface through :meth:`PredictionServer.feature_cache_stats`
 and the ``feature_cache_*`` fields of :meth:`PredictionServer.snapshot`.
 
-The server itself satisfies the
-:class:`~repro.integration.predictors.WorkloadMemoryPredictor` protocol
+The server natively satisfies the unified :class:`repro.api.Predictor`
+protocol: :meth:`PredictionServer.submit_request` /
+:meth:`PredictionServer.predict_batch` answer typed
+:class:`~repro.api.PredictionRequest` objects with
+:class:`~repro.api.PredictionResult` objects carrying the served model's
+name+version and per-request cache provenance.  It also keeps the legacy
+:class:`~repro.integration.predictors.WorkloadMemoryPredictor` surface
 (``predict_workload``) and the batch convention of the core models
-(``predict``), so admission control and the round scheduler can be pointed
-at a served model unchanged — that is the "served-predictor path" used by
-the integration layer.
+(``predict(workloads)``), so both old and new consumers can be pointed at a
+served model unchanged.
 """
 
 from __future__ import annotations
@@ -36,19 +40,21 @@ import dataclasses
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.api import CachePolicy, PredictionRequest, PredictionResult, predict_values
 from repro.core.features import FeatureCacheStats
 from repro.core.features import feature_cache_stats as _model_feature_cache_stats
 from repro.core.workload import Workload
 from repro.dbms.query_log import QueryRecord
 from repro.exceptions import InvalidParameterError, ServingError
+from repro.registry import ModelRegistry
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import LRUTTLCache, workload_signature
-from repro.serving.registry import ModelRegistry
 from repro.serving.telemetry import ServingTelemetry, TelemetryReport
 
 __all__ = ["ServerConfig", "PredictionServer"]
@@ -125,6 +131,7 @@ class PredictionServer:
             else None
         )
         self._served_version: int | None = None
+        self._feature_cache_active = False
         self._swap_lock = threading.Lock()
         self._inflight: dict[Any, Future] = {}
         self._inflight_lock = threading.Lock()
@@ -158,23 +165,21 @@ class PredictionServer:
                     if self._cache is not None and self._served_version is not None:
                         self._cache.clear()
                     self._served_version = version
+                    # Cached per swap so the typed request path does not pay a
+                    # registry resolution + stats snapshot per request just to
+                    # stamp a boolean on each PredictionResult.
+                    self._feature_cache_active = (
+                        _model_feature_cache_stats(self.registry.active(self.model_name))
+                        is not None
+                    )
 
     def _predict_batch(self, workloads: list[Workload]) -> Sequence[float]:
-        # Mirrors repro.integration.predictors.batch_predict (not imported to
-        # avoid a serving <-> integration cycle): prefer the vectorized
-        # workload-batch convention, fall back to the predict_workload
-        # protocol when the model's predict doesn't follow it.
+        # Prefer the vectorized workload-batch convention, fall back to the
+        # predict_workload protocol when the model's predict doesn't follow
+        # it — the shared logic lives in repro.api.predict_values.
         model = self.registry.active(self.model_name)
         self.telemetry.observe_batch(len(workloads))
-        vectorized = getattr(model, "predict", None)
-        if callable(vectorized):
-            try:
-                values = [float(value) for value in vectorized(workloads)]
-            except Exception:  # noqa: BLE001 - foreign predict(); use the protocol
-                values = None
-            if values is not None and len(values) == len(workloads):
-                return values
-        return [float(model.predict_workload(workload)) for workload in workloads]
+        return predict_values(model, workloads)
 
     # -- request paths ------------------------------------------------------------
 
@@ -191,20 +196,34 @@ class PredictionServer:
         micro-batcher (or executed inline when batching is disabled).  The
         returned future also feeds telemetry and populates the cache.
         """
+        return self._submit(self._as_workload(queries))[0]
+
+    def _submit(
+        self, workload: Workload, *, use_cache: bool = True
+    ) -> "tuple[Future[float], bool]":
+        """Request path shared by :meth:`submit` and :meth:`submit_request`.
+
+        Returns the future plus a provenance flag: ``True`` when the answer
+        came from the prediction-cache tier (an immediate cache hit or
+        attachment to an identical in-flight request) rather than from model
+        work enqueued for this call.  ``use_cache=False`` (the
+        :attr:`~repro.api.CachePolicy.BYPASS` policy) skips the cache read
+        and the singleflight attachment but still write-through-populates
+        the cache, refreshing the stored answer.
+        """
         if self._closed:
             raise ServingError("cannot submit to a closed PredictionServer")
         arrival = time.monotonic()
         self._sync_version()
-        workload = self._as_workload(queries)
         key = workload_signature(workload) if self._cache is not None else None
-        if self._cache is not None:
+        if self._cache is not None and use_cache:
             sentinel = object()
             cached = self._cache.get(key, sentinel)
             if cached is not sentinel:
                 future: Future = Future()
                 future.set_result(float(cached))
                 self.telemetry.record(time.monotonic() - arrival, cache_hit=True)
-                return future
+                return future, True
             # Singleflight: attach to an identical request already being
             # computed instead of enqueueing duplicate model work.  This is
             # what deduplicates a burst of identical workloads arriving
@@ -225,7 +244,7 @@ class PredictionServer:
                         shared.set_result(float(done.result()))
 
                     pending.add_done_callback(_share)
-                    return shared
+                    return shared, True
 
         if self._batcher is not None:
             inner = self._batcher.submit(workload)
@@ -257,7 +276,7 @@ class PredictionServer:
             outer.set_result(value)
 
         inner.add_done_callback(_finish)
-        return outer
+        return outer, False
 
     def _clear_inflight(self, key: Any, inner: "Future[float]") -> None:
         if self._cache is None:
@@ -270,12 +289,85 @@ class PredictionServer:
         """Blocking single prediction (WorkloadMemoryPredictor protocol)."""
         return self.submit(queries).result()
 
-    def predict(self, workloads: Sequence[Workload]) -> np.ndarray:
-        """Batch prediction matching the core models' convention.
+    # -- typed request path (repro.api.Predictor protocol) --------------------------
 
-        All workloads are submitted up front, so the micro-batcher can form
+    def submit_request(self, request: PredictionRequest) -> "Future[PredictionResult]":
+        """Asynchronously answer one typed :class:`~repro.api.PredictionRequest`.
+
+        The resolved :class:`~repro.api.PredictionResult` carries the served
+        model's name and version (the version active when the request was
+        admitted), the request's observed latency, and provenance flags:
+        ``cache_hit`` when the prediction cache or in-flight coalescing
+        answered it, ``feature_cache_active`` when the served model carries
+        a plan-feature cache below the prediction tier.
+        """
+        arrival = time.monotonic()
+        use_cache = request.cache_policy is not CachePolicy.BYPASS
+        inner, cache_hit = self._submit(request.workload, use_cache=use_cache)
+        version = self._served_version
+        feature_cache_active = self._feature_cache_active
+        outer: "Future[PredictionResult]" = Future()
+
+        def _wrap(done: "Future[float]") -> None:
+            error = done.exception()
+            if error is not None:
+                outer.set_exception(error)
+                return
+            outer.set_result(
+                PredictionResult(
+                    memory_mb=float(done.result()),
+                    request_id=request.request_id,
+                    model_name=self.model_name,
+                    model_version=version,
+                    latency_s=time.monotonic() - arrival,
+                    cache_hit=cache_hit,
+                    feature_cache_active=feature_cache_active,
+                )
+            )
+
+        inner.add_done_callback(_wrap)
+        return outer
+
+    def _await_result(
+        self, request: PredictionRequest, future: "Future[PredictionResult]"
+    ) -> PredictionResult:
+        try:
+            return future.result(timeout=request.deadline_s)
+        # concurrent.futures.TimeoutError only aliases the builtin from 3.11;
+        # catch both so Python 3.10 deadline misses surface as ServingError too.
+        except (TimeoutError, FutureTimeoutError) as exc:
+            raise ServingError(
+                f"request {request.request_id} missed its deadline "
+                f"({request.deadline_s:.3f} s)"
+            ) from exc
+
+    def predict_batch(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
+        """Typed batch prediction (the :class:`~repro.api.Predictor` protocol).
+
+        All requests are submitted up front, so the micro-batcher can form
         full batches even though the caller is a single thread.
         """
+        futures = [self.submit_request(request) for request in requests]
+        return [
+            self._await_result(request, future)
+            for request, future in zip(requests, futures)
+        ]
+
+    def predict(
+        self, workloads: Sequence[Workload] | PredictionRequest
+    ) -> np.ndarray | PredictionResult:
+        """Prediction in either convention.
+
+        Given a typed :class:`~repro.api.PredictionRequest`, answers it with
+        a :class:`~repro.api.PredictionResult` (the
+        :class:`~repro.api.Predictor` protocol).  Given a sequence of
+        workloads, returns the legacy vectorized array of estimates; the
+        workloads are submitted up front, so the micro-batcher can form full
+        batches even though the caller is a single thread.
+        """
+        if isinstance(workloads, PredictionRequest):
+            request = workloads
+            return self._await_result(request, self.submit_request(request))
         futures = [self.submit(workload) for workload in workloads]
         return np.array([future.result() for future in futures], dtype=np.float64)
 

@@ -11,8 +11,11 @@ from hypothesis import strategies as st
 from repro.core.features import (
     FeatureCacheStats,
     MemoizedFeaturizer,
+    clear_shared_feature_cache,
     feature_cache_stats,
+    featurizer_config_fingerprint,
     plan_fingerprint,
+    shared_feature_cache_stats,
 )
 from repro.core.featurizer import PlanFeaturizer
 from repro.dbms.plan.operators import OperatorType, PlanNode
@@ -93,6 +96,173 @@ class TestPlanFingerprint:
         mutated = copy.deepcopy(plan)
         mutated.est_cardinality = plan.est_cardinality + 1.0
         assert plan_fingerprint(plan) != plan_fingerprint(mutated)
+
+
+class TestFingerprintMemo:
+    """The fingerprint digest is memoized on the plan object, invalidation-safe."""
+
+    def test_repeated_fingerprint_is_stable(self):
+        plan = _plan()
+        first = plan_fingerprint(plan)
+        assert plan_fingerprint(plan) == first
+        assert plan.__dict__.get("_fp_memo") is not None  # memo slot populated
+
+    def test_scalar_mutation_on_deep_node_invalidates_memo(self):
+        plan = _plan()
+        before = plan_fingerprint(plan)
+        plan.children[0].children[0].children[0].est_cardinality = 9999.0
+        after = plan_fingerprint(plan)
+        assert after != before
+        assert after == plan_fingerprint(_mutated_reference())
+
+    def test_op_type_mutation_invalidates_memo(self):
+        plan = _plan()
+        before = plan_fingerprint(plan)
+        plan.children[0].children[0].op_type = OperatorType.MSJOIN
+        assert plan_fingerprint(plan) != before
+
+    def test_in_place_child_append_invalidates_memo(self):
+        plan = _plan()
+        before = plan_fingerprint(plan)
+        plan.children[0].children.append(PlanNode(OperatorType.FILTER, est_cardinality=1.0))
+        assert plan_fingerprint(plan) != before
+
+    def test_in_place_child_reversal_invalidates_memo(self):
+        plan = _plan()
+        before = plan_fingerprint(plan)
+        join = plan.children[0].children[0]
+        join.children.reverse()
+        assert plan_fingerprint(plan) != before
+
+    def test_irrelevant_field_mutation_keeps_memo_valid(self):
+        plan = _plan()
+        before = plan_fingerprint(plan)
+        plan.row_width = 999
+        plan.true_cardinality = 123.0
+        plan.detail = "changed"
+        assert plan_fingerprint(plan) == before
+
+    def test_mutate_then_revert_matches_fresh_tree(self):
+        plan = _plan()
+        plan_fingerprint(plan)
+        plan.est_cardinality = 1.0
+        plan_fingerprint(plan)
+        plan.est_cardinality = 800.0  # back to the original value
+        assert plan_fingerprint(plan) == plan_fingerprint(_plan())
+
+    def test_pickle_round_trip_keeps_fingerprint_correct(self):
+        plan = _plan()
+        before = plan_fingerprint(plan)
+        restored = pickle.loads(pickle.dumps(plan))
+        assert plan_fingerprint(restored) == before
+        restored.est_cardinality = 1.0  # the copy invalidates independently
+        assert plan_fingerprint(restored) != before
+        assert plan_fingerprint(plan) == before
+
+    @_SETTINGS
+    @given(plan_trees())
+    def test_memoized_refingerprint_equals_fresh_copy(self, plan):
+        first = plan_fingerprint(plan)
+        assert plan_fingerprint(plan) == first
+        assert plan_fingerprint(copy.deepcopy(plan)) == first
+
+
+def _mutated_reference() -> PlanNode:
+    plan = _plan()
+    plan.children[0].children[0].children[0].est_cardinality = 9999.0
+    return plan
+
+
+class TestSharedFeatureCache:
+    """Opt-in process-level cache keyed by (featurizer config, plan fingerprint)."""
+
+    def setup_method(self):
+        clear_shared_feature_cache()
+
+    def test_same_config_shares_rows_across_instances(self):
+        a = MemoizedFeaturizer(PlanFeaturizer(), shared=True)
+        b = MemoizedFeaturizer(PlanFeaturizer(), shared=True)
+        misses_before = shared_feature_cache_stats().misses
+        row_a = a.featurize_plan(_plan())
+        hits_before = shared_feature_cache_stats().hits
+        row_b = b.featurize_plan(_plan())
+        stats = shared_feature_cache_stats()
+        assert np.array_equal(row_a, row_b)
+        assert stats.hits == hits_before + 1  # b was served from a's row
+        assert stats.misses == misses_before + 1
+
+    def test_different_configs_do_not_collide(self):
+        logged = MemoizedFeaturizer(PlanFeaturizer(log_cardinality=True), shared=True)
+        raw = MemoizedFeaturizer(PlanFeaturizer(log_cardinality=False), shared=True)
+        row_logged = logged.featurize_plan(_plan())
+        row_raw = raw.featurize_plan(_plan())
+        assert not np.array_equal(row_logged, row_raw)
+        assert featurizer_config_fingerprint(logged.base) != featurizer_config_fingerprint(
+            raw.base
+        )
+
+    def test_clear_only_drops_own_config(self):
+        logged = MemoizedFeaturizer(PlanFeaturizer(log_cardinality=True), shared=True)
+        raw = MemoizedFeaturizer(PlanFeaturizer(log_cardinality=False), shared=True)
+        logged.featurize_plan(_plan())
+        raw.featurize_plan(_plan())
+        size_before = shared_feature_cache_stats().size
+        logged.clear()
+        assert shared_feature_cache_stats().size == size_before - 1
+        hits_before = shared_feature_cache_stats().hits
+        raw.featurize_plan(_plan())  # raw config survived the clear
+        assert shared_feature_cache_stats().hits == hits_before + 1
+
+    def test_private_caches_are_unaffected(self):
+        private = MemoizedFeaturizer(PlanFeaturizer())
+        shared = MemoizedFeaturizer(PlanFeaturizer(), shared=True)
+        private.featurize_plan(_plan())
+        assert shared_feature_cache_stats().size == 0
+        shared.featurize_plan(_plan())
+        assert private.stats().size == 1
+
+    def test_configure_feature_cache_shared_opt_in(self, tpcds_small):
+        from repro.core.model import LearnedWMP
+        from repro.core.workload import make_workloads
+
+        workloads = make_workloads(tpcds_small.test_records[:60], 10, seed=0)
+
+        def fit_model():
+            model = LearnedWMP(
+                regressor="ridge", n_templates=8, batch_size=10, random_state=0
+            )
+            model.fit(tpcds_small.train_records[:200])
+            return model
+
+        v1, v2 = fit_model(), fit_model()
+        v1.configure_feature_cache(shared=True)
+        v2.configure_feature_cache(shared=True)
+        assert v1.featurizer.shared and v2.featurizer.shared
+        expected = v1.predict(workloads)
+        hits_before = shared_feature_cache_stats().hits
+        # The hot-swapped second version reuses v1's rows: every plan hits.
+        assert np.array_equal(v2.predict(workloads), expected)
+        assert shared_feature_cache_stats().hits >= hits_before + 60
+        # Opting back out returns to a private cache.
+        v2.configure_feature_cache(shared=False)
+        assert v2.featurizer.shared is False
+
+    def test_mixed_hits_and_misses_in_one_batch(self, tpcds_small):
+        a = MemoizedFeaturizer(PlanFeaturizer(), shared=True)
+        b = MemoizedFeaturizer(PlanFeaturizer(), shared=True)
+        records = tpcds_small.train_records[:40]
+        a.featurize_records(records[:20])
+        expected = PlanFeaturizer().featurize_records(records)
+        assert np.array_equal(b.featurize_records(records), expected)
+
+    def test_pickle_keeps_shared_flag(self):
+        shared = MemoizedFeaturizer(PlanFeaturizer(), shared=True)
+        restored = pickle.loads(pickle.dumps(shared))
+        assert restored.shared is True
+        shared.featurize_plan(_plan())
+        hits_before = shared_feature_cache_stats().hits
+        restored.featurize_plan(_plan())  # rebinds to the same process store
+        assert shared_feature_cache_stats().hits == hits_before + 1
 
 
 class TestMemoizedFeaturizer:
@@ -289,6 +459,19 @@ class TestModelIntegration:
         assert model.featurizer.max_entries == 64
         model.configure_feature_cache(32)
         assert model.featurizer.max_entries == 32
+
+    def test_configure_feature_cache_no_args_is_a_no_op(self):
+        from repro.core.model import LearnedWMP
+
+        model = LearnedWMP(regressor="ridge", n_templates=8, batch_size=10, random_state=0)
+        model.configure_feature_cache(0)  # memoization off
+        plain = model.featurizer
+        model.configure_feature_cache()  # nothing requested: must stay off
+        assert model.featurizer is plain
+        memoized = MemoizedFeaturizer(PlanFeaturizer())
+        model.featurizer = memoized
+        model.configure_feature_cache()  # and an existing cache is untouched
+        assert model.featurizer is memoized
 
     def test_text_template_methods_have_no_plan_featurizer(self, tpcds_small):
         from repro.core.model import LearnedWMP

@@ -1,10 +1,11 @@
-"""Tests for the model registry and the pre-train / observe / retrain loop."""
+"""Tests for the pre-train / observe / retrain loop over the unified registry."""
 
 import pytest
 
 from repro.core.model import LearnedWMP
 from repro.exceptions import InvalidParameterError, NotFittedError
-from repro.integration.lifecycle import ModelLifecycleManager, ModelRegistry
+from repro.integration.lifecycle import ModelLifecycleManager
+from repro.registry import ModelRegistry
 
 
 def _factory():
@@ -13,33 +14,35 @@ def _factory():
     )
 
 
-def _manager(min_new_records=100):
+def _manager(min_new_records=100, **kwargs):
     return ModelLifecycleManager(
         model_factory=_factory,
         min_new_records=min_new_records,
         batch_size=10,
         seed=0,
+        **kwargs,
     )
 
 
-class TestModelRegistry:
-    def test_empty_registry_raises(self):
-        registry = ModelRegistry()
+class TestLineage:
+    def test_empty_lineage_raises(self):
+        manager = _manager()
         with pytest.raises(NotFittedError):
-            _ = registry.current
-        assert len(registry) == 0
+            _ = manager.current_version
+        assert manager.n_versions == 0
 
-    def test_register_promotes_latest(self, tpcc_small):
+    def test_versions_accumulate_with_provenance(self, tpcc_small):
         registry = ModelRegistry()
-        first = _factory().fit(tpcc_small.train_records[:200])
-        second = _factory().fit(tpcc_small.train_records[:300])
-        registry.register(first, n_training_records=200, validation_mape=None, reason="bootstrap")
-        version = registry.register(
-            second, n_training_records=300, validation_mape=12.5, reason="drift"
-        )
-        assert registry.current is version
-        assert registry.current.version == 2
-        assert [v.version for v in registry.history] == [1, 2]
+        manager = _manager(min_new_records=50, registry=registry, model_name="tpcc")
+        manager.bootstrap(tpcc_small.train_records[:150])
+        manager.observe(tpcc_small.train_records[150:320])
+        manager.maybe_retrain()
+        history = registry.history("tpcc")
+        assert [v.version for v in history] == [1, 2]
+        assert history[0].reason == "bootstrap"
+        assert history[1].reason == "training corpus doubled"
+        assert all(v.n_training_records is not None for v in history)
+        assert manager.current_version is history[-1]
 
 
 class TestBootstrap:
@@ -68,6 +71,18 @@ class TestBootstrap:
             ModelLifecycleManager(model_factory=_factory, validation_fraction=1.0)
         with pytest.raises(InvalidParameterError):
             ModelLifecycleManager(model_factory=_factory, min_new_records=0)
+
+    def test_predictor_exposes_typed_protocol(self, tpcc_small):
+        from repro.api import PredictionRequest, Predictor
+
+        manager = _manager(model_name="tpcc")
+        manager.bootstrap(tpcc_small.train_records[:300])
+        predictor = manager.predictor()
+        assert isinstance(predictor, Predictor)
+        result = predictor.predict(PredictionRequest.of(tpcc_small.test_records[:10]))
+        assert result.memory_mb > 0.0
+        assert result.model_name == "tpcc"
+        assert result.model_version == 1
 
 
 class TestRetrainDecisions:
@@ -123,7 +138,7 @@ class TestMaybeRetrain:
         assert version is not None
         assert version.version == 2
         assert manager.n_new_records == 0
-        assert manager.registry.current is version
+        assert manager.current_version is version
         # The new version trained on the combined corpus.
         assert version.n_training_records > 150 * (1.0 - manager.validation_fraction) - 1
 
@@ -131,45 +146,51 @@ class TestMaybeRetrain:
         manager = _manager(min_new_records=500)
         manager.bootstrap(tpcc_small.train_records[:300])
         assert manager.maybe_retrain() is None
-        assert len(manager.registry) == 1
+        assert manager.n_versions == 1
 
 
-class TestServingBridge:
-    """Retrained versions are published into a serving registry when given."""
+class TestServingUnification:
+    """Retrained versions hot-swap a server resolving from the same registry."""
 
-    def test_bootstrap_publishes_to_serving_registry(self, tpcc_small):
-        from repro.serving import ModelRegistry as ServingRegistry
-
-        serving = ServingRegistry()
-        manager = ModelLifecycleManager(
-            model_factory=_factory,
-            min_new_records=100,
-            batch_size=10,
-            seed=0,
-            serving_registry=serving,
-            serving_name="tpcc",
-        )
+    def test_bootstrap_promotes_in_shared_registry(self, tpcc_small):
+        registry = ModelRegistry()
+        manager = _manager(min_new_records=100, registry=registry, model_name="tpcc")
         version = manager.bootstrap(tpcc_small.train_records[:300])
-        assert serving.active_version("tpcc") == 1
-        assert serving.active("tpcc") is version.model
+        assert registry.active_version("tpcc") == 1
+        assert registry.active("tpcc") is version.model
 
     def test_retrain_hot_swaps_served_model(self, tpcc_small):
-        from repro.serving import ModelRegistry as ServingRegistry
-
-        serving = ServingRegistry()
-        manager = ModelLifecycleManager(
-            model_factory=_factory,
-            min_new_records=50,
-            batch_size=10,
-            seed=0,
-            serving_registry=serving,
-        )
+        registry = ModelRegistry()
+        manager = _manager(min_new_records=50, registry=registry)
         manager.bootstrap(tpcc_small.train_records[:200])
         # Corpus-doubling refresh: observe more records than the corpus.
         manager.observe(tpcc_small.train_records[:250])
         retrained = manager.maybe_retrain()
         assert retrained is not None
-        assert serving.active_version("default") == 2
-        assert serving.active("default") is retrained.model
+        assert registry.active_version("default") == 2
+        assert registry.active("default") is retrained.model
         # The previous version is still there for rollback.
-        assert serving.rollback("default") == 1
+        assert registry.rollback("default") == 1
+
+    def test_deprecated_lifecycle_shim_as_registry_is_unwrapped(self, tpcc_small):
+        from repro.integration.lifecycle import ModelRegistry as LifecycleShim
+
+        LifecycleShim._deprecation_warned = False
+        with pytest.warns(DeprecationWarning):
+            shim = LifecycleShim(name="tpcc")
+        manager = _manager(min_new_records=100, registry=shim)
+        assert isinstance(manager.registry, ModelRegistry)
+        assert manager.model_name == "tpcc"
+        manager.bootstrap(tpcc_small.train_records[:300])
+        assert shim.current.version == 1  # the shim view sees the same lineage
+
+    def test_deprecated_serving_registry_params_redirect(self, tpcc_small):
+        registry = ModelRegistry()
+        with pytest.warns(DeprecationWarning, match="serving_registry"):
+            manager = _manager(
+                min_new_records=100, serving_registry=registry, serving_name="tpcc"
+            )
+        assert manager.registry is registry
+        assert manager.model_name == "tpcc"
+        manager.bootstrap(tpcc_small.train_records[:300])
+        assert registry.active_version("tpcc") == 1

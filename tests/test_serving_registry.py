@@ -1,11 +1,15 @@
-"""Tests for the serving model registry (register / promote / rollback)."""
+"""Tests for the registry's serving surface (register / promote / rollback).
+
+The lineage surface and the deprecated import-path shims are covered in
+``tests/test_registry.py``.
+"""
 
 import pytest
 
 from repro.core.serialization import save_model
 from repro.exceptions import SerializationError, ServingError
 from repro.integration.predictors import ConstantMemoryPredictor
-from repro.serving.registry import ModelRegistry
+from repro.registry import ModelRegistry
 
 
 def predictor(value: float = 64.0) -> ConstantMemoryPredictor:

@@ -1,0 +1,103 @@
+"""Tests for tools/diff_bench.py (serving-benchmark regression gate)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import diff_bench  # noqa: E402
+
+
+BASELINE = {
+    "latency_p95_ms": 10.0,
+    "achieved_qps": 200.0,
+    "cache_hit_rate": 0.8,
+    "n_errors": 0,
+    "benchmark": "tpcds",
+}
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def run(tmp_path, current, *extra, baseline=BASELINE):
+    current_path = write(tmp_path, "current.json", current)
+    baseline_path = write(tmp_path, "baseline.json", baseline)
+    return diff_bench.main([str(current_path), str(baseline_path), *extra])
+
+
+class TestGates:
+    def test_within_bounds_passes(self, tmp_path, capsys):
+        current = dict(BASELINE, latency_p95_ms=11.0, achieved_qps=190.0)
+        assert run(tmp_path, current) == 0
+        assert "ok: gated metrics" in capsys.readouterr().out
+
+    def test_p95_regression_fails(self, tmp_path, capsys):
+        current = dict(BASELINE, latency_p95_ms=12.5)  # +25% > 20%
+        assert run(tmp_path, current) == 1
+        assert "latency_p95_ms" in capsys.readouterr().err
+
+    def test_throughput_regression_fails(self, tmp_path, capsys):
+        current = dict(BASELINE, achieved_qps=150.0)  # -25% > 20%
+        assert run(tmp_path, current) == 1
+        assert "achieved_qps" in capsys.readouterr().err
+
+    def test_improvements_never_fail(self, tmp_path):
+        current = dict(BASELINE, latency_p95_ms=1.0, achieved_qps=1000.0)
+        assert run(tmp_path, current) == 0
+
+    def test_threshold_is_configurable(self, tmp_path):
+        current = dict(BASELINE, latency_p95_ms=11.5)  # +15%
+        assert run(tmp_path, current, "--max-regression", "0.10") == 1
+        assert run(tmp_path, current, "--max-regression", "0.20") == 0
+
+    def test_boundary_regression_is_allowed(self, tmp_path):
+        current = dict(BASELINE, latency_p95_ms=12.0)  # exactly +20%
+        assert run(tmp_path, current) == 0
+
+    def test_non_gated_metrics_never_fail(self, tmp_path):
+        current = dict(BASELINE, cache_hit_rate=0.1)  # -87% but informational
+        assert run(tmp_path, current) == 0
+
+
+class TestErrors:
+    def test_missing_gated_metric_is_an_error(self, tmp_path):
+        current = {"achieved_qps": 200.0}
+        assert run(tmp_path, current) == 2
+
+    def test_missing_file_exits_with_usage_code(self, tmp_path):
+        baseline_path = write(tmp_path, "baseline.json", BASELINE)
+        with pytest.raises(SystemExit) as excinfo:
+            diff_bench.main([str(tmp_path / "nope.json"), str(baseline_path)])
+        assert excinfo.value.code == 2  # file errors are distinct from regressions
+
+    def test_invalid_json_exits_with_usage_code(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        baseline_path = write(tmp_path, "baseline.json", BASELINE)
+        with pytest.raises(SystemExit) as excinfo:
+            diff_bench.main([str(bad), str(baseline_path)])
+        assert excinfo.value.code == 2
+
+
+class TestUpdate:
+    def test_update_overwrites_baseline(self, tmp_path):
+        current = dict(BASELINE, latency_p95_ms=99.0)
+        current_path = write(tmp_path, "current.json", current)
+        baseline_path = write(tmp_path, "baseline.json", BASELINE)
+        assert diff_bench.main([str(current_path), str(baseline_path), "--update"]) == 0
+        assert json.loads(baseline_path.read_text())["latency_p95_ms"] == 99.0
+
+    def test_repo_baseline_exists_and_has_gated_metrics(self):
+        baseline = json.loads(
+            (Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_serving.baseline.json")
+            .read_text()
+        )
+        for metric in diff_bench.GATED_METRICS:
+            assert metric in baseline

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Diff a serving-benchmark JSON against the committed baseline.
+
+CI emits ``BENCH_serving.json`` on every run (``learnedwmp loadtest
+--output``); this tool closes the loop the ROADMAP called out ("nothing
+diffs them yet"): it compares the current run against the committed baseline
+(``benchmarks/BENCH_serving.baseline.json``) and **fails** when p95 latency
+or throughput regressed beyond the allowed fraction (default 20%).
+
+Usage::
+
+    python tools/diff_bench.py BENCH_serving.json benchmarks/BENCH_serving.baseline.json
+    python tools/diff_bench.py current.json baseline.json --max-regression 0.10
+    python tools/diff_bench.py current.json baseline.json --update   # refresh baseline
+
+Exit codes: 0 = within bounds, 1 = regression, 2 = usage/file errors.
+
+Only the two gating metrics fail the run; every other shared numeric field
+is printed with its delta for context.  Gates are one-sided: a *better*
+p95 or throughput never fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+#: metric name -> direction ("higher" / "lower" is better).  These two gate
+#: the run; everything else in the reports is informational.
+GATED_METRICS: dict[str, str] = {
+    "latency_p95_ms": "lower",
+    "achieved_qps": "higher",
+}
+
+
+def _file_error(message: str) -> "SystemExit":
+    # Exit code 2 = usage/file error, distinct from 1 = regression, so CI
+    # automation can tell "benchmark never ran" from "benchmark got slower".
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
+def load_report(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise _file_error(f"error: report not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise _file_error(f"error: {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise _file_error(f"error: {path} does not hold a JSON object")
+    return payload
+
+
+def diff_reports(
+    current: dict, baseline: dict, *, max_regression: float
+) -> tuple[list[str], list[str]]:
+    """Compare reports; returns (table lines, failure messages)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    shared = [
+        key
+        for key in baseline
+        if key in current
+        and isinstance(baseline[key], (int, float))
+        and isinstance(current[key], (int, float))
+        and not isinstance(baseline[key], bool)
+    ]
+    width = max((len(key) for key in shared), default=10)
+    for key in sorted(shared, key=lambda k: (k not in GATED_METRICS, k)):
+        base = float(baseline[key])
+        cur = float(current[key])
+        if base != 0.0:
+            change = (cur - base) / abs(base)
+            change_text = f"{100.0 * change:+8.1f} %"
+        else:
+            change = None
+            change_text = "      n/a"
+        gate = GATED_METRICS.get(key)
+        verdict = ""
+        if gate is not None and change is not None:
+            regressed = change > max_regression if gate == "lower" else change < -max_regression
+            verdict = "  FAIL" if regressed else "  ok"
+            if regressed:
+                failures.append(
+                    f"{key}: {base:.3f} -> {cur:.3f} "
+                    f"({change_text.strip()} vs allowed ±{100.0 * max_regression:.0f}%, "
+                    f"{gate} is better)"
+                )
+        lines.append(f"{key:<{width}}  {base:>12.3f}  {cur:>12.3f}  {change_text}{verdict}")
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a serving benchmark regressed vs the committed baseline"
+    )
+    parser.add_argument("current", type=Path, help="this run's BENCH_serving.json")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional regression on gated metrics (default: 0.20)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with the current report instead of diffing",
+    )
+    args = parser.parse_args(argv)
+    if args.max_regression < 0.0:
+        parser.error("--max-regression must be >= 0")
+
+    current = load_report(args.current)
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    baseline = load_report(args.baseline)
+
+    missing = [key for key in GATED_METRICS if key not in current or key not in baseline]
+    if missing:
+        print(f"error: gated metrics missing from reports: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    lines, failures = diff_reports(current, baseline, max_regression=args.max_regression)
+    header = f"{'metric':<{max(len(l.split()[0]) for l in lines)}}  {'baseline':>12}  {'current':>12}  {'delta':>9}"
+    print(header)
+    print("-" * len(header))
+    for line in lines:
+        print(line)
+    if failures:
+        print(
+            f"\nREGRESSION: {len(failures)} gated metric(s) beyond "
+            f"{100.0 * args.max_regression:.0f}%:",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(
+            "  (intentional? refresh with: python tools/diff_bench.py "
+            f"{args.current} {args.baseline} --update)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nok: gated metrics within ±{100.0 * args.max_regression:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,15 +6,29 @@ same predictor.  The win comes from three compounding mechanisms: repeated
 workload shapes are answered from the LRU cache, identical in-flight
 requests are coalesced into one computation, and the residual misses are
 micro-batched into vectorized ``predict`` calls.
+
+The backend comparison at the bottom measures the same replay stream on all
+three serving fronts — the thread-backed server, the asyncio event-loop
+backend, and a 2-shard consistent-hash fleet — and checks that each of them
+beats the naive loop while answering identically.  The CLI emits the same
+comparison into ``BENCH_serving.json`` via ``learnedwmp loadtest
+--backend ... --shards ...``.
 """
 
 import time
 
+import numpy as np
 from conftest import run_once
 
 from repro.core.model import LearnedWMP
 from repro.core.workload import make_workloads
-from repro.serving import PredictionServer, ServerConfig
+from repro.registry import ShardedModelRegistry
+from repro.serving import (
+    AsyncPredictionServer,
+    PredictionServer,
+    ServerConfig,
+    ShardedPredictionServer,
+)
 from repro.workloads.generator import generate_dataset
 from repro.workloads.replay import replay_requests_from_workloads
 
@@ -85,3 +99,55 @@ def test_serving_throughput_beats_naive_loop(benchmark):
     # repeats are answered without duplicate model work.
     assert server.coalesced_requests + cache.hits > 0
     assert batcher.requests < len(requests)
+
+
+def _drive(server, requests) -> tuple[float, "np.ndarray"]:
+    """Submit every request up front, wait for all; returns (qps, values)."""
+    start = time.perf_counter()
+    futures = [server.submit(workload) for workload in requests]
+    values = np.array([future.result() for future in futures], dtype=np.float64)
+    elapsed = time.perf_counter() - start
+    return len(requests) / elapsed, values
+
+
+def _make_server(kind: str, model, config: ServerConfig):
+    if kind == "thread":
+        return PredictionServer(model, config=config)
+    if kind == "asyncio":
+        return AsyncPredictionServer(model, config=config)
+    registry = ShardedModelRegistry(n_shards=2)
+    registry.register_replicated("default", model)
+    return ShardedPredictionServer(registry, backend="thread", config=config)
+
+
+def test_backend_comparison_thread_vs_asyncio_vs_sharded(benchmark):
+    """All three serving fronts beat the naive loop and answer identically."""
+    model, requests = _setup()
+    model.predict_workload(requests[0])  # warm lazy caches fairly
+    naive = _naive_qps(model, requests)
+
+    config = ServerConfig(max_batch_size=64, max_wait_s=0.002)
+    throughput: dict[str, float] = {}
+    answers: dict[str, np.ndarray] = {}
+
+    def _run_all() -> None:
+        for kind in ("thread", "asyncio", "sharded"):
+            with _make_server(kind, model, config) as server:
+                throughput[kind], answers[kind] = _drive(server, requests)
+
+    run_once(benchmark, _run_all)
+
+    print()
+    print(f"naive one-call-at-a-time : {naive:10.0f} req/s")
+    for kind in ("thread", "asyncio", "sharded"):
+        print(
+            f"{kind:<25}: {throughput[kind]:10.0f} req/s "
+            f"({throughput[kind] / naive:6.2f}x naive)"
+        )
+
+    # Identical answers on every backend (same model, caches are exact).
+    np.testing.assert_allclose(answers["asyncio"], answers["thread"], rtol=1e-9)
+    np.testing.assert_allclose(answers["sharded"], answers["thread"], rtol=1e-9)
+    # Every front must beat the naive loop on skewed replay traffic.
+    for kind, qps in throughput.items():
+        assert qps > naive, f"{kind} backend slower than the naive loop"

@@ -7,7 +7,10 @@ Walks the full lifecycle of serving LearnedWMP predictions online:
 3. serve version 1 through a :class:`~repro.serving.server.PredictionServer`
    (micro-batching + LRU/TTL prediction cache + request coalescing),
 4. load-test it with skewed replay traffic at a target request rate,
-5. hot-swap to version 2 (and roll back) without restarting the server.
+5. hot-swap to version 2 (and roll back) without restarting the server,
+6. serve the same model on the asyncio backend and on a 2-shard
+   consistent-hash fleet — the same traffic, the same protocol, the same
+   answers.
 
 Run with:  PYTHONPATH=src python examples/online_serving.py
 """
@@ -15,12 +18,15 @@ Run with:  PYTHONPATH=src python examples/online_serving.py
 from __future__ import annotations
 
 from repro import (
+    AsyncPredictionServer,
     LearnedWMP,
     LoadGenerator,
     ModelRegistry,
     PredictionRequest,
     PredictionServer,
     ServerConfig,
+    ShardedModelRegistry,
+    ShardedPredictionServer,
     generate_dataset,
     make_workloads,
 )
@@ -102,6 +108,36 @@ def main() -> None:
                 f"({100.0 * feature_stats.hit_rate:.1f} % of rows served "
                 f"without re-walking the plan)"
             )
+
+    print(f"\nSame traffic on the asyncio backend at {TARGET_QPS:.0f} req/s ...")
+    with AsyncPredictionServer(v1, config=config) as aio_server:
+        aio_report = LoadGenerator(
+            aio_server, requests, qps=TARGET_QPS, benchmark=BENCHMARK
+        ).run()
+        print(
+            f"  asyncio backend : {aio_report.achieved_qps:8.1f} req/s, "
+            f"p95 {aio_report.latency_p95_ms:.2f} ms, "
+            f"cache hit rate {100.0 * aio_report.cache_hit_rate:.1f} %"
+        )
+
+    print("\nSame traffic on a 2-shard consistent-hash fleet ...")
+    sharded_registry = ShardedModelRegistry(n_shards=2)
+    sharded_registry.register_replicated("tpcds", v1)
+    with ShardedPredictionServer(
+        sharded_registry, model_name="tpcds", backend="thread", config=config
+    ) as fleet:
+        fleet_report = LoadGenerator(
+            fleet, requests, qps=TARGET_QPS, benchmark=BENCHMARK
+        ).run()
+        shares = {
+            shard: sum(1 for w in requests if fleet.route_request(w) == shard)
+            for shard in fleet.shard_servers
+        }
+        print(
+            f"  sharded fleet   : {fleet_report.achieved_qps:8.1f} req/s, "
+            f"p95 {fleet_report.latency_p95_ms:.2f} ms"
+        )
+        print(f"  request shares  : {shares} (routed by workload signature)")
 
 
 if __name__ == "__main__":

@@ -68,11 +68,18 @@ from repro.core import (
     summarize_residuals,
 )
 from repro.dbms import SimulatedDBMS
-from repro.registry import ModelRegistry, ModelVersion
+from repro.registry import (
+    ConsistentHashRing,
+    ModelRegistry,
+    ModelVersion,
+    ShardedModelRegistry,
+)
 from repro.serving import (
+    AsyncPredictionServer,
     LoadGenerator,
     PredictionServer,
     ServerConfig,
+    ShardedPredictionServer,
 )
 from repro.workloads import (
     BenchmarkDataset,
@@ -121,7 +128,11 @@ __all__ = [
     "TPCCGenerator",
     "ModelRegistry",
     "ModelVersion",
+    "ConsistentHashRing",
+    "ShardedModelRegistry",
     "PredictionServer",
+    "AsyncPredictionServer",
+    "ShardedPredictionServer",
     "ServerConfig",
     "LoadGenerator",
 ]

@@ -180,11 +180,13 @@ class Predictor(Protocol):
     def predict(
         self, request: PredictionRequest
     ) -> PredictionResult:  # pragma: no cover - protocol definition
+        """One typed request in, one typed result out."""
         ...
 
     def predict_batch(
         self, requests: Sequence[PredictionRequest]
     ) -> list[PredictionResult]:  # pragma: no cover - protocol definition
+        """Batched form; backends answer it with one vectorized model call."""
         ...
 
 
@@ -253,9 +255,16 @@ class DirectPredictor:
     # -- typed surface ------------------------------------------------------------
 
     def predict(self, request: PredictionRequest) -> PredictionResult:
+        """Answer one typed request (delegates to :meth:`predict_batch`)."""
         return self.predict_batch([request])[0]
 
     def predict_batch(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
+        """Answer typed requests with one vectorized model call where possible.
+
+        ``BYPASS`` requests are routed through the wrapped object's
+        ``predict_uncached`` when it has one; per-request ``cache_hit``
+        provenance comes from its ``is_cached`` probe when available.
+        """
         if not requests:
             return []
         start = time.perf_counter()
@@ -319,6 +328,12 @@ def as_predictor(obj: Any, *, name: str | None = None, version: int | None = Non
     the integration components call on their ``predictor`` argument, which
     is what lets them accept a raw model, a cached wrapper, or a served
     model interchangeably.
+
+    Example::
+
+        predictor = as_predictor(model)                      # fitted LearnedWMP
+        result = predictor.predict(PredictionRequest.of(workload))
+        result.memory_mb, result.model_name, result.cache_hit
     """
     if isinstance(obj, Predictor):
         return obj

@@ -17,17 +17,23 @@ cover the day-to-day tasks of working with the reproduction:
     (or a different) benchmark.
 
 ``serve``
-    Stand up an online :class:`~repro.serving.server.PredictionServer`
-    (model registry + micro-batching + LRU/TTL caching) around a trained or
-    freshly trained model, drive it with replayed benchmark traffic and print
-    the serving telemetry — including the model's plan-feature cache counters
-    (sized with ``--feature-cache-size``).
+    Stand up an online prediction server (model registry + micro-batching +
+    LRU/TTL caching) around a trained or freshly trained model, drive it
+    with replayed benchmark traffic and print the serving telemetry —
+    including the model's plan-feature cache counters (sized with
+    ``--feature-cache-size``).  ``--backend {thread,asyncio}`` selects the
+    thread-based worker or the asyncio event-loop backend; ``--shards N``
+    serves through a consistent-hash
+    :class:`~repro.serving.sharded.ShardedPredictionServer` over an
+    N-shard registry.
 
 ``loadtest``
     Replay skewed benchmark traffic against a served model at a target QPS
     and report throughput, latency percentiles and the hit rates of both
     cache tiers — the prediction cache and the plan-feature cache
-    (optionally as JSON for the benchmark trajectory).
+    (optionally as JSON for the benchmark trajectory).  Takes the same
+    ``--backend`` / ``--shards`` flags as ``serve``, so thread, asyncio and
+    sharded configurations are load-tested with one command.
 
 ``figures``
     Regenerate one or more of the paper's evaluation figures as text tables
@@ -82,6 +88,18 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=DEFAULT_FEATURE_CACHE_SIZE,
         help="plan-feature cache entries on the served model (0 disables memoization)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "asyncio"),
+        default="thread",
+        help="serving backend: thread-based worker or asyncio event loop",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="registry shards; >1 serves through a consistent-hash ShardedPredictionServer",
     )
 
 
@@ -238,16 +256,30 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _serving_setup(args: argparse.Namespace):
-    """Build (registry, server, requests) for the serving subcommands."""
-    from repro.registry import ModelRegistry
-    from repro.serving import PredictionServer, ServerConfig
+    """Build (registry, server, requests) for the serving subcommands.
+
+    The server shape follows the flags: ``--shards N`` (N > 1) builds a
+    :class:`~repro.registry.ShardedModelRegistry` with the model replicated
+    on every shard behind a
+    :class:`~repro.serving.sharded.ShardedPredictionServer`; otherwise a
+    single-registry server of the selected ``--backend`` (thread-based
+    worker or asyncio event loop) is stood up.
+    """
+    from repro.registry import ModelRegistry, ShardedModelRegistry
+    from repro.serving import (
+        AsyncPredictionServer,
+        PredictionServer,
+        ServerConfig,
+        ShardedPredictionServer,
+    )
     from repro.workloads.replay import build_replay_requests
 
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
     dataset = generate_dataset(args.benchmark, args.queries, seed=args.seed)
-    registry = ModelRegistry()
     if args.model is not None:
-        version = registry.load("default", args.model, promote=True)
-        print(f"loaded model        : {args.model} (version {version})")
+        model = load_model(args.model)
+        print(f"loaded model        : {args.model}")
     else:
         print(f"training a fast ridge model on {args.benchmark} ...")
         model = LearnedWMP(
@@ -258,11 +290,9 @@ def _serving_setup(args: argparse.Namespace):
             fast=True,
         )
         model.fit(dataset.train_records)
-        registry.register("default", model)
 
-    served = registry.active("default")
-    if hasattr(served, "configure_feature_cache"):
-        served.configure_feature_cache(args.feature_cache_size)
+    if hasattr(model, "configure_feature_cache"):
+        model.configure_feature_cache(args.feature_cache_size)
 
     config = ServerConfig(
         max_batch_size=args.max_batch,
@@ -270,7 +300,17 @@ def _serving_setup(args: argparse.Namespace):
         enable_cache=not args.no_cache,
         enable_batching=not args.no_batching,
     )
-    server = PredictionServer(registry, model_name="default", config=config)
+    if args.shards > 1:
+        registry = ShardedModelRegistry(args.shards)
+        registry.register_replicated("default", model)
+        server = ShardedPredictionServer(
+            registry, model_name="default", backend=args.backend, config=config
+        )
+    else:
+        registry = ModelRegistry()
+        registry.register("default", model)
+        server_cls = PredictionServer if args.backend == "thread" else AsyncPredictionServer
+        server = server_cls(registry, model_name="default", config=config)
     requests = build_replay_requests(
         args.benchmark,
         dataset=dataset,
@@ -288,7 +328,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     registry, server, requests = _serving_setup(args)
     print(
         f"serving model 'default' v{registry.active_version('default')} "
-        f"(cache={'on' if not args.no_cache else 'off'}, "
+        f"(backend={args.backend}, shards={args.shards}, "
+        f"cache={'on' if not args.no_cache else 'off'}, "
         f"batching={'on' if not args.no_batching else 'off'})"
     )
     print(f"replaying {len(requests)} requests at {args.qps:.0f} req/s ...\n")
@@ -335,7 +376,10 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.api import PredictionRequest, as_predictor
 
     _, server, requests = _serving_setup(args)
-    print(f"load-testing at {args.qps:.0f} req/s with {len(requests)} requests ...\n")
+    print(
+        f"load-testing at {args.qps:.0f} req/s with {len(requests)} requests "
+        f"(backend={args.backend}, shards={args.shards}) ...\n"
+    )
     with server:
         from repro.serving import LoadGenerator
 
@@ -372,6 +416,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"serving speedup     : {report.achieved_qps / naive_qps:.2f}x")
     if args.output is not None:
         payload = report.to_dict()
+        payload["backend"] = args.backend
+        payload["shards"] = args.shards
         payload["parity_max_delta_mb"] = parity_delta
         if feature_stats is not None:
             payload["feature_cache_hits"] = feature_stats.hits

@@ -14,26 +14,45 @@ production request rates:
   batched model calls;
 * :mod:`~repro.serving.telemetry` — latency percentiles, throughput, cache
   hit rate and queue depth;
-* :mod:`~repro.serving.server` — the :class:`PredictionServer` tying the
-  layers together;
+* :mod:`~repro.serving.server` — the thread-backed :class:`PredictionServer`
+  tying the layers together;
+* :mod:`~repro.serving.aio` — the :class:`AsyncPredictionServer` backend:
+  the same pipeline on an asyncio event loop, with a coroutine-native
+  surface plus the synchronous protocol facade;
+* :mod:`~repro.serving.sharded` — the :class:`ShardedPredictionServer`
+  front fanning requests out over per-shard servers (thread or asyncio) of
+  a :class:`~repro.registry.ShardedModelRegistry`;
 * :mod:`~repro.serving.loadgen` — an open-loop load-test harness replaying
   benchmark traffic at a target QPS.
+
+See ``docs/SERVING.md`` for the request lifecycle, the shard-routing
+diagram, and the tuning guide.
 """
 
 # ModelRegistry/ModelVersion come from the unified subsystem, NOT from the
 # repro.serving.registry shim: `from repro.serving import ModelRegistry`
 # resolves to the same class as `from repro import ModelRegistry`, so the
 # name is unambiguous everywhere it can be imported from.
-from repro.registry import ModelRegistry, ModelVersion
+from repro.registry import (
+    ConsistentHashRing,
+    ModelRegistry,
+    ModelVersion,
+    ShardedModelRegistry,
+)
+from repro.serving.aio import AsyncPredictionServer
 from repro.serving.batcher import BatcherStats, MicroBatcher
 from repro.serving.cache import CacheStats, LRUTTLCache, workload_signature
 from repro.serving.loadgen import LoadGenerator, LoadTestReport
 from repro.serving.server import PredictionServer, ServerConfig
+from repro.serving.sharded import BACKENDS, ShardedPredictionServer
 from repro.serving.telemetry import ServingTelemetry, TelemetryReport
 
 __all__ = [
+    "AsyncPredictionServer",
+    "BACKENDS",
     "BatcherStats",
     "CacheStats",
+    "ConsistentHashRing",
     "LRUTTLCache",
     "LoadGenerator",
     "LoadTestReport",
@@ -43,6 +62,8 @@ __all__ = [
     "PredictionServer",
     "ServerConfig",
     "ServingTelemetry",
+    "ShardedModelRegistry",
+    "ShardedPredictionServer",
     "TelemetryReport",
     "workload_signature",
 ]

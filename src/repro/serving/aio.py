@@ -1,0 +1,503 @@
+"""Asyncio serving backend: the event-loop twin of :class:`PredictionServer`.
+
+The thread-backed :class:`~repro.serving.server.PredictionServer` parks one
+worker thread in a condition-variable wait to form micro-batches — fine for
+in-process callers, but an awkward substrate for network transports, where
+the natural concurrency primitive is an event loop with thousands of cheap
+awaiting tasks.  :class:`AsyncPredictionServer` is the same four-layer
+request pipeline (prediction cache → in-flight coalescing → micro-batcher →
+registry-resolved model) rebuilt on asyncio:
+
+* every request is a coroutine on one private event loop, so cache hits and
+  coalesced attachments resolve without any thread handoff;
+* the micro-batcher is a pending list plus one ``call_later`` timer instead
+  of a worker thread — flush-on-size and flush-on-deadline semantics are
+  identical to :class:`~repro.serving.batcher.MicroBatcher`'s, including the
+  counters reported by :meth:`AsyncPredictionServer.batcher_stats`;
+* model calls (CPU-bound numpy work) run on a single-worker executor, so the
+  loop keeps admitting and coalescing requests while a batch executes —
+  exactly the overlap the thread backend gets from its worker.
+
+The event loop lives on a private daemon thread, which buys both call
+conventions at once: coroutine-native callers use :meth:`predict_async` /
+:meth:`predict_batch_async` from *their own* loop, while the synchronous
+facade (``predict`` / ``predict_batch`` / ``submit`` / ``predict_workload``)
+satisfies the :class:`repro.api.Predictor` protocol and the legacy
+``WorkloadMemoryPredictor`` surface — so admission control, the scheduler,
+the benchmarks and the :class:`~repro.serving.loadgen.LoadGenerator` drive
+an async server completely unchanged.
+
+See ``docs/SERVING.md`` for the request lifecycle of both backends side by
+side and for tuning guidance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.api import CachePolicy, PredictionRequest, PredictionResult, predict_values
+from repro.core.features import FeatureCacheStats
+from repro.core.features import feature_cache_stats as _model_feature_cache_stats
+from repro.core.workload import Workload
+from repro.dbms.query_log import QueryRecord
+from repro.exceptions import ServingError
+from repro.registry import ModelRegistry
+from repro.serving.batcher import BatcherStats
+from repro.serving.cache import LRUTTLCache, workload_signature
+from repro.serving.server import DEFAULT_MODEL_NAME, ServerConfig
+from repro.serving.telemetry import ServingTelemetry, TelemetryReport
+
+__all__ = ["AsyncPredictionServer"]
+
+#: Bound on how long close() waits for in-flight batches to drain.
+_CLOSE_TIMEOUT_S = 10.0
+
+
+class _Pending:
+    """One queued request on the loop: workload + its asyncio future."""
+
+    __slots__ = ("workload", "future", "enqueued_at")
+
+    def __init__(self, workload: Workload, future: "asyncio.Future[float]", enqueued_at: float):
+        self.workload = workload
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class AsyncPredictionServer:
+    """Asyncio-backed online prediction service over a model registry.
+
+    Accepts the same constructor arguments as
+    :class:`~repro.serving.server.PredictionServer` (a registry or a bare
+    predictor, a model name, a :class:`~repro.serving.server.ServerConfig`)
+    plus an optional shared ``telemetry`` accumulator, which is how a
+    :class:`~repro.serving.sharded.ShardedPredictionServer` folds several
+    backends into one exact latency distribution.
+
+    Example::
+
+        from repro.serving.aio import AsyncPredictionServer
+
+        with AsyncPredictionServer(model) as server:
+            value = server.predict_workload(workload)          # sync facade
+            # ...or, from inside any asyncio event loop:
+            # result = await server.predict_async(PredictionRequest.of(workload))
+    """
+
+    def __init__(
+        self,
+        source: ModelRegistry | Any,
+        *,
+        model_name: str = DEFAULT_MODEL_NAME,
+        config: ServerConfig | None = None,
+        telemetry: ServingTelemetry | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        if isinstance(source, ModelRegistry):
+            self.registry = source
+        else:
+            self.registry = ModelRegistry()
+            self.registry.register(model_name, source)
+        self.model_name = model_name
+        self.registry.get(model_name)  # fail fast on unknown names
+        self.telemetry = telemetry if telemetry is not None else ServingTelemetry()
+        self._cache: LRUTTLCache | None = (
+            LRUTTLCache(self.config.cache_entries, ttl_s=self.config.cache_ttl_s)
+            if self.config.enable_cache
+            else None
+        )
+        self._served_version: int | None = None
+        self._feature_cache_active = False
+        self._coalesced = 0
+        self._closed = False
+
+        # Loop-confined state (touched only from the loop thread).
+        self._pending: list[_Pending] = []
+        self._inflight: dict[Any, "asyncio.Future[float]"] = {}
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._batch_tasks: set["asyncio.Task[None]"] = set()
+        self._requests = 0
+        self._batches = 0
+        self._size_flushes = 0
+        self._deadline_flushes = 0
+        self._close_flushes = 0
+        self._max_batch_seen = 0
+
+        # Model calls are CPU-bound numpy work; one executor worker serializes
+        # them (like the thread backend's single worker) while the loop keeps
+        # admitting, caching and coalescing the next wave of requests.
+        self._executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="aio-model")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="aio-serving-loop", daemon=True
+        )
+        self._thread.start()
+
+    # -- model resolution (mirrors the thread backend) ------------------------------
+
+    def _sync_version(self) -> None:
+        """Detect a promotion/rollback and invalidate the prediction cache.
+
+        Runs on the loop thread only, so unlike the thread backend no swap
+        lock is needed; the check-and-clear is naturally serialized.
+        """
+        version = self.registry.active_version(self.model_name)
+        if version != self._served_version:
+            if self._cache is not None and self._served_version is not None:
+                self._cache.clear()
+            self._served_version = version
+            self._feature_cache_active = (
+                _model_feature_cache_stats(self.registry.active(self.model_name)) is not None
+            )
+
+    def _predict_batch(self, workloads: list[Workload]) -> Sequence[float]:
+        model = self.registry.active(self.model_name)
+        self.telemetry.observe_batch(len(workloads))
+        return predict_values(model, workloads)
+
+    # -- the request pipeline (loop thread) -----------------------------------------
+
+    async def _handle(
+        self, workload: Workload, *, use_cache: bool, signature: Any = None
+    ) -> tuple[float, bool]:
+        """Answer one workload; returns ``(value, cache_hit_provenance)``.
+
+        The pipeline and provenance semantics match
+        ``PredictionServer._submit``: a prediction-cache hit or an
+        attachment to an identical in-flight request counts as a cache hit;
+        ``use_cache=False`` (the BYPASS policy) skips the read and the
+        attachment but still write-through-populates the cache.
+        ``signature`` is a routing front's precomputed workload signature.
+        """
+        if self._closed:
+            raise ServingError("cannot submit to a closed AsyncPredictionServer")
+        arrival = time.monotonic()
+        self._sync_version()
+        if self._cache is None:
+            key = None
+        else:
+            key = signature if signature is not None else workload_signature(workload)
+        if self._cache is not None and use_cache:
+            sentinel = object()
+            cached = self._cache.get(key, sentinel)
+            if cached is not sentinel:
+                self.telemetry.record(time.monotonic() - arrival, cache_hit=True)
+                return float(cached), True
+            pending = self._inflight.get(key)
+            if pending is not None:
+                # Singleflight: await the identical in-flight computation
+                # instead of enqueueing duplicate model work.
+                self._coalesced += 1
+                try:
+                    value = await asyncio.shield(pending)
+                except Exception:
+                    self.telemetry.record_error()
+                    raise
+                self.telemetry.record(time.monotonic() - arrival, cache_hit=True)
+                return float(value), True
+
+        future: "asyncio.Future[float]" = self._loop.create_future()
+        self._enqueue(workload, future)
+        if self._cache is not None:
+            self._inflight.setdefault(key, future)
+        try:
+            value = float(await asyncio.shield(future))
+        except Exception:
+            self.telemetry.record_error()
+            raise
+        finally:
+            # Must also run on CancelledError (a deadline-missed request):
+            # a leaked entry would keep answering this signature with the
+            # pre-cancellation value forever, surviving even hot swaps
+            # (promotion clears the cache, not the in-flight table).
+            self._clear_inflight(key, future)
+        if self._cache is not None:
+            self._cache.put(key, value)
+        self.telemetry.record(time.monotonic() - arrival, cache_hit=False)
+        return value, False
+
+    def _clear_inflight(self, key: Any, future: "asyncio.Future[float]") -> None:
+        if self._cache is not None and self._inflight.get(key) is future:
+            del self._inflight[key]
+
+    # -- asyncio micro-batcher ------------------------------------------------------
+
+    def _enqueue(self, workload: Workload, future: "asyncio.Future[float]") -> None:
+        if not self.config.enable_batching:
+            self._requests += 1
+            self._spawn_batch([_Pending(workload, future, time.monotonic())], "size")
+            return
+        self._pending.append(_Pending(workload, future, time.monotonic()))
+        self._requests += 1
+        self.telemetry.observe_queue_depth(len(self._pending))
+        if len(self._pending) >= self.config.max_batch_size:
+            self._flush("size")
+        elif self._flush_handle is None:
+            self._flush_handle = self._loop.call_later(
+                self.config.max_wait_s, self._flush, "deadline"
+            )
+
+    def _flush(self, reason: str) -> None:
+        """Cut the pending queue into one batch and execute it as a task.
+
+        ``_enqueue`` flushes the moment the queue reaches ``max_batch_size``
+        and both run on the loop thread, so the queue never exceeds one
+        batch — a flush always drains it completely.
+        """
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._pending:
+            return
+        batch = self._pending[:]
+        self._pending.clear()
+        self._spawn_batch(batch, reason)
+
+    def _spawn_batch(self, batch: list[_Pending], reason: str) -> None:
+        self._batches += 1
+        self._max_batch_seen = max(self._max_batch_seen, len(batch))
+        if reason == "size":
+            self._size_flushes += 1
+        elif reason == "close":
+            self._close_flushes += 1
+        else:
+            self._deadline_flushes += 1
+        task = self._loop.create_task(self._execute(batch))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+
+    async def _execute(self, batch: list[_Pending]) -> None:
+        try:
+            predictions = await self._loop.run_in_executor(
+                self._executor, self._predict_batch, [item.workload for item in batch]
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to every awaiter
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        if len(predictions) != len(batch):
+            error = ServingError(
+                f"predict_batch returned {len(predictions)} predictions "
+                f"for a batch of {len(batch)}"
+            )
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(error)
+            return
+        for item, value in zip(batch, predictions):
+            if not item.future.done():
+                item.future.set_result(float(value))
+
+    # -- request coroutines ---------------------------------------------------------
+
+    async def _value(
+        self, workload: Workload, *, use_cache: bool = True, signature: Any = None
+    ) -> float:
+        value, _ = await self._handle(workload, use_cache=use_cache, signature=signature)
+        return value
+
+    async def _request(
+        self, request: PredictionRequest, *, signature: Any = None
+    ) -> PredictionResult:
+        arrival = time.monotonic()
+        self._sync_version()
+        version = self._served_version
+        feature_cache_active = self._feature_cache_active
+        use_cache = request.cache_policy is not CachePolicy.BYPASS
+        value, cache_hit = await self._handle(
+            request.workload, use_cache=use_cache, signature=signature
+        )
+        return PredictionResult(
+            memory_mb=value,
+            request_id=request.request_id,
+            model_name=self.model_name,
+            model_version=version,
+            latency_s=time.monotonic() - arrival,
+            cache_hit=cache_hit,
+            feature_cache_active=feature_cache_active,
+        )
+
+    # -- native asyncio surface -----------------------------------------------------
+
+    async def predict_async(self, request: PredictionRequest) -> PredictionResult:
+        """Answer one typed request; awaitable from any event loop.
+
+        The coroutine runs on the server's private loop, so callers on other
+        loops (or several tasks on the same one) compose freely; a request
+        ``deadline_s`` bounds the wait and raises
+        :class:`~repro.exceptions.ServingError` on expiry.
+        """
+        future = asyncio.wrap_future(self.submit_request(request))
+        if request.deadline_s is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout=request.deadline_s)
+        except (TimeoutError, asyncio.TimeoutError) as exc:
+            raise ServingError(
+                f"request {request.request_id} missed its deadline "
+                f"({request.deadline_s:.3f} s)"
+            ) from exc
+
+    async def predict_batch_async(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
+        """Typed batch form; all requests are submitted before any is awaited."""
+        futures = [asyncio.wrap_future(self.submit_request(request)) for request in requests]
+        results: list[PredictionResult] = []
+        for request, future in zip(requests, futures):
+            if request.deadline_s is None:
+                results.append(await future)
+                continue
+            try:
+                results.append(await asyncio.wait_for(future, timeout=request.deadline_s))
+            except (TimeoutError, asyncio.TimeoutError) as exc:
+                raise ServingError(
+                    f"request {request.request_id} missed its deadline "
+                    f"({request.deadline_s:.3f} s)"
+                ) from exc
+        return results
+
+    # -- synchronous facade (Predictor protocol + legacy surfaces) ------------------
+
+    @staticmethod
+    def _as_workload(queries: Sequence[QueryRecord] | Workload) -> Workload:
+        if isinstance(queries, Workload):
+            return queries
+        return Workload(queries=list(queries))
+
+    def submit(
+        self, queries: Sequence[QueryRecord] | Workload, *, signature: Any = None
+    ) -> "Future[float]":
+        """Asynchronously predict one workload (concurrent future, like the thread backend)."""
+        if self._closed:
+            raise ServingError("cannot submit to a closed AsyncPredictionServer")
+        return asyncio.run_coroutine_threadsafe(
+            self._value(self._as_workload(queries), signature=signature), self._loop
+        )
+
+    def submit_request(
+        self, request: PredictionRequest, *, signature: Any = None
+    ) -> "Future[PredictionResult]":
+        """Asynchronously answer one typed request (concurrent future)."""
+        if self._closed:
+            raise ServingError("cannot submit to a closed AsyncPredictionServer")
+        return asyncio.run_coroutine_threadsafe(
+            self._request(request, signature=signature), self._loop
+        )
+
+    def _await_result(
+        self, request: PredictionRequest, future: "Future[PredictionResult]"
+    ) -> PredictionResult:
+        try:
+            return future.result(timeout=request.deadline_s)
+        except (TimeoutError, FutureTimeoutError) as exc:
+            raise ServingError(
+                f"request {request.request_id} missed its deadline "
+                f"({request.deadline_s:.3f} s)"
+            ) from exc
+
+    def predict_batch(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
+        """Typed batch prediction (the :class:`repro.api.Predictor` protocol)."""
+        futures = [self.submit_request(request) for request in requests]
+        return [
+            self._await_result(request, future)
+            for request, future in zip(requests, futures)
+        ]
+
+    def predict(
+        self, workloads: Sequence[Workload] | PredictionRequest
+    ) -> np.ndarray | PredictionResult:
+        """Prediction in either convention (typed request, or legacy workload batch)."""
+        if isinstance(workloads, PredictionRequest):
+            request = workloads
+            return self._await_result(request, self.submit_request(request))
+        futures = [self.submit(workload) for workload in workloads]
+        return np.array([future.result() for future in futures], dtype=np.float64)
+
+    def predict_workload(self, queries: Sequence[QueryRecord] | Workload) -> float:
+        """Blocking single prediction (WorkloadMemoryPredictor protocol)."""
+        return self.submit(queries).result()
+
+    def predict_stream(
+        self, workloads: Iterable[Sequence[QueryRecord] | Workload]
+    ) -> Iterator[float]:
+        """Streaming prediction in input order, windowed by ``config.stream_window``."""
+        window: list[Future] = []
+        for item in workloads:
+            window.append(self.submit(item))
+            if len(window) >= self.config.stream_window:
+                yield window.pop(0).result()
+        for future in window:
+            yield future.result()
+
+    # -- lifecycle / introspection --------------------------------------------------
+
+    def snapshot(self) -> TelemetryReport:
+        """Telemetry snapshot, with the model's ``feature_cache_*`` counters folded in."""
+        report = self.telemetry.snapshot()
+        stats = self.feature_cache_stats()
+        if stats is not None:
+            report = dataclasses.replace(
+                report,
+                feature_cache_hits=stats.hits,
+                feature_cache_misses=stats.misses,
+                feature_cache_evictions=stats.evictions,
+                feature_cache_hit_rate=stats.hit_rate,
+            )
+        return report
+
+    def cache_stats(self):
+        """Prediction-cache counters, or ``None`` when caching is disabled."""
+        return self._cache.stats() if self._cache is not None else None
+
+    def feature_cache_stats(self) -> FeatureCacheStats | None:
+        """The active model's plan-feature cache counters, if it has any."""
+        return _model_feature_cache_stats(self.registry.active(self.model_name))
+
+    def batcher_stats(self) -> BatcherStats | None:
+        """Micro-batcher counters, or ``None`` when batching is disabled."""
+        if not self.config.enable_batching:
+            return None
+        return BatcherStats(
+            requests=self._requests,
+            batches=self._batches,
+            size_flushes=self._size_flushes,
+            deadline_flushes=self._deadline_flushes,
+            close_flushes=self._close_flushes,
+            max_batch_size_seen=self._max_batch_seen,
+        )
+
+    @property
+    def coalesced_requests(self) -> int:
+        """Requests answered by attaching to an identical in-flight request."""
+        return self._coalesced
+
+    def close(self) -> None:
+        """Flush pending batches, drain in-flight work, and stop the loop."""
+        if self._closed:
+            return
+        self._closed = True
+
+        async def _drain() -> None:
+            self._flush("close")
+            while self._batch_tasks:
+                await asyncio.gather(*list(self._batch_tasks), return_exceptions=True)
+
+        asyncio.run_coroutine_threadsafe(_drain(), self._loop).result(timeout=_CLOSE_TIMEOUT_S)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=_CLOSE_TIMEOUT_S)
+        self._executor.shutdown(wait=True)
+        self._loop.close()
+
+    def __enter__(self) -> "AsyncPredictionServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

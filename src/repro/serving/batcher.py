@@ -42,6 +42,7 @@ class BatcherStats:
 
     @property
     def mean_batch_size(self) -> float:
+        """Average requests per formed batch (0.0 before the first batch)."""
         return self.requests / self.batches if self.batches else 0.0
 
 
@@ -120,6 +121,7 @@ class MicroBatcher:
             return len(self._pending)
 
     def stats(self) -> BatcherStats:
+        """Lifetime counters: requests, batches formed, flush reasons."""
         with self._lock:
             return BatcherStats(
                 requests=self._requests,

@@ -47,6 +47,7 @@ class CacheStats:
 
     @property
     def requests(self) -> int:
+        """Total lookups observed (hits + misses)."""
         return self.hits + self.misses
 
     @property
@@ -151,6 +152,7 @@ class LRUTTLCache:
             self._entries.clear()
 
     def stats(self) -> CacheStats:
+        """Lifetime counters plus the current size and capacity."""
         with self._lock:
             return CacheStats(
                 hits=self._hits,

@@ -58,6 +58,7 @@ class LoadTestReport:
     extras: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form (the ``BENCH_serving.json`` schema)."""
         payload: dict[str, object] = {
             "benchmark": self.benchmark,
             "n_requests": self.n_requests,
@@ -76,11 +77,13 @@ class LoadTestReport:
         return payload
 
     def write_json(self, path: str | Path) -> Path:
+        """Serialize :meth:`to_dict` to ``path`` and return it."""
         path = Path(path)
         path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
         return path
 
     def render(self) -> str:
+        """Fixed-width text table in the style of the CLI train output."""
         lines = [
             f"benchmark           : {self.benchmark}",
             f"requests            : {self.n_requests}",

@@ -107,6 +107,11 @@ class PredictionServer:
         Registry name to serve.
     config:
         Serving policy; defaults enable caching and micro-batching.
+    telemetry:
+        Optional externally owned accumulator.  A
+        :class:`~repro.serving.sharded.ShardedPredictionServer` hands the
+        same instance to every per-shard server so one snapshot holds the
+        exact latency distribution of the whole fleet.
     """
 
     def __init__(
@@ -115,6 +120,7 @@ class PredictionServer:
         *,
         model_name: str = DEFAULT_MODEL_NAME,
         config: ServerConfig | None = None,
+        telemetry: ServingTelemetry | None = None,
     ) -> None:
         self.config = config or ServerConfig()
         if isinstance(source, ModelRegistry):
@@ -124,7 +130,7 @@ class PredictionServer:
             self.registry.register(model_name, source)
         self.model_name = model_name
         self.registry.get(model_name)  # fail fast on unknown names
-        self.telemetry = ServingTelemetry()
+        self.telemetry = telemetry if telemetry is not None else ServingTelemetry()
         self._cache: LRUTTLCache | None = (
             LRUTTLCache(self.config.cache_entries, ttl_s=self.config.cache_ttl_s)
             if self.config.enable_cache
@@ -189,17 +195,21 @@ class PredictionServer:
             return queries
         return Workload(queries=list(queries))
 
-    def submit(self, queries: Sequence[QueryRecord] | Workload) -> "Future[float]":
+    def submit(
+        self, queries: Sequence[QueryRecord] | Workload, *, signature: Any = None
+    ) -> "Future[float]":
         """Asynchronously predict one workload's memory demand (MB).
 
         Cache hits resolve immediately; misses are handed to the
         micro-batcher (or executed inline when batching is disabled).  The
         returned future also feeds telemetry and populates the cache.
+        ``signature`` lets a routing front that already computed the
+        workload's signature pass it down, so the hot path hashes once.
         """
-        return self._submit(self._as_workload(queries))[0]
+        return self._submit(self._as_workload(queries), signature=signature)[0]
 
     def _submit(
-        self, workload: Workload, *, use_cache: bool = True
+        self, workload: Workload, *, use_cache: bool = True, signature: Any = None
     ) -> "tuple[Future[float], bool]":
         """Request path shared by :meth:`submit` and :meth:`submit_request`.
 
@@ -215,7 +225,10 @@ class PredictionServer:
             raise ServingError("cannot submit to a closed PredictionServer")
         arrival = time.monotonic()
         self._sync_version()
-        key = workload_signature(workload) if self._cache is not None else None
+        if self._cache is None:
+            key = None
+        else:
+            key = signature if signature is not None else workload_signature(workload)
         if self._cache is not None and use_cache:
             sentinel = object()
             cached = self._cache.get(key, sentinel)
@@ -291,7 +304,9 @@ class PredictionServer:
 
     # -- typed request path (repro.api.Predictor protocol) --------------------------
 
-    def submit_request(self, request: PredictionRequest) -> "Future[PredictionResult]":
+    def submit_request(
+        self, request: PredictionRequest, *, signature: Any = None
+    ) -> "Future[PredictionResult]":
         """Asynchronously answer one typed :class:`~repro.api.PredictionRequest`.
 
         The resolved :class:`~repro.api.PredictionResult` carries the served
@@ -299,11 +314,14 @@ class PredictionServer:
         admitted), the request's observed latency, and provenance flags:
         ``cache_hit`` when the prediction cache or in-flight coalescing
         answered it, ``feature_cache_active`` when the served model carries
-        a plan-feature cache below the prediction tier.
+        a plan-feature cache below the prediction tier.  ``signature`` is
+        the routing front's precomputed workload signature, if any.
         """
         arrival = time.monotonic()
         use_cache = request.cache_policy is not CachePolicy.BYPASS
-        inner, cache_hit = self._submit(request.workload, use_cache=use_cache)
+        inner, cache_hit = self._submit(
+            request.workload, use_cache=use_cache, signature=signature
+        )
         version = self._served_version
         feature_cache_active = self._feature_cache_active
         outer: "Future[PredictionResult]" = Future()

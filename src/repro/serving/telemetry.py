@@ -54,6 +54,7 @@ class TelemetryReport:
     feature_cache_hit_rate: float = 0.0
 
     def to_dict(self) -> dict[str, float]:
+        """The report as a flat JSON-friendly dict."""
         return asdict(self)
 
     def render(self) -> str:
@@ -109,18 +110,22 @@ class ServingTelemetry:
             self._last_at = now
 
     def record_error(self) -> None:
+        """Count one failed request (model exception on the request path)."""
         with self._lock:
             self._errors += 1
 
     def observe_batch(self, size: int) -> None:
+        """Record the size of one model-call batch."""
         with self._lock:
             self._batch_sizes.append(int(size))
 
     def observe_queue_depth(self, depth: int) -> None:
+        """Track the peak batcher queue depth seen so far."""
         with self._lock:
             self._max_queue_depth = max(self._max_queue_depth, int(depth))
 
     def reset(self) -> None:
+        """Drop every observation (start a fresh measurement window)."""
         with self._lock:
             self._latencies_s.clear()
             self._batch_sizes.clear()
@@ -131,6 +136,7 @@ class ServingTelemetry:
             self._last_at = None
 
     def snapshot(self) -> TelemetryReport:
+        """Distil the observations into an immutable :class:`TelemetryReport`."""
         with self._lock:
             latencies = np.asarray(self._latencies_s, dtype=np.float64)
             n = len(latencies)

@@ -140,6 +140,81 @@ class TestServeAndLoadtest:
         assert payload["n_errors"] == 0
         assert "cache_hit_rate" in payload and "naive_qps" in payload
 
+    @pytest.mark.parametrize("backend", ["thread", "asyncio"])
+    def test_loadtest_backends_with_sharded_registry(self, backend, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        exit_code = main(
+            [
+                "loadtest",
+                "--benchmark",
+                "tpcc",
+                "--queries",
+                "200",
+                "--requests",
+                "40",
+                "--qps",
+                "400",
+                "--seed",
+                "3",
+                "--backend",
+                backend,
+                "--shards",
+                "2",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert f"backend={backend}, shards=2" in out
+        # The existing parity check ran against the sharded front: served
+        # decisions must match the direct model exactly.
+        assert "parity" in out
+        payload = json.loads(output.read_text())
+        assert payload["backend"] == backend
+        assert payload["shards"] == 2
+        assert payload["n_errors"] == 0
+        assert payload["parity_max_delta_mb"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_serve_asyncio_backend(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--benchmark",
+                "tpcc",
+                "--queries",
+                "200",
+                "--requests",
+                "30",
+                "--qps",
+                "500",
+                "--seed",
+                "3",
+                "--backend",
+                "asyncio",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "backend=asyncio" in out
+        assert "throughput" in out
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "loadtest",
+                    "--benchmark",
+                    "tpcc",
+                    "--queries",
+                    "120",
+                    "--requests",
+                    "10",
+                    "--shards",
+                    "0",
+                ]
+            )
+
     def test_loadtest_with_saved_model(self, tmp_path, capsys):
         model_path = tmp_path / "model.pkl"
         main(

@@ -1,0 +1,114 @@
+"""Dedicated coverage for the PR 3 deprecation shims.
+
+Contract under test: the old import paths
+(``repro.serving.registry.ModelRegistry`` and
+``repro.integration.lifecycle.ModelRegistry``) keep working, resolve to the
+unified :mod:`repro.registry` subsystem underneath, and emit exactly one
+:class:`DeprecationWarning` per process — on first *instantiation*, never on
+import, so merely importing a legacy module stays silent.
+"""
+
+import importlib
+import warnings
+
+import pytest
+
+from repro.integration.predictors import ConstantMemoryPredictor
+from repro.registry import ModelRegistry as UnifiedModelRegistry
+from repro.registry import ModelVersion
+
+
+def _capture_deprecations(action):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = action()
+    return result, [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestServingRegistryShim:
+    def test_importing_the_module_does_not_warn(self):
+        import repro.serving.registry as shim_module
+
+        _, deprecations = _capture_deprecations(
+            lambda: importlib.reload(shim_module)
+        )
+        assert deprecations == []
+
+    def test_instantiation_warns_exactly_once_per_process(self):
+        from repro.serving.registry import ModelRegistry as ServingShim
+
+        ServingShim._deprecation_warned = False
+        _, first = _capture_deprecations(ServingShim)
+        _, second = _capture_deprecations(ServingShim)
+        assert len(first) == 1
+        assert second == []
+        assert "repro.registry" in str(first[0].message)
+
+    def test_shim_instances_are_the_unified_class(self):
+        from repro.serving.registry import ModelRegistry as ServingShim
+
+        shim = ServingShim()
+        assert isinstance(shim, UnifiedModelRegistry)
+        assert issubclass(ServingShim, UnifiedModelRegistry)
+        # Full unified surface, including the lineage half that used to be
+        # exclusive to the lifecycle registry.
+        shim.register("m", ConstantMemoryPredictor(1.0), reason="bootstrap")
+        assert shim.latest("m").reason == "bootstrap"
+
+    def test_shim_registry_serves_through_a_prediction_server(self, tpcds_small):
+        from repro.serving import PredictionServer
+        from repro.serving.registry import ModelRegistry as ServingShim
+
+        shim = ServingShim()
+        shim.register("m", ConstantMemoryPredictor(12.0))
+        # isinstance dispatch in the server treats the shim as a registry,
+        # not as a bare predictor to wrap.
+        with PredictionServer(shim, model_name="m") as server:
+            assert server.registry is shim
+            assert server.predict_workload(tpcds_small.test_records[:5]) == 12.0
+
+    def test_package_level_import_is_unified_and_silent(self):
+        def resolve():
+            from repro.serving import ModelRegistry
+
+            return ModelRegistry
+
+        resolved, deprecations = _capture_deprecations(resolve)
+        assert resolved is UnifiedModelRegistry
+        assert deprecations == []
+
+
+class TestLifecycleRegistryShim:
+    def test_importing_the_module_does_not_warn(self):
+        import repro.integration.lifecycle as lifecycle_module
+
+        _, deprecations = _capture_deprecations(
+            lambda: importlib.reload(lifecycle_module)
+        )
+        assert deprecations == []
+
+    def test_instantiation_warns_exactly_once_per_process(self):
+        from repro.integration.lifecycle import ModelRegistry as LifecycleShim
+
+        LifecycleShim._deprecation_warned = False
+        _, first = _capture_deprecations(LifecycleShim)
+        _, second = _capture_deprecations(LifecycleShim)
+        assert len(first) == 1
+        assert second == []
+        assert "repro.registry" in str(first[0].message)
+
+    def test_shim_is_a_view_over_the_unified_registry(self):
+        from repro.integration.lifecycle import ModelRegistry as LifecycleShim
+
+        backing = UnifiedModelRegistry()
+        shim = LifecycleShim(registry=backing, name="deployed")
+        version = shim.register(
+            ConstantMemoryPredictor(1.0),
+            n_training_records=10,
+            validation_mape=12.5,
+            reason="bootstrap",
+        )
+        assert isinstance(version, ModelVersion)
+        # The state lives in the unified registry the shim wraps.
+        assert backing.active("deployed") is version.model
+        assert backing.latest("deployed").validation_mape == pytest.approx(12.5)

@@ -1,0 +1,252 @@
+"""Tests for the consistent-hash ring and the sharded model registry.
+
+The ring tests pin the property the whole sharded tier rests on: placement
+moves *minimally* under membership change.  Hashing is deterministic
+(BLAKE2b over the key text), so the movement counts asserted here are exact
+for these keys, not flaky statistics.
+"""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError, ServingError
+from repro.registry import (
+    ConsistentHashRing,
+    ModelRegistry,
+    ShardedModelRegistry,
+)
+
+
+class Model:
+    """A minimal registrable predictor stand-in."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        self.value = value
+
+    def predict_workload(self, queries) -> float:
+        return self.value
+
+
+KEYS = [f"model-{index}" for index in range(600)]
+
+
+class TestConsistentHashRing:
+    def test_routing_is_deterministic_across_instances(self):
+        first = ConsistentHashRing(["a", "b", "c"], virtual_nodes=32)
+        second = ConsistentHashRing(["a", "b", "c"], virtual_nodes=32)
+        assert [first.route(key) for key in KEYS] == [second.route(key) for key in KEYS]
+
+    def test_empty_ring_routing_raises(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(ServingError, match="empty hash ring"):
+            ring.route("anything")
+
+    def test_membership_errors(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ServingError, match="already contains"):
+            ring.add("a")
+        with pytest.raises(ServingError, match="does not contain"):
+            ring.remove("b")
+        with pytest.raises(InvalidParameterError):
+            ConsistentHashRing(virtual_nodes=0)
+        with pytest.raises(InvalidParameterError):
+            ring.add("")
+
+    def test_add_moves_keys_only_to_the_new_node(self):
+        ring = ConsistentHashRing([f"node-{i}" for i in range(4)], virtual_nodes=64)
+        before = {key: ring.route(key) for key in KEYS}
+        ring.add("node-4")
+        after = {key: ring.route(key) for key in KEYS}
+        moved = {key for key in KEYS if before[key] != after[key]}
+        # The defining consistent-hashing property: a key either keeps its
+        # node or lands on the new one — no shuffling among the old nodes.
+        assert all(after[key] == "node-4" for key in moved)
+        # Movement is bounded around K/N (exact for this deterministic hash;
+        # the cushion covers the variance of 64 virtual nodes).
+        fair_share = len(KEYS) / len(ring)
+        assert 0 < len(moved) <= 1.5 * fair_share
+
+    def test_remove_moves_only_the_removed_nodes_keys(self):
+        ring = ConsistentHashRing([f"node-{i}" for i in range(5)], virtual_nodes=64)
+        before = {key: ring.route(key) for key in KEYS}
+        departing = {key for key in KEYS if before[key] == "node-2"}
+        ring.remove("node-2")
+        after = {key: ring.route(key) for key in KEYS}
+        moved = {key for key in KEYS if before[key] != after[key]}
+        assert moved == departing
+        assert all(after[key] != "node-2" for key in KEYS)
+
+    def test_add_then_remove_restores_placement(self):
+        ring = ConsistentHashRing(["a", "b", "c"], virtual_nodes=64)
+        before = {key: ring.route(key) for key in KEYS}
+        ring.add("d")
+        ring.remove("d")
+        assert {key: ring.route(key) for key in KEYS} == before
+
+    @pytest.mark.parametrize("virtual_nodes", [16, 64, 256])
+    def test_routing_stable_for_each_virtual_node_count(self, virtual_nodes):
+        """Placement is a pure function of (members, virtual_nodes)."""
+        ring = ConsistentHashRing(["a", "b", "c", "d"], virtual_nodes=virtual_nodes)
+        again = ConsistentHashRing(["a", "b", "c", "d"], virtual_nodes=virtual_nodes)
+        assert [ring.route(key) for key in KEYS] == [again.route(key) for key in KEYS]
+
+    def test_more_virtual_nodes_balance_the_shares(self):
+        def max_share(virtual_nodes: int) -> int:
+            ring = ConsistentHashRing(["a", "b", "c", "d"], virtual_nodes=virtual_nodes)
+            counts: dict[str, int] = {}
+            for key in KEYS:
+                node = ring.route(key)
+                counts[node] = counts.get(node, 0) + 1
+            return max(counts.values())
+
+        # 600 keys over 4 nodes: fair share is 150.  One point per node can
+        # leave a node owning most of the circle; 256 points cannot.
+        assert max_share(256) < max_share(1)
+        assert max_share(256) <= 1.5 * len(KEYS) / 4
+
+
+class TestShardedModelRegistryRouting:
+    def test_registry_surface_is_forwarded_to_the_owning_shard(self):
+        registry = ShardedModelRegistry(n_shards=3)
+        model = Model(10.0)
+        assert registry.register("m", model) == 1
+        owner = registry.shard(registry.route("m"))
+        assert "m" in owner and isinstance(owner, ModelRegistry)
+        assert registry.active("m") is model
+        assert registry.active_version("m") == 1
+        assert registry.get("m").model is model
+        assert registry.versions("m") == [1]
+        assert [v.version for v in registry.history("m")] == [1]
+        assert registry.latest("m").version == 1
+        assert "m" in registry and len(registry) == 1
+        assert registry.names() == ["m"]
+
+    def test_promote_and_rollback_through_the_front(self):
+        registry = ShardedModelRegistry(n_shards=2)
+        registry.register("m", Model(1.0))
+        registry.register("m", Model(2.0), promote=True)
+        assert registry.active("m").value == 2.0
+        assert registry.rollback("m") == 1
+        assert registry.active("m").value == 1.0
+
+    def test_names_spread_over_multiple_shards(self):
+        registry = ShardedModelRegistry(n_shards=4, virtual_nodes=64)
+        for index in range(40):
+            registry.register(f"m{index}", Model(float(index)))
+        occupied = {shard for shard, names in registry.shard_map().items() if names}
+        assert len(occupied) > 1
+        assert len(registry.names()) == 40
+        description = registry.describe()
+        assert description["m0"]["shard"] == registry.route("m0")
+
+    def test_constructor_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ShardedModelRegistry(n_shards=0)
+        with pytest.raises(InvalidParameterError):
+            ShardedModelRegistry(shard_ids=["a", "a"])
+        with pytest.raises(InvalidParameterError):
+            ShardedModelRegistry(shard_ids=[])
+        with pytest.raises(ServingError, match="unknown shard"):
+            ShardedModelRegistry(n_shards=2).shard("nope")
+
+
+class TestShardMembershipChanges:
+    def _populated(self, n_names: int = 40) -> ShardedModelRegistry:
+        registry = ShardedModelRegistry(n_shards=4)
+        for index in range(n_names):
+            registry.register(f"m{index}", Model(float(index)))
+            if index % 3 == 0:
+                registry.register(f"m{index}", Model(float(index) + 0.5), promote=True)
+        return registry
+
+    def test_add_shard_moves_only_rerouted_names_with_state(self):
+        registry = self._populated()
+        placement_before = {name: registry.route(name) for name in registry.names()}
+        active_before = {name: registry.active(name) for name in registry.names()}
+        versions_before = {name: registry.versions(name) for name in registry.names()}
+
+        moved = registry.add_shard("shard-4")
+
+        for name in registry.names():
+            if name in moved:
+                assert registry.route(name) == "shard-4"
+            else:
+                assert registry.route(name) == placement_before[name]
+            # State travelled intact: active model object, version lineage.
+            assert registry.active(name) is active_before[name]
+            assert registry.versions(name) == versions_before[name]
+        # Minimal movement: around K/N of K names over N=5 shards.
+        assert 0 < len(moved) <= 1.5 * len(registry.names()) / 5
+
+    def test_removed_shards_names_move_and_survive(self):
+        registry = self._populated()
+        victim = registry.route("m0")
+        active_before = {name: registry.active(name) for name in registry.names()}
+        moved = registry.remove_shard(victim)
+        assert "m0" in moved
+        assert victim not in registry.shard_ids()
+        for name in registry.names():
+            assert registry.route(name) != victim
+            assert registry.active(name) is active_before[name]
+
+    def test_rollback_still_works_after_a_move(self):
+        registry = self._populated()
+        registry.add_shard("shard-4")
+        # m0 had two versions with v2 promoted; rollback must still see the
+        # promotion history wherever the name now lives.
+        assert registry.active_version("m0") == 2
+        assert registry.rollback("m0") == 1
+
+    def test_membership_errors(self):
+        registry = ShardedModelRegistry(n_shards=1)
+        with pytest.raises(ServingError, match="already exists"):
+            registry.add_shard("shard-0")
+        with pytest.raises(ServingError, match="last shard"):
+            registry.remove_shard("shard-0")
+        registry.add_shard("extra")
+        with pytest.raises(ServingError, match="unknown shard"):
+            registry.remove_shard("nope")
+
+
+class TestReplication:
+    def test_replicated_name_lives_on_every_shard(self):
+        registry = ShardedModelRegistry(n_shards=3)
+        model = Model(7.0)
+        assert registry.register_replicated("hot", model) == 1
+        assert registry.is_replicated("hot")
+        for shard_id in registry.shard_ids():
+            assert "hot" in registry.shard(shard_id)
+            assert registry.shard(shard_id).active("hot") is model
+        assert len(registry) == 1  # replicated versions count once
+
+    def test_mutations_apply_to_all_shards(self):
+        registry = ShardedModelRegistry(n_shards=3)
+        registry.register_replicated("hot", Model(1.0))
+        registry.register("hot", Model(2.0), promote=True)
+        for shard_id in registry.shard_ids():
+            assert registry.shard(shard_id).active("hot").value == 2.0
+        registry.rollback("hot")
+        for shard_id in registry.shard_ids():
+            assert registry.shard(shard_id).active("hot").value == 1.0
+
+    def test_added_shard_receives_replicated_copy(self):
+        registry = ShardedModelRegistry(n_shards=2)
+        registry.register_replicated("hot", Model(1.0))
+        registry.register_replicated("hot", Model(2.0), promote=True)
+        registry.add_shard("late")
+        late = registry.shard("late")
+        assert late.active("hot").value == 2.0
+        assert late.versions("hot") == [1, 2]
+
+    def test_removing_a_shard_keeps_replicated_name_available(self):
+        registry = ShardedModelRegistry(n_shards=3)
+        registry.register_replicated("hot", Model(4.0))
+        moved = registry.remove_shard(registry.shard_ids()[0])
+        assert "hot" not in moved  # replicas are dropped, not migrated
+        assert registry.active("hot").value == 4.0
+        assert all("hot" in registry.shard(s) for s in registry.shard_ids())
+
+    def test_shard_routed_name_cannot_become_replicated(self):
+        registry = ShardedModelRegistry(n_shards=2)
+        registry.register("m", Model())
+        with pytest.raises(ServingError, match="cannot become"):
+            registry.register_replicated("m", Model())

@@ -1,0 +1,104 @@
+"""Tests for tools/check_snippets.py (docs snippet execution)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" / "check_snippets.py"
+_spec = importlib.util.spec_from_file_location("check_snippets", _TOOL)
+check_snippets = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_snippets", check_snippets)
+_spec.loader.exec_module(check_snippets)
+
+
+def write(tmp_path: Path, name: str, content: str) -> Path:
+    path = tmp_path / name
+    path.write_text(content, encoding="utf-8")
+    return path
+
+
+class TestExtraction:
+    def test_extracts_only_python_fences_with_line_numbers(self, tmp_path):
+        doc = write(
+            tmp_path,
+            "doc.md",
+            "# Title\n\n```bash\necho hi\n```\n\n```python\nx = 1\n```\n\n"
+            "```text\nnot code\n```\n\n```python\ny = x + 1\n```\n",
+        )
+        snippets = check_snippets.extract_snippets(doc)
+        assert [s.code for s in snippets] == ["x = 1\n", "y = x + 1\n"]
+        assert snippets[0].line == 7
+        assert snippets[1].line == 15
+
+    def test_file_without_fences_yields_nothing(self, tmp_path):
+        doc = write(tmp_path, "plain.md", "just prose, no code\n")
+        assert check_snippets.extract_snippets(doc) == []
+
+
+class TestExecution:
+    def test_snippets_share_one_namespace_per_file(self, tmp_path):
+        doc = write(
+            tmp_path,
+            "doc.md",
+            "```python\nvalue = 21\n```\nprose\n```python\nassert value * 2 == 42\n```\n",
+        )
+        assert check_snippets.run_file(doc) == []
+
+    def test_files_do_not_leak_into_each_other(self, tmp_path, capsys):
+        write(tmp_path, "a.md", "```python\nleaky = 1\n```\n")
+        write(
+            tmp_path,
+            "b.md",
+            "```python\nassert 'leaky' not in dir()\n```\n",
+        )
+        assert check_snippets.main([str(tmp_path)]) == 0
+
+    def test_raising_snippet_fails_with_location(self, tmp_path):
+        doc = write(
+            tmp_path,
+            "bad.md",
+            "intro\n\n```python\nraise ValueError('docs rotted')\n```\n",
+        )
+        errors = check_snippets.run_file(doc)
+        assert len(errors) == 1
+        assert "bad.md:3" in errors[0]
+        assert "docs rotted" in errors[0]
+
+    def test_failure_skips_dependent_blocks_in_same_file(self, tmp_path):
+        doc = write(
+            tmp_path,
+            "bad.md",
+            "```python\nbroken\n```\n\n```python\nraise AssertionError('must not run')\n```\n",
+        )
+        errors = check_snippets.run_file(doc)
+        assert len(errors) == 1
+        assert "NameError" in errors[0]
+
+
+class TestMain:
+    def test_exit_codes_and_summary(self, tmp_path, capsys):
+        good = write(tmp_path, "good.md", "```python\nx = 1\n```\n")
+        assert check_snippets.main([str(good)]) == 0
+        out = capsys.readouterr().out
+        assert "1 python snippet(s) ... ok" in out
+
+        bad = write(tmp_path, "bad.md", "```python\n1 / 0\n```\n")
+        assert check_snippets.main([str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "ZeroDivisionError" in captured.err
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        assert check_snippets.main([str(tmp_path / "absent.md")]) == 1
+
+    def test_directory_argument_collects_markdown(self, tmp_path):
+        write(tmp_path, "one.md", "```python\na = 1\n```\n")
+        write(tmp_path, "two.md", "```python\nb = 2\n```\n")
+        assert check_snippets.main([str(tmp_path)]) == 0
+
+    def test_repo_docs_snippets_pass(self):
+        """The real README + docs snippets must execute (the CI docs job)."""
+        repo_root = _TOOL.parent.parent
+        assert (
+            check_snippets.main([str(repo_root / "README.md"), str(repo_root / "docs")]) == 0
+        )

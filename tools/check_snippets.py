@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Execute the fenced python blocks of markdown files, so docs can't rot.
+
+Link-checking (:mod:`tools.check_links`) keeps references valid; this tool
+keeps the *code* in the docs valid: every fenced block tagged ``python`` in
+the given markdown files is extracted and executed.  A snippet that raises
+— because an API was renamed, a keyword argument dropped, an import moved —
+fails the run with the file, the line of the fence, and the traceback.
+
+Execution model (designed so docs read like one interactive session):
+
+* blocks are executed **per file, in order, in one shared namespace** — a
+  later snippet may use names a previous snippet in the same file defined,
+  exactly as a reader running them top-to-bottom would;
+* each file starts from a fresh namespace, so files stay independent;
+* only fences whose info string is exactly ``python`` run; ``bash``,
+  ``text``, ``python-repl`` etc. are ignored;
+* ``src/`` is put on ``sys.path`` automatically, so the tool works from a
+  bare checkout with no install step, matching the CI docs job.
+
+Usage::
+
+    python tools/check_snippets.py README.md docs
+
+Exits non-zero listing every failing snippet.  No third-party dependencies
+beyond what the snippets themselves import.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ```python ... ``` fences; the info string must be exactly "python".
+_FENCE_RE = re.compile(r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """One fenced python block: where it lives and what it says."""
+
+    path: Path
+    line: int  # 1-based line of the opening fence
+    code: str
+
+
+def extract_snippets(path: Path) -> list[Snippet]:
+    """The ``python``-tagged fenced blocks of one markdown file, in order."""
+    content = path.read_text(encoding="utf-8")
+    snippets: list[Snippet] = []
+    for match in _FENCE_RE.finditer(content):
+        line = content.count("\n", 0, match.start()) + 1
+        snippets.append(Snippet(path=path, line=line, code=match.group(1)))
+    return snippets
+
+
+def run_file(path: Path) -> list[str]:
+    """Execute one file's snippets cumulatively; returns failure descriptions."""
+    errors: list[str] = []
+    namespace: dict = {"__name__": "__snippets__"}
+    for snippet in extract_snippets(path):
+        try:
+            code = compile(snippet.code, f"{path}:{snippet.line}", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception:  # noqa: BLE001 - reported, not propagated
+            errors.append(
+                f"{path}:{snippet.line}: snippet raised\n"
+                + "".join(f"    {line}" for line in traceback.format_exc().splitlines(True))
+            )
+            break  # later blocks in this file may depend on the broken one
+    return errors
+
+
+def collect(arguments: list[str]) -> list[Path]:
+    paths: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            paths.extend(sorted(path.glob("*.md")))
+        else:
+            paths.append(path)
+    return paths
+
+
+def main(argv: list[str]) -> int:
+    arguments = argv or ["README.md", "docs"]
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+    errors: list[str] = []
+    checked_files = 0
+    checked_snippets = 0
+    for path in collect(arguments):
+        if not path.exists():
+            errors.append(f"{path}: file does not exist")
+            continue
+        snippets = extract_snippets(path)
+        checked_files += 1
+        checked_snippets += len(snippets)
+        failures = run_file(path)
+        status = "FAIL" if failures else "ok"
+        print(f"{path}: {len(snippets)} python snippet(s) ... {status}")
+        errors.extend(failures)
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        f"checked {checked_snippets} snippet(s) in {checked_files} markdown file(s): "
+        f"{len(errors)} failure(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -15,13 +15,16 @@ comparison into ``BENCH_serving.json`` via ``learnedwmp loadtest
 --backend ... --shards ...``.
 """
 
+import threading
 import time
 
 import numpy as np
 from conftest import run_once
 
+from repro.api import PredictionRequest
 from repro.core.model import LearnedWMP
-from repro.core.workload import make_workloads
+from repro.core.workload import Workload, make_workloads
+from repro.exceptions import DeadlineExceededError
 from repro.registry import ShardedModelRegistry
 from repro.serving import (
     AsyncPredictionServer,
@@ -39,7 +42,7 @@ REPEAT_FRACTION = 0.75
 SEED = 7
 
 
-def _setup():
+def _setup_full():
     dataset = generate_dataset("tpcds", N_QUERIES, seed=SEED)
     model = LearnedWMP(
         regressor="ridge",
@@ -53,6 +56,11 @@ def _setup():
     requests = replay_requests_from_workloads(
         pool, N_REQUESTS, repeat_fraction=REPEAT_FRACTION, seed=SEED
     )
+    return model, requests, pool
+
+
+def _setup():
+    model, requests, _ = _setup_full()
     return model, requests
 
 
@@ -151,3 +159,102 @@ def test_backend_comparison_thread_vs_asyncio_vs_sharded(benchmark):
     # Every front must beat the naive loop on skewed replay traffic.
     for kind, qps in throughput.items():
         assert qps > naive, f"{kind} backend slower than the naive loop"
+
+
+class _RecordingModel:
+    """Wraps a fitted model, recording every workload that reaches it."""
+
+    def __init__(self, model) -> None:
+        self.model = model
+        self.executed: list[Workload] = []
+        self._lock = threading.Lock()
+
+    def predict(self, workloads):
+        with self._lock:
+            self.executed.extend(workloads)
+        return self.model.predict(workloads)
+
+    def predict_workload(self, workload):
+        with self._lock:
+            self.executed.append(workload)
+        return self.model.predict_workload(workload)
+
+
+def test_deadline_traffic_sheds_expired_and_preserves_answers(benchmark):
+    """The end-to-end deadline contract, on all three serving fronts.
+
+    Interleave the replay stream (every request under a generous deadline)
+    with doomed requests whose budget is already spent.  The doomed ones
+    must fail fast with ``DeadlineExceededError`` and never reach the model
+    (shed before occupying a batch slot); every surviving request must
+    answer exactly what the naive one-call-at-a-time loop answers.
+    """
+    from repro.serving.cache import workload_signature
+
+    model, requests, pool = _setup_full()
+    expected = np.array([model.predict_workload(w) for w in requests], dtype=np.float64)
+    # Doomed workloads are made distinct from every replayed workload (one
+    # query dropped changes the signature), so "never executed" is checkable
+    # from the model's own log.
+    doomed_pool = [Workload(queries=w.queries[:-1]) for w in pool[:40]]
+    doomed_signatures = {workload_signature(w) for w in doomed_pool}
+    assert not doomed_signatures & {workload_signature(w) for w in requests}
+
+    config = ServerConfig(max_batch_size=64, max_wait_s=0.002)
+    outcomes: dict[str, dict] = {}
+
+    def _run_all() -> None:
+        for kind in ("thread", "asyncio", "sharded"):
+            recorder = _RecordingModel(model)
+            with _make_server(kind, recorder, config) as server:
+                live = [
+                    server.submit_request(PredictionRequest.of(w, deadline_s=30.0))
+                    for w in requests
+                ]
+                doomed = [
+                    server.submit_request(PredictionRequest.of(w, deadline_s=1e-9))
+                    for w in doomed_pool
+                ]
+                shed_failures = 0
+                start = time.perf_counter()
+                for future in doomed:
+                    try:
+                        future.result(timeout=10.0)
+                    except DeadlineExceededError:
+                        shed_failures += 1
+                doomed_wait_s = time.perf_counter() - start
+                values = np.array(
+                    [f.result(timeout=30.0).memory_mb for f in live], dtype=np.float64
+                )
+                outcomes[kind] = {
+                    "values": values,
+                    "shed_failures": shed_failures,
+                    "doomed_wait_s": doomed_wait_s,
+                    "snapshot": server.snapshot(),
+                    "executed": list(recorder.executed),
+                }
+
+    run_once(benchmark, _run_all)
+
+    print()
+    for kind, outcome in outcomes.items():
+        report = outcome["snapshot"]
+        print(
+            f"{kind:<8}: shed {report.shed_requests:3d} / {len(doomed_pool)} doomed, "
+            f"deadline misses {report.deadline_misses:3d}, "
+            f"doomed failed in {1e3 * outcome['doomed_wait_s']:.1f} ms total"
+        )
+
+    for kind, outcome in outcomes.items():
+        # 1. Every doomed request failed fast instead of stretching the run.
+        assert outcome["shed_failures"] == len(doomed_pool), kind
+        assert outcome["doomed_wait_s"] < 5.0, kind
+        # 2. ...and was counted as shed, never executed on the model.
+        report = outcome["snapshot"]
+        assert report.shed_requests == len(doomed_pool), kind
+        assert report.deadline_misses >= len(doomed_pool), kind
+        assert report.n_errors == 0, kind
+        executed_signatures = {workload_signature(w) for w in outcome["executed"]}
+        assert not executed_signatures & doomed_signatures, kind
+        # 3. Every non-expiring request answers exactly the naive loop.
+        np.testing.assert_allclose(outcome["values"], expected, rtol=1e-9, atol=0.0)

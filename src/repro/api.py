@@ -84,8 +84,13 @@ class PredictionRequest:
         Caller-meaningful identifier echoed on the result; generated
         (``req-<n>``) when omitted.
     deadline_s:
-        Optional per-request deadline in seconds.  Serving-backed predictors
-        bound their wait on the answer by it (raising on expiry); in-process
+        Optional per-request deadline in seconds, counted from admission.
+        Serving-backed predictors enforce it end-to-end: a request whose
+        budget expires is shed from the micro-batch queue *before* model
+        execution (failing fast with
+        :class:`~repro.exceptions.DeadlineExceededError`), near-expiring
+        requests are prioritized into the next batch, and blocking waits on
+        the answer are bounded by the remaining budget.  In-process
         predictors treat it as advisory metadata.
     cache_policy:
         See :class:`CachePolicy`.

@@ -34,6 +34,10 @@ cover the day-to-day tasks of working with the reproduction:
     (optionally as JSON for the benchmark trajectory).  Takes the same
     ``--backend`` / ``--shards`` flags as ``serve``, so thread, asyncio and
     sharded configurations are load-tested with one command.
+    ``--deadline-ms`` injects a per-request deadline into the replayed
+    traffic; the serving tier enforces it end-to-end (expired requests are
+    shed before model execution) and the report carries
+    ``deadline_misses`` / ``shed_requests``.
 
 ``figures``
     Regenerate one or more of the paper's evaluation figures as text tables
@@ -83,6 +87,12 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--no-cache", action="store_true", help="disable the prediction cache")
     parser.add_argument("--no-batching", action="store_true", help="disable micro-batching")
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline (ms); expired requests are shed, misses reported",
+    )
     parser.add_argument(
         "--feature-cache-size",
         type=int,
@@ -336,7 +346,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with server:
         from repro.serving import LoadGenerator
 
-        LoadGenerator(server, requests, qps=args.qps, benchmark=args.benchmark).run()
+        LoadGenerator(
+            server,
+            requests,
+            qps=args.qps,
+            benchmark=args.benchmark,
+            deadline_s=args.deadline_ms / 1e3 if args.deadline_ms is not None else None,
+        ).run()
         print(server.snapshot().render())
         sample = server.predict(PredictionRequest.of(requests[0]))
         print(
@@ -384,7 +400,11 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         from repro.serving import LoadGenerator
 
         report = LoadGenerator(
-            server, requests, qps=args.qps, benchmark=args.benchmark
+            server,
+            requests,
+            qps=args.qps,
+            benchmark=args.benchmark,
+            deadline_s=args.deadline_ms / 1e3 if args.deadline_ms is not None else None,
         ).run()
         feature_stats = server.feature_cache_stats()
         model = server.registry.active("default")
@@ -419,6 +439,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         payload["backend"] = args.backend
         payload["shards"] = args.shards
         payload["parity_max_delta_mb"] = parity_delta
+        if args.deadline_ms is not None:
+            payload["deadline_ms"] = args.deadline_ms
         if feature_stats is not None:
             payload["feature_cache_hits"] = feature_stats.hits
             payload["feature_cache_misses"] = feature_stats.misses

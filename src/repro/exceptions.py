@@ -47,3 +47,13 @@ class SerializationError(ReproError):
 
 class ServingError(ReproError):
     """Raised by the online serving subsystem (registry, server, load tester)."""
+
+
+class DeadlineExceededError(ServingError):
+    """Raised when a prediction request's ``deadline_s`` budget expires.
+
+    Serving backends raise it in two places: a request whose budget runs out
+    while it is still queued is *shed* (failed fast, never executed on the
+    model), and a request whose answer has not arrived by the deadline fails
+    its blocking wait.  Catching :class:`ServingError` still covers both.
+    """

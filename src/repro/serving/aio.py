@@ -11,9 +11,10 @@ registry-resolved model) rebuilt on asyncio:
 * every request is a coroutine on one private event loop, so cache hits and
   coalesced attachments resolve without any thread handoff;
 * the micro-batcher is a pending list plus one ``call_later`` timer instead
-  of a worker thread — flush-on-size and flush-on-deadline semantics are
-  identical to :class:`~repro.serving.batcher.MicroBatcher`'s, including the
-  counters reported by :meth:`AsyncPredictionServer.batcher_stats`;
+  of a worker thread — flush-on-size, flush-on-deadline and per-request
+  deadline semantics (shed-before-execution, EDF ordering, wait clamping)
+  are identical to :class:`~repro.serving.batcher.MicroBatcher`'s, including
+  the counters reported by :meth:`AsyncPredictionServer.batcher_stats`;
 * model calls (CPU-bound numpy work) run on a single-worker executor, so the
   loop keeps admitting and coalescing requests while a batch executes —
   exactly the overlap the thread backend gets from its worker.
@@ -38,7 +39,6 @@ import dataclasses
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
@@ -48,11 +48,16 @@ from repro.core.features import FeatureCacheStats
 from repro.core.features import feature_cache_stats as _model_feature_cache_stats
 from repro.core.workload import Workload
 from repro.dbms.query_log import QueryRecord
-from repro.exceptions import ServingError
+from repro.exceptions import DeadlineExceededError, ServingError
 from repro.registry import ModelRegistry
 from repro.serving.batcher import BatcherStats
 from repro.serving.cache import LRUTTLCache, workload_signature
-from repro.serving.server import DEFAULT_MODEL_NAME, ServerConfig
+from repro.serving.server import (
+    DEFAULT_MODEL_NAME,
+    ServerConfig,
+    await_within_budget,
+    submission_deadline,
+)
 from repro.serving.telemetry import ServingTelemetry, TelemetryReport
 
 __all__ = ["AsyncPredictionServer"]
@@ -62,14 +67,27 @@ _CLOSE_TIMEOUT_S = 10.0
 
 
 class _Pending:
-    """One queued request on the loop: workload + its asyncio future."""
+    """One queued request on the loop: workload, asyncio future, deadlines."""
 
-    __slots__ = ("workload", "future", "enqueued_at")
+    __slots__ = ("workload", "future", "enqueued_at", "deadline_at")
 
-    def __init__(self, workload: Workload, future: "asyncio.Future[float]", enqueued_at: float):
+    def __init__(
+        self,
+        workload: Workload,
+        future: "asyncio.Future[float]",
+        enqueued_at: float,
+        deadline_at: float | None = None,
+    ):
         self.workload = workload
         self.future = future
         self.enqueued_at = enqueued_at
+        self.deadline_at = deadline_at
+
+
+def _edf_key(item: _Pending) -> tuple[float, float]:
+    """EDF sort key: tightest deadline first, deadline-free items FIFO last."""
+    deadline = item.deadline_at if item.deadline_at is not None else float("inf")
+    return (deadline, item.enqueued_at)
 
 
 class AsyncPredictionServer:
@@ -116,6 +134,7 @@ class AsyncPredictionServer:
         )
         self._served_version: int | None = None
         self._feature_cache_active = False
+        self._generation = 0
         self._coalesced = 0
         self._closed = False
 
@@ -130,6 +149,7 @@ class AsyncPredictionServer:
         self._deadline_flushes = 0
         self._close_flushes = 0
         self._max_batch_seen = 0
+        self._shed = 0
 
         # Model calls are CPU-bound numpy work; one executor worker serializes
         # them (like the thread backend's single worker) while the loop keeps
@@ -147,12 +167,19 @@ class AsyncPredictionServer:
         """Detect a promotion/rollback and invalidate the prediction cache.
 
         Runs on the loop thread only, so unlike the thread backend no swap
-        lock is needed; the check-and-clear is naturally serialized.
+        lock is needed; the check-and-clear is naturally serialized.  The
+        in-flight (singleflight) table is cleared with the cache — a
+        post-swap request must not coalesce onto a pre-swap computation —
+        and the generation bump gates cache write-back from batches that
+        were already executing when the swap happened.
         """
         version = self.registry.active_version(self.model_name)
         if version != self._served_version:
-            if self._cache is not None and self._served_version is not None:
-                self._cache.clear()
+            if self._served_version is not None:
+                self._generation += 1
+                if self._cache is not None:
+                    self._cache.clear()
+                self._inflight.clear()
             self._served_version = version
             self._feature_cache_active = (
                 _model_feature_cache_stats(self.registry.active(self.model_name)) is not None
@@ -165,8 +192,20 @@ class AsyncPredictionServer:
 
     # -- the request pipeline (loop thread) -----------------------------------------
 
+    def _record_done(self, arrival: float, deadline_at: float | None, *, cache_hit: bool) -> None:
+        """Record one completed request, counting a late completion as a miss."""
+        now = time.monotonic()
+        if deadline_at is not None and now > deadline_at:
+            self.telemetry.record_deadline_miss()
+        self.telemetry.record(now - arrival, cache_hit=cache_hit)
+
     async def _handle(
-        self, workload: Workload, *, use_cache: bool, signature: Any = None
+        self,
+        workload: Workload,
+        *,
+        use_cache: bool,
+        signature: Any = None,
+        deadline_at: float | None = None,
     ) -> tuple[float, bool]:
         """Answer one workload; returns ``(value, cache_hit_provenance)``.
 
@@ -176,11 +215,17 @@ class AsyncPredictionServer:
         ``use_cache=False`` (the BYPASS policy) skips the read and the
         attachment but still write-through-populates the cache.
         ``signature`` is a routing front's precomputed workload signature.
+        ``deadline_at`` is the request's absolute expiry: expired requests
+        are shed at admission or from the pending list before execution, and
+        late completions are counted as deadline misses.  Deadline-carrying
+        requests can attach to in-flight work but never lead it — a leader
+        that could be shed would take its followers down with it.
         """
         if self._closed:
             raise ServingError("cannot submit to a closed AsyncPredictionServer")
         arrival = time.monotonic()
         self._sync_version()
+        generation = self._generation
         if self._cache is None:
             key = None
         else:
@@ -189,7 +234,7 @@ class AsyncPredictionServer:
             sentinel = object()
             cached = self._cache.get(key, sentinel)
             if cached is not sentinel:
-                self.telemetry.record(time.monotonic() - arrival, cache_hit=True)
+                self._record_done(arrival, deadline_at, cache_hit=True)
                 return float(cached), True
             pending = self._inflight.get(key)
             if pending is not None:
@@ -201,27 +246,36 @@ class AsyncPredictionServer:
                 except Exception:
                     self.telemetry.record_error()
                     raise
-                self.telemetry.record(time.monotonic() - arrival, cache_hit=True)
+                self._record_done(arrival, deadline_at, cache_hit=True)
                 return float(value), True
 
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            # Expired before any model work was enqueued: shed at admission.
+            self.telemetry.record_deadline_miss(shed=True)
+            raise DeadlineExceededError(
+                "request shed at admission: deadline already expired"
+            )
+
         future: "asyncio.Future[float]" = self._loop.create_future()
-        self._enqueue(workload, future)
-        if self._cache is not None:
+        self._enqueue(workload, future, deadline_at)
+        if self._cache is not None and deadline_at is None:
             self._inflight.setdefault(key, future)
         try:
             value = float(await asyncio.shield(future))
+        except DeadlineExceededError:
+            self.telemetry.record_deadline_miss(shed=True)
+            raise
         except Exception:
             self.telemetry.record_error()
             raise
         finally:
             # Must also run on CancelledError (a deadline-missed request):
             # a leaked entry would keep answering this signature with the
-            # pre-cancellation value forever, surviving even hot swaps
-            # (promotion clears the cache, not the in-flight table).
+            # pre-cancellation value forever.
             self._clear_inflight(key, future)
-        if self._cache is not None:
+        if self._cache is not None and generation == self._generation:
             self._cache.put(key, value)
-        self.telemetry.record(time.monotonic() - arrival, cache_hit=False)
+        self._record_done(arrival, deadline_at, cache_hit=False)
         return value, False
 
     def _clear_inflight(self, key: Any, future: "asyncio.Future[float]") -> None:
@@ -230,16 +284,30 @@ class AsyncPredictionServer:
 
     # -- asyncio micro-batcher ------------------------------------------------------
 
-    def _enqueue(self, workload: Workload, future: "asyncio.Future[float]") -> None:
+    def _enqueue(
+        self,
+        workload: Workload,
+        future: "asyncio.Future[float]",
+        deadline_at: float | None = None,
+    ) -> None:
         if not self.config.enable_batching:
             self._requests += 1
-            self._spawn_batch([_Pending(workload, future, time.monotonic())], "size")
+            self._spawn_batch([_Pending(workload, future, time.monotonic(), deadline_at)], "size")
             return
-        self._pending.append(_Pending(workload, future, time.monotonic()))
+        now = time.monotonic()
+        self._pending.append(_Pending(workload, future, now, deadline_at))
         self._requests += 1
         self.telemetry.observe_queue_depth(len(self._pending))
         if len(self._pending) >= self.config.max_batch_size:
             self._flush("size")
+        elif (
+            deadline_at is not None
+            and deadline_at < self._pending[0].enqueued_at + self.config.max_wait_s
+        ):
+            # Wait clamping: the new item's deadline falls inside the
+            # coalescing window, so waiting any longer would burn its
+            # remaining budget in the queue — flush now.
+            self._flush("deadline")
         elif self._flush_handle is None:
             self._flush_handle = self._loop.call_later(
                 self.config.max_wait_s, self._flush, "deadline"
@@ -250,7 +318,9 @@ class AsyncPredictionServer:
 
         ``_enqueue`` flushes the moment the queue reaches ``max_batch_size``
         and both run on the loop thread, so the queue never exceeds one
-        batch — a flush always drains it completely.
+        batch — a flush always drains it completely, in EDF order when any
+        member carries a deadline (expiry itself is re-checked at execution
+        start, after the batch clears the executor queue).
         """
         if self._flush_handle is not None:
             self._flush_handle.cancel()
@@ -259,41 +329,78 @@ class AsyncPredictionServer:
             return
         batch = self._pending[:]
         self._pending.clear()
+        if any(item.deadline_at is not None for item in batch):
+            batch.sort(key=_edf_key)
         self._spawn_batch(batch, reason)
 
     def _spawn_batch(self, batch: list[_Pending], reason: str) -> None:
+        task = self._loop.create_task(self._execute(batch, reason))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+
+    def _partition_and_predict(
+        self, batch: list[_Pending]
+    ) -> tuple[list[_Pending], list[_Pending], Sequence[float], Exception | None]:
+        """Executor-side batch body: shed expired items, then call the model.
+
+        Runs on the executor thread at the moment the batch actually starts
+        executing — batches queue behind the single model-call worker, so
+        this is where "expired work never reaches the model" is enforced.
+        Returns ``(live, expired, predictions, error)``; exceptions are
+        returned, not raised, so the loop side still knows the partition.
+        """
+        now = time.monotonic()
+        live: list[_Pending] = []
+        expired: list[_Pending] = []
+        for item in batch:
+            if item.deadline_at is not None and item.deadline_at <= now:
+                expired.append(item)
+            else:
+                live.append(item)
+        if not live:
+            return live, expired, [], None
+        try:
+            return live, expired, self._predict_batch([item.workload for item in live]), None
+        except Exception as exc:  # noqa: BLE001 - forwarded to every awaiter
+            return live, expired, [], exc
+
+    async def _execute(self, batch: list[_Pending], reason: str) -> None:
+        live, expired, predictions, error = await self._loop.run_in_executor(
+            self._executor, self._partition_and_predict, batch
+        )
+        if expired:
+            self._shed += len(expired)
+            shed_error = DeadlineExceededError(
+                "request shed before execution: deadline expired while queued"
+            )
+            for item in expired:
+                if not item.future.done():
+                    item.future.set_exception(shed_error)
+        if not live:
+            return
         self._batches += 1
-        self._max_batch_seen = max(self._max_batch_seen, len(batch))
+        self._max_batch_seen = max(self._max_batch_seen, len(live))
         if reason == "size":
             self._size_flushes += 1
         elif reason == "close":
             self._close_flushes += 1
         else:
             self._deadline_flushes += 1
-        task = self._loop.create_task(self._execute(batch))
-        self._batch_tasks.add(task)
-        task.add_done_callback(self._batch_tasks.discard)
-
-    async def _execute(self, batch: list[_Pending]) -> None:
-        try:
-            predictions = await self._loop.run_in_executor(
-                self._executor, self._predict_batch, [item.workload for item in batch]
-            )
-        except Exception as exc:  # noqa: BLE001 - forwarded to every awaiter
-            for item in batch:
-                if not item.future.done():
-                    item.future.set_exception(exc)
-            return
-        if len(predictions) != len(batch):
-            error = ServingError(
-                f"predict_batch returned {len(predictions)} predictions "
-                f"for a batch of {len(batch)}"
-            )
-            for item in batch:
+        if error is not None:
+            for item in live:
                 if not item.future.done():
                     item.future.set_exception(error)
             return
-        for item, value in zip(batch, predictions):
+        if len(predictions) != len(live):
+            mismatch = ServingError(
+                f"predict_batch returned {len(predictions)} predictions "
+                f"for a batch of {len(live)}"
+            )
+            for item in live:
+                if not item.future.done():
+                    item.future.set_exception(mismatch)
+            return
+        for item, value in zip(live, predictions):
             if not item.future.done():
                 item.future.set_result(float(value))
 
@@ -313,8 +420,12 @@ class AsyncPredictionServer:
         version = self._served_version
         feature_cache_active = self._feature_cache_active
         use_cache = request.cache_policy is not CachePolicy.BYPASS
+        deadline_at = arrival + request.deadline_s if request.deadline_s is not None else None
         value, cache_hit = await self._handle(
-            request.workload, use_cache=use_cache, signature=signature
+            request.workload,
+            use_cache=use_cache,
+            signature=signature,
+            deadline_at=deadline_at,
         )
         return PredictionResult(
             memory_mb=value,
@@ -328,37 +439,63 @@ class AsyncPredictionServer:
 
     # -- native asyncio surface -----------------------------------------------------
 
+    @staticmethod
+    def _consume_abandoned(future: "asyncio.Future") -> None:
+        """Mark an abandoned future's exception retrieved (no-op on success).
+
+        An expired wait abandons its future rather than cancelling it (the
+        pipeline must finish and account for the request on its own); the
+        eventual ``DeadlineExceededError`` would otherwise be reported as a
+        "Future exception was never retrieved" warning.
+        """
+        if not future.cancelled():
+            future.exception()
+
     async def predict_async(self, request: PredictionRequest) -> PredictionResult:
         """Answer one typed request; awaitable from any event loop.
 
         The coroutine runs on the server's private loop, so callers on other
         loops (or several tasks on the same one) compose freely; a request
-        ``deadline_s`` bounds the wait and raises
-        :class:`~repro.exceptions.ServingError` on expiry.
+        ``deadline_s`` is enforced end-to-end (shed from the batch queue
+        once expired) and bounds this wait, raising
+        :class:`~repro.exceptions.DeadlineExceededError` on expiry.
         """
-        future = asyncio.wrap_future(self.submit_request(request))
-        if request.deadline_s is None:
-            return await future
-        try:
-            return await asyncio.wait_for(future, timeout=request.deadline_s)
-        except (TimeoutError, asyncio.TimeoutError) as exc:
-            raise ServingError(
-                f"request {request.request_id} missed its deadline "
-                f"({request.deadline_s:.3f} s)"
-            ) from exc
+        results = await self.predict_batch_async([request])
+        return results[0]
 
     async def predict_batch_async(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
-        """Typed batch form; all requests are submitted before any is awaited."""
-        futures = [asyncio.wrap_future(self.submit_request(request)) for request in requests]
+        """Typed batch form; all requests are submitted before any is awaited.
+
+        Each request's deadline clock starts at its submission, not when its
+        turn comes in the await loop below.  An expired wait abandons the
+        request instead of cancelling it: the handler coroutine keeps
+        running (shielded), so the shed/miss is still executed-or-shed and
+        counted by the pipeline exactly as on the thread backend.
+        """
+        entries = [
+            (
+                request,
+                submission_deadline(request),
+                asyncio.wrap_future(self.submit_request(request)),
+            )
+            for request in requests
+        ]
+        for _, _, future in entries:
+            future.add_done_callback(self._consume_abandoned)
         results: list[PredictionResult] = []
-        for request, future in zip(requests, futures):
-            if request.deadline_s is None:
+        for request, deadline_at, future in entries:
+            if deadline_at is None:
                 results.append(await future)
                 continue
             try:
-                results.append(await asyncio.wait_for(future, timeout=request.deadline_s))
+                results.append(
+                    await asyncio.wait_for(
+                        asyncio.shield(future),
+                        timeout=max(deadline_at - time.monotonic(), 0.0),
+                    )
+                )
             except (TimeoutError, asyncio.TimeoutError) as exc:
-                raise ServingError(
+                raise DeadlineExceededError(
                     f"request {request.request_id} missed its deadline "
                     f"({request.deadline_s:.3f} s)"
                 ) from exc
@@ -393,22 +530,27 @@ class AsyncPredictionServer:
         )
 
     def _await_result(
-        self, request: PredictionRequest, future: "Future[PredictionResult]"
+        self,
+        request: PredictionRequest,
+        future: "Future[PredictionResult]",
+        *,
+        deadline_at: float | None = None,
     ) -> PredictionResult:
-        try:
-            return future.result(timeout=request.deadline_s)
-        except (TimeoutError, FutureTimeoutError) as exc:
-            raise ServingError(
-                f"request {request.request_id} missed its deadline "
-                f"({request.deadline_s:.3f} s)"
-            ) from exc
+        return await_within_budget(request, future, deadline_at)
 
     def predict_batch(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
-        """Typed batch prediction (the :class:`repro.api.Predictor` protocol)."""
-        futures = [self.submit_request(request) for request in requests]
+        """Typed batch prediction (the :class:`repro.api.Predictor` protocol).
+
+        Each request's deadline clock starts at its submission, not when its
+        turn comes in the await loop.
+        """
+        entries = [
+            (request, submission_deadline(request), self.submit_request(request))
+            for request in requests
+        ]
         return [
-            self._await_result(request, future)
-            for request, future in zip(requests, futures)
+            self._await_result(request, future, deadline_at=deadline_at)
+            for request, deadline_at, future in entries
         ]
 
     def predict(
@@ -472,6 +614,7 @@ class AsyncPredictionServer:
             deadline_flushes=self._deadline_flushes,
             close_flushes=self._close_flushes,
             max_batch_size_seen=self._max_batch_seen,
+            shed_requests=self._shed,
         )
 
     @property

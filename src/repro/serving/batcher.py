@@ -13,6 +13,22 @@ inference systems: a batch is flushed as soon as it reaches
 request in it has waited ``max_wait_s`` seconds (*flush-on-deadline*).  Both
 knobs bound tail latency; the wait knob trades a small queueing delay for
 larger (cheaper per-request) batches under load.
+
+Requests may additionally carry an *absolute deadline* (``deadline_at``,
+in the batcher's clock domain), which the batcher enforces rather than
+merely observes:
+
+* **shed-before-flush** — an item whose deadline has passed is failed fast
+  with :class:`~repro.exceptions.DeadlineExceededError` the next time the
+  worker looks at the queue, and again immediately before model execution;
+  expired work never occupies a batch slot;
+* **EDF ordering** — when a flush cannot take the whole queue, items are
+  cut earliest-deadline-first (deadline-free items last, FIFO among
+  themselves), so near-expiring requests ride the next batch;
+* **wait clamping** — the coalescing window never outlives the tightest
+  member's budget: if any pending item's deadline falls *inside* the
+  window, the batch is flushed immediately instead of burning that item's
+  remaining time in the queue.
 """
 
 from __future__ import annotations
@@ -24,7 +40,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.workload import Workload
-from repro.exceptions import InvalidParameterError, ServingError
+from repro.exceptions import DeadlineExceededError, InvalidParameterError, ServingError
 
 __all__ = ["BatcherStats", "MicroBatcher"]
 
@@ -39,11 +55,14 @@ class BatcherStats:
     deadline_flushes: int
     close_flushes: int
     max_batch_size_seen: int
+    shed_requests: int = 0
 
     @property
     def mean_batch_size(self) -> float:
-        """Average requests per formed batch (0.0 before the first batch)."""
-        return self.requests / self.batches if self.batches else 0.0
+        """Average *executed* requests per formed batch (0.0 before the first)."""
+        if not self.batches:
+            return 0.0
+        return (self.requests - self.shed_requests) / self.batches
 
 
 @dataclass
@@ -51,6 +70,13 @@ class _Pending:
     workload: Workload
     future: Future
     enqueued_at: float
+    deadline_at: float | None = None
+
+
+def _edf_key(item: _Pending) -> tuple[float, float]:
+    """EDF sort key: tightest deadline first, deadline-free items FIFO last."""
+    deadline = item.deadline_at if item.deadline_at is not None else float("inf")
+    return (deadline, item.enqueued_at)
 
 
 class MicroBatcher:
@@ -64,13 +90,16 @@ class MicroBatcher:
     max_batch_size:
         Flush as soon as this many requests are pending.
     max_wait_s:
-        Flush as soon as the oldest pending request has waited this long.
+        Flush as soon as the oldest pending request has waited this long
+        (clamped by the tightest pending deadline, see the module docstring).
     clock:
-        Monotonic time source, injectable for tests.
+        Monotonic time source, injectable for tests.  ``deadline_at`` values
+        passed to :meth:`submit` live in this clock's domain.
 
     The batcher owns one daemon worker thread.  ``submit`` returns a
     :class:`~concurrent.futures.Future`; a failing ``predict_batch`` fails
-    every future in that batch with the raised exception.
+    every future in that batch with the raised exception, and a shed item
+    fails with :class:`~repro.exceptions.DeadlineExceededError`.
     """
 
     def __init__(
@@ -99,18 +128,25 @@ class MicroBatcher:
         self._deadline_flushes = 0
         self._close_flushes = 0
         self._max_batch_seen = 0
+        self._shed = 0
         self._worker = threading.Thread(target=self._run, name="micro-batcher", daemon=True)
         self._worker.start()
 
     # -- public API ---------------------------------------------------------------
 
-    def submit(self, workload: Workload) -> "Future[float]":
-        """Enqueue one workload; the future resolves to its predicted MB."""
+    def submit(self, workload: Workload, *, deadline_at: float | None = None) -> "Future[float]":
+        """Enqueue one workload; the future resolves to its predicted MB.
+
+        ``deadline_at`` is an absolute point in the batcher's clock domain:
+        if it passes while the item is still queued, the item is shed (its
+        future fails with :class:`~repro.exceptions.DeadlineExceededError`)
+        instead of executing on the model.
+        """
         future: Future = Future()
         with self._lock:
             if self._closed:
                 raise ServingError("cannot submit to a closed MicroBatcher")
-            self._pending.append(_Pending(workload, future, self._clock()))
+            self._pending.append(_Pending(workload, future, self._clock(), deadline_at))
             self._requests += 1
             self._wakeup.notify()
         return future
@@ -121,7 +157,7 @@ class MicroBatcher:
             return len(self._pending)
 
     def stats(self) -> BatcherStats:
-        """Lifetime counters: requests, batches formed, flush reasons."""
+        """Lifetime counters: requests, batches formed, flush reasons, sheds."""
         with self._lock:
             return BatcherStats(
                 requests=self._requests,
@@ -130,6 +166,7 @@ class MicroBatcher:
                 deadline_flushes=self._deadline_flushes,
                 close_flushes=self._close_flushes,
                 max_batch_size_seen=self._max_batch_seen,
+                shed_requests=self._shed,
             )
 
     def close(self, *, timeout_s: float = 5.0) -> None:
@@ -149,7 +186,39 @@ class MicroBatcher:
 
     # -- worker loop --------------------------------------------------------------
 
+    def _pop_expired_locked(self) -> list[_Pending]:
+        """Remove queued items whose deadline has passed (shed-before-flush)."""
+        now = self._clock()
+        expired = [
+            item
+            for item in self._pending
+            if item.deadline_at is not None and item.deadline_at <= now
+        ]
+        if expired:
+            self._pending = [
+                item
+                for item in self._pending
+                if item.deadline_at is None or item.deadline_at > now
+            ]
+        return expired
+
+    def _wait_remaining_locked(self) -> float:
+        """Seconds the worker may keep coalescing before it must flush.
+
+        The window ends ``max_wait_s`` after the oldest item was enqueued —
+        unless any pending item's deadline falls *inside* that window, in
+        which case coalescing further would burn the item's remaining
+        budget in the queue, so the answer is "flush now".
+        """
+        window_end = self._pending[0].enqueued_at + self.max_wait_s
+        for item in self._pending:
+            if item.deadline_at is not None and item.deadline_at < window_end:
+                return 0.0
+        return window_end - self._clock()
+
     def _take_batch_locked(self) -> tuple[list[_Pending], str]:
+        if any(item.deadline_at is not None for item in self._pending):
+            self._pending.sort(key=_edf_key)
         batch = self._pending[: self.max_batch_size]
         del self._pending[: len(batch)]
         if len(batch) == self.max_batch_size:
@@ -162,49 +231,85 @@ class MicroBatcher:
 
     def _run(self) -> None:
         while True:
+            batch: list[_Pending] | None = None
+            reason = ""
             with self._lock:
                 while not self._pending and not self._closed:
                     self._wakeup.wait()
                 if not self._pending and self._closed:
                     return
-                # Wait out the coalescing window: flush early on size, at the
-                # deadline of the oldest request otherwise.
-                deadline = self._pending[0].enqueued_at + self.max_wait_s
-                while (
-                    len(self._pending) < self.max_batch_size
-                    and not self._closed
-                    and (remaining := deadline - self._clock()) > 0.0
-                ):
-                    self._wakeup.wait(timeout=remaining)
-                    if not self._pending:
-                        break
-                if not self._pending:
-                    continue
-                batch, reason = self._take_batch_locked()
-                self._batches += 1
-                self._max_batch_seen = max(self._max_batch_seen, len(batch))
-                if reason == "size":
-                    self._size_flushes += 1
-                elif reason == "close":
-                    self._close_flushes += 1
-                else:
-                    self._deadline_flushes += 1
-            self._execute(batch)
+                shed = self._pop_expired_locked()
+                if self._pending:
+                    remaining = self._wait_remaining_locked()
+                    if (
+                        len(self._pending) < self.max_batch_size
+                        and not self._closed
+                        and remaining > 0.0
+                    ):
+                        self._wakeup.wait(timeout=remaining)
+                        shed.extend(self._pop_expired_locked())
+                    if self._pending and (
+                        len(self._pending) >= self.max_batch_size
+                        or self._closed
+                        or self._wait_remaining_locked() <= 0.0
+                    ):
+                        batch, reason = self._take_batch_locked()
+            # Futures are failed outside the lock: set_exception runs caller
+            # callbacks inline, and those must not re-enter the batcher.
+            self._fail_shed(shed)
+            if batch is not None:
+                self._execute(batch, reason)
 
-    def _execute(self, batch: list[_Pending]) -> None:
+    def _fail_shed(self, shed: list[_Pending]) -> None:
+        if not shed:
+            return
+        with self._lock:
+            self._shed += len(shed)
+        for item in shed:
+            item.future.set_exception(
+                DeadlineExceededError(
+                    "request shed before execution: deadline expired while queued"
+                )
+            )
+
+    def _execute(self, batch: list[_Pending], reason: str) -> None:
+        # Last-instant shed: re-check budgets at execution start, so an item
+        # that expired between flush and execution still never reaches the
+        # model (the window is tiny here, but the asyncio twin queues whole
+        # batches behind an executor, where it is not).
+        now = self._clock()
+        live: list[_Pending] = []
+        expired: list[_Pending] = []
+        for item in batch:
+            if item.deadline_at is not None and item.deadline_at <= now:
+                expired.append(item)
+            else:
+                live.append(item)
+        self._fail_shed(expired)
+        if not live:
+            return
+        with self._lock:
+            self._batches += 1
+            self._max_batch_seen = max(self._max_batch_seen, len(live))
+            if reason == "size":
+                self._size_flushes += 1
+            elif reason == "close":
+                self._close_flushes += 1
+            else:
+                self._deadline_flushes += 1
         try:
-            predictions = self._predict_batch([item.workload for item in batch])
+            predictions = self._predict_batch([item.workload for item in live])
         except Exception as exc:  # noqa: BLE001 - forwarded to every caller
-            for item in batch:
+            for item in live:
                 item.future.set_exception(exc)
             return
-        if len(predictions) != len(batch):
+        if len(predictions) != len(live):
             error = ServingError(
                 f"predict_batch returned {len(predictions)} predictions "
-                f"for a batch of {len(batch)}"
+                f"for a batch of {len(live)}"
             )
-            for item in batch:
+            for item in live:
                 item.future.set_exception(error)
             return
-        for item, value in zip(batch, predictions):
+        for item, value in zip(live, predictions):
             item.future.set_result(float(value))

@@ -135,13 +135,34 @@ class LRUTTLCache:
                 return False
             return True
 
+    def _sweep_expired_locked(self, now: float) -> None:
+        """Drop every TTL-dead entry (counted as expirations, not evictions)."""
+        if self.ttl_s is None:
+            return
+        expired = [
+            key
+            for key, (_, stored_at) in self._entries.items()
+            if now - stored_at > self.ttl_s
+        ]
+        for key in expired:
+            del self._entries[key]
+        self._expirations += len(expired)
+
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert or refresh ``key``, evicting the LRU entry when full."""
+        """Insert or refresh ``key``, evicting the LRU entry when full.
+
+        When the insert overflows capacity, TTL-expired entries are swept
+        first: dead entries must never cost a *live* entry its slot, and a
+        sweep-then-evict also keeps the eviction counter honest (aging out
+        is an expiration, not an eviction).
+        """
         now = self._clock()
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = (value, now)
+            if len(self._entries) > self.max_entries:
+                self._sweep_expired_locked(now)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1
@@ -152,8 +173,15 @@ class LRUTTLCache:
             self._entries.clear()
 
     def stats(self) -> CacheStats:
-        """Lifetime counters plus the current size and capacity."""
+        """Lifetime counters plus the current size and capacity.
+
+        ``size`` counts only *live* entries: TTL-expired entries still
+        occupying slots are swept (and counted as expirations) before the
+        snapshot is taken.
+        """
+        now = self._clock()
         with self._lock:
+            self._sweep_expired_locked(now)
             return CacheStats(
                 hits=self._hits,
                 misses=self._misses,

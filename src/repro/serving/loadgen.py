@@ -27,8 +27,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api import PredictionRequest
 from repro.core.workload import Workload
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import DeadlineExceededError, InvalidParameterError
 from repro.serving.server import PredictionServer
 
 __all__ = ["LoadTestReport", "LoadGenerator"]
@@ -55,6 +56,8 @@ class LoadTestReport:
     latency_p99_ms: float
     cache_hit_rate: float
     mean_batch_size: float
+    deadline_misses: int = 0
+    shed_requests: int = 0
     extras: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
@@ -72,6 +75,8 @@ class LoadTestReport:
             "latency_p99_ms": self.latency_p99_ms,
             "cache_hit_rate": self.cache_hit_rate,
             "mean_batch_size": self.mean_batch_size,
+            "deadline_misses": self.deadline_misses,
+            "shed_requests": self.shed_requests,
         }
         payload.update(self.extras)
         return payload
@@ -98,6 +103,13 @@ class LoadTestReport:
             f"cache hit rate      : {100.0 * self.cache_hit_rate:.1f} %",
             f"mean batch size     : {self.mean_batch_size:.2f}",
         ]
+        if self.deadline_misses or self.shed_requests:
+            lines.extend(
+                [
+                    f"deadline misses     : {self.deadline_misses}",
+                    f"shed requests       : {self.shed_requests}",
+                ]
+            )
         return "\n".join(lines)
 
 
@@ -116,6 +128,13 @@ class LoadGenerator:
         Target arrival rate, requests per second.
     benchmark:
         Label carried into the report.
+    deadline_s:
+        Optional per-request deadline injected into the replayed traffic
+        (the CLI's ``--deadline-ms``).  Requests are then submitted as typed
+        :class:`~repro.api.PredictionRequest` objects, so the serving tier
+        enforces the budget end-to-end: expired requests are shed (counted
+        in the report's ``shed_requests`` / ``deadline_misses``, not in
+        ``n_errors``) instead of stretching the tail.
     """
 
     def __init__(
@@ -125,15 +144,26 @@ class LoadGenerator:
         *,
         qps: float,
         benchmark: str = "",
+        deadline_s: float | None = None,
     ) -> None:
         if qps <= 0.0:
             raise InvalidParameterError("qps must be > 0")
         if not requests:
             raise InvalidParameterError("cannot load-test with zero requests")
+        if deadline_s is not None and deadline_s <= 0.0:
+            raise InvalidParameterError("deadline_s must be > 0 (or None)")
         self.server = server
         self.requests = list(requests)
         self.qps = float(qps)
         self.benchmark = benchmark
+        self.deadline_s = deadline_s
+
+    def _submit(self, workload: Workload) -> Future:
+        if self.deadline_s is None:
+            return self.server.submit(workload)
+        return self.server.submit_request(
+            PredictionRequest.of(workload, deadline_s=self.deadline_s)
+        )
 
     def run(self) -> LoadTestReport:
         """Replay every request at the target rate and wait for completion."""
@@ -154,7 +184,7 @@ class LoadGenerator:
                 # inflated by time spent waiting on requests before it.
                 completed_at[index] = time.monotonic()
 
-            future = self.server.submit(workload)
+            future = self._submit(workload)
             future.add_done_callback(_stamp)
             futures.append(future)
 
@@ -163,6 +193,10 @@ class LoadGenerator:
         for i, future in enumerate(futures):
             try:
                 future.result()
+            except DeadlineExceededError:
+                # Intentional load shedding, not a server failure; the
+                # server-side counters land in the report below.
+                continue
             except Exception:  # noqa: BLE001 - counted, not propagated
                 errors += 1
                 continue
@@ -182,6 +216,7 @@ class LoadGenerator:
             p50 = p95 = p99 = mean = 0.0
         cache_stats = self.server.cache_stats()
         batcher_stats = self.server.batcher_stats()
+        telemetry = self.server.snapshot()
         return LoadTestReport(
             benchmark=self.benchmark,
             n_requests=len(self.requests),
@@ -197,4 +232,6 @@ class LoadGenerator:
             mean_batch_size=(
                 batcher_stats.mean_batch_size if batcher_stats is not None else 1.0
             ),
+            deadline_misses=telemetry.deadline_misses,
+            shed_requests=telemetry.shed_requests,
         )

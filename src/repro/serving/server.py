@@ -51,7 +51,7 @@ from repro.core.features import FeatureCacheStats
 from repro.core.features import feature_cache_stats as _model_feature_cache_stats
 from repro.core.workload import Workload
 from repro.dbms.query_log import QueryRecord
-from repro.exceptions import InvalidParameterError, ServingError
+from repro.exceptions import DeadlineExceededError, InvalidParameterError, ServingError
 from repro.registry import ModelRegistry
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import LRUTTLCache, workload_signature
@@ -61,6 +61,46 @@ __all__ = ["ServerConfig", "PredictionServer"]
 
 #: Name used when a server is built directly from a predictor object.
 DEFAULT_MODEL_NAME = "default"
+
+
+def submission_deadline(request: PredictionRequest) -> float | None:
+    """The request's absolute expiry if submitted *now* (monotonic domain).
+
+    Captured once per request at submission so batch loops consume the
+    remaining budget from there — request *i* never borrows the time spent
+    waiting on requests before it.  Shared by every serving front (thread,
+    asyncio, sharded).
+    """
+    if request.deadline_s is None:
+        return None
+    return time.monotonic() + request.deadline_s
+
+
+def await_within_budget(
+    request: PredictionRequest,
+    future: "Future[PredictionResult]",
+    deadline_at: float | None,
+) -> PredictionResult:
+    """Wait for ``future``, bounded by the request's remaining budget.
+
+    ``deadline_at`` is the absolute expiry captured at submission
+    (:func:`submission_deadline`); ``None`` falls back to a fresh budget
+    from now (the single-request path, where submission just happened).
+    The future is *not* cancelled on expiry — the serving pipeline finishes
+    (and accounts for) the request on its own; only the wait is abandoned.
+    """
+    if deadline_at is None and request.deadline_s is not None:
+        deadline_at = time.monotonic() + request.deadline_s
+    timeout = None if deadline_at is None else max(deadline_at - time.monotonic(), 0.0)
+    try:
+        return future.result(timeout=timeout)
+    # concurrent.futures.TimeoutError only aliases the builtin from 3.11;
+    # catch both so Python 3.10 deadline misses surface the same way.
+    except (TimeoutError, FutureTimeoutError) as exc:
+        raise DeadlineExceededError(
+            f"request {request.request_id} missed its deadline "
+            f"({request.deadline_s:.3f} s)"
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -90,6 +130,17 @@ class ServerConfig:
     stream_window: int = 64
 
     def __post_init__(self) -> None:
+        # Every knob is validated here, whether or not the feature it tunes
+        # is enabled: a bad value should fail at construction, not deep in
+        # the batcher or cache once traffic arrives.
+        if self.max_batch_size < 1:
+            raise InvalidParameterError("max_batch_size must be >= 1")
+        if self.max_wait_s < 0.0:
+            raise InvalidParameterError("max_wait_s must be >= 0")
+        if self.cache_entries < 1:
+            raise InvalidParameterError("cache_entries must be >= 1")
+        if self.cache_ttl_s is not None and self.cache_ttl_s <= 0.0:
+            raise InvalidParameterError("cache_ttl_s must be > 0 (or None to disable expiry)")
         if self.stream_window < 1:
             raise InvalidParameterError("stream_window must be >= 1")
 
@@ -138,6 +189,7 @@ class PredictionServer:
         )
         self._served_version: int | None = None
         self._feature_cache_active = False
+        self._generation = 0
         self._swap_lock = threading.Lock()
         self._inflight: dict[Any, Future] = {}
         self._inflight_lock = threading.Lock()
@@ -160,16 +212,22 @@ class PredictionServer:
 
         Called on the request path *before* the cache lookup, so a promoted
         model's answers are never shadowed by the previous model's cache
-        entries.  (A batch already executing during the swap may still
-        repopulate the cache with the old model's values for its own
-        workloads — promotion is best-effort consistent, not transactional.)
+        entries.  The in-flight (singleflight) table is cleared with the
+        cache — a post-swap request must not coalesce onto a pre-swap
+        computation — and the swap bumps a generation counter that gates
+        cache write-back, so a batch already executing during the swap
+        cannot repopulate the fresh cache with the old model's values.
         """
         version = self.registry.active_version(self.model_name)
         if version != self._served_version:
             with self._swap_lock:
                 if version != self._served_version:
-                    if self._cache is not None and self._served_version is not None:
-                        self._cache.clear()
+                    if self._served_version is not None:
+                        self._generation += 1
+                        if self._cache is not None:
+                            self._cache.clear()
+                        with self._inflight_lock:
+                            self._inflight.clear()
                     self._served_version = version
                     # Cached per swap so the typed request path does not pay a
                     # registry resolution + stats snapshot per request just to
@@ -208,8 +266,20 @@ class PredictionServer:
         """
         return self._submit(self._as_workload(queries), signature=signature)[0]
 
+    def _record_done(self, arrival: float, deadline_at: float | None, *, cache_hit: bool) -> None:
+        """Record one completed request, counting a late completion as a miss."""
+        now = time.monotonic()
+        if deadline_at is not None and now > deadline_at:
+            self.telemetry.record_deadline_miss()
+        self.telemetry.record(now - arrival, cache_hit=cache_hit)
+
     def _submit(
-        self, workload: Workload, *, use_cache: bool = True, signature: Any = None
+        self,
+        workload: Workload,
+        *,
+        use_cache: bool = True,
+        signature: Any = None,
+        deadline_at: float | None = None,
     ) -> "tuple[Future[float], bool]":
         """Request path shared by :meth:`submit` and :meth:`submit_request`.
 
@@ -220,11 +290,20 @@ class PredictionServer:
         :attr:`~repro.api.CachePolicy.BYPASS` policy) skips the cache read
         and the singleflight attachment but still write-through-populates
         the cache, refreshing the stored answer.
+
+        ``deadline_at`` (absolute, ``time.monotonic`` domain) is the
+        request's expiry: an already-expired request is shed at admission,
+        a queued one is shed by the micro-batcher before execution, and one
+        that executes but completes late is counted as a deadline miss.
+        Deadline-carrying requests can *attach* to in-flight work but never
+        lead it — a leader that could be shed would take its followers down
+        with it.
         """
         if self._closed:
             raise ServingError("cannot submit to a closed PredictionServer")
         arrival = time.monotonic()
         self._sync_version()
+        generation = self._generation
         if self._cache is None:
             key = None
         else:
@@ -235,7 +314,7 @@ class PredictionServer:
             if cached is not sentinel:
                 future: Future = Future()
                 future.set_result(float(cached))
-                self.telemetry.record(time.monotonic() - arrival, cache_hit=True)
+                self._record_done(arrival, deadline_at, cache_hit=True)
                 return future, True
             # Singleflight: attach to an identical request already being
             # computed instead of enqueueing duplicate model work.  This is
@@ -253,16 +332,25 @@ class PredictionServer:
                             self.telemetry.record_error()
                             shared.set_exception(error)
                             return
-                        self.telemetry.record(time.monotonic() - arrival, cache_hit=True)
+                        self._record_done(arrival, deadline_at, cache_hit=True)
                         shared.set_result(float(done.result()))
 
                     pending.add_done_callback(_share)
                     return shared, True
 
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            # Expired before any model work was enqueued: shed at admission.
+            self.telemetry.record_deadline_miss(shed=True)
+            doomed: Future = Future()
+            doomed.set_exception(
+                DeadlineExceededError("request shed at admission: deadline already expired")
+            )
+            return doomed, False
+
         if self._batcher is not None:
-            inner = self._batcher.submit(workload)
+            inner = self._batcher.submit(workload, deadline_at=deadline_at)
             self.telemetry.observe_queue_depth(self._batcher.pending())
-            if self._cache is not None:
+            if self._cache is not None and deadline_at is None:
                 with self._inflight_lock:
                     self._inflight.setdefault(key, inner)
         else:
@@ -278,14 +366,17 @@ class PredictionServer:
             error = done.exception()
             if error is not None:
                 self._clear_inflight(key, done)
-                self.telemetry.record_error()
+                if isinstance(error, DeadlineExceededError):
+                    self.telemetry.record_deadline_miss(shed=True)
+                else:
+                    self.telemetry.record_error()
                 outer.set_exception(error)
                 return
             value = float(done.result())
-            if self._cache is not None:
+            if self._cache is not None and generation == self._generation:
                 self._cache.put(key, value)
             self._clear_inflight(key, done)
-            self.telemetry.record(time.monotonic() - arrival, cache_hit=False)
+            self._record_done(arrival, deadline_at, cache_hit=False)
             outer.set_result(value)
 
         inner.add_done_callback(_finish)
@@ -316,11 +407,20 @@ class PredictionServer:
         answered it, ``feature_cache_active`` when the served model carries
         a plan-feature cache below the prediction tier.  ``signature`` is
         the routing front's precomputed workload signature, if any.
+
+        A request ``deadline_s`` starts counting *here*, at admission: once
+        the budget expires the request is shed from the batch queue (the
+        future fails with :class:`~repro.exceptions.DeadlineExceededError`)
+        instead of executing on the model.
         """
         arrival = time.monotonic()
         use_cache = request.cache_policy is not CachePolicy.BYPASS
+        deadline_at = arrival + request.deadline_s if request.deadline_s is not None else None
         inner, cache_hit = self._submit(
-            request.workload, use_cache=use_cache, signature=signature
+            request.workload,
+            use_cache=use_cache,
+            signature=signature,
+            deadline_at=deadline_at,
         )
         version = self._served_version
         feature_cache_active = self._feature_cache_active
@@ -347,28 +447,29 @@ class PredictionServer:
         return outer
 
     def _await_result(
-        self, request: PredictionRequest, future: "Future[PredictionResult]"
+        self,
+        request: PredictionRequest,
+        future: "Future[PredictionResult]",
+        *,
+        deadline_at: float | None = None,
     ) -> PredictionResult:
-        try:
-            return future.result(timeout=request.deadline_s)
-        # concurrent.futures.TimeoutError only aliases the builtin from 3.11;
-        # catch both so Python 3.10 deadline misses surface as ServingError too.
-        except (TimeoutError, FutureTimeoutError) as exc:
-            raise ServingError(
-                f"request {request.request_id} missed its deadline "
-                f"({request.deadline_s:.3f} s)"
-            ) from exc
+        return await_within_budget(request, future, deadline_at)
 
     def predict_batch(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
         """Typed batch prediction (the :class:`~repro.api.Predictor` protocol).
 
         All requests are submitted up front, so the micro-batcher can form
-        full batches even though the caller is a single thread.
+        full batches even though the caller is a single thread.  Each
+        request's deadline clock starts at its submission, not when its turn
+        comes in the await loop.
         """
-        futures = [self.submit_request(request) for request in requests]
+        entries = [
+            (request, submission_deadline(request), self.submit_request(request))
+            for request in requests
+        ]
         return [
-            self._await_result(request, future)
-            for request, future in zip(requests, futures)
+            self._await_result(request, future, deadline_at=deadline_at)
+            for request, deadline_at, future in entries
         ]
 
     def predict(

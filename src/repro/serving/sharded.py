@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import dataclasses
 from concurrent.futures import Future
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -46,7 +45,12 @@ from repro.registry import ConsistentHashRing, ShardedModelRegistry
 from repro.serving.aio import AsyncPredictionServer
 from repro.serving.batcher import BatcherStats
 from repro.serving.cache import CacheStats, workload_signature
-from repro.serving.server import PredictionServer, ServerConfig
+from repro.serving.server import (
+    PredictionServer,
+    ServerConfig,
+    await_within_budget,
+    submission_deadline,
+)
 from repro.serving.telemetry import ServingTelemetry, TelemetryReport
 
 __all__ = ["ShardedPredictionServer", "BACKENDS"]
@@ -82,6 +86,7 @@ def _merge_batcher_stats(parts: list[BatcherStats]) -> BatcherStats | None:
         deadline_flushes=sum(part.deadline_flushes for part in parts),
         close_flushes=sum(part.close_flushes for part in parts),
         max_batch_size_seen=max(part.max_batch_size_seen for part in parts),
+        shed_requests=sum(part.shed_requests for part in parts),
     )
 
 
@@ -203,22 +208,27 @@ class ShardedPredictionServer:
         return server.submit_request(request, signature=signature)
 
     def _await_result(
-        self, request: PredictionRequest, future: "Future[PredictionResult]"
+        self,
+        request: PredictionRequest,
+        future: "Future[PredictionResult]",
+        *,
+        deadline_at: float | None = None,
     ) -> PredictionResult:
-        try:
-            return future.result(timeout=request.deadline_s)
-        except (TimeoutError, FutureTimeoutError) as exc:
-            raise ServingError(
-                f"request {request.request_id} missed its deadline "
-                f"({request.deadline_s:.3f} s)"
-            ) from exc
+        return await_within_budget(request, future, deadline_at)
 
     def predict_batch(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
-        """Typed batch prediction; requests fan out to their shards up front."""
-        futures = [self.submit_request(request) for request in requests]
+        """Typed batch prediction; requests fan out to their shards up front.
+
+        Each request's deadline clock starts at its submission, not when its
+        turn comes in the await loop.
+        """
+        entries = [
+            (request, submission_deadline(request), self.submit_request(request))
+            for request in requests
+        ]
         return [
-            self._await_result(request, future)
-            for request, future in zip(requests, futures)
+            self._await_result(request, future, deadline_at=deadline_at)
+            for request, deadline_at, future in entries
         ]
 
     def predict(

@@ -28,6 +28,12 @@ class TelemetryReport:
     Latencies are reported in milliseconds; throughput is requests per
     second over the window between the first and the last observation.
 
+    ``deadline_misses`` counts every request whose ``deadline_s`` budget
+    expired; ``shed_requests`` is the subset failed fast *before* model
+    execution (at admission or in a micro-batch queue) — the difference is
+    requests that executed but completed late.  Both stay zero for traffic
+    without deadlines, and neither is included in ``n_errors``.
+
     The ``feature_cache_*`` fields mirror the served model's plan-feature
     cache (:class:`~repro.core.features.MemoizedFeaturizer`) — the second
     cache tier below the prediction cache that ``cache_hit_rate`` reports
@@ -48,6 +54,8 @@ class TelemetryReport:
     cache_hit_rate: float
     mean_batch_size: float
     max_queue_depth: int
+    deadline_misses: int = 0
+    shed_requests: int = 0
     feature_cache_hits: int = 0
     feature_cache_misses: int = 0
     feature_cache_evictions: int = 0
@@ -73,6 +81,13 @@ class TelemetryReport:
             f"mean batch size     : {self.mean_batch_size:.2f}",
             f"max queue depth     : {self.max_queue_depth}",
         ]
+        if self.deadline_misses or self.shed_requests:
+            lines.extend(
+                [
+                    f"deadline misses     : {self.deadline_misses}",
+                    f"shed requests       : {self.shed_requests}",
+                ]
+            )
         if self.feature_cache_hits or self.feature_cache_misses:
             lines.extend(
                 [
@@ -93,6 +108,8 @@ class ServingTelemetry:
         self._latencies_s: list[float] = []
         self._cache_hits = 0
         self._errors = 0
+        self._deadline_misses = 0
+        self._shed_requests = 0
         self._batch_sizes: list[int] = []
         self._max_queue_depth = 0
         self._first_at: float | None = None
@@ -114,6 +131,20 @@ class ServingTelemetry:
         with self._lock:
             self._errors += 1
 
+    def record_deadline_miss(self, *, shed: bool = False) -> None:
+        """Count one request whose ``deadline_s`` budget expired.
+
+        ``shed=True`` marks the subset that was failed fast *before* model
+        execution (expired at admission or in a micro-batch queue); the
+        remainder are requests that did execute but completed past their
+        deadline.  Deadline misses are intentional load shedding, so they are
+        counted separately from :meth:`record_error`.
+        """
+        with self._lock:
+            self._deadline_misses += 1
+            if shed:
+                self._shed_requests += 1
+
     def observe_batch(self, size: int) -> None:
         """Record the size of one model-call batch."""
         with self._lock:
@@ -131,6 +162,8 @@ class ServingTelemetry:
             self._batch_sizes.clear()
             self._cache_hits = 0
             self._errors = 0
+            self._deadline_misses = 0
+            self._shed_requests = 0
             self._max_queue_depth = 0
             self._first_at = None
             self._last_at = None
@@ -165,4 +198,6 @@ class ServingTelemetry:
                     float(np.mean(self._batch_sizes)) if self._batch_sizes else 0.0
                 ),
                 max_queue_depth=self._max_queue_depth,
+                deadline_misses=self._deadline_misses,
+                shed_requests=self._shed_requests,
             )

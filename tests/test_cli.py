@@ -199,6 +199,35 @@ class TestServeAndLoadtest:
         assert "backend=asyncio" in out
         assert "throughput" in out
 
+    def test_loadtest_with_deadline_reports_misses(self, tmp_path, capsys):
+        output = tmp_path / "bench_deadline.json"
+        exit_code = main(
+            [
+                "loadtest",
+                "--benchmark",
+                "tpcc",
+                "--queries",
+                "200",
+                "--requests",
+                "40",
+                "--qps",
+                "400",
+                "--seed",
+                "3",
+                "--deadline-ms",
+                "2000",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        # The report always carries the deadline counters; with a generous
+        # 2 s budget on tiny traffic nothing should have been shed.
+        assert payload["deadline_ms"] == 2000
+        assert payload["shed_requests"] == 0
+        assert "deadline_misses" in payload
+
     def test_rejects_bad_shard_count(self):
         with pytest.raises(SystemExit):
             main(

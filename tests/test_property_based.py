@@ -235,6 +235,92 @@ class TestServingProperties:
         assert np.allclose(served, expected)
 
 
+class TestDeadlineProperties:
+    """Deadline enforcement must never change a delivered answer: under any
+    random mix of deadline-free, generous and already-expired requests, every
+    value that comes back equals the direct-model answer, and every
+    ``DeadlineExceededError`` corresponds to a genuinely expired budget —
+    on both the thread and the asyncio backend."""
+
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.sampled_from(["none", "generous", "expired"]),
+            ),
+            min_size=1,
+            max_size=16,
+        ),
+        st.sampled_from(["thread", "asyncio"]),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_deadline_mix_preserves_answers_and_misses_are_genuine(
+        self, mix, backend, max_batch
+    ):
+        from repro.api import PredictionRequest
+        from repro.core.workload import Workload
+        from repro.dbms.query_log import QueryRecord
+        from repro.exceptions import DeadlineExceededError
+        from repro.serving import AsyncPredictionServer, PredictionServer, ServerConfig
+
+        class LookupPredictor:
+            def predict(self, workloads):
+                return [float(w.actual_memory_mb or 0.0) for w in workloads]
+
+            def predict_workload(self, workload):
+                return float(workload.actual_memory_mb or 0.0)
+
+        pool = [
+            Workload(
+                queries=[
+                    QueryRecord(
+                        sql=f"select {i} from t",
+                        plan=None,
+                        actual_memory_mb=10.0 * (i + 1),
+                        optimizer_estimate_mb=0.0,
+                    )
+                ],
+                actual_memory_mb=10.0 * (i + 1),
+            )
+            for i in range(6)
+        ]
+        # A generous budget cannot genuinely expire within this test; an
+        # "expired" budget of 1 ns cannot survive even the admission path.
+        deadlines = {"none": None, "generous": 30.0, "expired": 1e-9}
+        config = ServerConfig(max_batch_size=max_batch, max_wait_s=0.001)
+        server_cls = PredictionServer if backend == "thread" else AsyncPredictionServer
+        with server_cls(LookupPredictor(), config=config) as server:
+            entries = [
+                (
+                    idx,
+                    kind,
+                    server.submit_request(
+                        PredictionRequest.of(pool[idx], deadline_s=deadlines[kind])
+                    ),
+                )
+                for idx, kind in mix
+            ]
+            failures = 0
+            for idx, kind, future in entries:
+                try:
+                    result = future.result(timeout=10.0)
+                except DeadlineExceededError:
+                    failures += 1
+                    # Only a request whose budget can genuinely expire may fail.
+                    assert kind == "expired"
+                else:
+                    # Every delivered answer equals the direct-model answer,
+                    # whatever path (cache, coalescing, batcher) served it.
+                    assert result.memory_mb == 10.0 * (idx + 1)
+            report = server.snapshot()
+        # Every raised error was a shed; late-but-delivered expired requests
+        # may add further misses, never fewer.
+        assert report.shed_requests == failures
+        assert report.deadline_misses >= failures
+        assert report.n_errors == 0
+
+
 class TestTokenizerProperties:
     @_SETTINGS
     @given(st.text(alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" _.,()*'=<>"), max_size=120))

@@ -15,7 +15,7 @@ import pytest
 
 from repro.api import CachePolicy, PredictionRequest, Predictor
 from repro.core.workload import make_workloads
-from repro.exceptions import ServingError
+from repro.exceptions import DeadlineExceededError, ServingError
 from repro.integration.admission import AdmissionController
 from repro.integration.predictors import ConstantMemoryPredictor
 from repro.serving import (
@@ -205,6 +205,27 @@ class TestHotSwap:
         with pytest.raises(ServingError):
             AsyncPredictionServer(ModelRegistry(), model_name="missing")
 
+    def test_post_swap_request_does_not_coalesce_onto_pre_swap_computation(
+        self, workload_pool
+    ):
+        """Regression: promotion cleared the cache but not the singleflight
+        table, so a post-swap request could attach to a pre-swap computation
+        and repopulate the fresh cache with the old model's value."""
+        registry = ModelRegistry()
+        registry.register("m", CountingPredictor(value=10.0, delay_s=0.3))
+        config = ServerConfig(max_wait_s=0.0)
+        with AsyncPredictionServer(registry, model_name="m", config=config) as server:
+            stale = server.submit(workload_pool[0])  # in-flight on the old model
+            time.sleep(0.05)
+            registry.register("m", ConstantMemoryPredictor(99.0), promote=True)
+            fresh = server.submit(workload_pool[0])
+            assert fresh.result(timeout=5.0) == 99.0
+            assert stale.result(timeout=5.0) == 10.0  # admitted pre-swap
+            # The pre-swap computation must not have repopulated the fresh
+            # cache: a repeat still sees the promoted model's answer.
+            assert server.predict_workload(workload_pool[0]) == 99.0
+            assert server.coalesced_requests == 0
+
 
 class TestAsyncNativeSurface:
     def test_predict_async_from_a_caller_loop(self, workload_pool):
@@ -281,6 +302,97 @@ class TestAsyncNativeSurface:
                 )
 
         with pytest.raises(ServingError, match="deadline"):
+            asyncio.run(drive())
+
+
+class TestDeadlines:
+    def test_expired_request_is_shed_before_the_model(self, workload_pool):
+        predictor = CountingPredictor()
+        with AsyncPredictionServer(predictor) as server:
+            doomed = server.submit_request(
+                PredictionRequest.of(
+                    workload_pool[0], deadline_s=1e-9, cache_policy=CachePolicy.BYPASS
+                )
+            )
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=5.0)
+            report = server.snapshot()
+        assert predictor.calls == 0  # never occupied a batch slot
+        assert report.shed_requests == 1
+        assert report.deadline_misses == 1
+        assert report.n_errors == 0
+
+    def test_queued_request_expiring_behind_a_slow_batch_is_shed(self, workload_pool):
+        predictor = CountingPredictor(delay_s=0.3)
+        config = ServerConfig(max_wait_s=0.0)
+        with AsyncPredictionServer(predictor, config=config) as server:
+            blocker = server.submit(workload_pool[0])
+            time.sleep(0.05)  # first batch occupies the single model worker
+            doomed = server.submit_request(
+                PredictionRequest.of(workload_pool[1], deadline_s=0.1)
+            )
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=5.0)
+            assert blocker.result(timeout=5.0) == predictor.value
+            assert server.batcher_stats().shed_requests == 1
+            report = server.snapshot()
+        # Only the blocker's batch reached the model: the expired request
+        # was shed at execution start, behind the executor queue.
+        assert predictor.batch_sizes == [1]
+        assert report.shed_requests == 1
+
+    def test_predict_batch_deadline_clock_starts_at_submission(self, workload_pool):
+        """Regression: request *i*'s budget must not grow by the time spent
+        awaiting requests before it in the batch loop."""
+        predictor = CountingPredictor(delay_s=0.25)
+        config = ServerConfig(max_batch_size=1, max_wait_s=0.0, enable_cache=False)
+        with AsyncPredictionServer(predictor, config=config) as server:
+            requests = [
+                PredictionRequest.of(workload_pool[i], deadline_s=0.4) for i in range(3)
+            ]
+            with pytest.raises(DeadlineExceededError):
+                server.predict_batch(requests)
+
+    def test_async_native_deadline_miss_is_counted_in_telemetry(self, workload_pool):
+        """Regression: ``predict_async`` expiry used to cancel the handler
+        coroutine, so the miss never reached the telemetry counters and the
+        abandoned future warned 'exception was never retrieved'."""
+        predictor = CountingPredictor(delay_s=0.3)
+        config = ServerConfig(max_wait_s=0.0)
+
+        async def drive(server):
+            blocker = asyncio.wrap_future(server.submit(workload_pool[0]))
+            await asyncio.sleep(0.05)  # first batch occupies the model worker
+            with pytest.raises(DeadlineExceededError):
+                await server.predict_async(
+                    PredictionRequest.of(workload_pool[1], deadline_s=0.1)
+                )
+            await blocker
+
+        with AsyncPredictionServer(predictor, config=config) as server:
+            asyncio.run(drive(server))
+            # The abandoned request is still shed and accounted by the
+            # pipeline, exactly as on the thread backend.
+            deadline = time.monotonic() + 5.0
+            while server.snapshot().shed_requests == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            report = server.snapshot()
+        assert report.shed_requests == 1
+        assert report.deadline_misses == 1
+        assert report.n_errors == 0
+
+    def test_predict_batch_async_deadline_clock_starts_at_submission(self, workload_pool):
+        predictor = CountingPredictor(delay_s=0.25)
+        config = ServerConfig(max_batch_size=1, max_wait_s=0.0, enable_cache=False)
+
+        async def drive():
+            with AsyncPredictionServer(predictor, config=config) as server:
+                requests = [
+                    PredictionRequest.of(workload_pool[i], deadline_s=0.4) for i in range(3)
+                ]
+                await server.predict_batch_async(requests)
+
+        with pytest.raises(DeadlineExceededError):
             asyncio.run(drive())
 
 

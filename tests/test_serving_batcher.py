@@ -1,4 +1,5 @@
-"""Tests for the micro-batcher (flush-on-size, flush-on-deadline, errors)."""
+"""Tests for the micro-batcher (flush-on-size, flush-on-deadline, errors,
+per-request deadlines: shedding, EDF ordering, wait clamping)."""
 
 import threading
 import time
@@ -6,7 +7,7 @@ import time
 import pytest
 
 from repro.core.workload import Workload
-from repro.exceptions import InvalidParameterError, ServingError
+from repro.exceptions import DeadlineExceededError, InvalidParameterError, ServingError
 from repro.serving.batcher import MicroBatcher
 
 
@@ -117,3 +118,78 @@ class TestErrorsAndLifecycle:
         assert stats.batches >= 2
         assert stats.mean_batch_size <= 2.0
         assert stats.max_batch_size_seen <= 2
+
+
+class BlockingPredictor:
+    """Holds the worker inside a batch until released; records batch labels."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.batches: list[list[float]] = []
+        self._lock = threading.Lock()
+
+    def __call__(self, workloads):
+        self.started.set()
+        assert self.release.wait(timeout=5.0)
+        with self._lock:
+            self.batches.append([float(w.actual_memory_mb or 0.0) for w in workloads])
+        return [float(w.actual_memory_mb or 0.0) for w in workloads]
+
+
+class TestDeadlines:
+    def test_expired_item_is_shed_never_executed(self):
+        predictor = BlockingPredictor()
+        with MicroBatcher(predictor, max_batch_size=1, max_wait_s=0.0) as batcher:
+            blocker = batcher.submit(make_workload(1.0))
+            assert predictor.started.wait(timeout=5.0)
+            # Enqueued behind the executing batch with an already-spent budget.
+            doomed = batcher.submit(make_workload(2.0), deadline_at=time.monotonic() - 1.0)
+            predictor.release.set()
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=5.0)
+            assert blocker.result(timeout=5.0) == 1.0
+            stats = batcher.stats()
+        assert stats.shed_requests == 1
+        # The expired item never occupied a batch slot.
+        assert [2.0] not in predictor.batches and all(2.0 not in b for b in predictor.batches)
+
+    def test_near_expiring_items_are_taken_edf_first(self):
+        predictor = BlockingPredictor()
+        with MicroBatcher(predictor, max_batch_size=2, max_wait_s=30.0) as batcher:
+            # Two deadline-free items size-flush immediately and hold the
+            # worker inside the model call.
+            blockers = [batcher.submit(make_workload(0.0)), batcher.submit(make_workload(0.5))]
+            assert predictor.started.wait(timeout=5.0)
+            now = time.monotonic()
+            loose = batcher.submit(make_workload(1.0), deadline_at=now + 30.0)
+            tight = batcher.submit(make_workload(2.0), deadline_at=now + 10.0)
+            medium = batcher.submit(make_workload(3.0), deadline_at=now + 20.0)
+            predictor.release.set()
+            for future in (*blockers, loose, tight, medium):
+                future.result(timeout=5.0)
+        # The next batch after the blockers was cut earliest-deadline-first:
+        # tight and medium ride it, loose takes the one after.
+        assert predictor.batches[0] == [0.0, 0.5]
+        assert predictor.batches[1] == [2.0, 3.0]
+        assert predictor.batches[2] == [1.0]
+
+    def test_wait_clamped_to_tightest_member_deadline(self):
+        predictor = RecordingPredictor()
+        # The coalescing window alone would hold the request for 30 s; a
+        # deadline inside the window must flush (not shed) it immediately.
+        with MicroBatcher(predictor, max_batch_size=1000, max_wait_s=30.0) as batcher:
+            start = time.monotonic()
+            future = batcher.submit(make_workload(7.0), deadline_at=start + 5.0)
+            assert future.result(timeout=5.0) == 7.0
+            assert time.monotonic() - start < 4.0
+            stats = batcher.stats()
+        assert stats.shed_requests == 0
+        assert stats.deadline_flushes >= 1
+
+    def test_deadline_free_items_are_unaffected(self):
+        predictor = RecordingPredictor()
+        with MicroBatcher(predictor, max_batch_size=4, max_wait_s=0.005) as batcher:
+            futures = [batcher.submit(make_workload(i)) for i in range(4)]
+            assert [f.result(timeout=5.0) for f in futures] == [0.0, 1.0, 2.0, 3.0]
+            assert batcher.stats().shed_requests == 0

@@ -87,6 +87,41 @@ class TestTTL:
         clock.advance(1e9)
         assert cache.get("a") == 1.0
 
+    def test_put_sweeps_expired_entries_before_evicting_live_ones(self):
+        """Regression: a TTL-dead entry must never cost a live entry its slot."""
+        clock = FakeClock()
+        cache = LRUTTLCache(2, ttl_s=10.0, clock=clock)
+        cache.put("dead", 1.0)
+        clock.advance(11.0)  # "dead" has expired but still occupies a slot
+        cache.put("a", 2.0)
+        cache.put("b", 3.0)  # would overflow: the sweep must take "dead", not "a"
+        assert cache.get("a") == 2.0
+        assert cache.get("b") == 3.0
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.evictions == 0
+        assert stats.size == 2
+
+    def test_stats_size_counts_only_live_entries(self):
+        """Regression: ``stats().size`` used to count TTL-expired entries."""
+        clock = FakeClock()
+        cache = LRUTTLCache(8, ttl_s=10.0, clock=clock)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        clock.advance(11.0)
+        stats = cache.stats()
+        assert stats.size == 0
+        assert stats.expirations == 2
+
+    def test_live_entries_still_evicted_lru_when_nothing_expired(self):
+        clock = FakeClock()
+        cache = LRUTTLCache(2, ttl_s=10.0, clock=clock)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        cache.put("c", 3.0)  # all live: plain LRU eviction of "a"
+        assert cache.get("a") is None
+        assert cache.stats().evictions == 1
+
 
 class TestStats:
     def test_hit_rate(self):

@@ -1,12 +1,14 @@
 """Tests for the prediction server, load generator and telemetry."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
+from repro.api import CachePolicy, PredictionRequest
 from repro.core.workload import Workload
-from repro.exceptions import ServingError
+from repro.exceptions import DeadlineExceededError, InvalidParameterError, ServingError
 from repro.integration.admission import AdmissionController
 from repro.integration.predictors import ConstantMemoryPredictor
 from repro.integration.scheduler import RoundScheduler
@@ -120,6 +122,129 @@ class TestCachingAndCoalescing:
             assert server.batcher_stats() is None
 
 
+class SlowPredictor:
+    """Constant predictor whose every model call takes ``delay_s`` seconds."""
+
+    def __init__(self, value: float = 32.0, delay_s: float = 0.2) -> None:
+        self.value = value
+        self.delay_s = delay_s
+        self.batches: list[int] = []
+        self._lock = threading.Lock()
+
+    def predict_workload(self, queries) -> float:
+        time.sleep(self.delay_s)
+        with self._lock:
+            self.batches.append(1)
+        return self.value
+
+    def predict(self, workloads):
+        time.sleep(self.delay_s)
+        with self._lock:
+            self.batches.append(len(workloads))
+        return np.full(len(workloads), self.value)
+
+
+class TestServerConfigValidation:
+    """Every knob fails at construction, not deep in the batcher or cache."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch_size": 0},
+            {"max_batch_size": -3},
+            {"max_wait_s": -0.001},
+            {"cache_entries": 0},
+            {"cache_entries": -10},
+            {"cache_ttl_s": 0.0},
+            {"cache_ttl_s": -1.0},
+            {"stream_window": 0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            ServerConfig(**kwargs)
+
+    def test_knobs_validated_even_when_feature_disabled(self):
+        # A negative cache size is a bug in the caller's config whether or
+        # not the cache is switched on for this server.
+        with pytest.raises(InvalidParameterError):
+            ServerConfig(cache_entries=-1, enable_cache=False)
+
+    def test_valid_config_accepted(self):
+        config = ServerConfig(max_batch_size=1, max_wait_s=0.0, cache_entries=1, cache_ttl_s=0.5)
+        assert config.cache_ttl_s == 0.5
+
+
+class TestDeadlines:
+    def test_expired_request_is_shed_before_the_model(self, workload_pool):
+        predictor = CountingPredictor()
+        with PredictionServer(predictor) as server:
+            with pytest.raises(DeadlineExceededError):
+                server.predict(
+                    PredictionRequest.of(
+                        workload_pool[0], deadline_s=1e-9, cache_policy=CachePolicy.BYPASS
+                    )
+                )
+            report = server.snapshot()
+        assert predictor.calls == 0  # never occupied a batch slot
+        assert report.shed_requests == 1
+        assert report.deadline_misses == 1
+        assert report.n_errors == 0  # shedding is not a server failure
+
+    def test_generous_deadline_answers_normally(self, workload_pool):
+        predictor = CountingPredictor()
+        with PredictionServer(predictor) as server:
+            result = server.predict(PredictionRequest.of(workload_pool[0], deadline_s=30.0))
+            assert result.memory_mb == predictor.value
+            report = server.snapshot()
+        assert report.deadline_misses == 0
+        assert report.shed_requests == 0
+
+    def test_queued_request_expiring_behind_a_slow_batch_is_shed(self, workload_pool):
+        predictor = SlowPredictor(delay_s=0.3)
+        config = ServerConfig(max_wait_s=0.0)
+        with PredictionServer(predictor, config=config) as server:
+            blocker = server.submit(workload_pool[0])
+            time.sleep(0.05)  # let the first batch occupy the worker
+            doomed = server.submit_request(
+                PredictionRequest.of(workload_pool[1], deadline_s=0.1)
+            )
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=5.0)
+            assert blocker.result(timeout=5.0) == predictor.value
+            assert server.batcher_stats().shed_requests == 1
+            report = server.snapshot()
+        # Only the blocker's batch reached the model.
+        assert predictor.batches == [1]
+        assert report.shed_requests == 1
+
+    def test_predict_batch_deadline_clock_starts_at_submission(self, workload_pool):
+        """Regression: request *i*'s budget must not grow by the time spent
+        awaiting requests before it in the batch loop."""
+        predictor = SlowPredictor(delay_s=0.25)
+        config = ServerConfig(max_batch_size=1, max_wait_s=0.0, enable_cache=False)
+        with PredictionServer(predictor, config=config) as server:
+            requests = [
+                PredictionRequest.of(workload_pool[i], deadline_s=0.4) for i in range(3)
+            ]
+            # Three sequential 0.25 s batches: request 0 completes inside its
+            # budget, requests 1/2 cannot — under the old per-turn clock all
+            # three passed because each turn granted a fresh 0.4 s.
+            with pytest.raises(DeadlineExceededError):
+                server.predict_batch(requests)
+
+    def test_late_completion_counts_as_miss_but_still_delivers(self, workload_pool):
+        predictor = SlowPredictor(delay_s=0.15)
+        config = ServerConfig(enable_batching=False, enable_cache=False)
+        with PredictionServer(predictor, config=config) as server:
+            # Inline execution starts within budget and finishes past it.
+            result = server.predict(PredictionRequest.of(workload_pool[0], deadline_s=0.05))
+            assert result.memory_mb == predictor.value
+            report = server.snapshot()
+        assert report.deadline_misses == 1
+        assert report.shed_requests == 0
+
+
 class TestHotSwap:
     def test_promotion_changes_served_model_and_clears_cache(self, workload_pool):
         registry = ModelRegistry()
@@ -142,6 +267,27 @@ class TestHotSwap:
     def test_unknown_model_name_fails_fast(self):
         with pytest.raises(ServingError):
             PredictionServer(ModelRegistry(), model_name="missing")
+
+    def test_post_swap_request_does_not_coalesce_onto_pre_swap_computation(
+        self, workload_pool
+    ):
+        """Regression: promotion cleared the cache but not the singleflight
+        table, so a post-swap request could attach to a pre-swap computation
+        and repopulate the fresh cache with the old model's value."""
+        registry = ModelRegistry()
+        registry.register("m", SlowPredictor(value=10.0, delay_s=0.3))
+        config = ServerConfig(max_wait_s=0.0)
+        with PredictionServer(registry, model_name="m", config=config) as server:
+            stale = server.submit(workload_pool[0])  # in-flight on the old model
+            time.sleep(0.05)
+            registry.register("m", ConstantMemoryPredictor(99.0), promote=True)
+            fresh = server.submit(workload_pool[0])
+            assert fresh.result(timeout=5.0) == 99.0
+            assert stale.result(timeout=5.0) == 10.0  # admitted pre-swap
+            # The pre-swap computation must not have repopulated the fresh
+            # cache: a repeat still sees the promoted model's answer.
+            assert server.predict_workload(workload_pool[0]) == 99.0
+            assert server.coalesced_requests == 0
 
 
 class TestServedPredictorPath:
@@ -275,3 +421,32 @@ class TestLoadGenerator:
                 LoadGenerator(server, workload_pool[:5], qps=0.0)
             with pytest.raises(Exception):
                 LoadGenerator(server, [], qps=10.0)
+            with pytest.raises(Exception):
+                LoadGenerator(server, workload_pool[:5], qps=10.0, deadline_s=0.0)
+
+    def test_deadline_traffic_reports_misses_not_errors(self, workload_pool):
+        # Every request carries an unmeetable budget: all are shed, none
+        # count as errors, and the report carries the server-side counters.
+        predictor = SlowPredictor(delay_s=0.2)
+        config = ServerConfig(enable_cache=False, max_wait_s=0.0)
+        with PredictionServer(predictor, config=config) as server:
+            report = LoadGenerator(
+                server, workload_pool[:6], qps=1000.0, deadline_s=1e-9
+            ).run()
+        assert report.n_errors == 0
+        assert report.shed_requests == 6
+        assert report.deadline_misses == 6
+        payload = report.to_dict()
+        assert payload["deadline_misses"] == 6
+        assert payload["shed_requests"] == 6
+        assert "deadline misses" in report.render()
+
+    def test_generous_deadline_traffic_reports_clean(self, workload_pool):
+        with PredictionServer(ConstantMemoryPredictor(8.0)) as server:
+            report = LoadGenerator(
+                server, workload_pool[:10], qps=1000.0, deadline_s=30.0
+            ).run()
+        assert report.n_errors == 0
+        assert report.deadline_misses == 0
+        assert report.shed_requests == 0
+        assert "deadline misses" not in report.render()

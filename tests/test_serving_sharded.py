@@ -5,9 +5,9 @@ import threading
 import numpy as np
 import pytest
 
-from repro.api import PredictionRequest, Predictor
+from repro.api import CachePolicy, PredictionRequest, Predictor
 from repro.core.workload import make_workloads
-from repro.exceptions import InvalidParameterError, ServingError
+from repro.exceptions import DeadlineExceededError, InvalidParameterError, ServingError
 from repro.integration.predictors import ConstantMemoryPredictor
 from repro.registry import ShardedModelRegistry
 from repro.serving import (
@@ -197,3 +197,76 @@ class TestAggregatedIntrospection:
             report = LoadGenerator(server, requests, qps=600.0, benchmark="tpcds").run()
         assert report.n_requests == 60
         assert report.n_errors == 0
+
+
+class TestDeadlines:
+    @pytest.mark.parametrize("backend", ["thread", "asyncio"])
+    def test_expired_requests_shed_and_counted_fleet_wide(self, backend, workload_pool):
+        predictor = CountingPredictor()
+        registry = _replicated_registry(predictor)
+        with ShardedPredictionServer(registry, backend=backend) as server:
+            live = [
+                server.submit_request(PredictionRequest.of(w, deadline_s=30.0))
+                for w in workload_pool[:6]
+            ]
+            doomed = [
+                server.submit_request(
+                    PredictionRequest.of(w, deadline_s=1e-9, cache_policy=CachePolicy.BYPASS)
+                )
+                for w in workload_pool[6:12]
+            ]
+            for future in live:
+                assert future.result(timeout=5.0).memory_mb == predictor.value
+            for future in doomed:
+                with pytest.raises(DeadlineExceededError):
+                    future.result(timeout=5.0)
+            report = server.snapshot()
+        # Misses land in the one shared accumulator, so the fleet snapshot
+        # counts them exactly, across all shard servers.
+        assert report.shed_requests == 6
+        assert report.deadline_misses == 6
+        assert report.n_errors == 0
+
+    def test_predict_batch_deadline_clock_starts_at_submission(self, workload_pool):
+        import time as _time
+
+        class SlowShardPredictor:
+            value = 4.0
+
+            def predict_workload(self, queries):
+                _time.sleep(0.25)
+                return self.value
+
+            def predict(self, workloads):
+                _time.sleep(0.25)
+                return np.full(len(workloads), self.value)
+
+        registry = _replicated_registry(SlowShardPredictor(), n_shards=2)
+        config = ServerConfig(max_batch_size=1, max_wait_s=0.0, enable_cache=False)
+        with ShardedPredictionServer(registry, config=config) as server:
+            # Pick workloads routed to the SAME shard so their batches
+            # serialize behind one model worker.
+            target = server.route_request(workload_pool[0])
+            same_shard = [
+                w for w in workload_pool if server.route_request(w) == target
+            ][:3]
+            if len(same_shard) < 3:  # pragma: no cover - pool is large enough
+                pytest.skip("not enough workloads routed to one shard")
+            requests = [PredictionRequest.of(w, deadline_s=0.4) for w in same_shard]
+            with pytest.raises(DeadlineExceededError):
+                server.predict_batch(requests)
+
+    def test_merged_batcher_stats_sum_shed_requests(self):
+        from repro.serving.batcher import BatcherStats
+        from repro.serving.sharded import _merge_batcher_stats
+
+        merged = _merge_batcher_stats(
+            [
+                BatcherStats(10, 4, 1, 3, 0, 4, shed_requests=2),
+                BatcherStats(7, 2, 0, 2, 0, 5, shed_requests=3),
+            ]
+        )
+        assert merged.shed_requests == 5
+        assert merged.requests == 17
+        # Executed mean excludes the shed requests.
+        assert merged.mean_batch_size == pytest.approx((17 - 5) / 6)

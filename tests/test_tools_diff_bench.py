@@ -65,6 +65,27 @@ class TestGates:
         current = dict(BASELINE, cache_hit_rate=0.1)  # -87% but informational
         assert run(tmp_path, current) == 0
 
+    def test_new_deadline_fields_are_tolerated_not_gated(self, tmp_path):
+        # A current report carrying fields the baseline predates (e.g. the
+        # --deadline-ms counters) must diff cleanly, and even wildly
+        # different values of shared deadline fields stay informational.
+        current = dict(BASELINE, deadline_misses=123, shed_requests=45)
+        assert run(tmp_path, current) == 0
+        both = dict(BASELINE, deadline_misses=0, shed_requests=0)
+        baseline_path = write(tmp_path, "baseline_deadline.json", both)
+        current_path = write(
+            tmp_path, "current_deadline.json", dict(both, deadline_misses=500, shed_requests=500)
+        )
+        assert diff_bench.main([str(current_path), str(baseline_path)]) == 0
+
+    def test_repo_baseline_carries_deadline_fields(self):
+        baseline = json.loads(
+            (Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_serving.baseline.json")
+            .read_text()
+        )
+        assert "deadline_misses" in baseline
+        assert "shed_requests" in baseline
+
 
 class TestErrors:
     def test_missing_gated_metric_is_an_error(self, tmp_path):

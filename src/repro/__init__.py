@@ -76,6 +76,9 @@ from repro.registry import (
 )
 from repro.serving import (
     AsyncPredictionServer,
+    GatewayClient,
+    GatewayConfig,
+    HttpGateway,
     LoadGenerator,
     PredictionServer,
     ServerConfig,
@@ -134,5 +137,8 @@ __all__ = [
     "AsyncPredictionServer",
     "ShardedPredictionServer",
     "ServerConfig",
+    "HttpGateway",
+    "GatewayConfig",
+    "GatewayClient",
     "LoadGenerator",
 ]

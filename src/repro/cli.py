@@ -1,7 +1,7 @@
 """Command-line interface of the LearnedWMP reproduction.
 
 Installed as the ``learnedwmp`` console script (see ``pyproject.toml``); all
-commands are also reachable with ``python -m repro.cli``.  Six subcommands
+commands are also reachable with ``python -m repro.cli``.  Seven subcommands
 cover the day-to-day tasks of working with the reproduction:
 
 ``generate``
@@ -37,7 +37,20 @@ cover the day-to-day tasks of working with the reproduction:
     ``--deadline-ms`` injects a per-request deadline into the replayed
     traffic; the serving tier enforces it end-to-end (expired requests are
     shed before model execution) and the report carries
-    ``deadline_misses`` / ``shed_requests``.
+    ``deadline_misses`` / ``shed_requests``.  ``--url`` switches the
+    transport to HTTP: the same open-loop replay is driven through a
+    :class:`~repro.serving.http.client.GatewayClient` against a running
+    ``learnedwmp gateway``, and the backend's counters are pulled from the
+    ``/v1/telemetry`` scrape.  ``--section NAME`` merges the JSON report
+    under key ``NAME`` of the ``--output`` file instead of replacing it
+    (how the gateway leg lands next to the in-process numbers in
+    ``BENCH_serving.json``).
+
+``gateway``
+    Stand up an HTTP/1.1 JSON gateway (``repro.serving.http``) in front of a
+    served model and block until ``--duration-s`` elapses (or Ctrl-C).
+    Takes the same model/backend flags as ``serve`` plus ``--host`` /
+    ``--port``; see ``docs/GATEWAY.md`` for the wire protocol.
 
 ``figures``
     Regenerate one or more of the paper's evaluation figures as text tables
@@ -172,9 +185,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None, help="write the report as JSON (e.g. BENCH_serving.json)"
     )
     loadtest.add_argument(
+        "--section",
+        default=None,
+        help="merge the JSON report under this key of --output instead of replacing the file",
+    )
+    loadtest.add_argument(
+        "--url",
+        default=None,
+        help="drive a running gateway over HTTP (e.g. http://127.0.0.1:8080) "
+        "instead of an in-process server",
+    )
+    loadtest.add_argument(
         "--compare-naive",
         action="store_true",
         help="also time the naive one-call-at-a-time loop on the same requests",
+    )
+
+    gateway = subparsers.add_parser(
+        "gateway", help="serve a model over HTTP/1.1 (see docs/GATEWAY.md)"
+    )
+    _add_serving_options(gateway)
+    gateway.add_argument("--host", default="127.0.0.1", help="bind address")
+    gateway.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    gateway.add_argument(
+        "--max-inflight", type=int, default=256, help="concurrent requests before 503 shedding"
+    )
+    gateway.add_argument(
+        "--duration-s",
+        type=float,
+        default=None,
+        help="serve for this many seconds then exit (default: until Ctrl-C)",
     )
 
     figures = subparsers.add_parser(
@@ -386,10 +426,109 @@ def _parity_check(server, model, requests, n_samples: int = 8) -> float:
     )
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serving.http import GatewayConfig, HttpGateway
+
+    registry, server, _ = _serving_setup(args)
+    config = GatewayConfig(host=args.host, port=args.port, max_inflight=args.max_inflight)
+    with server, HttpGateway(server, config=config) as gateway:
+        print(
+            f"gateway listening on {gateway.url} "
+            f"(model 'default' v{registry.active_version('default')}, "
+            f"backend={args.backend}, shards={args.shards})",
+            flush=True,
+        )
+        try:
+            if args.duration_s is None:
+                while True:  # serve until interrupted
+                    time.sleep(3600.0)
+            else:
+                time.sleep(args.duration_s)
+        except KeyboardInterrupt:
+            pass
+    print("gateway stopped")
+    return 0
+
+
+def _write_loadtest_json(payload: dict, output: Path, section: str | None) -> None:
+    """Write the report JSON, merging under ``section`` when requested.
+
+    With ``--section NAME`` the report lands as ``{"NAME": payload}`` inside
+    the existing ``--output`` document (other keys preserved), so several
+    loadtest legs — in-process, gateway — accumulate in one
+    ``BENCH_serving.json``.
+    """
+    if section is None:
+        output.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    document: dict = {}
+    if output.exists():
+        try:
+            existing = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            existing = None
+        if isinstance(existing, dict):
+            document = existing
+    document[section] = payload
+    output.write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def _cmd_loadtest_http(args: argparse.Namespace) -> int:
+    """The ``loadtest --url`` path: drive a running gateway over HTTP."""
+    from repro.serving import LoadGenerator
+    from repro.serving.http import GatewayClient
+    from repro.workloads.replay import build_replay_requests
+
+    dataset = generate_dataset(args.benchmark, args.queries, seed=args.seed)
+    requests = build_replay_requests(
+        args.benchmark,
+        dataset=dataset,
+        batch_size=args.batch_size,
+        n_requests=args.requests,
+        repeat_fraction=args.repeat_fraction,
+        seed=args.seed,
+    )
+    with GatewayClient(args.url) as client:
+        health = client.healthz()
+        print(
+            f"load-testing gateway {args.url} at {args.qps:.0f} req/s with "
+            f"{len(requests)} requests (model {health.get('model')} "
+            f"v{health.get('active_version')}, backend {health.get('backend')}) ...\n"
+        )
+        report = LoadGenerator(
+            client,
+            requests,
+            qps=args.qps,
+            benchmark=args.benchmark,
+            deadline_s=args.deadline_ms / 1e3 if args.deadline_ms is not None else None,
+        ).run()
+        scrape = client.telemetry()
+    print(report.render())
+    gateway_stats = scrape.get("gateway", {})
+    print(f"gateway requests    : {gateway_stats.get('http_requests', 0)}")
+    print(f"gateway overloads   : {gateway_stats.get('shed_overload', 0)}")
+    if args.output is not None:
+        payload = report.to_dict()
+        payload["transport"] = "http"
+        payload["url"] = args.url
+        if args.deadline_ms is not None:
+            payload["deadline_ms"] = args.deadline_ms
+        payload["gateway_http_requests"] = gateway_stats.get("http_requests", 0)
+        payload["gateway_shed_overload"] = gateway_stats.get("shed_overload", 0)
+        _write_loadtest_json(payload, args.output, args.section)
+        print(f"wrote JSON report to {args.output}")
+    return 0
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     import time
 
     from repro.api import PredictionRequest, as_predictor
+
+    if args.url is not None:
+        return _cmd_loadtest_http(args)
 
     _, server, requests = _serving_setup(args)
     print(
@@ -447,7 +586,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             payload["feature_cache_hit_rate"] = feature_stats.hit_rate
         if naive_qps is not None:
             payload["naive_qps"] = naive_qps
-        args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        _write_loadtest_json(payload, args.output, args.section)
         print(f"wrote JSON report to {args.output}")
     return 0
 
@@ -490,6 +629,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
+        "gateway": _cmd_gateway,
         "figures": _cmd_figures,
     }
     return handlers[args.command](args)

@@ -4,49 +4,99 @@ All exceptions raised by ``repro`` derive from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while still
 letting programming errors (``TypeError``, ``KeyError`` on caller-owned dicts,
 etc.) propagate unchanged.
+
+Stable error codes
+------------------
+
+Every exception class carries a machine-readable ``code`` string.  The codes
+are part of the serving wire contract: the HTTP gateway
+(:mod:`repro.serving.http`) maps each code to a fixed HTTP status and echoes
+the code in the JSON error body, and :class:`~repro.serving.http.GatewayClient`
+re-raises the matching exception class from the code — so the pair
+``(code, status)`` must stay stable once released.  The serving-tier table:
+
+========================  ======================  ===========
+exception                 ``code``                HTTP status
+========================  ======================  ===========
+RequestValidationError    ``invalid_request``     400
+UnknownModelError         ``unknown_model``       404
+OverloadedError           ``overloaded``          503
+DeadlineExceededError     ``deadline_exceeded``   504
+ServingError (other)      ``serving_error``       500
+ReproError (other)        ``internal``            500
+========================  ======================  ===========
+
+Offline-tier exceptions (``NotFittedError``, ``SQLSyntaxError``, ...) also
+carry codes for uniform logging, but only the serving-tier rows above are a
+wire contract.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class of every exception raised by the ``repro`` package."""
+    """Base class of every exception raised by the ``repro`` package.
+
+    The class attribute :attr:`code` is a stable machine-readable identifier
+    of the failure kind, used by the HTTP gateway's error mapper and safe to
+    log/alert on; subclasses override it.
+    """
+
+    code: str = "internal"
 
 
 class NotFittedError(ReproError):
     """Raised when ``predict``/``transform`` is called before ``fit``."""
 
+    code = "not_fitted"
+
 
 class ConvergenceWarningError(ReproError):
     """Raised when an iterative solver fails to make any progress at all."""
+
+    code = "no_convergence"
 
 
 class InvalidParameterError(ReproError, ValueError):
     """Raised when an estimator or generator receives an invalid parameter."""
 
+    code = "invalid_parameter"
+
 
 class SQLSyntaxError(ReproError, ValueError):
     """Raised by the SQL lexer/parser on malformed query text."""
+
+    code = "sql_syntax"
 
 
 class PlanningError(ReproError):
     """Raised by the planner when no valid plan can be produced for a query."""
 
+    code = "planning_failed"
+
 
 class CatalogError(ReproError, KeyError):
     """Raised when a referenced table or column does not exist in the catalog."""
+
+    code = "unknown_catalog_object"
 
 
 class WorkloadError(ReproError, ValueError):
     """Raised by workload generators and batchers on invalid configurations."""
 
+    code = "invalid_workload"
+
 
 class SerializationError(ReproError):
     """Raised when a model cannot be serialized or deserialized."""
 
+    code = "serialization_failed"
+
 
 class ServingError(ReproError):
-    """Raised by the online serving subsystem (registry, server, load tester)."""
+    """Raised by the online serving subsystem (registry, server, gateway)."""
+
+    code = "serving_error"
 
 
 class DeadlineExceededError(ServingError):
@@ -55,5 +105,41 @@ class DeadlineExceededError(ServingError):
     Serving backends raise it in two places: a request whose budget runs out
     while it is still queued is *shed* (failed fast, never executed on the
     model), and a request whose answer has not arrived by the deadline fails
-    its blocking wait.  Catching :class:`ServingError` still covers both.
+    its blocking wait.  The HTTP gateway additionally sheds requests whose
+    ``X-Deadline-Ms`` budget expired before the handler ran, answering 504
+    with this code.  Catching :class:`ServingError` still covers all cases.
     """
+
+    code = "deadline_exceeded"
+
+
+class UnknownModelError(ServingError, LookupError):
+    """Raised when a request names a model (or version) the registry lacks.
+
+    The registry raises it from every name-addressed lookup; the HTTP
+    gateway maps it to 404.  It remains a :class:`ServingError`, so existing
+    ``except ServingError`` handlers are unaffected.
+    """
+
+    code = "unknown_model"
+
+
+class OverloadedError(ServingError):
+    """Raised when the serving tier sheds a request due to overload.
+
+    The HTTP gateway raises it (mapped to 503) when admission limits —
+    concurrent in-flight requests, connection count — are exceeded; callers
+    should treat it as retryable backpressure, not a server fault.
+    """
+
+    code = "overloaded"
+
+
+class RequestValidationError(ServingError, ValueError):
+    """Raised when a wire request fails schema validation.
+
+    Covers malformed JSON, unknown or missing fields, and type mismatches in
+    the bodies accepted by the HTTP gateway; mapped to 400.
+    """
+
+    code = "invalid_request"

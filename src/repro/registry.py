@@ -42,7 +42,12 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.core.serialization import load_model, read_model_header, save_model
-from repro.exceptions import InvalidParameterError, NotFittedError, ServingError
+from repro.exceptions import (
+    InvalidParameterError,
+    NotFittedError,
+    ServingError,
+    UnknownModelError,
+)
 
 __all__ = [
     "ModelVersion",
@@ -226,7 +231,7 @@ class ModelRegistry:
     def _require_name(self, name: str) -> dict[int, ModelVersion]:
         versions = self._versions.get(name)
         if not versions:
-            raise ServingError(
+            raise UnknownModelError(
                 f"unknown model {name!r}; registered: {sorted(self._versions) or 'none'}"
             )
         return versions
@@ -235,7 +240,7 @@ class ModelRegistry:
         versions = self._require_name(name)
         entry = versions.get(version)
         if entry is None:
-            raise ServingError(
+            raise UnknownModelError(
                 f"model {name!r} has no version {version}; available: {sorted(versions)}"
             )
         return entry

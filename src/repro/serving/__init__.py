@@ -23,7 +23,10 @@ production request rates:
   front fanning requests out over per-shard servers (thread or asyncio) of
   a :class:`~repro.registry.ShardedModelRegistry`;
 * :mod:`~repro.serving.loadgen` — an open-loop load-test harness replaying
-  benchmark traffic at a target QPS.
+  benchmark traffic at a target QPS;
+* :mod:`~repro.serving.http` — the HTTP/1.1 gateway subsystem: a JSON wire
+  protocol over any backend (:class:`HttpGateway`) plus the blocking
+  :class:`GatewayClient` giving remote callers the in-process surface.
 
 See ``docs/SERVING.md`` for the request lifecycle, the shard-routing
 diagram, and the tuning guide.
@@ -42,6 +45,7 @@ from repro.registry import (
 from repro.serving.aio import AsyncPredictionServer
 from repro.serving.batcher import BatcherStats, MicroBatcher
 from repro.serving.cache import CacheStats, LRUTTLCache, workload_signature
+from repro.serving.http import GatewayClient, GatewayConfig, HttpGateway
 from repro.serving.loadgen import LoadGenerator, LoadTestReport
 from repro.serving.server import PredictionServer, ServerConfig
 from repro.serving.sharded import BACKENDS, ShardedPredictionServer
@@ -53,6 +57,9 @@ __all__ = [
     "BatcherStats",
     "CacheStats",
     "ConsistentHashRing",
+    "GatewayClient",
+    "GatewayConfig",
+    "HttpGateway",
     "LRUTTLCache",
     "LoadGenerator",
     "LoadTestReport",

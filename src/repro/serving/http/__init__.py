@@ -1,0 +1,77 @@
+"""The HTTP/1.1 gateway subsystem: network front for the serving stack.
+
+Stdlib-only JSON-over-HTTP access to any prediction server.  Layout mirrors
+a conventional web service:
+
+* :mod:`~repro.serving.http.schemas` — strict wire forms of the typed API
+  plus the stable error-code <-> HTTP-status mapping;
+* :mod:`~repro.serving.http.middleware` — request context and the composable
+  chain (request-id, deadline propagation, auth stub, admission);
+* :mod:`~repro.serving.http.routes` — the endpoint handlers;
+* :mod:`~repro.serving.http.gateway` — the ``asyncio.start_server`` front
+  (:class:`HttpGateway`);
+* :mod:`~repro.serving.http.client` — the blocking :class:`GatewayClient`
+  that gives remote callers the in-process serving surface.
+
+See ``docs/GATEWAY.md`` for the wire reference.
+"""
+
+from repro.serving.http.client import GatewayClient
+from repro.serving.http.gateway import GatewayConfig, HttpGateway
+from repro.serving.http.middleware import (
+    InflightGauge,
+    RequestContext,
+    Response,
+    admission_middleware,
+    allow_all_authenticator,
+    auth_middleware,
+    compose,
+    deadline_middleware,
+    request_id_middleware,
+)
+from repro.serving.http.routes import Router, build_router
+from repro.serving.http.schemas import (
+    STATUS_BY_CODE,
+    GatewayHttpError,
+    error_from_wire,
+    error_to_wire,
+    plan_from_wire,
+    plan_to_wire,
+    request_from_wire,
+    request_to_wire,
+    result_from_wire,
+    result_to_wire,
+    status_for_exception,
+    workload_from_wire,
+    workload_to_wire,
+)
+
+__all__ = [
+    "GatewayClient",
+    "GatewayConfig",
+    "HttpGateway",
+    "GatewayHttpError",
+    "RequestContext",
+    "Response",
+    "Router",
+    "build_router",
+    "compose",
+    "request_id_middleware",
+    "deadline_middleware",
+    "auth_middleware",
+    "allow_all_authenticator",
+    "admission_middleware",
+    "InflightGauge",
+    "STATUS_BY_CODE",
+    "status_for_exception",
+    "error_to_wire",
+    "error_from_wire",
+    "plan_to_wire",
+    "plan_from_wire",
+    "workload_to_wire",
+    "workload_from_wire",
+    "request_to_wire",
+    "request_from_wire",
+    "result_to_wire",
+    "result_from_wire",
+]

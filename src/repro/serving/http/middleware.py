@@ -1,0 +1,269 @@
+"""The gateway's routed middleware stack: request context, chain, built-ins.
+
+A request travels through an ordered chain of middlewares before (and after)
+its route handler, exactly like the ``main/middleware/routes`` split of a
+conventional web service — except everything here is stdlib asyncio.  Each
+middleware is an async callable ``(ctx, call_next) -> Response``; it may
+inspect/annotate the :class:`RequestContext`, short-circuit with its own
+:class:`Response`, or delegate to ``call_next`` and post-process the answer.
+:func:`compose` folds a middleware list plus the router into one handler.
+
+Built-ins (outermost first in the gateway's default chain):
+
+* :func:`request_id_middleware` — propagates ``X-Request-Id`` from the
+  client or generates one, and stamps it on every response;
+* :func:`deadline_middleware` — parses ``X-Deadline-Ms`` into an absolute
+  expiry.  The budget clock starts at :attr:`RequestContext.received_at`,
+  the instant the *header block* finished parsing — not at handler entry —
+  so time spent reading a large body or queueing behind the admission gate
+  is charged against the request's budget, like any other server-side time;
+* :func:`auth_middleware` — the authentication stub hook: a pluggable
+  ``authenticator(ctx) -> principal | None`` callable; ``None`` answers 401.
+  The default authenticator admits everyone as ``"anonymous"`` (the hook
+  exists so a deployment can drop in token checking without forking the
+  gateway);
+* :func:`admission_middleware` — bounds concurrent in-flight requests,
+  answering 503 ``overloaded`` beyond the limit (backpressure, not failure).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Sequence
+
+from repro.exceptions import OverloadedError
+from repro.serving.http.schemas import (
+    GatewayHttpError,
+    error_to_wire,
+    status_for_exception,
+)
+
+__all__ = [
+    "RequestContext",
+    "Response",
+    "Handler",
+    "Middleware",
+    "json_response",
+    "error_response",
+    "compose",
+    "request_id_middleware",
+    "deadline_middleware",
+    "auth_middleware",
+    "admission_middleware",
+    "InflightGauge",
+]
+
+
+@dataclass
+class RequestContext:
+    """One parsed HTTP request plus the gateway-side annotations.
+
+    ``received_at`` is the monotonic instant the request's header block
+    finished parsing; it is the origin of the ``X-Deadline-Ms`` budget
+    clock.  ``request_id`` / ``deadline_at`` / ``principal`` start unset and
+    are filled in by the corresponding middlewares.
+    """
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    received_at: float = field(default_factory=time.monotonic)
+    remote: str = ""
+    request_id: str = ""
+    deadline_at: float | None = None
+    principal: str | None = None
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Header lookup (names are stored lower-cased)."""
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class Response:
+    """One HTTP response: status, JSON-serialized body, extra headers."""
+
+    status: int = 200
+    body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
+    content_type: str = "application/json"
+
+
+Handler = Callable[[RequestContext], Awaitable[Response]]
+Middleware = Callable[[RequestContext, Handler], Awaitable[Response]]
+
+
+def json_response(payload: Any, status: int = 200) -> Response:
+    """A JSON response; compact separators keep wire bodies small."""
+    return Response(
+        status=status,
+        body=json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8"),
+    )
+
+
+def error_response(exc: BaseException, request_id: str | None = None) -> Response:
+    """The mapped ``(status, error body)`` response for an exception."""
+    return json_response(error_to_wire(exc, request_id), status_for_exception(exc))
+
+
+def compose(middlewares: Sequence[Middleware], handler: Handler) -> Handler:
+    """Fold middlewares around ``handler``; the first listed runs outermost."""
+    composed = handler
+    for middleware in reversed(list(middlewares)):
+
+        def bound(
+            ctx: RequestContext,
+            *,
+            _middleware: Middleware = middleware,
+            _next: Handler = composed,
+        ) -> Awaitable[Response]:
+            return _middleware(ctx, _next)
+
+        composed = bound
+    return composed
+
+
+# -- request-id ------------------------------------------------------------------------
+
+_GATEWAY_REQUEST_IDS = itertools.count(1)
+
+
+def _generate_request_id() -> str:
+    return f"req-http-{next(_GATEWAY_REQUEST_IDS)}-{uuid.uuid4().hex[:8]}"
+
+
+async def request_id_middleware(ctx: RequestContext, call_next: Handler) -> Response:
+    """Propagate the client's ``X-Request-Id`` or mint one; echo it back."""
+    incoming = ctx.header("x-request-id")
+    ctx.request_id = incoming.strip() if incoming and incoming.strip() else _generate_request_id()
+    response = await call_next(ctx)
+    response.headers.setdefault("X-Request-Id", ctx.request_id)
+    return response
+
+
+# -- deadline propagation --------------------------------------------------------------
+
+
+async def deadline_middleware(ctx: RequestContext, call_next: Handler) -> Response:
+    """Bind ``X-Deadline-Ms`` to an absolute expiry anchored at header parse.
+
+    A non-numeric or non-finite header is a validation error (400).  A
+    zero/negative budget is *not* rejected here: it parses into an
+    already-expired ``deadline_at``, and the predict handlers shed it with
+    504 before any model work — mirroring how an in-process request whose
+    budget ran out in a queue is handled, and counted in the same
+    ``deadline_misses`` / ``shed_requests`` telemetry.
+    """
+    header = ctx.header("x-deadline-ms")
+    if header is not None:
+        try:
+            deadline_ms = float(header.strip())
+        except ValueError:
+            return error_response(
+                GatewayHttpError(
+                    f"X-Deadline-Ms must be a number of milliseconds, got {header!r}",
+                    code="invalid_request",
+                    status=400,
+                ),
+                ctx.request_id,
+            )
+        if deadline_ms != deadline_ms or deadline_ms in (float("inf"), float("-inf")):
+            return error_response(
+                GatewayHttpError(
+                    "X-Deadline-Ms must be finite",
+                    code="invalid_request",
+                    status=400,
+                ),
+                ctx.request_id,
+            )
+        ctx.deadline_at = ctx.received_at + deadline_ms / 1e3
+    return await call_next(ctx)
+
+
+# -- auth stub -------------------------------------------------------------------------
+
+Authenticator = Callable[[RequestContext], "str | None"]
+
+
+def allow_all_authenticator(ctx: RequestContext) -> str | None:
+    """The default stub: every caller is admitted as ``"anonymous"``."""
+    return "anonymous"
+
+
+def auth_middleware(authenticator: Authenticator = allow_all_authenticator) -> Middleware:
+    """The authentication hook: plug a real ``authenticator`` in, get 401s out.
+
+    ``authenticator(ctx)`` returns the authenticated principal (recorded on
+    the context for handlers/logging) or ``None`` to reject the request with
+    401 ``unauthorized``.  The health endpoint is exempt so liveness probes
+    never need credentials.
+    """
+
+    async def middleware(ctx: RequestContext, call_next: Handler) -> Response:
+        if ctx.path == "/healthz":
+            return await call_next(ctx)
+        principal = authenticator(ctx)
+        if principal is None:
+            return error_response(
+                GatewayHttpError(
+                    "request rejected by the gateway authenticator",
+                    code="unauthorized",
+                    status=401,
+                ),
+                ctx.request_id,
+            )
+        ctx.principal = principal
+        return await call_next(ctx)
+
+    return middleware
+
+
+# -- admission / overload --------------------------------------------------------------
+
+
+class InflightGauge:
+    """Single-threaded (event-loop confined) in-flight request counter."""
+
+    __slots__ = ("limit", "inflight", "peak", "rejected")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = int(limit)
+        self.inflight = 0
+        self.peak = 0
+        self.rejected = 0
+
+    def try_acquire(self) -> bool:
+        if self.inflight >= self.limit:
+            self.rejected += 1
+            return False
+        self.inflight += 1
+        self.peak = max(self.peak, self.inflight)
+        return True
+
+    def release(self) -> None:
+        self.inflight -= 1
+
+
+def admission_middleware(gauge: InflightGauge) -> Middleware:
+    """Shed requests beyond the in-flight limit with 503 ``overloaded``."""
+
+    async def middleware(ctx: RequestContext, call_next: Handler) -> Response:
+        if not gauge.try_acquire():
+            return error_response(
+                OverloadedError(
+                    f"gateway at capacity: {gauge.inflight} requests in flight "
+                    f"(limit {gauge.limit}); retry with backoff"
+                ),
+                ctx.request_id,
+            )
+        try:
+            return await call_next(ctx)
+        finally:
+            gauge.release()
+
+    return middleware

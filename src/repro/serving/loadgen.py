@@ -23,14 +23,13 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.api import PredictionRequest
 from repro.core.workload import Workload
 from repro.exceptions import DeadlineExceededError, InvalidParameterError
-from repro.serving.server import PredictionServer
 
 __all__ = ["LoadTestReport", "LoadGenerator"]
 
@@ -119,7 +118,13 @@ class LoadGenerator:
     Parameters
     ----------
     server:
-        The :class:`PredictionServer` under test.
+        The server under test: anything exposing the serving surface
+        (``submit`` / ``submit_request`` returning futures, ``snapshot``,
+        ``cache_stats`` / ``batcher_stats``) — an in-process
+        :class:`~repro.serving.server.PredictionServer`-shaped backend or a
+        :class:`~repro.serving.http.client.GatewayClient` pointed at a
+        remote gateway (the HTTP transport: identical replay semantics,
+        latencies then include the wire).
     requests:
         The workload sequence to replay (typically built with
         :func:`repro.workloads.replay.build_replay_requests`, which models
@@ -139,7 +144,7 @@ class LoadGenerator:
 
     def __init__(
         self,
-        server: PredictionServer,
+        server: Any,
         requests: Sequence[Workload],
         *,
         qps: float,
@@ -217,6 +222,16 @@ class LoadGenerator:
         cache_stats = self.server.cache_stats()
         batcher_stats = self.server.batcher_stats()
         telemetry = self.server.snapshot()
+        # Remote transports (GatewayClient) have no local cache/batcher; the
+        # backend's counters arrive through the telemetry scrape instead.
+        cache_hit_rate = (
+            cache_stats.hit_rate if cache_stats is not None else telemetry.cache_hit_rate
+        )
+        mean_batch_size = (
+            batcher_stats.mean_batch_size
+            if batcher_stats is not None
+            else (telemetry.mean_batch_size or 1.0)
+        )
         return LoadTestReport(
             benchmark=self.benchmark,
             n_requests=len(self.requests),
@@ -228,10 +243,8 @@ class LoadGenerator:
             latency_p50_ms=1e3 * float(p50),
             latency_p95_ms=1e3 * float(p95),
             latency_p99_ms=1e3 * float(p99),
-            cache_hit_rate=cache_stats.hit_rate if cache_stats is not None else 0.0,
-            mean_batch_size=(
-                batcher_stats.mean_batch_size if batcher_stats is not None else 1.0
-            ),
+            cache_hit_rate=cache_hit_rate,
+            mean_batch_size=mean_batch_size,
             deadline_misses=telemetry.deadline_misses,
             shed_requests=telemetry.shed_requests,
         )

@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import asdict, dataclass
-from typing import Callable
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Callable, Mapping
 
 import numpy as np
+
+from repro.exceptions import SerializationError
 
 __all__ = ["TelemetryReport", "ServingTelemetry"]
 
@@ -64,6 +66,28 @@ class TelemetryReport:
     def to_dict(self) -> dict[str, float]:
         """The report as a flat JSON-friendly dict."""
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TelemetryReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        The inverse the HTTP gateway client uses to parse a ``/v1/telemetry``
+        scrape.  Extra keys (the scrape's ``gateway`` / ``model`` sections,
+        or fields added by a newer server) are ignored; missing *required*
+        fields raise :class:`~repro.exceptions.SerializationError`.
+        """
+        if not isinstance(payload, Mapping):
+            raise SerializationError(
+                f"telemetry payload must be a mapping, got {type(payload).__name__}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        kwargs = {name: payload[name] for name in known if name in payload}
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise SerializationError(
+                f"telemetry payload is missing required fields: {exc}"
+            ) from exc
 
     def render(self) -> str:
         """Fixed-width text table in the style of the CLI train output."""

@@ -1,0 +1,51 @@
+"""Repository hygiene: no build artifacts tracked in git.
+
+Compiled bytecode (``__pycache__``/``*.pyc``) is interpreter- and
+machine-specific; committing it bloats diffs and goes stale the moment the
+source changes.  The files are ignored by ``.gitignore``, but ignore rules
+do not untrack files that were already committed — this test is the
+backstop that keeps them out for good.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tracked_files() -> list[str]:
+    git = shutil.which("git")
+    if git is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not running inside a git checkout")
+    result = subprocess.run(
+        [git, "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    if result.returncode != 0:
+        pytest.skip(f"git ls-files failed: {result.stderr.strip()}")
+    return result.stdout.splitlines()
+
+
+def test_no_bytecode_is_tracked():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if "__pycache__/" in path or path.endswith((".pyc", ".pyo"))
+    ]
+    assert offenders == [], (
+        f"{len(offenders)} compiled-bytecode file(s) are tracked in git "
+        f"(e.g. {offenders[:3]}); run `git rm -r --cached <path>` — "
+        f".gitignore already excludes them"
+    )
+
+
+def test_gitignore_excludes_bytecode():
+    rules = (REPO_ROOT / ".gitignore").read_text().splitlines()
+    assert "__pycache__/" in rules
+    assert "*.pyc" in rules

@@ -1,0 +1,202 @@
+"""Tests for the gateway wire schemas and the stable error-code mapping."""
+
+import json
+
+import pytest
+
+from repro.api import CachePolicy, PredictionRequest, PredictionResult
+from repro.core.workload import Workload, make_workloads
+from repro.exceptions import (
+    CatalogError,
+    DeadlineExceededError,
+    InvalidParameterError,
+    NotFittedError,
+    OverloadedError,
+    PlanningError,
+    ReproError,
+    RequestValidationError,
+    SerializationError,
+    ServingError,
+    SQLSyntaxError,
+    UnknownModelError,
+    WorkloadError,
+)
+from repro.serving.http.schemas import (
+    STATUS_BY_CODE,
+    GatewayHttpError,
+    error_from_wire,
+    error_to_wire,
+    plan_from_wire,
+    plan_to_wire,
+    request_from_wire,
+    request_to_wire,
+    result_from_wire,
+    result_to_wire,
+    status_for_exception,
+    workload_from_wire,
+    workload_to_wire,
+)
+
+
+@pytest.fixture(scope="module")
+def workload(tpcds_small) -> Workload:
+    return make_workloads(tpcds_small.test_records, 5, seed=3)[0]
+
+
+class TestRoundTrips:
+    def test_plan_round_trips_through_json(self, workload):
+        plan = workload.queries[0].plan
+        wire = json.loads(json.dumps(plan_to_wire(plan)))
+        rebuilt = plan_from_wire(wire)
+        assert plan_to_wire(rebuilt) == plan_to_wire(plan)
+        assert rebuilt.op_type is plan.op_type
+        assert rebuilt.est_cardinality == plan.est_cardinality
+
+    def test_workload_round_trips_bit_identically(self, workload):
+        wire = json.loads(json.dumps(workload_to_wire(workload)))
+        rebuilt = workload_from_wire(wire)
+        assert len(rebuilt.queries) == len(workload.queries)
+        for original, parsed in zip(workload.queries, rebuilt.queries):
+            assert parsed.sql == original.sql
+            # Bit-identical floats: JSON repr round-trips doubles exactly.
+            assert parsed.actual_memory_mb == original.actual_memory_mb
+            assert parsed.optimizer_estimate_mb == original.optimizer_estimate_mb
+        assert rebuilt.actual_memory_mb == workload.actual_memory_mb
+
+    def test_request_round_trips_with_all_options(self, workload):
+        request = PredictionRequest.of(
+            workload,
+            request_id="wire-1",
+            deadline_s=0.25,
+            cache_policy=CachePolicy.BYPASS,
+        )
+        wire = json.loads(json.dumps(request_to_wire(request)))
+        parsed = request_from_wire(wire)
+        assert parsed.request_id == "wire-1"
+        assert parsed.deadline_ms == pytest.approx(250.0)
+        assert parsed.cache_policy is CachePolicy.BYPASS
+        bound = parsed.bind(0.1)
+        assert bound.deadline_s == pytest.approx(0.1)
+        assert bound.request_id == "wire-1"
+
+    def test_result_round_trips_with_provenance(self):
+        result = PredictionResult(
+            memory_mb=123.4567890123,
+            request_id="r-9",
+            model_name="default",
+            model_version=3,
+            latency_s=0.0123,
+            cache_hit=True,
+            feature_cache_active=True,
+        )
+        wire = json.loads(json.dumps(result_to_wire(result)))
+        rebuilt = result_from_wire(wire)
+        assert rebuilt == result
+
+
+class TestStrictValidation:
+    def test_unknown_request_field_is_rejected(self, workload):
+        wire = request_to_wire(PredictionRequest.of(workload))
+        wire["surprise"] = 1
+        with pytest.raises(RequestValidationError, match="unknown field"):
+            request_from_wire(wire)
+
+    def test_unknown_nested_plan_field_is_rejected(self, workload):
+        wire = request_to_wire(PredictionRequest.of(workload))
+        wire["workload"]["queries"][0]["plan"]["oops"] = True
+        with pytest.raises(RequestValidationError, match="unknown field"):
+            request_from_wire(wire)
+
+    def test_missing_required_field_is_rejected(self):
+        with pytest.raises(RequestValidationError, match="missing required"):
+            request_from_wire({})
+
+    def test_bool_is_not_a_number_on_the_wire(self, workload):
+        wire = request_to_wire(PredictionRequest.of(workload))
+        wire["workload"]["queries"][0]["actual_memory_mb"] = True
+        with pytest.raises(RequestValidationError, match="must be a number"):
+            request_from_wire(wire)
+
+    def test_unknown_operator_is_rejected(self, workload):
+        wire = request_to_wire(PredictionRequest.of(workload))
+        wire["workload"]["queries"][0]["plan"]["op"] = "quantum_join"
+        with pytest.raises(RequestValidationError, match="unknown operator"):
+            request_from_wire(wire)
+
+    def test_unknown_cache_policy_is_rejected(self, workload):
+        wire = request_to_wire(PredictionRequest.of(workload))
+        wire["cache_policy"] = "sometimes"
+        with pytest.raises(RequestValidationError, match="unknown policy"):
+            request_from_wire(wire)
+
+    def test_empty_workload_is_rejected(self):
+        with pytest.raises(RequestValidationError, match="not be empty"):
+            workload_from_wire({"queries": []})
+
+    def test_result_with_unknown_field_is_rejected(self):
+        with pytest.raises(RequestValidationError, match="unknown field"):
+            result_from_wire({"memory_mb": 1.0, "request_id": "x", "shiny": 1})
+
+
+class TestErrorCodes:
+    def test_every_repro_exception_carries_a_stable_code(self):
+        # The audit: each serving-visible class declares its own code (the
+        # wire contract clients switch on), not an inherited catch-all.
+        expected = {
+            ReproError: "internal",
+            NotFittedError: "not_fitted",
+            InvalidParameterError: "invalid_parameter",
+            SQLSyntaxError: "sql_syntax",
+            PlanningError: "planning_failed",
+            CatalogError: "unknown_catalog_object",
+            WorkloadError: "invalid_workload",
+            SerializationError: "serialization_failed",
+            ServingError: "serving_error",
+            DeadlineExceededError: "deadline_exceeded",
+            UnknownModelError: "unknown_model",
+            OverloadedError: "overloaded",
+            RequestValidationError: "invalid_request",
+        }
+        for exc_class, code in expected.items():
+            assert exc_class.code == code, exc_class
+
+    def test_serving_codes_map_to_documented_statuses(self):
+        assert status_for_exception(DeadlineExceededError("late")) == 504
+        assert status_for_exception(OverloadedError("full")) == 503
+        assert status_for_exception(UnknownModelError("who")) == 404
+        assert status_for_exception(RequestValidationError("bad")) == 400
+        assert status_for_exception(ServingError("hm")) == 500
+        assert status_for_exception(RuntimeError("bug")) == 500
+
+    def test_gateway_http_error_overrides_status(self):
+        error = GatewayHttpError("nope", code="not_found", status=404)
+        assert status_for_exception(error) == 404
+        assert error_to_wire(error)["error"]["code"] == "not_found"
+
+    def test_status_table_is_internally_consistent(self):
+        for code, status in STATUS_BY_CODE.items():
+            assert 400 <= status <= 599, code
+
+    def test_non_library_errors_do_not_leak_messages(self):
+        body = error_to_wire(RuntimeError("secret internal state"))
+        assert body["error"]["code"] == "internal"
+        assert "secret" not in body["error"]["message"]
+
+    def test_error_round_trips_to_the_same_exception_class(self):
+        for exc in (
+            DeadlineExceededError("too late"),
+            OverloadedError("busy"),
+            UnknownModelError("nope"),
+            RequestValidationError("bad body"),
+        ):
+            status = status_for_exception(exc)
+            rebuilt = error_from_wire(error_to_wire(exc), status)
+            assert type(rebuilt) is type(exc)
+            assert "too late" in str(rebuilt) or type(exc) is not DeadlineExceededError
+
+    def test_foreign_error_shapes_degrade_gracefully(self):
+        rebuilt = error_from_wire({"weird": "shape"}, 502)
+        assert isinstance(rebuilt, ServingError)
+        assert "502" in str(rebuilt)
+        rebuilt = error_from_wire(None, 500)
+        assert isinstance(rebuilt, ServingError)

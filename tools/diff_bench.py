@@ -18,6 +18,12 @@ Exit codes: 0 = within bounds, 1 = regression, 2 = usage/file errors.
 Only the two gating metrics fail the run; every other shared numeric field
 is printed with its delta for context.  Gates are one-sided: a *better*
 p95 or throughput never fails.
+
+Reports may carry *nested sections* (JSON-object values, e.g. the
+``gateway`` leg ``learnedwmp loadtest --url --section gateway`` merges into
+``BENCH_serving.json``).  Sections are informational: their numeric fields
+are printed with deltas when the baseline has the same section, but they
+never gate the run.
 """
 
 from __future__ import annotations
@@ -94,6 +100,44 @@ def diff_reports(
     return lines, failures
 
 
+def section_lines(current: dict, baseline: dict) -> list[str]:
+    """Info-only rows for nested report sections (never gated).
+
+    A section present only in the current report (a new benchmark leg with
+    no committed baseline yet) is printed with ``n/a`` baselines instead of
+    failing, so adding a leg does not require touching the baseline first.
+    """
+    lines: list[str] = []
+    for name in sorted(key for key in current if isinstance(current[key], dict)):
+        section = current[name]
+        base_section = baseline.get(name)
+        base_section = base_section if isinstance(base_section, dict) else {}
+        numeric = sorted(
+            key
+            for key, value in section.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        )
+        if not numeric:
+            continue
+        lines.append(f"[section {name}] (informational, not gated)")
+        width = max(len(key) for key in numeric)
+        for key in numeric:
+            cur = float(section[key])
+            base = base_section.get(key)
+            if isinstance(base, (int, float)) and not isinstance(base, bool):
+                base_text = f"{float(base):>12.3f}"
+                if float(base) != 0.0:
+                    change = (cur - float(base)) / abs(float(base))
+                    change_text = f"{100.0 * change:+8.1f} %"
+                else:
+                    change_text = "      n/a"
+            else:
+                base_text = f"{'n/a':>12}"
+                change_text = "      n/a"
+            lines.append(f"  {key:<{width}}  {base_text}  {cur:>12.3f}  {change_text}")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when a serving benchmark regressed vs the committed baseline"
@@ -134,6 +178,11 @@ def main(argv: list[str] | None = None) -> int:
     print("-" * len(header))
     for line in lines:
         print(line)
+    extra = section_lines(current, baseline)
+    if extra:
+        print()
+        for line in extra:
+            print(line)
     if failures:
         print(
             f"\nREGRESSION: {len(failures)} gated metric(s) beyond "

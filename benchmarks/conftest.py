@@ -15,7 +15,16 @@ Environment knobs:
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# The serving benchmarks compare against the naive-loop oracle shared with
+# the test suite (tests/oracle.py); make it importable from here.
+_TESTS_DIR = str(Path(__file__).resolve().parent.parent / "tests")
+if _TESTS_DIR not in sys.path:
+    sys.path.append(_TESTS_DIR)
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -20,6 +20,7 @@ import time
 
 import numpy as np
 from conftest import run_once
+from oracle import naive_loop_qps, naive_loop_values
 
 from repro.api import PredictionRequest
 from repro.core.model import LearnedWMP
@@ -64,13 +65,6 @@ def _setup():
     return model, requests
 
 
-def _naive_qps(model, requests) -> float:
-    start = time.perf_counter()
-    for workload in requests:
-        model.predict_workload(workload)
-    return len(requests) / (time.perf_counter() - start)
-
-
 def _served_qps(model, requests) -> tuple[float, PredictionServer]:
     config = ServerConfig(max_batch_size=64, max_wait_s=0.002)
     with PredictionServer(model, config=config) as server:
@@ -88,7 +82,7 @@ def test_serving_throughput_beats_naive_loop(benchmark):
     # Warm both paths once (JIT-free Python, but touches lazy caches fairly).
     model.predict_workload(requests[0])
 
-    naive = _naive_qps(model, requests)
+    naive = naive_loop_qps(model, requests)
     served, server = run_once(benchmark, _served_qps, model, requests)
 
     cache = server.cache_stats()
@@ -132,7 +126,7 @@ def test_backend_comparison_thread_vs_asyncio_vs_sharded(benchmark):
     """All three serving fronts beat the naive loop and answer identically."""
     model, requests = _setup()
     model.predict_workload(requests[0])  # warm lazy caches fairly
-    naive = _naive_qps(model, requests)
+    naive = naive_loop_qps(model, requests)
 
     config = ServerConfig(max_batch_size=64, max_wait_s=0.002)
     throughput: dict[str, float] = {}
@@ -192,7 +186,7 @@ def test_deadline_traffic_sheds_expired_and_preserves_answers(benchmark):
     from repro.serving.cache import workload_signature
 
     model, requests, pool = _setup_full()
-    expected = np.array([model.predict_workload(w) for w in requests], dtype=np.float64)
+    expected = naive_loop_values(model, requests)
     # Doomed workloads are made distinct from every replayed workload (one
     # query dropped changes the signature), so "never executed" is checkable
     # from the model's own log.

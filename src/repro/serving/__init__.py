@@ -14,8 +14,12 @@ production request rates:
   batched model calls;
 * :mod:`~repro.serving.telemetry` — latency percentiles, throughput, cache
   hit rate and queue depth;
+* :mod:`~repro.serving.kernel` — the sans-I/O :class:`PipelineKernel`: the
+  whole request lifecycle (cache, singleflight, batching, deadlines,
+  hot-swap invalidation) as one pure events-in/actions-out state machine
+  that every front below drives;
 * :mod:`~repro.serving.server` — the thread-backed :class:`PredictionServer`
-  tying the layers together;
+  driving the kernel from a condition-variable worker;
 * :mod:`~repro.serving.aio` — the :class:`AsyncPredictionServer` backend:
   the same pipeline on an asyncio event loop, with a coroutine-native
   surface plus the synchronous protocol facade;
@@ -46,6 +50,7 @@ from repro.serving.aio import AsyncPredictionServer
 from repro.serving.batcher import BatcherStats, MicroBatcher
 from repro.serving.cache import CacheStats, LRUTTLCache, workload_signature
 from repro.serving.http import GatewayClient, GatewayConfig, HttpGateway
+from repro.serving.kernel import PipelineKernel
 from repro.serving.loadgen import LoadGenerator, LoadTestReport
 from repro.serving.server import PredictionServer, ServerConfig
 from repro.serving.sharded import BACKENDS, ShardedPredictionServer
@@ -66,6 +71,7 @@ __all__ = [
     "MicroBatcher",
     "ModelRegistry",
     "ModelVersion",
+    "PipelineKernel",
     "PredictionServer",
     "ServerConfig",
     "ServingTelemetry",

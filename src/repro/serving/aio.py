@@ -1,23 +1,23 @@
-"""Asyncio serving backend: the event-loop twin of :class:`PredictionServer`.
+"""Asyncio serving backend: the event-loop driver of the pipeline kernel.
 
 The thread-backed :class:`~repro.serving.server.PredictionServer` parks one
-worker thread in a condition-variable wait to form micro-batches — fine for
-in-process callers, but an awkward substrate for network transports, where
-the natural concurrency primitive is an event loop with thousands of cheap
-awaiting tasks.  :class:`AsyncPredictionServer` is the same four-layer
-request pipeline (prediction cache → in-flight coalescing → micro-batcher →
-registry-resolved model) rebuilt on asyncio:
+worker thread in a condition-variable wait to drive the
+:class:`~repro.serving.kernel.PipelineKernel` — fine for in-process callers,
+but an awkward substrate for network transports, where the natural
+concurrency primitive is an event loop with thousands of cheap awaiting
+tasks.  :class:`AsyncPredictionServer` drives the *same* kernel from an
+asyncio loop instead:
 
-* every request is a coroutine on one private event loop, so cache hits and
-  coalesced attachments resolve without any thread handoff;
-* the micro-batcher is a pending list plus one ``call_later`` timer instead
-  of a worker thread — flush-on-size, flush-on-deadline and per-request
-  deadline semantics (shed-before-execution, EDF ordering, wait clamping)
-  are identical to :class:`~repro.serving.batcher.MicroBatcher`'s, including
-  the counters reported by :meth:`AsyncPredictionServer.batcher_stats`;
-* model calls (CPU-bound numpy work) run on a single-worker executor, so the
-  loop keeps admitting and coalescing requests while a batch executes —
-  exactly the overlap the thread backend gets from its worker.
+* every request is a coroutine on one private event loop; the kernel is
+  loop-confined, so cache hits and coalesced attachments resolve without
+  any thread handoff or lock;
+* the kernel's requested wake-up becomes one ``call_later`` timer; its
+  ``FlushBatch`` actions become tasks that run the batched model call
+  (CPU-bound numpy work) on a single-worker executor, so the loop keeps
+  admitting and coalescing requests while a batch executes;
+* expiry is re-checked on the executor thread at actual execution start
+  (:func:`~repro.serving.kernel.split_expired`) — batches queue behind the
+  model worker, and expired work must never reach the model.
 
 The event loop lives on a private daemon thread, which buys both call
 conventions at once: coroutine-native callers use :meth:`predict_async` /
@@ -35,30 +35,30 @@ side and for tuning guidance.
 from __future__ import annotations
 
 import asyncio
-import dataclasses
+import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Sequence
 
-import numpy as np
-
-from repro.api import CachePolicy, PredictionRequest, PredictionResult, predict_values
-from repro.core.features import FeatureCacheStats
-from repro.core.features import feature_cache_stats as _model_feature_cache_stats
+from repro.api import CachePolicy, PredictionRequest, PredictionResult
 from repro.core.workload import Workload
 from repro.dbms.query_log import QueryRecord
 from repro.exceptions import DeadlineExceededError, ServingError
-from repro.registry import ModelRegistry
-from repro.serving.batcher import BatcherStats
-from repro.serving.cache import LRUTTLCache, workload_signature
-from repro.serving.server import (
+from repro.serving.front import (
     DEFAULT_MODEL_NAME,
-    ServerConfig,
+    KernelDriverBase,
     await_within_budget,
     submission_deadline,
 )
-from repro.serving.telemetry import ServingTelemetry, TelemetryReport
+from repro.serving.kernel import (
+    Action,
+    Complete,
+    FlushBatch,
+    ServerConfig,
+    apply_actions,
+    split_expired,
+)
 
 __all__ = ["AsyncPredictionServer"]
 
@@ -66,36 +66,12 @@ __all__ = ["AsyncPredictionServer"]
 _CLOSE_TIMEOUT_S = 10.0
 
 
-class _Pending:
-    """One queued request on the loop: workload, asyncio future, deadlines."""
-
-    __slots__ = ("workload", "future", "enqueued_at", "deadline_at")
-
-    def __init__(
-        self,
-        workload: Workload,
-        future: "asyncio.Future[float]",
-        enqueued_at: float,
-        deadline_at: float | None = None,
-    ):
-        self.workload = workload
-        self.future = future
-        self.enqueued_at = enqueued_at
-        self.deadline_at = deadline_at
-
-
-def _edf_key(item: _Pending) -> tuple[float, float]:
-    """EDF sort key: tightest deadline first, deadline-free items FIFO last."""
-    deadline = item.deadline_at if item.deadline_at is not None else float("inf")
-    return (deadline, item.enqueued_at)
-
-
-class AsyncPredictionServer:
+class AsyncPredictionServer(KernelDriverBase):
     """Asyncio-backed online prediction service over a model registry.
 
     Accepts the same constructor arguments as
     :class:`~repro.serving.server.PredictionServer` (a registry or a bare
-    predictor, a model name, a :class:`~repro.serving.server.ServerConfig`)
+    predictor, a model name, a :class:`~repro.serving.kernel.ServerConfig`)
     plus an optional shared ``telemetry`` accumulator, which is how a
     :class:`~repro.serving.sharded.ShardedPredictionServer` folds several
     backends into one exact latency distribution.
@@ -112,44 +88,20 @@ class AsyncPredictionServer:
 
     def __init__(
         self,
-        source: ModelRegistry | Any,
+        source: Any,
         *,
         model_name: str = DEFAULT_MODEL_NAME,
         config: ServerConfig | None = None,
-        telemetry: ServingTelemetry | None = None,
+        telemetry: Any = None,
     ) -> None:
-        self.config = config or ServerConfig()
-        if isinstance(source, ModelRegistry):
-            self.registry = source
-        else:
-            self.registry = ModelRegistry()
-            self.registry.register(model_name, source)
-        self.model_name = model_name
-        self.registry.get(model_name)  # fail fast on unknown names
-        self.telemetry = telemetry if telemetry is not None else ServingTelemetry()
-        self._cache: LRUTTLCache | None = (
-            LRUTTLCache(self.config.cache_entries, ttl_s=self.config.cache_ttl_s)
-            if self.config.enable_cache
-            else None
-        )
-        self._served_version: int | None = None
-        self._feature_cache_active = False
-        self._generation = 0
-        self._coalesced = 0
-        self._closed = False
-
-        # Loop-confined state (touched only from the loop thread).
-        self._pending: list[_Pending] = []
-        self._inflight: dict[Any, "asyncio.Future[float]"] = {}
-        self._flush_handle: asyncio.TimerHandle | None = None
+        super().__init__(source, model_name=model_name, config=config, telemetry=telemetry)
+        # Loop-confined state (touched only from the loop thread): the
+        # kernel itself, the waiter futures its actions resolve, the batch
+        # tasks its flushes spawn, and the single wake-up timer.
+        self._ids = itertools.count(1)
+        self._waiters: dict[int, "asyncio.Future[tuple[float, bool]]"] = {}
         self._batch_tasks: set["asyncio.Task[None]"] = set()
-        self._requests = 0
-        self._batches = 0
-        self._size_flushes = 0
-        self._deadline_flushes = 0
-        self._close_flushes = 0
-        self._max_batch_seen = 0
-        self._shed = 0
+        self._timer: asyncio.TimerHandle | None = None
 
         # Model calls are CPU-bound numpy work; one executor worker serializes
         # them (like the thread backend's single worker) while the loop keeps
@@ -161,250 +113,129 @@ class AsyncPredictionServer:
         )
         self._thread.start()
 
-    # -- model resolution (mirrors the thread backend) ------------------------------
+    # -- kernel plumbing (loop thread only) -------------------------------------------
 
     def _sync_version(self) -> None:
-        """Detect a promotion/rollback and invalidate the prediction cache.
+        """Poll the registry and feed the kernel a version event on change.
 
-        Runs on the loop thread only, so unlike the thread backend no swap
-        lock is needed; the check-and-clear is naturally serialized.  The
-        in-flight (singleflight) table is cleared with the cache — a
-        post-swap request must not coalesce onto a pre-swap computation —
-        and the generation bump gates cache write-back from batches that
-        were already executing when the swap happened.
+        Runs on the loop thread only, so the check-and-invalidate is
+        naturally serialized; the kernel does the actual cache/singleflight
+        clearing and generation bump.
         """
         version = self.registry.active_version(self.model_name)
         if version != self._served_version:
-            if self._served_version is not None:
-                self._generation += 1
-                if self._cache is not None:
-                    self._cache.clear()
-                self._inflight.clear()
+            self._apply(self._kernel.sync_version(version, time.monotonic()))
             self._served_version = version
-            self._feature_cache_active = (
-                _model_feature_cache_stats(self.registry.active(self.model_name)) is not None
+            self._feature_cache_active = self._feature_cache_flag()
+
+    def _apply(self, actions: list[Action]) -> None:
+        """Perform kernel actions on the loop thread, then refresh the timer."""
+        apply_actions(
+            actions,
+            telemetry=self.telemetry,
+            complete=self._complete,
+            fail=self._fail,
+            flush=self._spawn_batch,
+        )
+        self._reschedule()
+
+    def _complete(self, action: Complete) -> None:
+        future = self._waiters.pop(action.rid, None)
+        if future is not None and not future.done():
+            future.set_result((action.value, action.cache_hit))
+
+    def _fail(self, rid: int, error: BaseException) -> None:
+        future = self._waiters.pop(rid, None)
+        if future is not None and not future.done():
+            future.set_exception(error)
+
+    def _reschedule(self) -> None:
+        """Keep exactly one ``call_later`` timer at the kernel's wake-up."""
+        wake_at = self._kernel.next_wakeup()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if wake_at is not None:
+            self._timer = self._loop.call_later(
+                max(wake_at - time.monotonic(), 0.0), self._on_timer
             )
 
-    def _predict_batch(self, workloads: list[Workload]) -> Sequence[float]:
-        model = self.registry.active(self.model_name)
-        self.telemetry.observe_batch(len(workloads))
-        return predict_values(model, workloads)
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._apply(self._kernel.tick(time.monotonic()))
 
-    # -- the request pipeline (loop thread) -----------------------------------------
+    def _spawn_batch(self, flush: FlushBatch) -> None:
+        task = self._loop.create_task(self._execute(flush))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
 
-    def _record_done(self, arrival: float, deadline_at: float | None, *, cache_hit: bool) -> None:
-        """Record one completed request, counting a late completion as a miss."""
+    def _run_batch(
+        self, flush: FlushBatch
+    ) -> tuple[float, Sequence[float], Exception | None]:
+        """Executor-side batch body: re-check expiry, then call the model.
+
+        Runs on the executor thread at the moment the batch actually starts
+        executing — batches queue behind the single model-call worker, so
+        this is where "expired work never reaches the model" is enforced.
+        The kernel recomputes the identical partition from ``started_at``.
+        Exceptions are returned, not raised, so the loop side still feeds
+        the kernel a proper :meth:`PipelineKernel.batch_failed` event.
+        """
+        started_at = time.monotonic()
+        live, _expired = split_expired(flush.entries, started_at)
+        if not live:
+            return started_at, [], None
+        try:
+            return started_at, self._predict_batch([entry.workload for entry in live]), None
+        except Exception as exc:  # noqa: BLE001 - forwarded to every awaiter
+            return started_at, [], exc
+
+    async def _execute(self, flush: FlushBatch) -> None:
+        started_at, values, error = await self._loop.run_in_executor(
+            self._executor, self._run_batch, flush
+        )
         now = time.monotonic()
-        if deadline_at is not None and now > deadline_at:
-            self.telemetry.record_deadline_miss()
-        self.telemetry.record(now - arrival, cache_hit=cache_hit)
+        if error is None:
+            actions = self._kernel.batch_done(flush.batch_id, started_at, values, now)
+        else:
+            actions = self._kernel.batch_failed(flush.batch_id, started_at, error, now)
+        self._apply(actions)
+
+    # -- request coroutines (loop thread) ---------------------------------------------
 
     async def _handle(
         self,
         workload: Workload,
         *,
-        use_cache: bool,
+        use_cache: bool = True,
         signature: Any = None,
         deadline_at: float | None = None,
     ) -> tuple[float, bool]:
-        """Answer one workload; returns ``(value, cache_hit_provenance)``.
+        """Admit one request and await ``(value, cache_hit_provenance)``.
 
-        The pipeline and provenance semantics match
-        ``PredictionServer._submit``: a prediction-cache hit or an
-        attachment to an identical in-flight request counts as a cache hit;
-        ``use_cache=False`` (the BYPASS policy) skips the read and the
-        attachment but still write-through-populates the cache.
-        ``signature`` is a routing front's precomputed workload signature.
-        ``deadline_at`` is the request's absolute expiry: expired requests
-        are shed at admission or from the pending list before execution, and
-        late completions are counted as deadline misses.  Deadline-carrying
-        requests can attach to in-flight work but never lead it — a leader
-        that could be shed would take its followers down with it.
+        All pipeline semantics are the kernel's; telemetry is fed by
+        :func:`~repro.serving.kernel.apply_actions` when the resolving
+        action is performed, so this coroutine only awaits.  The future is
+        shielded: an abandoning caller must not cancel pipeline-owned work.
         """
         if self._closed:
             raise ServingError("cannot submit to a closed AsyncPredictionServer")
-        arrival = time.monotonic()
         self._sync_version()
-        generation = self._generation
-        if self._cache is None:
-            key = None
-        else:
-            key = signature if signature is not None else workload_signature(workload)
-        if self._cache is not None and use_cache:
-            sentinel = object()
-            cached = self._cache.get(key, sentinel)
-            if cached is not sentinel:
-                self._record_done(arrival, deadline_at, cache_hit=True)
-                return float(cached), True
-            pending = self._inflight.get(key)
-            if pending is not None:
-                # Singleflight: await the identical in-flight computation
-                # instead of enqueueing duplicate model work.
-                self._coalesced += 1
-                try:
-                    value = await asyncio.shield(pending)
-                except Exception:
-                    self.telemetry.record_error()
-                    raise
-                self._record_done(arrival, deadline_at, cache_hit=True)
-                return float(value), True
-
-        if deadline_at is not None and time.monotonic() >= deadline_at:
-            # Expired before any model work was enqueued: shed at admission.
-            self.telemetry.record_deadline_miss(shed=True)
-            raise DeadlineExceededError(
-                "request shed at admission: deadline already expired"
+        rid = next(self._ids)
+        future: "asyncio.Future[tuple[float, bool]]" = self._loop.create_future()
+        self._waiters[rid] = future
+        self._apply(
+            self._kernel.submit(
+                rid,
+                workload,
+                now=time.monotonic(),
+                deadline_at=deadline_at,
+                use_cache=use_cache,
+                signature=signature,
             )
-
-        future: "asyncio.Future[float]" = self._loop.create_future()
-        self._enqueue(workload, future, deadline_at)
-        if self._cache is not None and deadline_at is None:
-            self._inflight.setdefault(key, future)
-        try:
-            value = float(await asyncio.shield(future))
-        except DeadlineExceededError:
-            self.telemetry.record_deadline_miss(shed=True)
-            raise
-        except Exception:
-            self.telemetry.record_error()
-            raise
-        finally:
-            # Must also run on CancelledError (a deadline-missed request):
-            # a leaked entry would keep answering this signature with the
-            # pre-cancellation value forever.
-            self._clear_inflight(key, future)
-        if self._cache is not None and generation == self._generation:
-            self._cache.put(key, value)
-        self._record_done(arrival, deadline_at, cache_hit=False)
-        return value, False
-
-    def _clear_inflight(self, key: Any, future: "asyncio.Future[float]") -> None:
-        if self._cache is not None and self._inflight.get(key) is future:
-            del self._inflight[key]
-
-    # -- asyncio micro-batcher ------------------------------------------------------
-
-    def _enqueue(
-        self,
-        workload: Workload,
-        future: "asyncio.Future[float]",
-        deadline_at: float | None = None,
-    ) -> None:
-        if not self.config.enable_batching:
-            self._requests += 1
-            self._spawn_batch([_Pending(workload, future, time.monotonic(), deadline_at)], "size")
-            return
-        now = time.monotonic()
-        self._pending.append(_Pending(workload, future, now, deadline_at))
-        self._requests += 1
-        self.telemetry.observe_queue_depth(len(self._pending))
-        if len(self._pending) >= self.config.max_batch_size:
-            self._flush("size")
-        elif (
-            deadline_at is not None
-            and deadline_at < self._pending[0].enqueued_at + self.config.max_wait_s
-        ):
-            # Wait clamping: the new item's deadline falls inside the
-            # coalescing window, so waiting any longer would burn its
-            # remaining budget in the queue — flush now.
-            self._flush("deadline")
-        elif self._flush_handle is None:
-            self._flush_handle = self._loop.call_later(
-                self.config.max_wait_s, self._flush, "deadline"
-            )
-
-    def _flush(self, reason: str) -> None:
-        """Cut the pending queue into one batch and execute it as a task.
-
-        ``_enqueue`` flushes the moment the queue reaches ``max_batch_size``
-        and both run on the loop thread, so the queue never exceeds one
-        batch — a flush always drains it completely, in EDF order when any
-        member carries a deadline (expiry itself is re-checked at execution
-        start, after the batch clears the executor queue).
-        """
-        if self._flush_handle is not None:
-            self._flush_handle.cancel()
-            self._flush_handle = None
-        if not self._pending:
-            return
-        batch = self._pending[:]
-        self._pending.clear()
-        if any(item.deadline_at is not None for item in batch):
-            batch.sort(key=_edf_key)
-        self._spawn_batch(batch, reason)
-
-    def _spawn_batch(self, batch: list[_Pending], reason: str) -> None:
-        task = self._loop.create_task(self._execute(batch, reason))
-        self._batch_tasks.add(task)
-        task.add_done_callback(self._batch_tasks.discard)
-
-    def _partition_and_predict(
-        self, batch: list[_Pending]
-    ) -> tuple[list[_Pending], list[_Pending], Sequence[float], Exception | None]:
-        """Executor-side batch body: shed expired items, then call the model.
-
-        Runs on the executor thread at the moment the batch actually starts
-        executing — batches queue behind the single model-call worker, so
-        this is where "expired work never reaches the model" is enforced.
-        Returns ``(live, expired, predictions, error)``; exceptions are
-        returned, not raised, so the loop side still knows the partition.
-        """
-        now = time.monotonic()
-        live: list[_Pending] = []
-        expired: list[_Pending] = []
-        for item in batch:
-            if item.deadline_at is not None and item.deadline_at <= now:
-                expired.append(item)
-            else:
-                live.append(item)
-        if not live:
-            return live, expired, [], None
-        try:
-            return live, expired, self._predict_batch([item.workload for item in live]), None
-        except Exception as exc:  # noqa: BLE001 - forwarded to every awaiter
-            return live, expired, [], exc
-
-    async def _execute(self, batch: list[_Pending], reason: str) -> None:
-        live, expired, predictions, error = await self._loop.run_in_executor(
-            self._executor, self._partition_and_predict, batch
         )
-        if expired:
-            self._shed += len(expired)
-            shed_error = DeadlineExceededError(
-                "request shed before execution: deadline expired while queued"
-            )
-            for item in expired:
-                if not item.future.done():
-                    item.future.set_exception(shed_error)
-        if not live:
-            return
-        self._batches += 1
-        self._max_batch_seen = max(self._max_batch_seen, len(live))
-        if reason == "size":
-            self._size_flushes += 1
-        elif reason == "close":
-            self._close_flushes += 1
-        else:
-            self._deadline_flushes += 1
-        if error is not None:
-            for item in live:
-                if not item.future.done():
-                    item.future.set_exception(error)
-            return
-        if len(predictions) != len(live):
-            mismatch = ServingError(
-                f"predict_batch returned {len(predictions)} predictions "
-                f"for a batch of {len(live)}"
-            )
-            for item in live:
-                if not item.future.done():
-                    item.future.set_exception(mismatch)
-            return
-        for item, value in zip(live, predictions):
-            if not item.future.done():
-                item.future.set_result(float(value))
-
-    # -- request coroutines ---------------------------------------------------------
+        value, cache_hit = await asyncio.shield(future)
+        return value, cache_hit
 
     async def _value(
         self, workload: Workload, *, use_cache: bool = True, signature: Any = None
@@ -437,7 +268,7 @@ class AsyncPredictionServer:
             feature_cache_active=feature_cache_active,
         )
 
-    # -- native asyncio surface -----------------------------------------------------
+    # -- native asyncio surface -------------------------------------------------------
 
     @staticmethod
     def _consume_abandoned(future: "asyncio.Future") -> None:
@@ -463,7 +294,9 @@ class AsyncPredictionServer:
         results = await self.predict_batch_async([request])
         return results[0]
 
-    async def predict_batch_async(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
+    async def predict_batch_async(
+        self, requests: Sequence[PredictionRequest]
+    ) -> list[PredictionResult]:
         """Typed batch form; all requests are submitted before any is awaited.
 
         Each request's deadline clock starts at its submission, not when its
@@ -501,13 +334,7 @@ class AsyncPredictionServer:
                 ) from exc
         return results
 
-    # -- synchronous facade (Predictor protocol + legacy surfaces) ------------------
-
-    @staticmethod
-    def _as_workload(queries: Sequence[QueryRecord] | Workload) -> Workload:
-        if isinstance(queries, Workload):
-            return queries
-        return Workload(queries=list(queries))
+    # -- synchronous facade (Predictor protocol + legacy surfaces) --------------------
 
     def submit(
         self, queries: Sequence[QueryRecord] | Workload, *, signature: Any = None
@@ -529,98 +356,7 @@ class AsyncPredictionServer:
             self._request(request, signature=signature), self._loop
         )
 
-    def _await_result(
-        self,
-        request: PredictionRequest,
-        future: "Future[PredictionResult]",
-        *,
-        deadline_at: float | None = None,
-    ) -> PredictionResult:
-        return await_within_budget(request, future, deadline_at)
-
-    def predict_batch(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
-        """Typed batch prediction (the :class:`repro.api.Predictor` protocol).
-
-        Each request's deadline clock starts at its submission, not when its
-        turn comes in the await loop.
-        """
-        entries = [
-            (request, submission_deadline(request), self.submit_request(request))
-            for request in requests
-        ]
-        return [
-            self._await_result(request, future, deadline_at=deadline_at)
-            for request, deadline_at, future in entries
-        ]
-
-    def predict(
-        self, workloads: Sequence[Workload] | PredictionRequest
-    ) -> np.ndarray | PredictionResult:
-        """Prediction in either convention (typed request, or legacy workload batch)."""
-        if isinstance(workloads, PredictionRequest):
-            request = workloads
-            return self._await_result(request, self.submit_request(request))
-        futures = [self.submit(workload) for workload in workloads]
-        return np.array([future.result() for future in futures], dtype=np.float64)
-
-    def predict_workload(self, queries: Sequence[QueryRecord] | Workload) -> float:
-        """Blocking single prediction (WorkloadMemoryPredictor protocol)."""
-        return self.submit(queries).result()
-
-    def predict_stream(
-        self, workloads: Iterable[Sequence[QueryRecord] | Workload]
-    ) -> Iterator[float]:
-        """Streaming prediction in input order, windowed by ``config.stream_window``."""
-        window: list[Future] = []
-        for item in workloads:
-            window.append(self.submit(item))
-            if len(window) >= self.config.stream_window:
-                yield window.pop(0).result()
-        for future in window:
-            yield future.result()
-
-    # -- lifecycle / introspection --------------------------------------------------
-
-    def snapshot(self) -> TelemetryReport:
-        """Telemetry snapshot, with the model's ``feature_cache_*`` counters folded in."""
-        report = self.telemetry.snapshot()
-        stats = self.feature_cache_stats()
-        if stats is not None:
-            report = dataclasses.replace(
-                report,
-                feature_cache_hits=stats.hits,
-                feature_cache_misses=stats.misses,
-                feature_cache_evictions=stats.evictions,
-                feature_cache_hit_rate=stats.hit_rate,
-            )
-        return report
-
-    def cache_stats(self):
-        """Prediction-cache counters, or ``None`` when caching is disabled."""
-        return self._cache.stats() if self._cache is not None else None
-
-    def feature_cache_stats(self) -> FeatureCacheStats | None:
-        """The active model's plan-feature cache counters, if it has any."""
-        return _model_feature_cache_stats(self.registry.active(self.model_name))
-
-    def batcher_stats(self) -> BatcherStats | None:
-        """Micro-batcher counters, or ``None`` when batching is disabled."""
-        if not self.config.enable_batching:
-            return None
-        return BatcherStats(
-            requests=self._requests,
-            batches=self._batches,
-            size_flushes=self._size_flushes,
-            deadline_flushes=self._deadline_flushes,
-            close_flushes=self._close_flushes,
-            max_batch_size_seen=self._max_batch_seen,
-            shed_requests=self._shed,
-        )
-
-    @property
-    def coalesced_requests(self) -> int:
-        """Requests answered by attaching to an identical in-flight request."""
-        return self._coalesced
+    # -- lifecycle ----------------------------------------------------------------------
 
     def close(self) -> None:
         """Flush pending batches, drain in-flight work, and stop the loop."""
@@ -629,18 +365,15 @@ class AsyncPredictionServer:
         self._closed = True
 
         async def _drain() -> None:
-            self._flush("close")
+            self._apply(self._kernel.close(time.monotonic()))
             while self._batch_tasks:
                 await asyncio.gather(*list(self._batch_tasks), return_exceptions=True)
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
 
         asyncio.run_coroutine_threadsafe(_drain(), self._loop).result(timeout=_CLOSE_TIMEOUT_S)
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=_CLOSE_TIMEOUT_S)
         self._executor.shutdown(wait=True)
         self._loop.close()
-
-    def __enter__(self) -> "AsyncPredictionServer":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()

@@ -1,0 +1,858 @@
+"""The sans-I/O serving pipeline kernel: typed events in, typed actions out.
+
+Three serving fronts (thread, asyncio, sharded) used to re-implement the
+same four-layer request pipeline — prediction cache → in-flight coalescing
+(singleflight) → micro-batcher → registry-resolved model — with parallel
+deadline and telemetry logic, and every pipeline bug had to be patched once
+per front.  :class:`PipelineKernel` extracts that pipeline into one pure
+state machine with **no threads, sockets, timers or clocks inside**: time
+is an input carried on every event, and everything the outside world must
+do comes back as a list of :data:`Action` values.
+
+Events (what the world tells the kernel)
+----------------------------------------
+========================  ======================================================
+:class:`Submit`           One request arrives: workload, deadline, cache policy.
+:class:`Tick`             Time passed (a timer fired / a worker woke up).
+:class:`SyncVersion`      The registry resolved this active model version.
+:class:`BatchDone`        A flushed batch finished; here are its values.
+:class:`BatchFailed`      A flushed batch raised; here is the error.
+:class:`Close`            The server is shutting down; drain everything.
+========================  ======================================================
+
+Actions (what the kernel tells the world to do)
+-----------------------------------------------
+=========================  =====================================================
+:class:`Complete`          Resolve this request with a value (+ provenance).
+:class:`Shed`              Fail this request: deadline expired before the model.
+:class:`Fail`              Fail this request with the given model/batch error.
+:class:`FlushBatch`        Execute these entries as one model batch.
+:class:`CacheWrite`        (informational) the kernel cached ``key -> value``.
+:class:`CacheInvalidate`   (informational) a hot swap cleared cache + inflight.
+:class:`ObserveBatch`      Telemetry: one model batch of this size ran.
+:class:`ObserveQueueDepth` Telemetry: the pending queue reached this depth.
+=========================  =====================================================
+
+The kernel is deterministic: the same event sequence always yields the same
+action sequence, which is what lets ``tests/test_kernel_differential.py``
+drive it against the naive-loop oracle with hypothesis and assert
+bit-identical answers and accounting.  I/O drivers
+(:class:`~repro.serving.server.PredictionServer`,
+:class:`~repro.serving.aio.AsyncPredictionServer`) own the real clocks,
+locks, loops and futures, and stay thin: feed events, perform actions.
+
+Batching discipline
+-------------------
+At most ``max_concurrent_batches`` (default 1, matching both backends'
+single model worker) flushed batches may be outstanding.  A due flush while
+the slot is busy stays pending — which is exactly how the thread backend's
+worker-availability batching forms large batches under load — and is cut
+(EDF order, up to ``max_batch_size``) when :meth:`PipelineKernel.batch_done`
+frees the slot.  Expired pending requests are shed on *every* event before
+anything else, and re-checked against the batch's actual execution start
+(:func:`split_expired`), so expired work never reaches the model.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence, Union
+
+from repro.core.workload import Workload
+from repro.exceptions import DeadlineExceededError, InvalidParameterError, ServingError
+from repro.serving.batcher import BatcherStats
+from repro.serving.cache import CacheStats, LRUTTLCache, workload_signature
+
+__all__ = [
+    "ServerConfig",
+    "PipelineKernel",
+    "Submit",
+    "Tick",
+    "SyncVersion",
+    "BatchDone",
+    "BatchFailed",
+    "Close",
+    "Event",
+    "Complete",
+    "Shed",
+    "Fail",
+    "BatchEntry",
+    "FlushBatch",
+    "CacheWrite",
+    "CacheInvalidate",
+    "ObserveBatch",
+    "ObserveQueueDepth",
+    "Action",
+    "split_expired",
+    "apply_actions",
+    "SHED_MESSAGES",
+]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs of a serving front (and of the kernel beneath it).
+
+    Attributes
+    ----------
+    max_batch_size / max_wait_s:
+        Micro-batching policy (flush on size / on window expiry).
+    cache_entries / cache_ttl_s:
+        Prediction-cache capacity and optional time-to-live.
+    enable_cache / enable_batching:
+        Feature switches; with batching disabled every admitted request is
+        flushed immediately as a singleton batch (the naive baseline).
+    stream_window:
+        Maximum number of in-flight requests ``predict_stream`` keeps
+        outstanding, which is what lets the batcher coalesce a stream.
+    """
+
+    max_batch_size: int = 32
+    max_wait_s: float = 0.002
+    cache_entries: int = 2048
+    cache_ttl_s: float | None = None
+    enable_cache: bool = True
+    enable_batching: bool = True
+    stream_window: int = 64
+
+    def __post_init__(self) -> None:
+        # Every knob is validated here, whether or not the feature it tunes
+        # is enabled: a bad value should fail at construction, not deep in
+        # the kernel once traffic arrives.
+        if self.max_batch_size < 1:
+            raise InvalidParameterError("max_batch_size must be >= 1")
+        if self.max_wait_s < 0.0:
+            raise InvalidParameterError("max_wait_s must be >= 0")
+        if self.cache_entries < 1:
+            raise InvalidParameterError("cache_entries must be >= 1")
+        if self.cache_ttl_s is not None and self.cache_ttl_s <= 0.0:
+            raise InvalidParameterError("cache_ttl_s must be > 0 (or None to disable expiry)")
+        if self.stream_window < 1:
+            raise InvalidParameterError("stream_window must be >= 1")
+
+
+# -- events ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Submit:
+    """One request arrives.
+
+    ``rid`` is a driver-chosen opaque request id (every action about this
+    request echoes it back).  ``deadline_at`` is the absolute expiry in the
+    same time domain as ``now``; ``use_cache=False`` is the BYPASS policy
+    (skip the cache read and the singleflight attach, but still
+    write-through-populate the cache).  ``signature`` is a routing front's
+    precomputed workload signature, if any.
+    """
+
+    rid: int
+    workload: Workload
+    now: float
+    deadline_at: float | None = None
+    use_cache: bool = True
+    signature: Hashable | None = None
+
+
+@dataclass(frozen=True)
+class Tick:
+    """Time passed: shed expired queued work and flush due batches."""
+
+    now: float
+
+
+@dataclass(frozen=True)
+class SyncVersion:
+    """The registry currently resolves the served model to ``version``."""
+
+    version: Any
+    now: float
+
+
+@dataclass(frozen=True)
+class BatchDone:
+    """A flushed batch finished.  ``started_at`` is when execution actually
+    began (batches queue behind the model worker), and ``values`` are the
+    model's answers for the entries still live at that moment, in
+    :func:`split_expired` order."""
+
+    batch_id: int
+    started_at: float
+    values: Sequence[float]
+    now: float
+
+
+@dataclass(frozen=True)
+class BatchFailed:
+    """A flushed batch raised ``error`` instead of producing values."""
+
+    batch_id: int
+    started_at: float
+    error: BaseException
+    now: float
+
+
+@dataclass(frozen=True)
+class Close:
+    """The server is shutting down: flush and drain everything queued."""
+
+    now: float
+
+
+Event = Union[Submit, Tick, SyncVersion, BatchDone, BatchFailed, Close]
+
+
+# -- actions --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Complete:
+    """Resolve request ``rid`` with ``value``.
+
+    ``cache_hit`` is the provenance flag (prediction-cache hit or
+    singleflight attachment); ``late`` marks a request that was answered
+    after its deadline (counted as a deadline miss, *not* a shed).
+    ``arrival`` is the submission time, for latency accounting.
+    """
+
+    rid: int
+    value: float
+    cache_hit: bool
+    arrival: float
+    late: bool
+
+
+@dataclass(frozen=True)
+class Shed:
+    """Fail request ``rid`` fast: its deadline expired before model work.
+
+    ``stage`` is where the pipeline caught it: ``"admission"`` (expired on
+    arrival), ``"queue"`` (expired while pending) or ``"execution"``
+    (expired by the time its batch actually started executing).
+    """
+
+    rid: int
+    stage: str
+
+
+@dataclass(frozen=True)
+class Fail:
+    """Fail request ``rid`` with a model/batch ``error``.
+
+    ``shed=True`` only when the error is itself a deadline expiry raised by
+    the model path — accounted as a shed, not a serving error.
+    """
+
+    rid: int
+    error: BaseException
+    shed: bool = False
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """One member of a flushed batch (the driver needs workload + expiry)."""
+
+    rid: int
+    workload: Workload
+    deadline_at: float | None
+
+
+@dataclass(frozen=True)
+class FlushBatch:
+    """Execute ``entries`` as one model batch, then feed back
+    :class:`BatchDone` / :class:`BatchFailed` with this ``batch_id``.
+
+    The driver must re-check expiry at actual execution start with
+    :func:`split_expired` and call the model only on the live entries —
+    the kernel recomputes the identical partition from ``started_at``.
+    """
+
+    batch_id: int
+    entries: tuple[BatchEntry, ...]
+    reason: str  # "size" | "deadline" | "close"
+
+
+@dataclass(frozen=True)
+class CacheWrite:
+    """Informational: the kernel write-through-populated ``key -> value``."""
+
+    key: Hashable
+    value: float
+
+
+@dataclass(frozen=True)
+class CacheInvalidate:
+    """Informational: a hot swap cleared the cache and the inflight table."""
+
+    generation: int
+
+
+@dataclass(frozen=True)
+class ObserveBatch:
+    """Telemetry delta: one model batch of ``size`` live entries ran."""
+
+    size: int
+
+
+@dataclass(frozen=True)
+class ObserveQueueDepth:
+    """Telemetry delta: the pending queue reached ``depth`` after an admit."""
+
+    depth: int
+
+
+Action = Union[
+    Complete,
+    Shed,
+    Fail,
+    FlushBatch,
+    CacheWrite,
+    CacheInvalidate,
+    ObserveBatch,
+    ObserveQueueDepth,
+]
+
+#: Error message per shed stage (stable strings, pinned by tests).
+SHED_MESSAGES = {
+    "admission": "request shed at admission: deadline already expired",
+    "queue": "request shed before execution: deadline expired while queued",
+    "execution": "request shed before execution: deadline expired while queued",
+}
+
+
+def split_expired(entries: Iterable[Any], now: float) -> tuple[list[Any], list[Any]]:
+    """Partition batch entries into ``(live, expired)`` at time ``now``.
+
+    The single expiry rule shared by the kernel and every driver: an entry
+    whose ``deadline_at`` is not ``None`` and ``<= now`` is expired.  Order
+    is preserved within each part, so the kernel's recomputed partition of
+    a batch always matches the driver's partition at execution start.
+    """
+    live: list[Any] = []
+    expired: list[Any] = []
+    for entry in entries:
+        if entry.deadline_at is not None and entry.deadline_at <= now:
+            expired.append(entry)
+        else:
+            live.append(entry)
+    return live, expired
+
+
+def apply_actions(
+    actions: Iterable[Action],
+    *,
+    telemetry: Any,
+    complete: Callable[[Complete], None],
+    fail: Callable[[int, BaseException], None],
+    flush: Callable[[FlushBatch], None],
+    clock: Callable[[], float] = time.monotonic,
+) -> None:
+    """Perform a kernel action list against real telemetry and futures.
+
+    The one translation every driver shares: ``Complete``/``Shed``/``Fail``
+    feed the :class:`~repro.serving.telemetry.ServingTelemetry` counters
+    exactly as the pre-kernel fronts did, then resolve the caller-facing
+    future via ``complete(action)`` / ``fail(rid, error)``; ``FlushBatch``
+    is handed to ``flush``; the informational cache actions are no-ops.
+    """
+    for action in actions:
+        if isinstance(action, Complete):
+            if action.late:
+                telemetry.record_deadline_miss()
+            telemetry.record(clock() - action.arrival, cache_hit=action.cache_hit)
+            complete(action)
+        elif isinstance(action, Shed):
+            telemetry.record_deadline_miss(shed=True)
+            fail(action.rid, DeadlineExceededError(SHED_MESSAGES[action.stage]))
+        elif isinstance(action, Fail):
+            if action.shed:
+                telemetry.record_deadline_miss(shed=True)
+            else:
+                telemetry.record_error()
+            fail(action.rid, action.error)
+        elif isinstance(action, FlushBatch):
+            flush(action)
+        elif isinstance(action, ObserveBatch):
+            telemetry.observe_batch(action.size)
+        elif isinstance(action, ObserveQueueDepth):
+            telemetry.observe_queue_depth(action.depth)
+        # CacheWrite / CacheInvalidate are informational: the kernel already
+        # mutated its own cache; nothing exists outside it to update.
+
+
+# -- kernel internals -----------------------------------------------------------------
+
+
+@dataclass
+class _Follower:
+    """A request coalesced onto an in-flight leader (singleflight)."""
+
+    rid: int
+    arrival: float
+    deadline_at: float | None
+
+
+@dataclass
+class _Entry:
+    """One admitted request owned by the kernel until it completes."""
+
+    rid: int
+    workload: Workload
+    key: Hashable | None
+    arrival: float
+    enqueued_at: float
+    deadline_at: float | None
+    generation: int
+    leads: bool = False
+    followers: list[_Follower] = field(default_factory=list)
+
+
+def _edf_key(entry: _Entry) -> tuple[float, float]:
+    """EDF sort key: tightest deadline first, deadline-free items FIFO last."""
+    deadline = entry.deadline_at if entry.deadline_at is not None else float("inf")
+    return (deadline, entry.enqueued_at)
+
+
+@dataclass
+class _Batch:
+    """A flushed batch awaiting its BatchDone/BatchFailed event."""
+
+    batch_id: int
+    entries: list[_Entry]
+    reason: str
+
+
+class PipelineKernel:
+    """Pure state machine for the four-layer serving pipeline.
+
+    Feed events (either through the per-event methods or through
+    :meth:`handle`); perform the returned actions.  The kernel's internal
+    clock only moves forward, to the latest ``now`` it has seen — drivers
+    pass real ``time.monotonic()`` readings, tests pass a virtual clock.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        *,
+        max_concurrent_batches: int = 1,
+    ) -> None:
+        if max_concurrent_batches < 1:
+            raise InvalidParameterError("max_concurrent_batches must be >= 1")
+        self.config = config or ServerConfig()
+        self._max_concurrent = max_concurrent_batches
+        self._now = 0.0
+        self._cache: LRUTTLCache | None = (
+            LRUTTLCache(
+                self.config.cache_entries,
+                ttl_s=self.config.cache_ttl_s,
+                clock=lambda: self._now,
+            )
+            if self.config.enable_cache
+            else None
+        )
+        self._inflight: dict[Hashable, _Entry] = {}
+        self._pending: list[_Entry] = []
+        self._executing: dict[int, _Batch] = {}
+        self._batch_ids = itertools.count(1)
+        self._generation = 0
+        self._version: Any = None
+        self._closing = False
+        self._coalesced = 0
+        # BatcherStats-compatible counters.
+        self._requests = 0
+        self._batches = 0
+        self._size_flushes = 0
+        self._deadline_flushes = 0
+        self._close_flushes = 0
+        self._max_batch_seen = 0
+        self._shed = 0
+
+    # -- event dispatch ---------------------------------------------------------------
+
+    def handle(self, event: Event) -> list[Action]:
+        """Process one typed event (the harness/driver-agnostic entrypoint)."""
+        if isinstance(event, Submit):
+            return self.submit(
+                event.rid,
+                event.workload,
+                now=event.now,
+                deadline_at=event.deadline_at,
+                use_cache=event.use_cache,
+                signature=event.signature,
+            )
+        if isinstance(event, Tick):
+            return self.tick(event.now)
+        if isinstance(event, SyncVersion):
+            return self.sync_version(event.version, event.now)
+        if isinstance(event, BatchDone):
+            return self.batch_done(event.batch_id, event.started_at, event.values, event.now)
+        if isinstance(event, BatchFailed):
+            return self.batch_failed(event.batch_id, event.started_at, event.error, event.now)
+        if isinstance(event, Close):
+            return self.close(event.now)
+        raise InvalidParameterError(f"unknown kernel event: {event!r}")
+
+    # -- events -----------------------------------------------------------------------
+
+    def submit(
+        self,
+        rid: int,
+        workload: Workload,
+        *,
+        now: float,
+        deadline_at: float | None = None,
+        use_cache: bool = True,
+        signature: Hashable | None = None,
+    ) -> list[Action]:
+        """Admit one request through cache → singleflight → batcher.
+
+        Provenance and deadline semantics match the pre-kernel fronts: a
+        cache hit or a singleflight attachment completes with
+        ``cache_hit=True`` (an expired request that still hits the cache is
+        answered *late*, not shed); BYPASS (``use_cache=False``) skips the
+        read and the attach but still write-through-populates on
+        completion; an already-expired miss is shed at admission.
+        Deadline-carrying requests may attach to in-flight work but never
+        lead it — a leader that could be shed would take its followers down
+        with it.
+        """
+        if self._closing:
+            raise ServingError("cannot submit to a closed serving kernel")
+        actions = self._advance(now)
+        key: Hashable | None = None
+        if self._cache is not None:
+            key = signature if signature is not None else workload_signature(workload)
+        if self._cache is not None and use_cache:
+            sentinel = object()
+            cached = self._cache.get(key, sentinel)
+            if cached is not sentinel:
+                actions.append(
+                    Complete(
+                        rid,
+                        float(cached),
+                        cache_hit=True,
+                        arrival=now,
+                        late=self._late(deadline_at),
+                    )
+                )
+                return actions
+            leader = self._inflight.get(key)
+            if leader is not None:
+                # Singleflight: attach to the identical in-flight request
+                # instead of enqueueing duplicate model work.
+                self._coalesced += 1
+                leader.followers.append(_Follower(rid, now, deadline_at))
+                return actions
+        if deadline_at is not None and self._now >= deadline_at:
+            # Expired before any model work was enqueued: shed at admission
+            # (not a batcher shed — the batcher never saw it).
+            actions.append(Shed(rid, "admission"))
+            return actions
+        entry = _Entry(
+            rid=rid,
+            workload=workload,
+            key=key,
+            arrival=now,
+            enqueued_at=self._now,
+            deadline_at=deadline_at,
+            generation=self._generation,
+        )
+        self._requests += 1
+        if self._cache is not None and deadline_at is None and key not in self._inflight:
+            self._inflight[key] = entry
+            entry.leads = True
+        if not self.config.enable_batching:
+            actions.extend(self._flush_now([entry], "size"))
+            return actions
+        self._pending.append(entry)
+        actions.append(ObserveQueueDepth(len(self._pending)))
+        actions.extend(self._maybe_flush())
+        return actions
+
+    def tick(self, now: float) -> list[Action]:
+        """Advance time: shed expired queued work, flush due batches."""
+        actions = self._advance(now)
+        actions.extend(self._maybe_flush())
+        return actions
+
+    def sync_version(self, version: Any, now: float) -> list[Action]:
+        """Record the registry's active version; invalidate on a hot swap.
+
+        The first resolution is not a swap.  A swap clears the cache *and*
+        the singleflight table (a post-swap request must not coalesce onto
+        a pre-swap computation) and bumps the generation that gates cache
+        write-back, so a batch already executing during the swap cannot
+        repopulate the fresh cache with the old model's values.  Followers
+        already attached to an in-flight leader stay attached: their answer
+        was admitted pre-swap.
+        """
+        actions = self._advance(now)
+        if version != self._version:
+            if self._version is not None:
+                self._generation += 1
+                if self._cache is not None:
+                    self._cache.clear()
+                self._inflight.clear()
+                for entry in self._pending:
+                    entry.leads = False
+                for batch in self._executing.values():
+                    for entry in batch.entries:
+                        entry.leads = False
+                actions.append(CacheInvalidate(self._generation))
+            self._version = version
+        actions.extend(self._maybe_flush())
+        return actions
+
+    def batch_done(
+        self, batch_id: int, started_at: float, values: Sequence[float], now: float
+    ) -> list[Action]:
+        """Complete a flushed batch with the model's values.
+
+        Entries expired by ``started_at`` (execution start) are shed — the
+        values cover only the live partition, in :func:`split_expired`
+        order.  Live completions write through to the cache when their
+        admission generation still matches (hot-swap gating), resolve their
+        singleflight followers, and count a late completion as a deadline
+        miss.
+        """
+        actions = self._advance(now)
+        live, expired = self._finish_batch(batch_id, started_at, actions)
+        if live:
+            if len(values) != len(live):
+                mismatch = ServingError(
+                    f"predict_batch returned {len(values)} predictions "
+                    f"for a batch of {len(live)}"
+                )
+                for entry in live:
+                    self._fail_entry(entry, mismatch, actions)
+            else:
+                for entry, value in zip(live, values):
+                    self._complete_entry(entry, float(value), actions)
+        actions.extend(self._maybe_flush())
+        return actions
+
+    def batch_failed(
+        self, batch_id: int, started_at: float, error: BaseException, now: float
+    ) -> list[Action]:
+        """Fail a flushed batch: every live entry (and its followers) errors."""
+        actions = self._advance(now)
+        live, _expired = self._finish_batch(batch_id, started_at, actions)
+        for entry in live:
+            self._fail_entry(entry, error, actions)
+        actions.extend(self._maybe_flush())
+        return actions
+
+    def close(self, now: float) -> list[Action]:
+        """Start draining: every pending request is flushed (reason "close")."""
+        self._closing = True
+        actions = self._advance(now)
+        actions.extend(self._maybe_flush())
+        return actions
+
+    # -- scheduling helpers (for drivers) ---------------------------------------------
+
+    def next_wakeup(self) -> float | None:
+        """When the driver should tick next, or ``None`` for "no timer".
+
+        Only a pending, not-yet-due batch window needs a timer; everything
+        else (size flushes, clamps, sheds of work stuck behind a busy model
+        slot) happens on the events that cause it.
+        """
+        if not self._pending or not self.config.enable_batching:
+            return None
+        if len(self._executing) >= self._max_concurrent:
+            return None
+        if self._flush_due():
+            return self._now
+        return self._pending[0].enqueued_at + self.config.max_wait_s
+
+    def idle(self) -> bool:
+        """True when nothing is queued or executing (drained)."""
+        return not self._pending and not self._executing
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Cache generation; bumped by every hot swap."""
+        return self._generation
+
+    @property
+    def version(self) -> Any:
+        """The served model version last seen via :meth:`sync_version`."""
+        return self._version
+
+    @property
+    def coalesced_requests(self) -> int:
+        """Requests answered by attaching to an identical in-flight request."""
+        return self._coalesced
+
+    def pending_count(self) -> int:
+        """Requests currently queued for batching."""
+        return len(self._pending)
+
+    def executing_count(self) -> int:
+        """Flushed batches whose BatchDone/BatchFailed has not arrived yet."""
+        return len(self._executing)
+
+    def batcher_stats(self) -> BatcherStats:
+        """Micro-batching counters (same shape as the standalone batcher's)."""
+        return BatcherStats(
+            requests=self._requests,
+            batches=self._batches,
+            size_flushes=self._size_flushes,
+            deadline_flushes=self._deadline_flushes,
+            close_flushes=self._close_flushes,
+            max_batch_size_seen=self._max_batch_seen,
+            shed_requests=self._shed,
+        )
+
+    def cache_stats(self) -> CacheStats | None:
+        """Prediction-cache counters, or ``None`` when caching is disabled."""
+        return self._cache.stats() if self._cache is not None else None
+
+    # -- internals --------------------------------------------------------------------
+
+    def _late(self, deadline_at: float | None) -> bool:
+        return deadline_at is not None and self._now > deadline_at
+
+    def _advance(self, now: float) -> list[Action]:
+        """Move the clock forward and shed expired queued requests."""
+        if now > self._now:
+            self._now = now
+        actions: list[Action] = []
+        if self._pending:
+            live, expired = split_expired(self._pending, self._now)
+            if expired:
+                self._pending = live
+                for entry in expired:
+                    self._shed_entry(entry, "queue", actions)
+        return actions
+
+    def _shed_entry(self, entry: _Entry, stage: str, actions: list[Action]) -> None:
+        self._shed += 1
+        self._clear_inflight(entry)
+        actions.append(Shed(entry.rid, stage))
+        # Leaders are deadline-free by construction, so a shed entry never
+        # has followers to take down with it.
+
+    def _clear_inflight(self, entry: _Entry) -> None:
+        if entry.leads and self._inflight.get(entry.key) is entry:
+            del self._inflight[entry.key]
+        entry.leads = False
+
+    def _complete_entry(self, entry: _Entry, value: float, actions: list[Action]) -> None:
+        if self._cache is not None and entry.generation == self._generation:
+            self._cache.put(entry.key, value)
+            actions.append(CacheWrite(entry.key, value))
+        self._clear_inflight(entry)
+        actions.append(
+            Complete(
+                entry.rid,
+                value,
+                cache_hit=False,
+                arrival=entry.arrival,
+                late=self._late(entry.deadline_at),
+            )
+        )
+        for follower in entry.followers:
+            actions.append(
+                Complete(
+                    follower.rid,
+                    value,
+                    cache_hit=True,
+                    arrival=follower.arrival,
+                    late=self._late(follower.deadline_at),
+                )
+            )
+
+    def _fail_entry(self, entry: _Entry, error: BaseException, actions: list[Action]) -> None:
+        self._clear_inflight(entry)
+        # A deadline error raised on the model path counts as a shed; a
+        # follower's failure is always a serving error (it was promised a
+        # value, not a deadline) — both exactly as the pre-kernel fronts
+        # accounted them.
+        actions.append(Fail(entry.rid, error, shed=isinstance(error, DeadlineExceededError)))
+        for follower in entry.followers:
+            actions.append(Fail(follower.rid, error, shed=False))
+
+    def _finish_batch(
+        self, batch_id: int, started_at: float, actions: list[Action]
+    ) -> tuple[list[_Entry], list[_Entry]]:
+        """Retire a flushed batch: recompute the live/expired partition at
+        execution start, shed the expired part, count the batch (live part
+        only — an all-expired flush never reached the model)."""
+        batch = self._executing.pop(batch_id, None)
+        if batch is None:
+            raise ServingError(f"unknown batch id {batch_id}")
+        live, expired = split_expired(batch.entries, started_at)
+        for entry in expired:
+            self._shed_entry(entry, "execution", actions)
+        if live:
+            self._batches += 1
+            self._max_batch_seen = max(self._max_batch_seen, len(live))
+            if batch.reason == "size":
+                self._size_flushes += 1
+            elif batch.reason == "close":
+                self._close_flushes += 1
+            else:
+                self._deadline_flushes += 1
+            actions.append(ObserveBatch(len(live)))
+        return live, expired
+
+    def _flush_due(self) -> bool:
+        """Should the pending queue be cut right now (capacity aside)?"""
+        if not self._pending:
+            return False
+        if self._closing:
+            return True
+        if len(self._pending) >= self.config.max_batch_size:
+            return True
+        window_end = self._pending[0].enqueued_at + self.config.max_wait_s
+        if self._now >= window_end:
+            return True
+        # Wait clamping: a pending deadline falls inside the coalescing
+        # window, so waiting any longer would burn its remaining budget in
+        # the queue — flush now.
+        return any(
+            entry.deadline_at is not None and entry.deadline_at < window_end
+            for entry in self._pending
+        )
+
+    def _maybe_flush(self) -> list[Action]:
+        """Cut due batches while the execution slot(s) are free."""
+        actions: list[Action] = []
+        while (
+            self._pending
+            and len(self._executing) < self._max_concurrent
+            and self._flush_due()
+        ):
+            if any(entry.deadline_at is not None for entry in self._pending):
+                self._pending.sort(key=_edf_key)
+            batch = self._pending[: self.config.max_batch_size]
+            del self._pending[: self.config.max_batch_size]
+            if len(batch) == self.config.max_batch_size:
+                reason = "size"
+            elif self._closing:
+                reason = "close"
+            else:
+                reason = "deadline"
+            actions.extend(self._flush_now(batch, reason))
+        return actions
+
+    def _flush_now(self, entries: list[_Entry], reason: str) -> list[Action]:
+        batch_id = next(self._batch_ids)
+        self._executing[batch_id] = _Batch(batch_id, entries, reason)
+        return [
+            FlushBatch(
+                batch_id,
+                tuple(
+                    BatchEntry(entry.rid, entry.workload, entry.deadline_at)
+                    for entry in entries
+                ),
+                reason,
+            )
+        ]

@@ -1,159 +1,71 @@
-"""The online prediction server: registry + cache + micro-batcher + telemetry.
+"""The thread-backed serving front: a condition-variable driver of the kernel.
 
 :class:`PredictionServer` turns any registered ``WorkloadMemoryPredictor``
-into an online service.  A request travels through four layers:
+into an online service.  The request pipeline itself — prediction cache →
+in-flight coalescing (singleflight) → micro-batcher → registry-resolved
+model, with deadline shedding, EDF batch cuts and hot-swap invalidation —
+lives in the pure :class:`~repro.serving.kernel.PipelineKernel`; this module
+is only the I/O driver that feeds it events and performs its actions with
+real clocks, locks and futures:
 
-1. **cache** — the workload's signature is looked up in an LRU+TTL cache;
-   repeated workload shapes are answered without touching the model at all;
-2. **in-flight coalescing** (singleflight) — a request whose signature is
-   already being computed attaches to the in-flight future instead of
-   queueing duplicate model work, so a burst of identical requests costs
-   one model call even before the cache is populated;
-3. **micro-batcher** — remaining misses are coalesced with concurrently
-   arriving misses into one batched model call (flush on size or deadline);
-4. **model** — resolved from the :class:`~repro.serving.registry.ModelRegistry`
-   *per batch*, so a promotion or rollback takes effect on the next batch
-   without restarting the server (the cache is invalidated on swap).
-
-Below the model sits a fifth, model-owned layer: the plan-feature cache of a
-:class:`~repro.core.features.MemoizedFeaturizer`.  The prediction cache
-(layer 1) only helps on exact workload repeats; the feature cache also
-accelerates *fresh* workloads whose individual plans have been seen before.
-Its counters surface through :meth:`PredictionServer.feature_cache_stats`
-and the ``feature_cache_*`` fields of :meth:`PredictionServer.snapshot`.
+* callers submit under one lock, handing the kernel a ``Submit`` event and
+  parking on a :class:`concurrent.futures.Future` the kernel's ``Complete``
+  / ``Shed`` / ``Fail`` actions resolve;
+* one worker thread waits on a condition variable, ticking the kernel at
+  its requested wake-ups and executing ``FlushBatch`` actions (the batched
+  model call) off-lock;
+* with batching disabled the flush happens inline on the caller thread (the
+  naive baseline) — the kernel still coalesces identical concurrent
+  requests in flight.
 
 The server natively satisfies the unified :class:`repro.api.Predictor`
-protocol: :meth:`PredictionServer.submit_request` /
-:meth:`PredictionServer.predict_batch` answer typed
-:class:`~repro.api.PredictionRequest` objects with
-:class:`~repro.api.PredictionResult` objects carrying the served model's
-name+version and per-request cache provenance.  It also keeps the legacy
-:class:`~repro.integration.predictors.WorkloadMemoryPredictor` surface
-(``predict_workload``) and the batch convention of the core models
-(``predict(workloads)``), so both old and new consumers can be pointed at a
-served model unchanged.
+protocol (``submit_request`` / ``predict_batch`` answer typed
+:class:`~repro.api.PredictionRequest` objects) and keeps the legacy
+``predict_workload`` / ``predict(workloads)`` surfaces via the shared
+:class:`~repro.serving.front.ServingFrontBase` facade, so both old and new
+consumers can be pointed at a served model unchanged.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import itertools
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Sequence
 
-import numpy as np
-
-from repro.api import CachePolicy, PredictionRequest, PredictionResult, predict_values
-from repro.core.features import FeatureCacheStats
-from repro.core.features import feature_cache_stats as _model_feature_cache_stats
+from repro.api import CachePolicy, PredictionRequest, PredictionResult
 from repro.core.workload import Workload
 from repro.dbms.query_log import QueryRecord
-from repro.exceptions import DeadlineExceededError, InvalidParameterError, ServingError
-from repro.registry import ModelRegistry
-from repro.serving.batcher import MicroBatcher
-from repro.serving.cache import LRUTTLCache, workload_signature
-from repro.serving.telemetry import ServingTelemetry, TelemetryReport
+from repro.exceptions import ServingError
+from repro.serving.front import (
+    DEFAULT_MODEL_NAME,
+    KernelDriverBase,
+    await_within_budget,
+    submission_deadline,
+)
+from repro.serving.kernel import (
+    Action,
+    Complete,
+    FlushBatch,
+    ServerConfig,
+    apply_actions,
+    split_expired,
+)
 
 __all__ = ["ServerConfig", "PredictionServer"]
 
-#: Name used when a server is built directly from a predictor object.
-DEFAULT_MODEL_NAME = "default"
 
-
-def submission_deadline(request: PredictionRequest) -> float | None:
-    """The request's absolute expiry if submitted *now* (monotonic domain).
-
-    Captured once per request at submission so batch loops consume the
-    remaining budget from there — request *i* never borrows the time spent
-    waiting on requests before it.  Shared by every serving front (thread,
-    asyncio, sharded).
-    """
-    if request.deadline_s is None:
-        return None
-    return time.monotonic() + request.deadline_s
-
-
-def await_within_budget(
-    request: PredictionRequest,
-    future: "Future[PredictionResult]",
-    deadline_at: float | None,
-) -> PredictionResult:
-    """Wait for ``future``, bounded by the request's remaining budget.
-
-    ``deadline_at`` is the absolute expiry captured at submission
-    (:func:`submission_deadline`); ``None`` falls back to a fresh budget
-    from now (the single-request path, where submission just happened).
-    The future is *not* cancelled on expiry — the serving pipeline finishes
-    (and accounts for) the request on its own; only the wait is abandoned.
-    """
-    if deadline_at is None and request.deadline_s is not None:
-        deadline_at = time.monotonic() + request.deadline_s
-    timeout = None if deadline_at is None else max(deadline_at - time.monotonic(), 0.0)
-    try:
-        return future.result(timeout=timeout)
-    # concurrent.futures.TimeoutError only aliases the builtin from 3.11;
-    # catch both so Python 3.10 deadline misses surface the same way.
-    except (TimeoutError, FutureTimeoutError) as exc:
-        raise DeadlineExceededError(
-            f"request {request.request_id} missed its deadline "
-            f"({request.deadline_s:.3f} s)"
-        ) from exc
-
-
-@dataclass(frozen=True)
-class ServerConfig:
-    """Tuning knobs of a :class:`PredictionServer`.
-
-    Attributes
-    ----------
-    max_batch_size / max_wait_s:
-        Micro-batching policy (flush on size / on deadline).
-    cache_entries / cache_ttl_s:
-        Prediction-cache capacity and optional time-to-live.
-    enable_cache / enable_batching:
-        Feature switches; with batching disabled requests are executed
-        synchronously on the caller thread (the naive baseline).
-    stream_window:
-        Maximum number of in-flight requests :meth:`PredictionServer.predict_stream`
-        keeps outstanding, which is what lets the batcher coalesce a stream.
-    """
-
-    max_batch_size: int = 32
-    max_wait_s: float = 0.002
-    cache_entries: int = 2048
-    cache_ttl_s: float | None = None
-    enable_cache: bool = True
-    enable_batching: bool = True
-    stream_window: int = 64
-
-    def __post_init__(self) -> None:
-        # Every knob is validated here, whether or not the feature it tunes
-        # is enabled: a bad value should fail at construction, not deep in
-        # the batcher or cache once traffic arrives.
-        if self.max_batch_size < 1:
-            raise InvalidParameterError("max_batch_size must be >= 1")
-        if self.max_wait_s < 0.0:
-            raise InvalidParameterError("max_wait_s must be >= 0")
-        if self.cache_entries < 1:
-            raise InvalidParameterError("cache_entries must be >= 1")
-        if self.cache_ttl_s is not None and self.cache_ttl_s <= 0.0:
-            raise InvalidParameterError("cache_ttl_s must be > 0 (or None to disable expiry)")
-        if self.stream_window < 1:
-            raise InvalidParameterError("stream_window must be >= 1")
-
-
-class PredictionServer:
+class PredictionServer(KernelDriverBase):
     """Online workload-memory prediction service over a model registry.
 
     Parameters
     ----------
     source:
-        Either a :class:`ModelRegistry` (the model named ``model_name`` is
-        served, tracking promotions) or a bare predictor object, which is
-        wrapped in a fresh single-entry registry.
+        Either a :class:`~repro.registry.ModelRegistry` (the model named
+        ``model_name`` is served, tracking promotions) or a bare predictor
+        object, which is wrapped in a fresh single-entry registry.
     model_name:
         Registry name to serve.
     config:
@@ -167,111 +79,92 @@ class PredictionServer:
 
     def __init__(
         self,
-        source: ModelRegistry | Any,
+        source: Any,
         *,
         model_name: str = DEFAULT_MODEL_NAME,
         config: ServerConfig | None = None,
-        telemetry: ServingTelemetry | None = None,
+        telemetry: Any = None,
     ) -> None:
-        self.config = config or ServerConfig()
-        if isinstance(source, ModelRegistry):
-            self.registry = source
-        else:
-            self.registry = ModelRegistry()
-            self.registry.register(model_name, source)
-        self.model_name = model_name
-        self.registry.get(model_name)  # fail fast on unknown names
-        self.telemetry = telemetry if telemetry is not None else ServingTelemetry()
-        self._cache: LRUTTLCache | None = (
-            LRUTTLCache(self.config.cache_entries, ttl_s=self.config.cache_ttl_s)
-            if self.config.enable_cache
-            else None
-        )
-        self._served_version: int | None = None
-        self._feature_cache_active = False
-        self._generation = 0
-        self._swap_lock = threading.Lock()
-        self._inflight: dict[Any, Future] = {}
-        self._inflight_lock = threading.Lock()
-        self._coalesced = 0
-        self._batcher: MicroBatcher | None = (
-            MicroBatcher(
-                self._predict_batch,
-                max_batch_size=self.config.max_batch_size,
-                max_wait_s=self.config.max_wait_s,
+        super().__init__(source, model_name=model_name, config=config, telemetry=telemetry)
+        self._work = threading.Condition()
+        self._waiters: dict[int, "Future[tuple[float, bool]]"] = {}
+        self._ids = itertools.count(1)
+        self._ready: deque[FlushBatch] = deque()
+        self._worker: threading.Thread | None = None
+        if self.config.enable_batching:
+            self._worker = threading.Thread(
+                target=self._run, name="serving-kernel-worker", daemon=True
             )
-            if self.config.enable_batching
-            else None
-        )
-        self._closed = False
+            self._worker.start()
 
-    # -- model resolution ---------------------------------------------------------
+    # -- action plumbing ----------------------------------------------------------------
 
-    def _sync_version(self) -> None:
-        """Detect a promotion/rollback and invalidate the cache.
+    def _collect(
+        self, actions: list[Action], inline: "list[FlushBatch] | None" = None
+    ) -> list[Action]:
+        """Route flush actions (under the lock), defer the rest for off-lock.
 
-        Called on the request path *before* the cache lookup, so a promoted
-        model's answers are never shadowed by the previous model's cache
-        entries.  The in-flight (singleflight) table is cleared with the
-        cache — a post-swap request must not coalesce onto a pre-swap
-        computation — and the swap bumps a generation counter that gates
-        cache write-back, so a batch already executing during the swap
-        cannot repopulate the fresh cache with the old model's values.
+        ``FlushBatch`` goes to the worker's ready queue — or, with batching
+        disabled, to ``inline`` for the caller thread to execute — and every
+        other action is returned for :meth:`_dispatch` outside the lock, so
+        future callbacks never run while the kernel lock is held.
         """
-        version = self.registry.active_version(self.model_name)
-        if version != self._served_version:
-            with self._swap_lock:
-                if version != self._served_version:
-                    if self._served_version is not None:
-                        self._generation += 1
-                        if self._cache is not None:
-                            self._cache.clear()
-                        with self._inflight_lock:
-                            self._inflight.clear()
-                    self._served_version = version
-                    # Cached per swap so the typed request path does not pay a
-                    # registry resolution + stats snapshot per request just to
-                    # stamp a boolean on each PredictionResult.
-                    self._feature_cache_active = (
-                        _model_feature_cache_stats(self.registry.active(self.model_name))
-                        is not None
-                    )
+        deferred: list[Action] = []
+        for action in actions:
+            if isinstance(action, FlushBatch):
+                if inline is not None:
+                    inline.append(action)
+                else:
+                    self._ready.append(action)
+            else:
+                deferred.append(action)
+        return deferred
 
-    def _predict_batch(self, workloads: list[Workload]) -> Sequence[float]:
-        # Prefer the vectorized workload-batch convention, fall back to the
-        # predict_workload protocol when the model's predict doesn't follow
-        # it — the shared logic lives in repro.api.predict_values.
-        model = self.registry.active(self.model_name)
-        self.telemetry.observe_batch(len(workloads))
-        return predict_values(model, workloads)
-
-    # -- request paths ------------------------------------------------------------
+    def _dispatch(self, deferred: list[Action]) -> None:
+        if deferred:
+            apply_actions(
+                deferred,
+                telemetry=self.telemetry,
+                complete=self._complete,
+                fail=self._fail,
+                flush=self._unexpected_flush,
+            )
 
     @staticmethod
-    def _as_workload(queries: Sequence[QueryRecord] | Workload) -> Workload:
-        if isinstance(queries, Workload):
-            return queries
-        return Workload(queries=list(queries))
+    def _unexpected_flush(action: FlushBatch) -> None:
+        raise ServingError("FlushBatch leaked past _collect")  # pragma: no cover
 
-    def submit(
-        self, queries: Sequence[QueryRecord] | Workload, *, signature: Any = None
-    ) -> "Future[float]":
-        """Asynchronously predict one workload's memory demand (MB).
+    def _complete(self, action: Complete) -> None:
+        future = self._waiters.pop(action.rid, None)
+        if future is not None:
+            future.set_result((action.value, action.cache_hit))
 
-        Cache hits resolve immediately; misses are handed to the
-        micro-batcher (or executed inline when batching is disabled).  The
-        returned future also feeds telemetry and populates the cache.
-        ``signature`` lets a routing front that already computed the
-        workload's signature pass it down, so the hot path hashes once.
+    def _fail(self, rid: int, error: BaseException) -> None:
+        future = self._waiters.pop(rid, None)
+        if future is not None:
+            future.set_exception(error)
+
+    # -- request path -------------------------------------------------------------------
+
+    def _sync_version(self) -> None:
+        """Poll the registry and feed the kernel a version event on change.
+
+        Runs on the request path *before* admission, so a promoted model's
+        answers are never shadowed by the previous model's cache entries;
+        the kernel does the actual invalidation (cache + singleflight +
+        generation bump).
         """
-        return self._submit(self._as_workload(queries), signature=signature)[0]
-
-    def _record_done(self, arrival: float, deadline_at: float | None, *, cache_hit: bool) -> None:
-        """Record one completed request, counting a late completion as a miss."""
-        now = time.monotonic()
-        if deadline_at is not None and now > deadline_at:
-            self.telemetry.record_deadline_miss()
-        self.telemetry.record(now - arrival, cache_hit=cache_hit)
+        version = self.registry.active_version(self.model_name)
+        if version == self._served_version:
+            return
+        deferred: list[Action] = []
+        with self._work:
+            if version != self._served_version:
+                deferred = self._collect(self._kernel.sync_version(version, time.monotonic()))
+                self._served_version = version
+                self._feature_cache_active = self._feature_cache_flag()
+                self._work.notify_all()
+        self._dispatch(deferred)
 
     def _submit(
         self,
@@ -280,120 +173,65 @@ class PredictionServer:
         use_cache: bool = True,
         signature: Any = None,
         deadline_at: float | None = None,
-    ) -> "tuple[Future[float], bool]":
-        """Request path shared by :meth:`submit` and :meth:`submit_request`.
+    ) -> "Future[tuple[float, bool]]":
+        """Admit one request; the future resolves to ``(value, cache_hit)``.
 
-        Returns the future plus a provenance flag: ``True`` when the answer
-        came from the prediction-cache tier (an immediate cache hit or
-        attachment to an identical in-flight request) rather than from model
-        work enqueued for this call.  ``use_cache=False`` (the
-        :attr:`~repro.api.CachePolicy.BYPASS` policy) skips the cache read
-        and the singleflight attachment but still write-through-populates
-        the cache, refreshing the stored answer.
-
-        ``deadline_at`` (absolute, ``time.monotonic`` domain) is the
-        request's expiry: an already-expired request is shed at admission,
-        a queued one is shed by the micro-batcher before execution, and one
-        that executes but completes late is counted as a deadline miss.
-        Deadline-carrying requests can *attach* to in-flight work but never
-        lead it — a leader that could be shed would take its followers down
-        with it.
+        All pipeline semantics (cache provenance, BYPASS write-through,
+        admission/queue/execution shedding, singleflight leadership rules)
+        are the kernel's; see :meth:`PipelineKernel.submit`.
         """
         if self._closed:
             raise ServingError("cannot submit to a closed PredictionServer")
-        arrival = time.monotonic()
         self._sync_version()
-        generation = self._generation
-        if self._cache is None:
-            key = None
-        else:
-            key = signature if signature is not None else workload_signature(workload)
-        if self._cache is not None and use_cache:
-            sentinel = object()
-            cached = self._cache.get(key, sentinel)
-            if cached is not sentinel:
-                future: Future = Future()
-                future.set_result(float(cached))
-                self._record_done(arrival, deadline_at, cache_hit=True)
-                return future, True
-            # Singleflight: attach to an identical request already being
-            # computed instead of enqueueing duplicate model work.  This is
-            # what deduplicates a burst of identical workloads arriving
-            # faster than one prediction completes.
-            with self._inflight_lock:
-                pending = self._inflight.get(key)
-                if pending is not None:
-                    self._coalesced += 1
-                    shared: Future = Future()
-
-                    def _share(done: "Future[float]") -> None:
-                        error = done.exception()
-                        if error is not None:
-                            self.telemetry.record_error()
-                            shared.set_exception(error)
-                            return
-                        self._record_done(arrival, deadline_at, cache_hit=True)
-                        shared.set_result(float(done.result()))
-
-                    pending.add_done_callback(_share)
-                    return shared, True
-
-        if deadline_at is not None and time.monotonic() >= deadline_at:
-            # Expired before any model work was enqueued: shed at admission.
-            self.telemetry.record_deadline_miss(shed=True)
-            doomed: Future = Future()
-            doomed.set_exception(
-                DeadlineExceededError("request shed at admission: deadline already expired")
+        inline: list[FlushBatch] = []
+        with self._work:
+            rid = next(self._ids)
+            future: "Future[tuple[float, bool]]" = Future()
+            self._waiters[rid] = future
+            actions = self._kernel.submit(
+                rid,
+                workload,
+                now=time.monotonic(),
+                deadline_at=deadline_at,
+                use_cache=use_cache,
+                signature=signature,
             )
-            return doomed, False
+            deferred = self._collect(
+                actions, inline=inline if not self.config.enable_batching else None
+            )
+            self._work.notify_all()
+        self._dispatch(deferred)
+        for flush in inline:
+            # Batching disabled: the caller thread is the model worker.  The
+            # kernel has already registered any singleflight leadership, so
+            # identical concurrent submits from other threads coalesce onto
+            # this execution.
+            self._execute(flush)
+        return future
 
-        if self._batcher is not None:
-            inner = self._batcher.submit(workload, deadline_at=deadline_at)
-            self.telemetry.observe_queue_depth(self._batcher.pending())
-            if self._cache is not None and deadline_at is None:
-                with self._inflight_lock:
-                    self._inflight.setdefault(key, inner)
-        else:
-            inner = Future()
-            try:
-                inner.set_result(self._predict_batch([workload])[0])
-            except Exception as exc:  # noqa: BLE001 - forwarded to the caller
-                inner.set_exception(exc)
+    def submit(
+        self, queries: Sequence[QueryRecord] | Workload, *, signature: Any = None
+    ) -> "Future[float]":
+        """Asynchronously predict one workload's memory demand (MB).
 
-        outer: Future = Future()
+        Cache hits resolve immediately; misses are handed to the kernel's
+        micro-batcher (or executed inline when batching is disabled).  The
+        returned future also feeds telemetry and populates the cache.
+        ``signature`` lets a routing front that already computed the
+        workload's signature pass it down, so the hot path hashes once.
+        """
+        inner = self._submit(self._as_workload(queries), signature=signature)
+        outer: "Future[float]" = Future()
 
-        def _finish(done: "Future[float]") -> None:
+        def _unwrap(done: "Future[tuple[float, bool]]") -> None:
             error = done.exception()
             if error is not None:
-                self._clear_inflight(key, done)
-                if isinstance(error, DeadlineExceededError):
-                    self.telemetry.record_deadline_miss(shed=True)
-                else:
-                    self.telemetry.record_error()
                 outer.set_exception(error)
                 return
-            value = float(done.result())
-            if self._cache is not None and generation == self._generation:
-                self._cache.put(key, value)
-            self._clear_inflight(key, done)
-            self._record_done(arrival, deadline_at, cache_hit=False)
-            outer.set_result(value)
+            outer.set_result(done.result()[0])
 
-        inner.add_done_callback(_finish)
-        return outer, False
-
-    def _clear_inflight(self, key: Any, inner: "Future[float]") -> None:
-        if self._cache is None:
-            return
-        with self._inflight_lock:
-            if self._inflight.get(key) is inner:
-                del self._inflight[key]
-
-    def predict_workload(self, queries: Sequence[QueryRecord] | Workload) -> float:
-        """Blocking single prediction (WorkloadMemoryPredictor protocol)."""
-        return self.submit(queries).result()
-
-    # -- typed request path (repro.api.Predictor protocol) --------------------------
+        inner.add_done_callback(_unwrap)
+        return outer
 
     def submit_request(
         self, request: PredictionRequest, *, signature: Any = None
@@ -416,7 +254,7 @@ class PredictionServer:
         arrival = time.monotonic()
         use_cache = request.cache_policy is not CachePolicy.BYPASS
         deadline_at = arrival + request.deadline_s if request.deadline_s is not None else None
-        inner, cache_hit = self._submit(
+        inner = self._submit(
             request.workload,
             use_cache=use_cache,
             signature=signature,
@@ -426,14 +264,15 @@ class PredictionServer:
         feature_cache_active = self._feature_cache_active
         outer: "Future[PredictionResult]" = Future()
 
-        def _wrap(done: "Future[float]") -> None:
+        def _wrap(done: "Future[tuple[float, bool]]") -> None:
             error = done.exception()
             if error is not None:
                 outer.set_exception(error)
                 return
+            value, cache_hit = done.result()
             outer.set_result(
                 PredictionResult(
-                    memory_mb=float(done.result()),
+                    memory_mb=value,
                     request_id=request.request_id,
                     model_name=self.model_name,
                     model_version=version,
@@ -446,122 +285,67 @@ class PredictionServer:
         inner.add_done_callback(_wrap)
         return outer
 
-    def _await_result(
-        self,
-        request: PredictionRequest,
-        future: "Future[PredictionResult]",
-        *,
-        deadline_at: float | None = None,
-    ) -> PredictionResult:
-        return await_within_budget(request, future, deadline_at)
+    # -- worker -------------------------------------------------------------------------
 
-    def predict_batch(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
-        """Typed batch prediction (the :class:`~repro.api.Predictor` protocol).
+    def _run(self) -> None:
+        """Worker loop: tick the kernel at its wake-ups, execute its flushes."""
+        while True:
+            deferred: list[Action] = []
+            batch: FlushBatch | None = None
+            with self._work:
+                while True:
+                    deferred = self._collect(self._kernel.tick(time.monotonic()))
+                    if self._ready:
+                        batch = self._ready.popleft()
+                        break
+                    if deferred:
+                        break
+                    if self._closed and self._kernel.idle():
+                        return
+                    wake_at = self._kernel.next_wakeup()
+                    timeout = (
+                        None if wake_at is None else max(wake_at - time.monotonic(), 0.0)
+                    )
+                    self._work.wait(timeout)
+            self._dispatch(deferred)
+            if batch is not None:
+                self._execute(batch)
 
-        All requests are submitted up front, so the micro-batcher can form
-        full batches even though the caller is a single thread.  Each
-        request's deadline clock starts at its submission, not when its turn
-        comes in the await loop.
-        """
-        entries = [
-            (request, submission_deadline(request), self.submit_request(request))
-            for request in requests
-        ]
-        return [
-            self._await_result(request, future, deadline_at=deadline_at)
-            for request, deadline_at, future in entries
-        ]
+    def _execute(self, flush: FlushBatch) -> None:
+        """Run one flushed batch on the model, off-lock, and feed back the result."""
+        started_at = time.monotonic()
+        live, _expired = split_expired(flush.entries, started_at)
+        values: Sequence[float] = []
+        error: Exception | None = None
+        if live:
+            try:
+                values = self._predict_batch([entry.workload for entry in live])
+            except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
+                error = exc
+        with self._work:
+            if error is None:
+                actions = self._kernel.batch_done(
+                    flush.batch_id, started_at, values, time.monotonic()
+                )
+            else:
+                actions = self._kernel.batch_failed(
+                    flush.batch_id, started_at, error, time.monotonic()
+                )
+            deferred = self._collect(actions)
+            self._work.notify_all()
+        self._dispatch(deferred)
 
-    def predict(
-        self, workloads: Sequence[Workload] | PredictionRequest
-    ) -> np.ndarray | PredictionResult:
-        """Prediction in either convention.
-
-        Given a typed :class:`~repro.api.PredictionRequest`, answers it with
-        a :class:`~repro.api.PredictionResult` (the
-        :class:`~repro.api.Predictor` protocol).  Given a sequence of
-        workloads, returns the legacy vectorized array of estimates; the
-        workloads are submitted up front, so the micro-batcher can form full
-        batches even though the caller is a single thread.
-        """
-        if isinstance(workloads, PredictionRequest):
-            request = workloads
-            return self._await_result(request, self.submit_request(request))
-        futures = [self.submit(workload) for workload in workloads]
-        return np.array([future.result() for future in futures], dtype=np.float64)
-
-    def predict_stream(
-        self, workloads: Iterable[Sequence[QueryRecord] | Workload]
-    ) -> Iterator[float]:
-        """Streaming prediction: yields results in input order.
-
-        Keeps up to ``config.stream_window`` requests in flight, which gives
-        the micro-batcher enough concurrency to coalesce while bounding
-        memory for unbounded streams.
-        """
-        window: list[Future] = []
-        for item in workloads:
-            window.append(self.submit(item))
-            if len(window) >= self.config.stream_window:
-                yield window.pop(0).result()
-        for future in window:
-            yield future.result()
-
-    # -- lifecycle / introspection -------------------------------------------------
-
-    def snapshot(self) -> TelemetryReport:
-        """Current telemetry snapshot (latency percentiles, throughput, ...).
-
-        When the served model carries a memoized featurizer, its
-        plan-feature cache counters are folded into the report's
-        ``feature_cache_*`` fields, so one snapshot covers both cache tiers:
-        the prediction cache (repeated workloads) and the feature cache
-        (repeated plans inside fresh workloads).
-        """
-        report = self.telemetry.snapshot()
-        stats = self.feature_cache_stats()
-        if stats is not None:
-            report = dataclasses.replace(
-                report,
-                feature_cache_hits=stats.hits,
-                feature_cache_misses=stats.misses,
-                feature_cache_evictions=stats.evictions,
-                feature_cache_hit_rate=stats.hit_rate,
-            )
-        return report
-
-    def cache_stats(self):
-        """Prediction-cache counters, or ``None`` when caching is disabled."""
-        return self._cache.stats() if self._cache is not None else None
-
-    def feature_cache_stats(self) -> FeatureCacheStats | None:
-        """The active model's plan-feature cache counters, if it has any.
-
-        The cache lives on the model (not the server), so the counters are
-        shared with every other consumer of the same model instance —
-        admission control, the scheduler, direct calls.
-        """
-        return _model_feature_cache_stats(self.registry.active(self.model_name))
-
-    @property
-    def coalesced_requests(self) -> int:
-        """Requests answered by attaching to an identical in-flight request."""
-        return self._coalesced
-
-    def batcher_stats(self):
-        """Micro-batcher counters, or ``None`` when batching is disabled."""
-        return self._batcher.stats() if self._batcher is not None else None
+    # -- lifecycle ----------------------------------------------------------------------
 
     def close(self) -> None:
         """Drain in-flight requests and stop the worker thread."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._batcher is not None:
-            self._batcher.close()
-
-    def __enter__(self) -> "PredictionServer":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        with self._work:
+            if self._closed:
+                return
+            self._closed = True
+            deferred = self._collect(self._kernel.close(time.monotonic()))
+            self._work.notify_all()
+        self._dispatch(deferred)
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None

@@ -15,6 +15,11 @@ every request on the registry's consistent-hash discipline:
   micro-batcher owns a stable, disjoint slice of the request space and a
   repeated workload always lands on the shard that already cached it.
 
+The per-shard servers are thin drivers over the shared
+:class:`~repro.serving.kernel.PipelineKernel`, so the pipeline semantics on
+every shard are the kernel's — verified once, against the naive-loop
+oracle, in ``tests/test_kernel_differential.py``.
+
 Telemetry is exact, not approximated: every per-shard server records into
 one shared :class:`~repro.serving.telemetry.ServingTelemetry`, so the
 front's :meth:`~ShardedPredictionServer.snapshot` reports true fleet-wide
@@ -22,18 +27,16 @@ latency percentiles; per-layer counters (prediction cache, micro-batcher,
 coalescing) are summed across shards.
 
 The front satisfies the :class:`repro.api.Predictor` protocol and the
-legacy surfaces, so everything that drives a single server — the CLI, the
+legacy surfaces via the shared :class:`~repro.serving.front.ServingFrontBase`
+facade, so everything that drives a single server — the CLI, the
 :class:`~repro.serving.loadgen.LoadGenerator`, admission control, the
 benchmarks — drives a sharded fleet unchanged.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from concurrent.futures import Future
-from typing import Iterable, Iterator, Sequence
-
-import numpy as np
+from typing import Sequence
 
 from repro.api import PredictionRequest, PredictionResult
 from repro.core.features import FeatureCacheStats
@@ -45,13 +48,9 @@ from repro.registry import ConsistentHashRing, ShardedModelRegistry
 from repro.serving.aio import AsyncPredictionServer
 from repro.serving.batcher import BatcherStats
 from repro.serving.cache import CacheStats, workload_signature
-from repro.serving.server import (
-    PredictionServer,
-    ServerConfig,
-    await_within_budget,
-    submission_deadline,
-)
-from repro.serving.telemetry import ServingTelemetry, TelemetryReport
+from repro.serving.front import ServingFrontBase
+from repro.serving.server import PredictionServer, ServerConfig
+from repro.serving.telemetry import ServingTelemetry
 
 __all__ = ["ShardedPredictionServer", "BACKENDS"]
 
@@ -90,7 +89,7 @@ def _merge_batcher_stats(parts: list[BatcherStats]) -> BatcherStats | None:
     )
 
 
-class ShardedPredictionServer:
+class ShardedPredictionServer(ServingFrontBase):
     """Consistent-hash front over per-shard prediction servers.
 
     Parameters
@@ -106,7 +105,7 @@ class ShardedPredictionServer:
         ``"asyncio"`` (:class:`~repro.serving.aio.AsyncPredictionServer`)
         for the per-shard servers.
     config:
-        Shared :class:`~repro.serving.server.ServerConfig` for every shard
+        Shared :class:`~repro.serving.kernel.ServerConfig` for every shard
         server.
 
     Example::
@@ -166,12 +165,6 @@ class ShardedPredictionServer:
 
     # -- routing --------------------------------------------------------------------
 
-    @staticmethod
-    def _as_workload(queries: Sequence[QueryRecord] | Workload) -> Workload:
-        if isinstance(queries, Workload):
-            return queries
-        return Workload(queries=list(queries))
-
     def route_request(self, queries: Sequence[QueryRecord] | Workload) -> str:
         """The shard id a workload's requests are served by (signature-routed)."""
         signature = workload_signature(self._as_workload(queries))
@@ -194,7 +187,7 @@ class ShardedPredictionServer:
         """The per-shard backend servers, keyed by shard id (introspection)."""
         return dict(self._servers)
 
-    # -- request surfaces (Predictor protocol + legacy) -----------------------------
+    # -- submission primitives (the facade builds everything else on these) ---------
 
     def submit(self, queries: Sequence[QueryRecord] | Workload) -> "Future[float]":
         """Asynchronously predict one workload on its signature-routed shard."""
@@ -207,77 +200,7 @@ class ShardedPredictionServer:
         server, signature = self._dispatch(request.workload)
         return server.submit_request(request, signature=signature)
 
-    def _await_result(
-        self,
-        request: PredictionRequest,
-        future: "Future[PredictionResult]",
-        *,
-        deadline_at: float | None = None,
-    ) -> PredictionResult:
-        return await_within_budget(request, future, deadline_at)
-
-    def predict_batch(self, requests: Sequence[PredictionRequest]) -> list[PredictionResult]:
-        """Typed batch prediction; requests fan out to their shards up front.
-
-        Each request's deadline clock starts at its submission, not when its
-        turn comes in the await loop.
-        """
-        entries = [
-            (request, submission_deadline(request), self.submit_request(request))
-            for request in requests
-        ]
-        return [
-            self._await_result(request, future, deadline_at=deadline_at)
-            for request, deadline_at, future in entries
-        ]
-
-    def predict(
-        self, workloads: Sequence[Workload] | PredictionRequest
-    ) -> np.ndarray | PredictionResult:
-        """Prediction in either convention (typed request, or legacy workload batch)."""
-        if isinstance(workloads, PredictionRequest):
-            request = workloads
-            return self._await_result(request, self.submit_request(request))
-        futures = [self.submit(workload) for workload in workloads]
-        return np.array([future.result() for future in futures], dtype=np.float64)
-
-    def predict_workload(self, queries: Sequence[QueryRecord] | Workload) -> float:
-        """Blocking single prediction (WorkloadMemoryPredictor protocol)."""
-        return self.submit(queries).result()
-
-    def predict_stream(
-        self, workloads: Iterable[Sequence[QueryRecord] | Workload]
-    ) -> Iterator[float]:
-        """Streaming prediction in input order, windowed by ``config.stream_window``."""
-        window: list[Future] = []
-        for item in workloads:
-            window.append(self.submit(item))
-            if len(window) >= self.config.stream_window:
-                yield window.pop(0).result()
-        for future in window:
-            yield future.result()
-
     # -- aggregated introspection ---------------------------------------------------
-
-    def snapshot(self) -> TelemetryReport:
-        """Fleet-wide telemetry: exact latency percentiles over every shard.
-
-        All shard servers record into one shared accumulator, so this is a
-        true distribution, not a merge of per-shard percentiles; the
-        ``feature_cache_*`` fields come from the served model (one shared
-        instance for replicated names).
-        """
-        report = self.telemetry.snapshot()
-        stats = self.feature_cache_stats()
-        if stats is not None:
-            report = dataclasses.replace(
-                report,
-                feature_cache_hits=stats.hits,
-                feature_cache_misses=stats.misses,
-                feature_cache_evictions=stats.evictions,
-                feature_cache_hit_rate=stats.hit_rate,
-            )
-        return report
 
     def cache_stats(self) -> CacheStats | None:
         """Prediction-cache counters summed over shards (``None`` if disabled)."""
@@ -307,9 +230,3 @@ class ShardedPredictionServer:
         self._closed = True
         for server in self._servers.values():
             server.close()
-
-    def __enter__(self) -> "ShardedPredictionServer":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()

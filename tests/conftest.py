@@ -7,12 +7,37 @@ share the result read-only.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.dbms.catalog import Catalog, Column, Index
 from repro.dbms.executor import SimulatedDBMS
 from repro.workloads.generator import generate_dataset
+
+# Hypothesis settings profiles.  Every property test in the suite runs under
+# the loaded profile (a per-test ``@settings(...)`` inherits the unset fields
+# from it): ``dev`` keeps the local tier-1 run fast, ``ci`` runs the full
+# example budget the differential suite is accepted at.  ``print_blob`` makes
+# any failure print the ``@reproduce_failure`` seed blob needed to replay it.
+# Select with ``HYPOTHESIS_PROFILE=ci pytest ...`` (default: ``dev``).
+settings.register_profile(
+    "dev",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile(
+    "ci",
+    max_examples=500,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

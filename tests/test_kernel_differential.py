@@ -1,0 +1,313 @@
+"""Differential testing: PipelineKernel vs the naive-loop oracle, and the
+same random traces replayed through the three real serving fronts.
+
+Two layers of evidence that the serving pipeline does what its spec says:
+
+* :class:`KernelVsOracleMachine` — a hypothesis ``RuleBasedStateMachine``
+  that feeds one random event sequence (interleaved submits across cache
+  policies and deadline mixes, clock advances, batch completions/failures
+  in arbitrary order, hot swaps, value-count mismatches) to both the kernel
+  and :class:`tests.oracle.NaiveServingOracle`, asserting **bit-identical
+  action lists** after every event and identical counters (batcher, cache,
+  queue depths, wake-ups) as a cross-checked invariant.  The two
+  implementations share only the event/action dataclasses.
+* ``test_trace_replay_*`` — random request traces replayed through the
+  thread, asyncio and sharded fronts (real clocks, real locks), asserting
+  every delivered value matches the naive one-call-at-a-time loop and the
+  deadline/telemetry accounting invariants hold.
+
+Example budgets come from the settings profiles in ``conftest.py``
+(``HYPOTHESIS_PROFILE=ci`` runs the acceptance budget of 500 examples).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from oracle import (
+    LookupPredictor,
+    NaiveServingOracle,
+    make_lookup_pool,
+    normalize_actions,
+)
+
+from repro.api import CachePolicy, PredictionRequest
+from repro.exceptions import DeadlineExceededError
+from repro.registry import ShardedModelRegistry
+from repro.serving import (
+    AsyncPredictionServer,
+    PredictionServer,
+    ServerConfig,
+    ShardedPredictionServer,
+)
+from repro.serving.kernel import FlushBatch, PipelineKernel
+
+POOL = make_lookup_pool(5)
+
+configs = st.builds(
+    ServerConfig,
+    max_batch_size=st.integers(min_value=1, max_value=4),
+    max_wait_s=st.sampled_from([0.0, 0.005, 0.05]),
+    cache_entries=st.integers(min_value=1, max_value=3),
+    cache_ttl_s=st.sampled_from([None, 0.02, 10.0]),
+    enable_cache=st.booleans(),
+    enable_batching=st.booleans(),
+)
+
+# Deadline shapes relative to the machine's virtual "now": absent, far out,
+# inside a typical batch window (exercises wait clamping + EDF), exactly now
+# (the admission boundary), and already past.
+DEADLINE_KINDS = ["none", "far", "tight", "now", "past"]
+
+
+class KernelVsOracleMachine(RuleBasedStateMachine):
+    """Drive kernel and oracle with one event stream; they must never differ."""
+
+    @initialize(
+        config=configs,
+        max_concurrent=st.integers(min_value=1, max_value=2),
+    )
+    def setup(self, config, max_concurrent):
+        self.kernel = PipelineKernel(config, max_concurrent_batches=max_concurrent)
+        self.oracle = NaiveServingOracle(config, max_concurrent_batches=max_concurrent)
+        self.now = 100.0
+        self.rid = 0
+        self.model_version = 0
+        self.outstanding: list[FlushBatch] = []
+
+    def _step(self, kernel_actions, oracle_actions):
+        assert normalize_actions(kernel_actions) == normalize_actions(oracle_actions)
+        for action in kernel_actions:
+            if isinstance(action, FlushBatch):
+                self.outstanding.append(action)
+
+    def _deadline(self, kind):
+        return {
+            "none": None,
+            "far": self.now + 1.0,
+            "tight": self.now + 0.004,
+            "now": self.now,
+            "past": self.now - 0.01,
+        }[kind]
+
+    @rule(
+        pool_idx=st.integers(min_value=0, max_value=len(POOL) - 1),
+        kind=st.sampled_from(DEADLINE_KINDS),
+        use_cache=st.booleans(),
+        dt=st.sampled_from([0.0, 0.001, 0.01, 0.1]),
+    )
+    def submit(self, pool_idx, kind, use_cache, dt):
+        self.now += dt
+        self.rid += 1
+        workload = POOL[pool_idx]
+        deadline_at = self._deadline(kind)
+        self._step(
+            self.kernel.submit(
+                self.rid, workload, now=self.now, deadline_at=deadline_at, use_cache=use_cache
+            ),
+            self.oracle.submit(
+                self.rid, workload, now=self.now, deadline_at=deadline_at, use_cache=use_cache
+            ),
+        )
+
+    @rule(dt=st.sampled_from([0.0, 0.001, 0.01, 0.1, 2.0]))
+    def tick(self, dt):
+        self.now += dt
+        self._step(self.kernel.tick(self.now), self.oracle.tick(self.now))
+
+    @rule()
+    def hot_swap(self):
+        self.model_version += 1
+        self._step(
+            self.kernel.sync_version(self.model_version, self.now),
+            self.oracle.sync_version(self.model_version, self.now),
+        )
+
+    @rule()
+    def resync_same_version(self):
+        self._step(
+            self.kernel.sync_version(self.model_version, self.now),
+            self.oracle.sync_version(self.model_version, self.now),
+        )
+
+    def _pop_batch(self, which):
+        return self.outstanding.pop(which % len(self.outstanding))
+
+    def _model_values(self, batch, started_at):
+        """What the model answers for the live partition at execution start
+        (the model's answer depends on the promoted version)."""
+        return [
+            float(entry.workload.actual_memory_mb) + 1000.0 * self.model_version
+            for entry in batch.entries
+            if entry.deadline_at is None or entry.deadline_at > started_at
+        ]
+
+    @precondition(lambda self: self.outstanding)
+    @rule(
+        which=st.integers(min_value=0, max_value=7),
+        start_delay=st.sampled_from([0.0, 0.002, 0.05]),
+        duration=st.sampled_from([0.0, 0.001, 0.02]),
+    )
+    def complete_batch(self, which, start_delay, duration):
+        batch = self._pop_batch(which)
+        started_at = self.now + start_delay
+        self.now = started_at + duration
+        values = self._model_values(batch, started_at)
+        self._step(
+            self.kernel.batch_done(batch.batch_id, started_at, values, self.now),
+            self.oracle.batch_done(batch.batch_id, started_at, values, self.now),
+        )
+
+    @precondition(lambda self: self.outstanding)
+    @rule(which=st.integers(min_value=0, max_value=7))
+    def complete_batch_with_wrong_value_count(self, which):
+        batch = self._pop_batch(which)
+        started_at = self.now
+        values = self._model_values(batch, started_at) + [0.0]
+        self._step(
+            self.kernel.batch_done(batch.batch_id, started_at, values, self.now),
+            self.oracle.batch_done(batch.batch_id, started_at, values, self.now),
+        )
+
+    @precondition(lambda self: self.outstanding)
+    @rule(
+        which=st.integers(min_value=0, max_value=7),
+        deadline_error=st.booleans(),
+    )
+    def fail_batch(self, which, deadline_error):
+        batch = self._pop_batch(which)
+        error = (
+            DeadlineExceededError("budget burned inside the model")
+            if deadline_error
+            else RuntimeError("model exploded")
+        )
+        self._step(
+            self.kernel.batch_failed(batch.batch_id, self.now, error, self.now),
+            self.oracle.batch_failed(batch.batch_id, self.now, error, self.now),
+        )
+
+    @invariant()
+    def same_observable_state(self):
+        if not hasattr(self, "kernel"):
+            return
+        assert self.kernel.pending_count() == self.oracle.pending_count()
+        assert self.kernel.executing_count() == self.oracle.executing_count()
+        assert self.kernel.coalesced_requests == self.oracle.coalesced
+        assert self.kernel.generation == self.oracle.generation
+        assert self.kernel.version == self.oracle.version
+        assert self.kernel.idle() == self.oracle.idle()
+        assert self.kernel.batcher_stats() == self.oracle.batcher_stats()
+        assert self.kernel.cache_stats() == self.oracle.cache_stats()
+        kernel_wakeup = self.kernel.next_wakeup()
+        oracle_wakeup = self.oracle.next_wakeup()
+        if kernel_wakeup is None or oracle_wakeup is None:
+            assert kernel_wakeup == oracle_wakeup
+        else:
+            assert kernel_wakeup == pytest.approx(oracle_wakeup)
+
+    def teardown(self):
+        if not hasattr(self, "kernel"):
+            return
+        # Drain: close both machines, then finish every outstanding batch
+        # (completions can flush further batches, so loop until dry).
+        self._step(self.kernel.close(self.now), self.oracle.close(self.now))
+        while self.outstanding:
+            batch = self.outstanding.pop(0)
+            started_at = self.now
+            values = self._model_values(batch, started_at)
+            self._step(
+                self.kernel.batch_done(batch.batch_id, started_at, values, self.now),
+                self.oracle.batch_done(batch.batch_id, started_at, values, self.now),
+            )
+        assert self.kernel.idle() and self.oracle.idle()
+        assert self.kernel.batcher_stats() == self.oracle.batcher_stats()
+
+
+KernelVsOracleMachine.TestCase.settings = settings(stateful_step_count=40)
+TestKernelVsOracle = KernelVsOracleMachine.TestCase
+
+
+# -- the same randomized traffic, through the real fronts ------------------------------
+
+
+def _make_front(kind, model, config):
+    if kind == "thread":
+        return PredictionServer(model, config=config)
+    if kind == "asyncio":
+        return AsyncPredictionServer(model, config=config)
+    registry = ShardedModelRegistry(n_shards=2)
+    registry.register_replicated("default", model)
+    return ShardedPredictionServer(registry, backend="thread", config=config)
+
+
+trace_entries = st.tuples(
+    st.integers(min_value=0, max_value=len(POOL) - 1),
+    st.sampled_from(["none", "generous", "expired"]),
+    st.booleans(),  # BYPASS the cache?
+)
+
+
+class TestTraceReplayOnRealFronts:
+    """Random traces through thread/asyncio/sharded: oracle answers, sane
+    deadline accounting.  Capped below the profile budget: every example
+    spins up three real servers."""
+
+    @settings(max_examples=8)
+    @given(
+        trace=st.lists(trace_entries, min_size=1, max_size=20),
+        max_batch=st.integers(min_value=1, max_value=6),
+    )
+    def test_trace_replay_matches_naive_loop_oracle(self, trace, max_batch):
+        deadlines = {"none": None, "generous": 30.0, "expired": 1e-9}
+        expected = LookupPredictor()
+        config = ServerConfig(max_batch_size=max_batch, max_wait_s=0.001)
+        n_expired = sum(1 for _, kind, _ in trace if kind == "expired")
+        for front in ("thread", "asyncio", "sharded"):
+            with _make_front(front, LookupPredictor(), config) as server:
+                futures = [
+                    (
+                        idx,
+                        kind,
+                        bypass,
+                        server.submit_request(
+                            PredictionRequest.of(
+                                POOL[idx],
+                                deadline_s=deadlines[kind],
+                                cache_policy=(
+                                    CachePolicy.BYPASS if bypass else CachePolicy.DEFAULT
+                                ),
+                            )
+                        ),
+                    )
+                    for idx, kind, bypass in trace
+                ]
+                raised = 0
+                for idx, kind, bypass, future in futures:
+                    try:
+                        result = future.result(timeout=10.0)
+                    except DeadlineExceededError:
+                        raised += 1
+                        # Only a genuinely expirable budget may be shed...
+                        assert kind == "expired", front
+                    else:
+                        # ... and every delivered answer is the naive-loop
+                        # oracle's, whatever path served it.
+                        assert result.memory_mb == expected.predict_workload(POOL[idx]), front
+                        if kind == "expired":
+                            # Delivered late: only possible via the cache /
+                            # coalescing tiers, never for a BYPASS request.
+                            assert not bypass, front
+                report = server.snapshot()
+            assert report.n_errors == 0, front
+            # Sheds can never exceed the expirable population, and every
+            # shed is also a deadline miss (raised errors are sheds, and
+            # late deliveries only add further misses).
+            assert report.shed_requests <= n_expired, front
+            assert report.shed_requests == raised, front
+            assert report.deadline_misses >= report.shed_requests, front

@@ -1,0 +1,232 @@
+"""Pinned regressions: front divergences surfaced by the differential harness.
+
+Before the three serving fronts were rewritten over the shared
+:class:`~repro.serving.kernel.PipelineKernel`, each carried its own copy of
+the pipeline rules, and replaying identical traces through them (see
+``test_kernel_differential.py``) exposed behavioral drift.  Each test here
+pins one unified behavior across every front, minimally, so a future front
+(or a front-local "optimization") cannot silently diverge again:
+
+* coalescing must work with batching disabled (the old thread front only
+  coalesced inside the micro-batcher);
+* an expired BYPASS request must always shed, on every front (the asyncio
+  front once failed this path with a ``NameError`` instead of the typed
+  ``DeadlineExceededError``);
+* admission sheds are telemetry sheds but never batcher sheds — the three
+  fronts used to disagree on which counter they landed in;
+* a hot swap mid-batch must gate the stale write-back on every front, not
+  just invalidate the cache at swap time;
+* an expired request answerable from the cache is delivered late (counted
+  as a deadline miss), never shed.
+"""
+
+import threading
+import time
+
+import pytest
+from oracle import make_lookup_pool
+
+from repro.api import CachePolicy, PredictionRequest
+from repro.exceptions import DeadlineExceededError
+from repro.registry import ModelRegistry, ShardedModelRegistry
+from repro.serving import (
+    AsyncPredictionServer,
+    PredictionServer,
+    ServerConfig,
+    ShardedPredictionServer,
+)
+
+POOL = make_lookup_pool(4)
+FRONTS = ["thread", "asyncio", "sharded"]
+
+
+def make_front(kind, model, config):
+    if kind == "thread":
+        return PredictionServer(model, config=config)
+    if kind == "asyncio":
+        return AsyncPredictionServer(model, config=config)
+    registry = ShardedModelRegistry(n_shards=2)
+    registry.register_replicated("default", model)
+    return ShardedPredictionServer(registry, backend="thread", config=config)
+
+
+def wait_until(predicate, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return predicate()
+
+
+class GatePredictor:
+    """A model whose ``predict`` blocks until the test releases it.
+
+    ``entered`` observes "the batch is now executing on me" (so the test can
+    arrange events strictly inside the execution window); ``release`` lets
+    it finish.  Thread-safe: fronts call it from worker/executor threads.
+    """
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def predict(self, workloads):
+        self.entered.set()
+        assert self.release.wait(10.0), "GatePredictor never released"
+        with self._lock:
+            self.calls += 1
+        return [self.value] * len(workloads)
+
+    def predict_workload(self, workload):
+        return self.predict([workload])[0]
+
+
+class FreshPredictor:
+    """The post-swap model: answers instantly with a distinguishable value."""
+
+    def predict(self, workloads):
+        return [2.0] * len(workloads)
+
+    def predict_workload(self, workload):
+        return 2.0
+
+
+@pytest.mark.parametrize("front", FRONTS)
+def test_unbatched_submits_still_coalesce(front):
+    """Identical concurrent requests coalesce even with batching disabled.
+
+    The pre-kernel thread front only coalesced inside the micro-batcher, so
+    ``enable_batching=False`` silently disabled singleflight too; the kernel
+    registers leadership at admission, independent of batching.
+    """
+    gate = GatePredictor(value=7.0)
+    config = ServerConfig(enable_batching=False)
+    workload = POOL[0]
+    with make_front(front, gate, config) as server:
+        # With batching disabled the thread front executes on the caller
+        # thread, so the leader must be submitted from a helper.
+        leader_value = []
+        leader = threading.Thread(
+            target=lambda: leader_value.append(server.predict_workload(workload))
+        )
+        leader.start()
+        assert gate.entered.wait(5.0)
+
+        followers = [server.submit(workload) for _ in range(2)]
+        assert wait_until(lambda: server.coalesced_requests == 2), front
+
+        gate.release.set()
+        leader.join(timeout=5.0)
+        assert leader_value == [7.0], front
+        assert [f.result(timeout=5.0) for f in followers] == [7.0, 7.0], front
+        assert gate.calls == 1, front
+        assert server.coalesced_requests == 2, front
+
+
+@pytest.mark.parametrize("front", FRONTS)
+def test_expired_bypass_always_sheds(front):
+    """BYPASS + expired deadline raises ``DeadlineExceededError`` everywhere.
+
+    A BYPASS request must never be rescued by the cache tier, so a spent
+    budget has no late-delivery path: every front must shed it with the
+    typed error (the asyncio front once raised ``NameError`` here).
+    """
+    from oracle import LookupPredictor
+
+    workload = POOL[1]
+    with make_front(front, LookupPredictor(), ServerConfig()) as server:
+        server.predict_workload(workload)  # warm the cache: must not matter
+        future = server.submit_request(
+            PredictionRequest.of(workload, deadline_s=1e-9, cache_policy=CachePolicy.BYPASS)
+        )
+        with pytest.raises(DeadlineExceededError):
+            future.result(timeout=10.0)
+        report = server.snapshot()
+    assert report.shed_requests == 1, front
+    assert report.n_errors == 0, front
+
+
+@pytest.mark.parametrize("front", FRONTS)
+def test_admission_sheds_count_in_telemetry_not_batcher(front):
+    """A request dead on arrival is a telemetry shed, not a batcher shed.
+
+    ``batcher_stats().shed_requests`` counts work shed *from the queue or at
+    execution* — admission rejections never entered the batcher.  The three
+    fronts used to disagree on which counter admission sheds landed in.
+    """
+    from oracle import LookupPredictor
+
+    with make_front(front, LookupPredictor(), ServerConfig()) as server:
+        future = server.submit_request(PredictionRequest.of(POOL[2], deadline_s=1e-9))
+        with pytest.raises(DeadlineExceededError):
+            future.result(timeout=10.0)
+        report = server.snapshot()
+        batcher = server.batcher_stats()
+    assert report.shed_requests == 1, front
+    assert report.deadline_misses == 1, front
+    assert batcher.shed_requests == 0, front
+    assert batcher.batches == 0, front
+
+
+@pytest.mark.parametrize("front", ["thread", "asyncio"])
+def test_hot_swap_mid_batch_gates_stale_write_back(front):
+    """A value computed by the pre-swap model is never written back.
+
+    Invalidation at swap time is not enough: a batch already executing on
+    the old model completes *after* the invalidation, and without generation
+    gating its stale answer would repopulate the fresh cache.  (The sharded
+    front delegates to these two drivers per shard.)
+    """
+    stale = GatePredictor(value=1.0)
+    registry = ModelRegistry()
+    registry.register("default", stale)
+    config = ServerConfig(max_wait_s=0.0)
+    cls = PredictionServer if front == "thread" else AsyncPredictionServer
+    workload, other = POOL[0], POOL[3]
+    with cls(registry, config=config) as server:
+        first = server.submit(workload)
+        assert stale.entered.wait(5.0)  # batch is executing on the old model
+
+        registry.register("default", FreshPredictor(), promote=True)
+        # The driver observes the promotion at the next admission; queue an
+        # unrelated request behind the busy slot to force the sync now.
+        second = server.submit(other)
+        assert wait_until(lambda: server._served_version == 2), front
+
+        stale.release.set()
+        # The in-flight request still delivers its (stale) answer...
+        assert first.result(timeout=5.0) == 1.0, front
+        assert second.result(timeout=5.0) == 2.0, front
+        # ...but the write-back was generation-gated: re-asking must execute
+        # on the fresh model, not replay 1.0 from the cache.
+        assert server.submit(workload).result(timeout=5.0) == 2.0, front
+        assert server.cache_stats().hits == 0, front
+
+
+@pytest.mark.parametrize("front", FRONTS)
+def test_expired_cache_hit_delivers_late_instead_of_shedding(front):
+    """An expired request the cache can answer is delivered, not shed.
+
+    The answer is already paid for, so every front serves it and counts a
+    deadline miss; shedding is reserved for requests that would otherwise
+    occupy the model.
+    """
+    from oracle import LookupPredictor
+
+    workload = POOL[2]
+    expected = LookupPredictor().predict_workload(workload)
+    with make_front(front, LookupPredictor(), ServerConfig()) as server:
+        server.predict_workload(workload)  # warm the cache
+        result = server.submit_request(
+            PredictionRequest.of(workload, deadline_s=1e-9)
+        ).result(timeout=10.0)
+        report = server.snapshot()
+    assert result.memory_mb == expected, front
+    assert result.cache_hit, front
+    assert report.shed_requests == 0, front
+    assert report.deadline_misses == 1, front
+    assert report.n_errors == 0, front

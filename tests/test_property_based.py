@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
 import numpy as np
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -13,11 +13,10 @@ from repro.ml.preprocessing import MinMaxScaler, StandardScaler
 from repro.ml.text import tokenize_sql
 from repro.ml.tree import DecisionTreeRegressor
 
-_SETTINGS = settings(
-    max_examples=30,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+# Every field (example budget, deadline, health checks, failure-seed
+# printing) comes from the settings profile registered in ``conftest.py``:
+# ``dev`` locally, ``ci`` under ``HYPOTHESIS_PROFILE=ci``.
+_SETTINGS = settings()
 
 finite_arrays = hnp.arrays(
     dtype=np.float64,
@@ -173,18 +172,13 @@ class TestServingProperties:
     def test_batched_serving_equals_unbatched(self, demands, max_batch):
         """For any request mix and batch size, serving returns the same
         predictions as calling the predictor one request at a time."""
+        from oracle import LookupPredictor, naive_loop_values
+
         from repro.core.workload import Workload
         from repro.serving import PredictionServer, ServerConfig
 
-        class LookupPredictor:
-            def predict_workload(self, workload):
-                return float(workload.actual_memory_mb or 0.0)
-
-            def predict(self, workloads):
-                return [float(w.actual_memory_mb or 0.0) for w in workloads]
-
         workloads = [Workload(queries=[], actual_memory_mb=d) for d in demands]
-        unbatched = [LookupPredictor().predict_workload(w) for w in workloads]
+        unbatched = naive_loop_values(LookupPredictor(), workloads)
         config = ServerConfig(
             max_batch_size=max_batch, max_wait_s=0.001, enable_cache=False
         )
@@ -200,35 +194,15 @@ class TestServingProperties:
     def test_cached_serving_equals_unbatched(self, picks, max_batch):
         """Caching + coalescing must not change any prediction, for any
         repetition pattern of a small workload pool."""
-        from repro.core.workload import Workload
+        from oracle import LookupPredictor, make_lookup_pool, naive_loop_values
+
         from repro.serving import PredictionServer, ServerConfig
-
-        class LookupPredictor:
-            def predict(self, workloads):
-                return [float(w.actual_memory_mb or 0.0) for w in workloads]
-
-            def predict_workload(self, workload):
-                return float(workload.actual_memory_mb or 0.0)
-
-        from repro.dbms.query_log import QueryRecord
 
         # Each pool entry carries a distinct query text: the cache keys on
         # query content, so distinct workloads must have distinct queries.
-        pool = [
-            Workload(
-                queries=[
-                    QueryRecord(
-                        sql=f"select {i} from t",
-                        plan=None,
-                        actual_memory_mb=10.0 * (i + 1),
-                        optimizer_estimate_mb=0.0,
-                    )
-                ]
-            )
-            for i in range(6)
-        ]
+        pool = make_lookup_pool(6)
         requests = [pool[p] for p in picks]
-        expected = [float(w.actual_memory_mb or 0.0) for w in requests]
+        expected = naive_loop_values(LookupPredictor(), requests)
         config = ServerConfig(max_batch_size=max_batch, max_wait_s=0.001)
         with PredictionServer(LookupPredictor(), config=config) as server:
             served = server.predict(requests)
@@ -242,7 +216,10 @@ class TestDeadlineProperties:
     ``DeadlineExceededError`` corresponds to a genuinely expired budget —
     on both the thread and the asyncio backend."""
 
-    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    # Capped below the profile budget even under ``ci``: every example spins
+    # up a real server (thread or event loop); the kernel-level differential
+    # suite is where the full example budget is spent.
+    @settings(max_examples=12)
     @given(
         st.lists(
             st.tuples(
@@ -258,33 +235,13 @@ class TestDeadlineProperties:
     def test_deadline_mix_preserves_answers_and_misses_are_genuine(
         self, mix, backend, max_batch
     ):
+        from oracle import LookupPredictor, make_lookup_pool
+
         from repro.api import PredictionRequest
-        from repro.core.workload import Workload
-        from repro.dbms.query_log import QueryRecord
         from repro.exceptions import DeadlineExceededError
         from repro.serving import AsyncPredictionServer, PredictionServer, ServerConfig
 
-        class LookupPredictor:
-            def predict(self, workloads):
-                return [float(w.actual_memory_mb or 0.0) for w in workloads]
-
-            def predict_workload(self, workload):
-                return float(workload.actual_memory_mb or 0.0)
-
-        pool = [
-            Workload(
-                queries=[
-                    QueryRecord(
-                        sql=f"select {i} from t",
-                        plan=None,
-                        actual_memory_mb=10.0 * (i + 1),
-                        optimizer_estimate_mb=0.0,
-                    )
-                ],
-                actual_memory_mb=10.0 * (i + 1),
-            )
-            for i in range(6)
-        ]
+        pool = make_lookup_pool(6)
         # A generous budget cannot genuinely expire within this test; an
         # "expired" budget of 1 ns cannot survive even the admission path.
         deadlines = {"none": None, "generous": 30.0, "expired": 1e-9}

@@ -12,6 +12,7 @@ import time
 
 import numpy as np
 import pytest
+from oracle import CountingPredictor
 
 from repro.api import CachePolicy, PredictionRequest, Predictor
 from repro.core.workload import make_workloads
@@ -25,33 +26,6 @@ from repro.serving import (
     ServerConfig,
     ServingTelemetry,
 )
-
-
-class CountingPredictor:
-    """Constant predictor that counts predict calls and batch sizes."""
-
-    def __init__(self, value: float = 32.0, delay_s: float = 0.0) -> None:
-        self.value = value
-        self.delay_s = delay_s
-        self.calls = 0
-        self.batch_sizes: list[int] = []
-        self._lock = threading.Lock()
-
-    def predict_workload(self, queries) -> float:
-        with self._lock:
-            self.calls += 1
-            self.batch_sizes.append(1)
-        if self.delay_s:
-            time.sleep(self.delay_s)
-        return self.value
-
-    def predict(self, workloads):
-        with self._lock:
-            self.calls += 1
-            self.batch_sizes.append(len(workloads))
-        if self.delay_s:
-            time.sleep(self.delay_s)
-        return np.full(len(workloads), self.value)
 
 
 @pytest.fixture(scope="module")

@@ -15,6 +15,7 @@ import time
 
 import numpy as np
 import pytest
+from oracle import CountingPredictor
 
 from repro.api import CachePolicy, PredictionRequest
 from repro.core.model import LearnedWMP
@@ -36,30 +37,6 @@ from repro.serving import (
     TelemetryReport,
 )
 from repro.serving.http.schemas import request_to_wire
-
-
-class CountingPredictor:
-    """Constant predictor that counts model invocations (thread-safe)."""
-
-    def __init__(self, value: float = 32.0, delay_s: float = 0.0) -> None:
-        self.value = value
-        self.delay_s = delay_s
-        self.calls = 0
-        self._lock = threading.Lock()
-
-    def predict_workload(self, queries) -> float:
-        with self._lock:
-            self.calls += 1
-        if self.delay_s:
-            time.sleep(self.delay_s)
-        return self.value
-
-    def predict(self, workloads):
-        with self._lock:
-            self.calls += 1
-        if self.delay_s:
-            time.sleep(self.delay_s)
-        return np.full(len(workloads), self.value)
 
 
 @pytest.fixture(scope="module")

@@ -4,6 +4,7 @@ import threading
 
 import numpy as np
 import pytest
+from oracle import CountingPredictor
 
 from repro.api import CachePolicy, PredictionRequest, Predictor
 from repro.core.workload import make_workloads
@@ -15,23 +16,6 @@ from repro.serving import (
     ServerConfig,
     ShardedPredictionServer,
 )
-
-
-class CountingPredictor:
-    def __init__(self, value: float = 16.0) -> None:
-        self.value = value
-        self.calls = 0
-        self._lock = threading.Lock()
-
-    def predict_workload(self, queries) -> float:
-        with self._lock:
-            self.calls += 1
-        return self.value
-
-    def predict(self, workloads):
-        with self._lock:
-            self.calls += 1
-        return np.full(len(workloads), self.value)
 
 
 @pytest.fixture(scope="module")

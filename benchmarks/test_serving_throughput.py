@@ -17,6 +17,7 @@ comparison into ``BENCH_serving.json`` via ``learnedwmp loadtest
 
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 from conftest import run_once
@@ -252,3 +253,104 @@ def test_deadline_traffic_sheds_expired_and_preserves_answers(benchmark):
         assert not executed_signatures & doomed_signatures, kind
         # 3. Every non-expiring request answers exactly the naive loop.
         np.testing.assert_allclose(outcome["values"], expected, rtol=1e-9, atol=0.0)
+
+
+# -- scenario-driven traffic (repro.workloads.scenarios) -------------------------------
+
+SCENARIOS = Path(__file__).resolve().parent.parent / "examples" / "scenarios"
+
+
+def _scenario_model(compiled):
+    """A fast ridge model fitted on the scenario's own source records."""
+    model = LearnedWMP(
+        regressor="ridge",
+        n_templates=24,
+        batch_size=BATCH_SIZE,
+        random_state=SEED,
+        fast=True,
+    )
+    model.fit(compiled.records)
+    return model
+
+
+def test_flash_crowd_scenario_sheds_during_spike(benchmark):
+    """The committed flash-crowd scenario overloads the server mid-run.
+
+    During the spike window arrivals outrun the model's service rate, the
+    batch queue outgrows each request's 12 ms budget, and the serving tier
+    must respond the way the deadline contract promises: shed expired work
+    (instead of stretching the tail for everyone) while the micro-batcher
+    rides the burst with multi-request batches.
+    """
+    from repro.serving import LoadGenerator
+    from repro.workloads.scenarios import compile_scenario, load_scenario
+
+    compiled = compile_scenario(load_scenario(SCENARIOS / "flash_crowd.toml"))
+    model = _scenario_model(compiled)
+    config = ServerConfig(max_batch_size=32, max_wait_s=0.002)
+
+    def _run():
+        with PredictionServer(model, config=config) as server:
+            return LoadGenerator.from_scenario(server, compiled).run()
+
+    report = run_once(benchmark, _run)
+
+    flash = report.tenants["flash"]
+    print()
+    print(f"scheduled requests       : {report.n_requests:10d}")
+    print(f"offered load (mean)      : {report.offered_qps:10.0f} req/s")
+    print(f"shed during spike        : {report.shed_requests:10d}")
+    print(f"deadline misses          : {report.deadline_misses:10d}")
+    print(f"mean batch size          : {report.mean_batch_size:10.2f}")
+    print(f"flash tenant p95         : {flash.latency_p95_ms:10.2f} ms")
+
+    # The spike must actually overwhelm the server: expired requests are
+    # shed rather than served late...
+    assert report.shed_requests > 0
+    # ...and the batcher must be riding the burst, not trickling singletons.
+    assert report.mean_batch_size > 1.0
+    # Shedding is deliberate deadline enforcement, not failure.
+    assert report.n_errors == 0
+    # All traffic belongs to the single flash tenant.
+    assert flash.shed_requests == report.shed_requests
+
+
+def test_two_tenant_contention_keeps_steady_tenant_clean(benchmark):
+    """A noisy neighbour's bursts must not cost the steady tenant its SLO.
+
+    The 'noisy' tenant fires heavy-tailed ON/OFF bursts far above capacity
+    under a 12 ms deadline with the cache bypassed; the 'steady' tenant
+    trickles cacheable traffic under a generous 1.5 s budget.  Deadline
+    shedding should fall entirely on the tenant that brought the overload:
+    the steady tenant's per-tenant counters stay clean.
+    """
+    from repro.serving import LoadGenerator
+    from repro.workloads.scenarios import compile_scenario, load_scenario
+
+    compiled = compile_scenario(
+        load_scenario(SCENARIOS / "two_tenant_contention.toml")
+    )
+    model = _scenario_model(compiled)
+    config = ServerConfig(max_batch_size=32, max_wait_s=0.002)
+
+    def _run():
+        with PredictionServer(model, config=config) as server:
+            return LoadGenerator.from_scenario(server, compiled).run()
+
+    report = run_once(benchmark, _run)
+
+    noisy, steady = report.tenants["noisy"], report.tenants["steady"]
+    print()
+    for name, tenant in sorted(report.tenants.items()):
+        print(
+            f"{name:<8}: {tenant.n_requests:6d} req, "
+            f"p95 {tenant.latency_p95_ms:8.2f} ms, "
+            f"misses {tenant.deadline_misses:5d}, shed {tenant.shed_requests:5d}"
+        )
+
+    # The noisy tenant overloads the server and pays for it...
+    assert noisy.shed_requests > 0
+    # ...while the steady low-rate tenant keeps a zero deadline-miss rate.
+    assert steady.deadline_misses == 0
+    assert steady.shed_requests == 0
+    assert steady.n_errors == 0

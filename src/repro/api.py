@@ -94,12 +94,19 @@ class PredictionRequest:
         predictors treat it as advisory metadata.
     cache_policy:
         See :class:`CachePolicy`.
+    tenant:
+        Optional name of the traffic stream (scenario tenant) the request
+        belongs to.  Serving backends thread it into per-tenant telemetry
+        (latency percentiles, ``deadline_misses`` / ``shed_requests`` per
+        tenant in :class:`~repro.serving.telemetry.TelemetryReport`); it has
+        no effect on routing, caching or prediction.
     """
 
     workload: Workload
     request_id: str = field(default_factory=_next_request_id)
     deadline_s: float | None = None
     cache_policy: CachePolicy = CachePolicy.DEFAULT
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.workload, Workload):
@@ -109,6 +116,8 @@ class PredictionRequest:
             )
         if self.deadline_s is not None and self.deadline_s <= 0.0:
             raise InvalidParameterError("deadline_s must be > 0 (or None)")
+        if self.tenant is not None and not self.tenant:
+            raise InvalidParameterError("tenant must be a non-empty string (or None)")
 
     @classmethod
     def of(
@@ -118,6 +127,7 @@ class PredictionRequest:
         request_id: str | None = None,
         deadline_s: float | None = None,
         cache_policy: CachePolicy = CachePolicy.DEFAULT,
+        tenant: str | None = None,
     ) -> "PredictionRequest":
         """Build a request from a :class:`Workload` or a plain query sequence."""
         workload = queries if isinstance(queries, Workload) else Workload(queries=list(queries))
@@ -126,6 +136,7 @@ class PredictionRequest:
             request_id=request_id if request_id is not None else _next_request_id(),
             deadline_s=deadline_s,
             cache_policy=cache_policy,
+            tenant=tenant,
         )
 
 

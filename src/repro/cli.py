@@ -44,7 +44,10 @@ cover the day-to-day tasks of working with the reproduction:
     ``/v1/telemetry`` scrape.  ``--section NAME`` merges the JSON report
     under key ``NAME`` of the ``--output`` file instead of replacing it
     (how the gateway leg lands next to the in-process numbers in
-    ``BENCH_serving.json``).
+    ``BENCH_serving.json``).  ``--scenario FILE`` switches to a declarative
+    traffic scenario (seeded multi-tenant mixes with bursty arrival shapes,
+    see ``docs/SCENARIOS.md``); the report then carries per-tenant counters
+    and the scenario's name and seed.
 
 ``gateway``
     Stand up an HTTP/1.1 JSON gateway (``repro.serving.http``) in front of a
@@ -200,6 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also time the naive one-call-at-a-time loop on the same requests",
     )
+    loadtest.add_argument(
+        "--scenario",
+        type=Path,
+        default=None,
+        help="drive a declarative traffic scenario (.toml/.json, see docs/SCENARIOS.md) "
+        "instead of the fixed-rate replay; overrides --benchmark/--requests/--qps/"
+        "--repeat-fraction/--deadline-ms",
+    )
 
     gateway = subparsers.add_parser(
         "gateway", help="serve a model over HTTP/1.1 (see docs/GATEWAY.md)"
@@ -305,10 +316,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serving_setup(args: argparse.Namespace):
-    """Build (registry, server, requests) for the serving subcommands.
+def _make_server(args: argparse.Namespace, model):
+    """Build (registry, server) around ``model`` from the shared serving flags.
 
-    The server shape follows the flags: ``--shards N`` (N > 1) builds a
+    ``--shards N`` (N > 1) builds a
     :class:`~repro.registry.ShardedModelRegistry` with the model replicated
     on every shard behind a
     :class:`~repro.serving.sharded.ShardedPredictionServer`; otherwise a
@@ -322,25 +333,9 @@ def _serving_setup(args: argparse.Namespace):
         ServerConfig,
         ShardedPredictionServer,
     )
-    from repro.workloads.replay import build_replay_requests
 
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
-    dataset = generate_dataset(args.benchmark, args.queries, seed=args.seed)
-    if args.model is not None:
-        model = load_model(args.model)
-        print(f"loaded model        : {args.model}")
-    else:
-        print(f"training a fast ridge model on {args.benchmark} ...")
-        model = LearnedWMP(
-            regressor="ridge",
-            n_templates=24,
-            batch_size=args.batch_size,
-            random_state=args.seed,
-            fast=True,
-        )
-        model.fit(dataset.train_records)
-
     if hasattr(model, "configure_feature_cache"):
         model.configure_feature_cache(args.feature_cache_size)
 
@@ -361,6 +356,29 @@ def _serving_setup(args: argparse.Namespace):
         registry.register("default", model)
         server_cls = PredictionServer if args.backend == "thread" else AsyncPredictionServer
         server = server_cls(registry, model_name="default", config=config)
+    return registry, server
+
+
+def _serving_setup(args: argparse.Namespace):
+    """Build (registry, server, requests) for the serving subcommands."""
+    from repro.workloads.replay import build_replay_requests
+
+    dataset = generate_dataset(args.benchmark, args.queries, seed=args.seed)
+    if args.model is not None:
+        model = load_model(args.model)
+        print(f"loaded model        : {args.model}")
+    else:
+        print(f"training a fast ridge model on {args.benchmark} ...")
+        model = LearnedWMP(
+            regressor="ridge",
+            n_templates=24,
+            batch_size=args.batch_size,
+            random_state=args.seed,
+            fast=True,
+        )
+        model.fit(dataset.train_records)
+
+    registry, server = _make_server(args, model)
     requests = build_replay_requests(
         args.benchmark,
         dataset=dataset,
@@ -522,11 +540,79 @@ def _cmd_loadtest_http(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest_scenario(args: argparse.Namespace) -> int:
+    """The ``loadtest --scenario`` path: drive a compiled traffic scenario.
+
+    Config problems (missing file, bad TOML/JSON, schema violations) are
+    user errors, not crashes: they print one actionable line on stderr and
+    exit with status 2, matching argparse's usage-error convention.
+    """
+    from repro.exceptions import ScenarioError
+    from repro.serving import LoadGenerator
+    from repro.workloads.scenarios import compile_scenario, load_scenario
+
+    try:
+        spec = load_scenario(args.scenario)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    compiled = compile_scenario(spec)
+    print(
+        f"scenario '{spec.name}' (seed {spec.seed}): {compiled.n_requests} requests "
+        f"over {spec.duration_s:.1f} s, tenants {compiled.tenant_counts()}"
+    )
+
+    if args.url is not None:
+        from repro.serving.http import GatewayClient
+
+        with GatewayClient(args.url) as client:
+            health = client.healthz()
+            print(
+                f"driving gateway {args.url} (model {health.get('model')} "
+                f"v{health.get('active_version')}, backend {health.get('backend')}) ...\n"
+            )
+            report = LoadGenerator.from_scenario(client, compiled).run()
+    else:
+        if args.model is not None:
+            model = load_model(args.model)
+            print(f"loaded model        : {args.model}")
+        else:
+            print(f"training a fast ridge model on sources {list(spec.benchmarks)} ...")
+            model = LearnedWMP(
+                regressor="ridge",
+                n_templates=24,
+                batch_size=args.batch_size,
+                random_state=args.seed,
+                fast=True,
+            )
+            model.fit(compiled.records)
+        _, server = _make_server(args, model)
+        print(f"replaying (backend={args.backend}, shards={args.shards}) ...\n")
+        with server:
+            report = LoadGenerator.from_scenario(server, compiled).run()
+
+    print(report.render())
+    if args.output is not None:
+        payload = report.to_dict()
+        payload["scenario_file"] = str(args.scenario)
+        if args.url is not None:
+            payload["transport"] = "http"
+            payload["url"] = args.url
+        else:
+            payload["backend"] = args.backend
+            payload["shards"] = args.shards
+        _write_loadtest_json(payload, args.output, args.section)
+        print(f"wrote JSON report to {args.output}")
+    return 0
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     import time
 
     from repro.api import PredictionRequest, as_predictor
 
+    if args.scenario is not None:
+        return _cmd_loadtest_scenario(args)
     if args.url is not None:
         return _cmd_loadtest_http(args)
 

@@ -87,6 +87,12 @@ class WorkloadError(ReproError, ValueError):
     code = "invalid_workload"
 
 
+class ScenarioError(WorkloadError):
+    """Raised on an invalid or unreadable traffic-scenario configuration."""
+
+    code = "invalid_scenario"
+
+
 class SerializationError(ReproError):
     """Raised when a model cannot be serialized or deserialized."""
 

@@ -54,7 +54,7 @@ from repro.serving.kernel import PipelineKernel
 from repro.serving.loadgen import LoadGenerator, LoadTestReport
 from repro.serving.server import PredictionServer, ServerConfig
 from repro.serving.sharded import BACKENDS, ShardedPredictionServer
-from repro.serving.telemetry import ServingTelemetry, TelemetryReport
+from repro.serving.telemetry import ServingTelemetry, TelemetryReport, TenantReport
 
 __all__ = [
     "AsyncPredictionServer",
@@ -78,5 +78,6 @@ __all__ = [
     "ShardedModelRegistry",
     "ShardedPredictionServer",
     "TelemetryReport",
+    "TenantReport",
     "workload_signature",
 ]

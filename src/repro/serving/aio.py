@@ -100,6 +100,9 @@ class AsyncPredictionServer(KernelDriverBase):
         # tasks its flushes spawn, and the single wake-up timer.
         self._ids = itertools.count(1)
         self._waiters: dict[int, "asyncio.Future[tuple[float, bool]]"] = {}
+        # rid → tenant label (accounting metadata for per-tenant telemetry;
+        # the kernel never sees it), dropped with the waiter.
+        self._tenants: dict[int, str] = {}
         self._batch_tasks: set["asyncio.Task[None]"] = set()
         self._timer: asyncio.TimerHandle | None = None
 
@@ -136,15 +139,18 @@ class AsyncPredictionServer(KernelDriverBase):
             complete=self._complete,
             fail=self._fail,
             flush=self._spawn_batch,
+            tenant_of=self._tenants.get,
         )
         self._reschedule()
 
     def _complete(self, action: Complete) -> None:
+        self._tenants.pop(action.rid, None)
         future = self._waiters.pop(action.rid, None)
         if future is not None and not future.done():
             future.set_result((action.value, action.cache_hit))
 
     def _fail(self, rid: int, error: BaseException) -> None:
+        self._tenants.pop(rid, None)
         future = self._waiters.pop(rid, None)
         if future is not None and not future.done():
             future.set_exception(error)
@@ -210,6 +216,7 @@ class AsyncPredictionServer(KernelDriverBase):
         use_cache: bool = True,
         signature: Any = None,
         deadline_at: float | None = None,
+        tenant: str | None = None,
     ) -> tuple[float, bool]:
         """Admit one request and await ``(value, cache_hit_provenance)``.
 
@@ -217,6 +224,7 @@ class AsyncPredictionServer(KernelDriverBase):
         :func:`~repro.serving.kernel.apply_actions` when the resolving
         action is performed, so this coroutine only awaits.  The future is
         shielded: an abandoning caller must not cancel pipeline-owned work.
+        ``tenant`` labels this request's telemetry and nothing else.
         """
         if self._closed:
             raise ServingError("cannot submit to a closed AsyncPredictionServer")
@@ -224,6 +232,8 @@ class AsyncPredictionServer(KernelDriverBase):
         rid = next(self._ids)
         future: "asyncio.Future[tuple[float, bool]]" = self._loop.create_future()
         self._waiters[rid] = future
+        if tenant is not None:
+            self._tenants[rid] = tenant
         self._apply(
             self._kernel.submit(
                 rid,
@@ -257,6 +267,7 @@ class AsyncPredictionServer(KernelDriverBase):
             use_cache=use_cache,
             signature=signature,
             deadline_at=deadline_at,
+            tenant=request.tenant,
         )
         return PredictionResult(
             memory_mb=value,

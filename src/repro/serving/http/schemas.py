@@ -276,7 +276,7 @@ def workload_from_wire(payload: Any, where: str = "workload") -> Workload:
 # -- prediction requests ---------------------------------------------------------------
 
 _REQUEST_REQUIRED = frozenset({"workload"})
-_REQUEST_OPTIONAL = frozenset({"request_id", "deadline_ms", "cache_policy"})
+_REQUEST_OPTIONAL = frozenset({"request_id", "deadline_ms", "cache_policy", "tenant"})
 
 
 def request_to_wire(request: PredictionRequest) -> dict[str, Any]:
@@ -294,6 +294,8 @@ def request_to_wire(request: PredictionRequest) -> dict[str, Any]:
     }
     if request.deadline_s is not None:
         payload["deadline_ms"] = 1e3 * request.deadline_s
+    if request.tenant is not None:
+        payload["tenant"] = request.tenant
     return payload
 
 
@@ -307,7 +309,7 @@ class ParsedPredictionRequest:
     obtain the final :class:`~repro.api.PredictionRequest`.
     """
 
-    __slots__ = ("workload", "request_id", "deadline_ms", "cache_policy")
+    __slots__ = ("workload", "request_id", "deadline_ms", "cache_policy", "tenant")
 
     def __init__(
         self,
@@ -315,11 +317,13 @@ class ParsedPredictionRequest:
         request_id: str | None,
         deadline_ms: float | None,
         cache_policy: CachePolicy,
+        tenant: str | None = None,
     ) -> None:
         self.workload = workload
         self.request_id = request_id
         self.deadline_ms = deadline_ms
         self.cache_policy = cache_policy
+        self.tenant = tenant
 
     def bind(self, deadline_s: float | None) -> PredictionRequest:
         """The final typed request with the remaining budget attached."""
@@ -328,6 +332,7 @@ class ParsedPredictionRequest:
             request_id=self.request_id,
             deadline_s=deadline_s,
             cache_policy=self.cache_policy,
+            tenant=self.tenant,
         )
 
 
@@ -354,11 +359,17 @@ def request_from_wire(payload: Any, where: str = "request") -> ParsedPredictionR
             f"{where}.cache_policy: unknown policy {policy_name!r}; "
             f"known: {[policy.value for policy in CachePolicy]}"
         ) from exc
+    tenant = data.get("tenant")
+    if tenant is not None:
+        tenant = _wire_str(tenant, f"{where}.tenant")
+        if not tenant:
+            raise RequestValidationError(f"{where}.tenant must not be empty")
     return ParsedPredictionRequest(
         workload=workload_from_wire(data["workload"], f"{where}.workload"),
         request_id=request_id,
         deadline_ms=deadline_ms,
         cache_policy=cache_policy,
+        tenant=tenant,
     )
 
 

@@ -348,6 +348,7 @@ def apply_actions(
     fail: Callable[[int, BaseException], None],
     flush: Callable[[FlushBatch], None],
     clock: Callable[[], float] = time.monotonic,
+    tenant_of: Callable[[int], str | None] | None = None,
 ) -> None:
     """Perform a kernel action list against real telemetry and futures.
 
@@ -356,21 +357,37 @@ def apply_actions(
     exactly as the pre-kernel fronts did, then resolve the caller-facing
     future via ``complete(action)`` / ``fail(rid, error)``; ``FlushBatch``
     is handed to ``flush``; the informational cache actions are no-ops.
+
+    ``tenant_of`` is the driver's rid→tenant lookup (requests carrying a
+    :attr:`~repro.api.PredictionRequest.tenant` label); when provided, the
+    resolving observation is also accumulated into that tenant's telemetry
+    slice.  The kernel itself never sees tenants — the label is pure
+    accounting metadata owned by the drivers.
     """
+    def _label(rid: int) -> dict[str, str]:
+        # Passed as **kwargs only when a label exists, so duck-typed
+        # telemetry doubles without the ``tenant`` parameter keep working.
+        tenant = tenant_of(rid) if tenant_of is not None else None
+        return {} if tenant is None else {"tenant": tenant}
+
     for action in actions:
         if isinstance(action, Complete):
+            label = _label(action.rid)
             if action.late:
-                telemetry.record_deadline_miss()
-            telemetry.record(clock() - action.arrival, cache_hit=action.cache_hit)
+                telemetry.record_deadline_miss(**label)
+            telemetry.record(
+                clock() - action.arrival, cache_hit=action.cache_hit, **label
+            )
             complete(action)
         elif isinstance(action, Shed):
-            telemetry.record_deadline_miss(shed=True)
+            telemetry.record_deadline_miss(shed=True, **_label(action.rid))
             fail(action.rid, DeadlineExceededError(SHED_MESSAGES[action.stage]))
         elif isinstance(action, Fail):
+            label = _label(action.rid)
             if action.shed:
-                telemetry.record_deadline_miss(shed=True)
+                telemetry.record_deadline_miss(shed=True, **label)
             else:
-                telemetry.record_error()
+                telemetry.record_error(**label)
             fail(action.rid, action.error)
         elif isinstance(action, FlushBatch):
             flush(action)

@@ -30,6 +30,7 @@ import numpy as np
 from repro.api import PredictionRequest
 from repro.core.workload import Workload
 from repro.exceptions import DeadlineExceededError, InvalidParameterError
+from repro.serving.telemetry import TenantReport
 
 __all__ = ["LoadTestReport", "LoadGenerator"]
 
@@ -58,9 +59,17 @@ class LoadTestReport:
     deadline_misses: int = 0
     shed_requests: int = 0
     extras: dict[str, float] = field(default_factory=dict)
+    seed: int | None = None
+    scenario: str | None = None
+    tenants: dict[str, TenantReport] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
-        """JSON-friendly form (the ``BENCH_serving.json`` schema)."""
+        """JSON-friendly form (the ``BENCH_serving.json`` schema).
+
+        ``seed`` and ``scenario`` appear when the run was provenance-tagged
+        (scenario-driven runs always are); ``tenants`` nests one counter
+        block per tenant label observed by the server.
+        """
         payload: dict[str, object] = {
             "benchmark": self.benchmark,
             "n_requests": self.n_requests,
@@ -77,6 +86,14 @@ class LoadTestReport:
             "deadline_misses": self.deadline_misses,
             "shed_requests": self.shed_requests,
         }
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario
+        if self.tenants:
+            payload["tenants"] = {
+                name: report.to_dict() for name, report in self.tenants.items()
+            }
         payload.update(self.extras)
         return payload
 
@@ -109,6 +126,17 @@ class LoadTestReport:
                     f"shed requests       : {self.shed_requests}",
                 ]
             )
+        if self.scenario is not None:
+            lines.append(f"scenario            : {self.scenario}")
+        if self.seed is not None:
+            lines.append(f"seed                : {self.seed}")
+        for name in sorted(self.tenants):
+            tenant = self.tenants[name]
+            lines.append(
+                f"tenant {name:<13}: {tenant.n_requests} req, "
+                f"p95 {tenant.latency_p95_ms:.2f} ms, "
+                f"misses {tenant.deadline_misses}, shed {tenant.shed_requests}"
+            )
         return "\n".join(lines)
 
 
@@ -140,6 +168,11 @@ class LoadGenerator:
         enforces the budget end-to-end: expired requests are shed (counted
         in the report's ``shed_requests`` / ``deadline_misses``, not in
         ``n_errors``) instead of stretching the tail.
+    seed:
+        Provenance tag recorded in the report (``LoadTestReport.seed``);
+        the replay itself is already deterministic given ``requests``.
+        Scenario-driven runs (:meth:`from_scenario`) record the scenario's
+        own seed.
     """
 
     def __init__(
@@ -150,6 +183,7 @@ class LoadGenerator:
         qps: float,
         benchmark: str = "",
         deadline_s: float | None = None,
+        seed: int | None = None,
     ) -> None:
         if qps <= 0.0:
             raise InvalidParameterError("qps must be > 0")
@@ -157,13 +191,55 @@ class LoadGenerator:
             raise InvalidParameterError("cannot load-test with zero requests")
         if deadline_s is not None and deadline_s <= 0.0:
             raise InvalidParameterError("deadline_s must be > 0 (or None)")
+        if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+            raise InvalidParameterError("seed must be an integer (or None)")
         self.server = server
         self.requests = list(requests)
         self.qps = float(qps)
         self.benchmark = benchmark
         self.deadline_s = deadline_s
+        self.seed = seed
+        self.scenario: str | None = None
+        # Arrival offset of request i relative to the run start.  The fixed
+        # mode is the constant-rate grid; from_scenario() replaces this with
+        # the compiled scenario's absolute timestamps.
+        self._offsets: list[float] = [i / self.qps for i in range(len(self.requests))]
+        self._schedule: "list[Any] | None" = None
 
-    def _submit(self, workload: Workload) -> Future:
+    @classmethod
+    def from_scenario(cls, server: Any, scenario: Any) -> "LoadGenerator":
+        """Drive a compiled scenario's schedule instead of a fixed-rate grid.
+
+        ``scenario`` is a :class:`~repro.workloads.scenarios.CompiledScenario`;
+        each :class:`~repro.workloads.scenarios.ScheduledRequest` is submitted
+        as a typed request at its compiled absolute offset, carrying its
+        tenant label, deadline and cache policy.  ``duration_s`` and the knob
+        ranges were validated when the scenario was parsed; the report's
+        ``offered_qps`` is the schedule's overall mean rate and ``tenants``
+        holds the per-tenant counter blocks from the server's telemetry.
+        """
+        if not scenario.schedule:
+            raise InvalidParameterError(
+                f"scenario {scenario.name!r} compiled to zero requests; "
+                "raise qps or duration_s"
+            )
+        if not scenario.duration_s > 0.0:
+            raise InvalidParameterError("scenario duration_s must be > 0")
+        generator = cls(
+            server,
+            [item.workload for item in scenario.schedule],
+            qps=len(scenario.schedule) / scenario.duration_s,
+            benchmark="+".join(scenario.spec.benchmarks),
+            seed=scenario.seed,
+        )
+        generator.scenario = scenario.name
+        generator._offsets = [item.at_s for item in scenario.schedule]
+        generator._schedule = list(scenario.schedule)
+        return generator
+
+    def _submit(self, i: int, workload: Workload) -> Future:
+        if self._schedule is not None:
+            return self.server.submit_request(self._schedule[i].to_request())
         if self.deadline_s is None:
             return self.server.submit(workload)
         return self.server.submit_request(
@@ -171,14 +247,13 @@ class LoadGenerator:
         )
 
     def run(self) -> LoadTestReport:
-        """Replay every request at the target rate and wait for completion."""
-        interval = 1.0 / self.qps
+        """Replay every request at its scheduled offset and wait for completion."""
         n = len(self.requests)
         completed_at: list[float | None] = [None] * n
         start = time.monotonic()
         futures: list[Future] = []
         for i, workload in enumerate(self.requests):
-            scheduled = start + i * interval
+            scheduled = start + self._offsets[i]
             delay = scheduled - time.monotonic()
             if delay > 0.0:
                 time.sleep(delay)
@@ -189,7 +264,7 @@ class LoadGenerator:
                 # inflated by time spent waiting on requests before it.
                 completed_at[index] = time.monotonic()
 
-            future = self._submit(workload)
+            future = self._submit(i, workload)
             future.add_done_callback(_stamp)
             futures.append(future)
 
@@ -210,7 +285,7 @@ class LoadGenerator:
                 # result() can wake fractionally before the done callback runs
                 # on the worker thread; fall back to "now".
                 finished = time.monotonic()
-            latencies.append(finished - (start + i * interval))
+            latencies.append(finished - (start + self._offsets[i]))
         duration = max(time.monotonic() - start, 1e-9)
 
         if latencies:
@@ -247,4 +322,7 @@ class LoadGenerator:
             mean_batch_size=mean_batch_size,
             deadline_misses=telemetry.deadline_misses,
             shed_requests=telemetry.shed_requests,
+            seed=self.seed,
+            scenario=self.scenario,
+            tenants=dict(getattr(telemetry, "tenants", {}) or {}),
         )

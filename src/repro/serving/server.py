@@ -88,6 +88,10 @@ class PredictionServer(KernelDriverBase):
         super().__init__(source, model_name=model_name, config=config, telemetry=telemetry)
         self._work = threading.Condition()
         self._waiters: dict[int, "Future[tuple[float, bool]]"] = {}
+        # rid → tenant label for requests that carry one; consulted by
+        # apply_actions when the resolving action feeds telemetry, dropped
+        # with the waiter.  The kernel itself never sees tenants.
+        self._tenants: dict[int, str] = {}
         self._ids = itertools.count(1)
         self._ready: deque[FlushBatch] = deque()
         self._worker: threading.Thread | None = None
@@ -128,6 +132,7 @@ class PredictionServer(KernelDriverBase):
                 complete=self._complete,
                 fail=self._fail,
                 flush=self._unexpected_flush,
+                tenant_of=self._tenants.get,
             )
 
     @staticmethod
@@ -135,11 +140,13 @@ class PredictionServer(KernelDriverBase):
         raise ServingError("FlushBatch leaked past _collect")  # pragma: no cover
 
     def _complete(self, action: Complete) -> None:
+        self._tenants.pop(action.rid, None)
         future = self._waiters.pop(action.rid, None)
         if future is not None:
             future.set_result((action.value, action.cache_hit))
 
     def _fail(self, rid: int, error: BaseException) -> None:
+        self._tenants.pop(rid, None)
         future = self._waiters.pop(rid, None)
         if future is not None:
             future.set_exception(error)
@@ -173,12 +180,14 @@ class PredictionServer(KernelDriverBase):
         use_cache: bool = True,
         signature: Any = None,
         deadline_at: float | None = None,
+        tenant: str | None = None,
     ) -> "Future[tuple[float, bool]]":
         """Admit one request; the future resolves to ``(value, cache_hit)``.
 
         All pipeline semantics (cache provenance, BYPASS write-through,
         admission/queue/execution shedding, singleflight leadership rules)
-        are the kernel's; see :meth:`PipelineKernel.submit`.
+        are the kernel's; see :meth:`PipelineKernel.submit`.  ``tenant`` is
+        accounting metadata only: it labels this request's telemetry.
         """
         if self._closed:
             raise ServingError("cannot submit to a closed PredictionServer")
@@ -188,6 +197,8 @@ class PredictionServer(KernelDriverBase):
             rid = next(self._ids)
             future: "Future[tuple[float, bool]]" = Future()
             self._waiters[rid] = future
+            if tenant is not None:
+                self._tenants[rid] = tenant
             actions = self._kernel.submit(
                 rid,
                 workload,
@@ -259,6 +270,7 @@ class PredictionServer(KernelDriverBase):
             use_cache=use_cache,
             signature=signature,
             deadline_at=deadline_at,
+            tenant=request.tenant,
         )
         version = self._served_version
         feature_cache_active = self._feature_cache_active

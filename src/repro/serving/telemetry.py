@@ -13,14 +13,54 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Callable, Mapping
 
 import numpy as np
 
 from repro.exceptions import SerializationError
 
-__all__ = ["TelemetryReport", "ServingTelemetry"]
+__all__ = ["TenantReport", "TelemetryReport", "ServingTelemetry"]
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant slice of a serving window.
+
+    One entry per distinct ``tenant`` label seen on
+    :class:`~repro.api.PredictionRequest` traffic (scenario tenants); the
+    label-free remainder of the traffic is not reported here.  Latencies are
+    in milliseconds, measured the same way as the fleet-wide numbers.
+    """
+
+    n_requests: int
+    n_errors: int
+    deadline_misses: int
+    shed_requests: int
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+
+    def to_dict(self) -> dict[str, float]:
+        """The per-tenant slice as a flat JSON-friendly dict."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TenantReport":
+        """Rebuild one per-tenant slice from :meth:`to_dict` output."""
+        if not isinstance(payload, Mapping):
+            raise SerializationError(
+                f"tenant payload must be a mapping, got {type(payload).__name__}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        kwargs = {name: payload[name] for name in known if name in payload}
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise SerializationError(
+                f"tenant payload is missing required fields: {exc}"
+            ) from exc
 
 
 @dataclass(frozen=True)
@@ -62,9 +102,14 @@ class TelemetryReport:
     feature_cache_misses: int = 0
     feature_cache_evictions: int = 0
     feature_cache_hit_rate: float = 0.0
+    tenants: dict[str, TenantReport] = field(default_factory=dict)
 
-    def to_dict(self) -> dict[str, float]:
-        """The report as a flat JSON-friendly dict."""
+    def to_dict(self) -> dict[str, Any]:
+        """The report as a JSON-friendly dict.
+
+        Scalar fields stay flat (the ``BENCH_serving.json`` gating schema);
+        per-tenant slices nest under ``tenants`` (info-only downstream).
+        """
         return asdict(self)
 
     @classmethod
@@ -81,7 +126,19 @@ class TelemetryReport:
                 f"telemetry payload must be a mapping, got {type(payload).__name__}"
             )
         known = {spec.name for spec in fields(cls)}
-        kwargs = {name: payload[name] for name in known if name in payload}
+        kwargs: dict[str, Any] = {name: payload[name] for name in known if name in payload}
+        tenants = kwargs.get("tenants")
+        if tenants is not None:
+            if not isinstance(tenants, Mapping):
+                raise SerializationError(
+                    f"telemetry tenants must be a mapping, got {type(tenants).__name__}"
+                )
+            kwargs["tenants"] = {
+                str(name): (
+                    slice_ if isinstance(slice_, TenantReport) else TenantReport.from_dict(slice_)
+                )
+                for name, slice_ in tenants.items()
+            }
         try:
             return cls(**kwargs)
         except TypeError as exc:
@@ -120,11 +177,53 @@ class TelemetryReport:
                     f"feature cache hit % : {100.0 * self.feature_cache_hit_rate:.1f} %",
                 ]
             )
+        for name in sorted(self.tenants):
+            tenant = self.tenants[name]
+            lines.append(
+                f"tenant {name:<13}: {tenant.n_requests} req, "
+                f"p95 {tenant.latency_p95_ms:.2f} ms, "
+                f"misses {tenant.deadline_misses}, shed {tenant.shed_requests}"
+            )
         return "\n".join(lines)
 
 
+class _TenantStats:
+    """Mutable per-tenant accumulator behind :class:`ServingTelemetry`."""
+
+    __slots__ = ("latencies_s", "errors", "deadline_misses", "shed_requests")
+
+    def __init__(self) -> None:
+        self.latencies_s: list[float] = []
+        self.errors = 0
+        self.deadline_misses = 0
+        self.shed_requests = 0
+
+    def report(self) -> TenantReport:
+        latencies = np.asarray(self.latencies_s, dtype=np.float64)
+        if len(latencies):
+            p50, p95, p99 = np.percentile(latencies, [50.0, 95.0, 99.0])
+            mean = float(latencies.mean())
+        else:
+            p50 = p95 = p99 = mean = 0.0
+        return TenantReport(
+            n_requests=len(latencies),
+            n_errors=self.errors,
+            deadline_misses=self.deadline_misses,
+            shed_requests=self.shed_requests,
+            latency_mean_ms=1e3 * mean,
+            latency_p50_ms=1e3 * float(p50),
+            latency_p95_ms=1e3 * float(p95),
+            latency_p99_ms=1e3 * float(p99),
+        )
+
+
 class ServingTelemetry:
-    """Thread-safe accumulator of per-request serving observations."""
+    """Thread-safe accumulator of per-request serving observations.
+
+    Every recording method takes an optional ``tenant`` label; labeled
+    observations are additionally accumulated into the per-tenant slices
+    reported as :attr:`TelemetryReport.tenants`.
+    """
 
     def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
         self._clock = clock
@@ -138,8 +237,20 @@ class ServingTelemetry:
         self._max_queue_depth = 0
         self._first_at: float | None = None
         self._last_at: float | None = None
+        self._tenants: dict[str, _TenantStats] = {}
 
-    def record(self, latency_s: float, *, cache_hit: bool = False) -> None:
+    def _tenant(self, tenant: str | None) -> _TenantStats | None:
+        """The per-tenant accumulator for ``tenant`` (created lazily); lock held."""
+        if tenant is None:
+            return None
+        stats = self._tenants.get(tenant)
+        if stats is None:
+            stats = self._tenants[tenant] = _TenantStats()
+        return stats
+
+    def record(
+        self, latency_s: float, *, cache_hit: bool = False, tenant: str | None = None
+    ) -> None:
         """Record one completed request."""
         now = self._clock()
         with self._lock:
@@ -149,13 +260,19 @@ class ServingTelemetry:
             if self._first_at is None:
                 self._first_at = now
             self._last_at = now
+            stats = self._tenant(tenant)
+            if stats is not None:
+                stats.latencies_s.append(float(latency_s))
 
-    def record_error(self) -> None:
+    def record_error(self, *, tenant: str | None = None) -> None:
         """Count one failed request (model exception on the request path)."""
         with self._lock:
             self._errors += 1
+            stats = self._tenant(tenant)
+            if stats is not None:
+                stats.errors += 1
 
-    def record_deadline_miss(self, *, shed: bool = False) -> None:
+    def record_deadline_miss(self, *, shed: bool = False, tenant: str | None = None) -> None:
         """Count one request whose ``deadline_s`` budget expired.
 
         ``shed=True`` marks the subset that was failed fast *before* model
@@ -168,6 +285,11 @@ class ServingTelemetry:
             self._deadline_misses += 1
             if shed:
                 self._shed_requests += 1
+            stats = self._tenant(tenant)
+            if stats is not None:
+                stats.deadline_misses += 1
+                if shed:
+                    stats.shed_requests += 1
 
     def observe_batch(self, size: int) -> None:
         """Record the size of one model-call batch."""
@@ -191,6 +313,7 @@ class ServingTelemetry:
             self._max_queue_depth = 0
             self._first_at = None
             self._last_at = None
+            self._tenants.clear()
 
     def snapshot(self) -> TelemetryReport:
         """Distil the observations into an immutable :class:`TelemetryReport`."""
@@ -224,4 +347,7 @@ class ServingTelemetry:
                 max_queue_depth=self._max_queue_depth,
                 deadline_misses=self._deadline_misses,
                 shed_requests=self._shed_requests,
+                tenants={
+                    name: stats.report() for name, stats in sorted(self._tenants.items())
+                },
             )

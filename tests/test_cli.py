@@ -287,6 +287,68 @@ class TestServeAndLoadtest:
         assert "throughput" in out
 
 
+class TestLoadtestScenario:
+    def test_missing_file_exits_2_with_one_line_error(self, capsys):
+        exit_code = main(["loadtest", "--scenario", "/nonexistent/traffic.toml"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "cannot read scenario file" in err
+        # One actionable line on stderr, no traceback.
+        assert err.strip().count("\n") == 0
+        assert "Traceback" not in err
+
+    def test_invalid_config_exits_2_with_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text('[scenario]\nname = "broken"\nduration_s = 1.0\n')
+        exit_code = main(["loadtest", "--scenario", str(path)])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "tenants" in err
+        assert err.strip().count("\n") == 0
+        assert "Traceback" not in err
+
+    def test_scenario_run_writes_sectioned_json(self, tmp_path, capsys):
+        path = tmp_path / "mini.toml"
+        path.write_text(
+            "[scenario]\n"
+            'name = "mini"\n'
+            "seed = 5\n"
+            "duration_s = 0.5\n"
+            "[sources.tpcc]\n"
+            "n_queries = 40\n"
+            "batch_size = 5\n"
+            "[[tenants]]\n"
+            'name = "solo"\n'
+            "mix = { tpcc = 1.0 }\n"
+            "deadline_ms = 2000.0\n"
+            "[tenants.arrival]\n"
+            'shape = "steady"\n'
+            "qps = 20.0\n"
+        )
+        output = tmp_path / "bench.json"
+        exit_code = main(
+            [
+                "loadtest",
+                "--scenario",
+                str(path),
+                "--output",
+                str(output),
+                "--section",
+                "scenario_mini",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "scenario 'mini' (seed 5)" in out
+        assert "tenant solo" in out
+        payload = json.loads(output.read_text())["scenario_mini"]
+        assert payload["scenario"] == "mini"
+        assert payload["seed"] == 5
+        assert payload["n_requests"] == 10  # steady 20 qps for 0.5 s
+        assert payload["tenants"]["solo"]["n_requests"] == 10
+        assert payload["tenants"]["solo"]["deadline_misses"] == 0
+
+
 class TestFigures:
     def test_lists_available_figures(self, capsys):
         exit_code = main(["figures"])

@@ -1,0 +1,563 @@
+"""Tests for the scenario engine: configs, arrival processes, determinism.
+
+Covers the four scenario layers (parameter streams, arrival processes,
+mixes, tenants) plus the integration surface: strict config parsing with
+actionable errors, hypothesis properties of the arrival samplers (seeded
+determinism, monotonicity, empirical mean rate), bit-identical compilation,
+and the end-to-end acceptance check that the same scenario produces the
+same per-tenant report counters on both the thread and asyncio backends.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import CachePolicy
+from repro.exceptions import InvalidParameterError, ScenarioError
+from repro.integration.predictors import ConstantMemoryPredictor
+from repro.serving import (
+    AsyncPredictionServer,
+    LoadGenerator,
+    PredictionServer,
+    ServerConfig,
+    ServingTelemetry,
+    TelemetryReport,
+    TenantReport,
+)
+from repro.workloads.scenarios import (
+    ArrivalSpec,
+    ParameterStream,
+    ScenarioSpec,
+    SourceSpec,
+    TenantSpec,
+    build_arrivals,
+    compile_scenario,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    load_scenario,
+    onoff_arrivals,
+    parse_scenario,
+    poisson_arrivals,
+    steady_arrivals,
+)
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "scenarios"
+
+
+def small_spec(seed: int = 11) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="unit",
+        seed=seed,
+        duration_s=1.0,
+        tenants=(
+            TenantSpec(
+                name="analytics",
+                arrival=ArrivalSpec(shape="poisson", qps=40.0),
+                mix=(("tpcds", 0.7), ("tpcc", 0.3)),
+                deadline_ms=5000.0,
+            ),
+            TenantSpec(
+                name="interactive",
+                arrival=ArrivalSpec(shape="steady", qps=20.0),
+                mix=(("job", 1.0),),
+                cache_policy=CachePolicy.BYPASS,
+            ),
+        ),
+        sources=(
+            SourceSpec(benchmark="tpcds", n_queries=60, batch_size=6),
+            SourceSpec(benchmark="job", n_queries=40, batch_size=5),
+            SourceSpec(benchmark="tpcc", n_queries=40, batch_size=5),
+        ),
+    )
+
+
+# -- config parsing --------------------------------------------------------------------
+
+
+class TestParsing:
+    def test_minimal_toml_round_trip(self, tmp_path):
+        path = tmp_path / "s.toml"
+        path.write_text(
+            "[scenario]\n"
+            'name = "mini"\n'
+            "seed = 3\n"
+            "duration_s = 1.5\n"
+            "[[tenants]]\n"
+            'name = "t"\n'
+            "mix = { tpcds = 1.0 }\n"
+            "[tenants.arrival]\n"
+            'shape = "poisson"\n'
+            "qps = 25.0\n"
+        )
+        spec = load_scenario(path)
+        assert spec.name == "mini"
+        assert spec.seed == 3
+        assert spec.duration_s == 1.5
+        assert spec.tenants[0].arrival.shape == "poisson"
+        # The tpcds source was defaulted because the mix references it.
+        assert spec.benchmarks == ("tpcds",)
+
+    def test_json_config(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(
+            '{"scenario": {"name": "j", "seed": 1, "duration_s": 1.0},'
+            ' "tenants": [{"name": "t", "mix": {"job": 1.0},'
+            ' "arrival": {"shape": "steady", "qps": 10}}]}'
+        )
+        spec = load_scenario(path)
+        assert spec.name == "j"
+        assert spec.tenants[0].mix == (("job", 1.0),)
+
+    def test_missing_file_mentions_path(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot read scenario file"):
+            load_scenario(tmp_path / "absent.toml")
+
+    def test_invalid_toml_is_scenario_error(self, tmp_path):
+        path = tmp_path / "s.toml"
+        path.write_text("[scenario\n")
+        with pytest.raises(ScenarioError, match="invalid TOML"):
+            load_scenario(path)
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "s.yaml"
+        path.write_text("scenario:\n")
+        with pytest.raises(ScenarioError, match="unsupported scenario format"):
+            load_scenario(path)
+
+    def test_scenario_error_is_value_error(self):
+        assert issubclass(ScenarioError, ValueError)
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            ({"scenario": {"name": "x", "bogus": 1}}, "unknown key"),
+            ({"scenario": {"seed": 1}}, "missing required key 'name'"),
+            ({"tenants": []}, "at least one tenant"),
+            ({}, "missing required"),
+        ],
+    )
+    def test_schema_violations(self, mutate, message):
+        base = {
+            "scenario": {"name": "x", "seed": 1, "duration_s": 1.0},
+            "tenants": [
+                {"name": "t", "mix": {"tpcds": 1.0}, "arrival": {"shape": "steady", "qps": 5}}
+            ],
+        }
+        base.update(mutate)
+        if not mutate:
+            base.pop("tenants")
+        with pytest.raises(ScenarioError, match=message):
+            parse_scenario(base)
+
+    def test_unknown_benchmark_in_mix(self):
+        with pytest.raises(ScenarioError, match="unknown benchmark"):
+            TenantSpec(
+                name="t",
+                arrival=ArrivalSpec(shape="steady", qps=5.0),
+                mix=(("oracle12c", 1.0),),
+            )
+
+    def test_nonpositive_mix_weight(self):
+        with pytest.raises(ScenarioError, match="must be > 0"):
+            TenantSpec(
+                name="t",
+                arrival=ArrivalSpec(shape="steady", qps=5.0),
+                mix=(("tpcds", 0.0),),
+            )
+
+    def test_unknown_arrival_shape(self):
+        with pytest.raises(ScenarioError, match="unknown arrival shape"):
+            ArrivalSpec(shape="sawtooth", qps=5.0)
+
+    def test_flash_crowd_requires_spike(self):
+        with pytest.raises(ScenarioError, match="peak_qps"):
+            ArrivalSpec(shape="flash_crowd", qps=5.0)
+
+    def test_onoff_requires_heavy_tail_gt_one(self):
+        with pytest.raises(ScenarioError, match="tail"):
+            ArrivalSpec(shape="onoff", qps=5.0, tail=1.0)
+
+    def test_duplicate_tenant_names(self):
+        tenant = TenantSpec(
+            name="t", arrival=ArrivalSpec(shape="steady", qps=5.0), mix=(("tpcds", 1.0),)
+        )
+        with pytest.raises(ScenarioError, match="duplicate tenant names"):
+            ScenarioSpec(name="x", seed=1, duration_s=1.0, tenants=(tenant, tenant))
+
+    def test_unknown_cache_policy(self):
+        payload = {
+            "scenario": {"name": "x", "seed": 1, "duration_s": 1.0},
+            "tenants": [
+                {
+                    "name": "t",
+                    "mix": {"tpcds": 1.0},
+                    "arrival": {"shape": "steady", "qps": 5},
+                    "cache_policy": "write-behind",
+                }
+            ],
+        }
+        with pytest.raises(ScenarioError, match="unknown policy"):
+            parse_scenario(payload)
+
+    @pytest.mark.parametrize("name", ["steady", "diurnal", "flash_crowd", "two_tenant_contention"])
+    def test_committed_examples_parse(self, name):
+        spec = load_scenario(EXAMPLES / f"{name}.toml")
+        assert spec.name == name
+        assert spec.tenants
+
+
+# -- arrival processes -----------------------------------------------------------------
+
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestArrivalProcesses:
+    def test_steady_grid_is_exact(self):
+        assert list(steady_arrivals(10.0, 0.5)) == pytest.approx(
+            [0.0, 0.1, 0.2, 0.3, 0.4]
+        )
+
+    @given(seed=seeds, qps=st.floats(min_value=50.0, max_value=400.0))
+    def test_poisson_deterministic_and_monotone(self, seed, qps):
+        first = list(poisson_arrivals(qps, 2.0, seed=seed))
+        second = list(poisson_arrivals(qps, 2.0, seed=seed))
+        assert first == second
+        assert all(0.0 <= t < 2.0 for t in first)
+        assert all(b > a for a, b in zip(first, first[1:]))
+
+    @given(seed=seeds, qps=st.floats(min_value=100.0, max_value=400.0))
+    def test_poisson_empirical_rate(self, seed, qps):
+        # Aim for lambda*T ~ 1000 arrivals so the 6-sigma band is ~±19%.
+        duration = 1000.0 / qps
+        n = sum(1 for _ in poisson_arrivals(qps, duration, seed=seed))
+        assert abs(n - 1000.0) < 6.0 * np.sqrt(1000.0)
+
+    @given(seed=seeds)
+    def test_onoff_deterministic_and_monotone(self, seed):
+        kwargs = dict(mean_on_s=0.5, mean_off_s=0.5, tail=2.5, seed=seed)
+        first = list(onoff_arrivals(200.0, 5.0, **kwargs))
+        second = list(onoff_arrivals(200.0, 5.0, **kwargs))
+        assert first == second
+        assert all(0.0 <= t < 5.0 for t in first)
+        assert all(b > a for a, b in zip(first, first[1:]))
+
+    @given(seed=seeds)
+    @settings(max_examples=30)
+    def test_onoff_empirical_rate(self, seed):
+        # Long-run mean rate = qps * on / (on + off).  With tail = 2.5 the
+        # period variance is finite; over ~60 cycles the duty cycle noise
+        # still dominates, so the band is generous.
+        qps, duration = 300.0, 30.0
+        n = sum(
+            1
+            for _ in onoff_arrivals(
+                qps, duration, mean_on_s=0.25, mean_off_s=0.25, tail=2.5, seed=seed
+            )
+        )
+        expected = qps * duration * 0.5
+        assert 0.55 * expected < n < 1.45 * expected
+
+    @given(seed=seeds)
+    def test_diurnal_deterministic_and_monotone(self, seed):
+        kwargs = dict(amplitude=0.8, period_s=1.0, seed=seed)
+        first = list(diurnal_arrivals(150.0, 2.0, **kwargs))
+        assert first == list(diurnal_arrivals(150.0, 2.0, **kwargs))
+        assert all(b > a for a, b in zip(first, first[1:]))
+
+    @given(seed=seeds)
+    def test_flash_crowd_concentrates_in_spike(self, seed):
+        times = list(
+            flash_crowd_arrivals(
+                10.0,
+                3.0,
+                peak_qps=1000.0,
+                spike_start_s=1.0,
+                spike_duration_s=0.5,
+                seed=seed,
+            )
+        )
+        assert times == sorted(times)
+        in_spike = sum(1 for t in times if 1.0 <= t < 1.5)
+        # ~500 expected inside the window vs ~25 outside.
+        assert in_spike > len(times) * 0.8
+
+    def test_build_arrivals_dispatches_every_shape(self):
+        shapes = [
+            ArrivalSpec(shape="steady", qps=10.0),
+            ArrivalSpec(shape="poisson", qps=10.0),
+            ArrivalSpec(shape="diurnal", qps=10.0, amplitude=0.5, period_s=1.0),
+            ArrivalSpec(
+                shape="flash_crowd",
+                qps=10.0,
+                peak_qps=100.0,
+                spike_start_s=0.2,
+                spike_duration_s=0.2,
+            ),
+            ArrivalSpec(shape="onoff", qps=10.0, tail=2.0),
+        ]
+        for spec in shapes:
+            times = list(build_arrivals(spec, duration_s=1.0, seed=[3, 4]))
+            assert all(0.0 <= t < 1.0 for t in times)
+
+
+# -- parameter streams -----------------------------------------------------------------
+
+
+class TestParameterStream:
+    def test_per_template_streams_are_isolated(self):
+        from repro.workloads.generator import build_benchmark
+
+        generator = build_benchmark("tpcds")
+        # Template 2's n-th instantiation must not depend on how many other
+        # templates were drawn in between (the dsqgen per-stream property).
+        alone = ParameterStream(generator, seed=5)
+        interleaved = ParameterStream(generator, seed=5)
+        expected = [alone.instantiate(2).sql for _ in range(4)]
+        got = []
+        for i in range(4):
+            interleaved.instantiate(0)
+            got.append(interleaved.instantiate(2).sql)
+            interleaved.instantiate(1)
+        assert got == expected
+
+    def test_take_is_deterministic_and_resumable(self):
+        from repro.workloads.generator import build_benchmark
+
+        generator = build_benchmark("job")
+        whole = ParameterStream(generator, seed=9).take(20)
+        split = ParameterStream(generator, seed=9)
+        halves = split.take(10) + split.take(10)
+        assert [q.sql for q in whole] == [q.sql for q in halves]
+        assert [q.template_id for q in whole] == [q.template_id for q in halves]
+
+    def test_out_of_range_template(self):
+        from repro.workloads.generator import build_benchmark
+
+        stream = ParameterStream(build_benchmark("tpcc"), seed=1)
+        with pytest.raises(ScenarioError, match="out of range"):
+            stream.instantiate(10_000)
+
+
+# -- compilation -----------------------------------------------------------------------
+
+
+class TestCompilation:
+    def test_same_spec_same_fingerprint(self):
+        spec = small_spec()
+        first = compile_scenario(spec)
+        second = compile_scenario(spec)
+        assert first.fingerprint() == second.fingerprint()
+        assert [item.at_s for item in first.schedule] == [
+            item.at_s for item in second.schedule
+        ]
+
+    def test_different_seed_different_fingerprint(self):
+        assert (
+            compile_scenario(small_spec(seed=11)).fingerprint()
+            != compile_scenario(small_spec(seed=12)).fingerprint()
+        )
+
+    def test_schedule_is_sorted_and_labelled(self):
+        compiled = compile_scenario(small_spec())
+        times = [item.at_s for item in compiled.schedule]
+        assert times == sorted(times)
+        tenants = {item.tenant for item in compiled.schedule}
+        assert tenants == {"analytics", "interactive"}
+        counts = compiled.tenant_counts()
+        assert counts["interactive"] == 20  # steady 20 qps for 1 s
+        assert compiled.n_requests == sum(counts.values())
+
+    def test_scheduled_request_binds_tenant_policies(self):
+        compiled = compile_scenario(small_spec())
+        by_tenant = {item.tenant: item for item in compiled.schedule}
+        analytics = by_tenant["analytics"].to_request()
+        assert analytics.tenant == "analytics"
+        assert analytics.deadline_s == pytest.approx(5.0)
+        interactive = by_tenant["interactive"].to_request()
+        assert interactive.cache_policy is CachePolicy.BYPASS
+        assert interactive.deadline_s is None
+
+    def test_records_cover_all_sources(self):
+        compiled = compile_scenario(small_spec())
+        benchmarks = {record.benchmark for record in compiled.records}
+        assert benchmarks == {"tpcds", "job", "tpcc"}
+
+
+# -- per-tenant telemetry --------------------------------------------------------------
+
+
+class TestTenantTelemetry:
+    def test_per_tenant_slices(self):
+        telemetry = ServingTelemetry()
+        telemetry.record(0.010, tenant="a")
+        telemetry.record(0.020, cache_hit=True, tenant="a")
+        telemetry.record(0.030, tenant="b")
+        telemetry.record_error(tenant="b")
+        telemetry.record_deadline_miss(shed=True, tenant="a")
+        report = telemetry.snapshot()
+        assert set(report.tenants) == {"a", "b"}
+        assert report.tenants["a"].n_requests == 2
+        assert report.tenants["a"].shed_requests == 1
+        assert report.tenants["a"].deadline_misses == 1
+        assert report.tenants["b"].n_errors == 1
+        assert report.tenants["b"].latency_p50_ms == pytest.approx(30.0)
+
+    def test_untenanted_traffic_has_no_tenant_block(self):
+        telemetry = ServingTelemetry()
+        telemetry.record(0.010)
+        assert telemetry.snapshot().tenants == {}
+
+    def test_reset_clears_tenants(self):
+        telemetry = ServingTelemetry()
+        telemetry.record(0.010, tenant="a")
+        telemetry.reset()
+        assert telemetry.snapshot().tenants == {}
+
+    def test_report_round_trip_with_tenants(self):
+        telemetry = ServingTelemetry()
+        telemetry.record(0.010, tenant="a")
+        telemetry.record_deadline_miss(tenant="a")
+        report = telemetry.snapshot()
+        revived = TelemetryReport.from_dict(report.to_dict())
+        assert isinstance(revived.tenants["a"], TenantReport)
+        assert revived.tenants["a"] == report.tenants["a"]
+        assert "tenant a" in report.render()
+
+
+# -- end-to-end determinism (acceptance) -----------------------------------------------
+
+
+def run_scenario(compiled, backend: str):
+    """Drive one compiled scenario on a fresh tiny server; return the report."""
+    server_cls = PredictionServer if backend == "thread" else AsyncPredictionServer
+    config = ServerConfig(max_batch_size=16, max_wait_s=0.002)
+    with server_cls(ConstantMemoryPredictor(32.0), config=config) as server:
+        return LoadGenerator.from_scenario(server, compiled).run()
+
+
+def counters(report):
+    return {
+        name: (t.n_requests, t.n_errors, t.deadline_misses, t.shed_requests)
+        for name, t in report.tenants.items()
+    }
+
+
+class TestEndToEndDeterminism:
+    """Same config + seed twice → identical streams and per-tenant counters.
+
+    Deadlines in ``small_spec`` are generous (or absent), so the counter
+    values are wall-clock independent: no misses, no sheds, every scheduled
+    request completes — on the thread and the asyncio backend alike.
+    """
+
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return compile_scenario(small_spec())
+
+    @pytest.mark.parametrize("backend", ["thread", "asyncio"])
+    def test_counters_reproducible_per_backend(self, compiled, backend):
+        first = run_scenario(compiled, backend)
+        second = run_scenario(compiled, backend)
+        assert counters(first) == counters(second)
+        assert first.n_errors == second.n_errors == 0
+        assert first.shed_requests == second.shed_requests == 0
+
+    def test_backends_agree(self, compiled):
+        thread = run_scenario(compiled, "thread")
+        aio = run_scenario(compiled, "asyncio")
+        expected = {
+            name: (count, 0, 0, 0) for name, count in compiled.tenant_counts().items()
+        }
+        assert counters(thread) == expected
+        assert counters(aio) == expected
+
+    def test_stream_identical_across_compilations(self):
+        spec = small_spec()
+        assert (
+            compile_scenario(spec).fingerprint() == compile_scenario(spec).fingerprint()
+        )
+
+    def test_report_carries_scenario_provenance(self, compiled):
+        report = run_scenario(compiled, "thread")
+        payload = report.to_dict()
+        assert payload["scenario"] == "unit"
+        assert payload["seed"] == compiled.seed
+        assert set(payload["tenants"]) == {"analytics", "interactive"}
+        assert "scenario            : unit" in report.render()
+
+
+# -- load generator satellites ---------------------------------------------------------
+
+
+class TestLoadGeneratorKnobs:
+    def test_rejects_nonpositive_qps(self, tiny_workload):
+        with pytest.raises(InvalidParameterError):
+            LoadGenerator(object(), [tiny_workload], qps=0.0)
+
+    def test_rejects_bad_seed(self, tiny_workload):
+        with pytest.raises(InvalidParameterError, match="seed"):
+            LoadGenerator(object(), [tiny_workload], qps=10.0, seed="7")
+
+    def test_seed_lands_in_report(self, tiny_workload):
+        with PredictionServer(
+            ConstantMemoryPredictor(8.0), config=ServerConfig(max_wait_s=0.0)
+        ) as server:
+            report = LoadGenerator(
+                server, [tiny_workload] * 5, qps=500.0, benchmark="tpcds", seed=123
+            ).run()
+        assert report.seed == 123
+        assert report.to_dict()["seed"] == 123
+        assert "scenario" not in report.to_dict()  # fixed-rate runs are untagged
+
+    def test_from_scenario_rejects_empty_schedule(self):
+        spec = small_spec()
+        compiled = compile_scenario(spec)
+        compiled.schedule = []
+        with pytest.raises(InvalidParameterError, match="zero requests"):
+            LoadGenerator.from_scenario(object(), compiled)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload(tpcds_small):
+    from repro.core.workload import make_workloads
+
+    return make_workloads(tpcds_small.test_records[:10], 5, seed=0)[0]
+
+
+# -- wire schema -----------------------------------------------------------------------
+
+
+class TestTenantOnTheWire:
+    def test_request_round_trip_keeps_tenant(self, tiny_workload):
+        from repro.api import PredictionRequest
+        from repro.serving.http.schemas import request_from_wire, request_to_wire
+
+        request = PredictionRequest.of(
+            tiny_workload, deadline_s=0.25, tenant="analytics"
+        )
+        parsed = request_from_wire(request_to_wire(request))
+        assert parsed.tenant == "analytics"
+        bound = parsed.bind(0.25)
+        assert bound.tenant == "analytics"
+
+    def test_absent_tenant_stays_none(self, tiny_workload):
+        from repro.api import PredictionRequest
+        from repro.serving.http.schemas import request_from_wire, request_to_wire
+
+        wire = request_to_wire(PredictionRequest.of(tiny_workload))
+        assert "tenant" not in wire
+        assert request_from_wire(wire).tenant is None
+
+    def test_empty_tenant_rejected(self, tiny_workload):
+        from repro.api import PredictionRequest
+        from repro.exceptions import RequestValidationError
+        from repro.serving.http.schemas import request_from_wire, request_to_wire
+
+        wire = request_to_wire(PredictionRequest.of(tiny_workload))
+        wire["tenant"] = ""
+        with pytest.raises(RequestValidationError, match="tenant"):
+            request_from_wire(wire)

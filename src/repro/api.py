@@ -98,8 +98,14 @@ class PredictionRequest:
         Optional name of the traffic stream (scenario tenant) the request
         belongs to.  Serving backends thread it into per-tenant telemetry
         (latency percentiles, ``deadline_misses`` / ``shed_requests`` per
-        tenant in :class:`~repro.serving.telemetry.TelemetryReport`); it has
-        no effect on routing, caching or prediction.
+        tenant in :class:`~repro.serving.telemetry.TelemetryReport`) and
+        into the kernel's per-tenant quotas and weighted fair share of
+        batch slots; it has no effect on routing, caching or prediction.
+    priority:
+        Scheduling priority (default 0; higher wins).  Serving backends
+        fill batch slots priority-first (ties broken earliest-deadline-
+        first) and shed lower-priority work first under overload.
+        In-process predictors treat it as advisory metadata.
     """
 
     workload: Workload
@@ -107,6 +113,7 @@ class PredictionRequest:
     deadline_s: float | None = None
     cache_policy: CachePolicy = CachePolicy.DEFAULT
     tenant: str | None = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.workload, Workload):
@@ -118,6 +125,8 @@ class PredictionRequest:
             raise InvalidParameterError("deadline_s must be > 0 (or None)")
         if self.tenant is not None and not self.tenant:
             raise InvalidParameterError("tenant must be a non-empty string (or None)")
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise InvalidParameterError("priority must be an integer")
 
     @classmethod
     def of(
@@ -128,6 +137,7 @@ class PredictionRequest:
         deadline_s: float | None = None,
         cache_policy: CachePolicy = CachePolicy.DEFAULT,
         tenant: str | None = None,
+        priority: int = 0,
     ) -> "PredictionRequest":
         """Build a request from a :class:`Workload` or a plain query sequence."""
         workload = queries if isinstance(queries, Workload) else Workload(queries=list(queries))
@@ -137,6 +147,7 @@ class PredictionRequest:
             deadline_s=deadline_s,
             cache_policy=cache_policy,
             tenant=tenant,
+            priority=priority,
         )
 
 

@@ -104,6 +104,29 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true", help="disable the prediction cache")
     parser.add_argument("--no-batching", action="store_true", help="disable micro-batching")
     parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="bound the pending queue; overflow sheds the lowest-priority request "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--tenant-weight",
+        action="append",
+        default=None,
+        metavar="TENANT=N",
+        help="weighted fair share of batch slots for one tenant (repeatable); "
+        "any use turns on stride scheduling, unlisted tenants weigh 1",
+    )
+    parser.add_argument(
+        "--tenant-max-inflight",
+        action="append",
+        default=None,
+        metavar="TENANT=N",
+        help="cap one tenant's concurrently admitted requests (repeatable); "
+        "overflow is shed with reason queue_full",
+    )
+    parser.add_argument(
         "--deadline-ms",
         type=float,
         default=None,
@@ -316,7 +339,29 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_server(args: argparse.Namespace, model):
+def _parse_quota_flags(pairs, flag: str) -> dict[str, int] | None:
+    """Parse repeatable ``TENANT=N`` quota flags into a mapping (or ``None``)."""
+    if not pairs:
+        return None
+    quotas: dict[str, int] = {}
+    for item in pairs:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"{flag} expects TENANT=N, got {item!r}")
+        try:
+            quotas[name] = int(value)
+        except ValueError:
+            raise SystemExit(f"{flag} expects an integer value, got {item!r}") from None
+    return quotas
+
+
+def _make_server(
+    args: argparse.Namespace,
+    model,
+    *,
+    tenant_weights: dict[str, int] | None = None,
+    tenant_max_inflight: dict[str, int] | None = None,
+):
     """Build (registry, server) around ``model`` from the shared serving flags.
 
     ``--shards N`` (N > 1) builds a
@@ -324,7 +369,9 @@ def _make_server(args: argparse.Namespace, model):
     on every shard behind a
     :class:`~repro.serving.sharded.ShardedPredictionServer`; otherwise a
     single-registry server of the selected ``--backend`` (thread-based
-    worker or asyncio event loop) is stood up.
+    worker or asyncio event loop) is stood up.  ``tenant_weights`` /
+    ``tenant_max_inflight`` are scenario-derived quota defaults; explicit
+    ``--tenant-weight`` / ``--tenant-max-inflight`` flags override them.
     """
     from repro.registry import ModelRegistry, ShardedModelRegistry
     from repro.serving import (
@@ -339,11 +386,19 @@ def _make_server(args: argparse.Namespace, model):
     if hasattr(model, "configure_feature_cache"):
         model.configure_feature_cache(args.feature_cache_size)
 
+    weights = _parse_quota_flags(args.tenant_weight, "--tenant-weight") or tenant_weights
+    caps = (
+        _parse_quota_flags(args.tenant_max_inflight, "--tenant-max-inflight")
+        or tenant_max_inflight
+    )
     config = ServerConfig(
         max_batch_size=args.max_batch,
         max_wait_s=args.max_wait_ms / 1e3,
         enable_cache=not args.no_cache,
         enable_batching=not args.no_batching,
+        max_queue_depth=args.max_queue_depth,
+        tenant_weights=weights,
+        tenant_max_inflight=caps,
     )
     if args.shards > 1:
         registry = ShardedModelRegistry(args.shards)
@@ -586,7 +641,12 @@ def _cmd_loadtest_scenario(args: argparse.Namespace) -> int:
                 fast=True,
             )
             model.fit(compiled.records)
-        _, server = _make_server(args, model)
+        _, server = _make_server(
+            args,
+            model,
+            tenant_weights=spec.tenant_weights(),
+            tenant_max_inflight=spec.tenant_max_inflight(),
+        )
         print(f"replaying (backend={args.backend}, shards={args.shards}) ...\n")
         with server:
             report = LoadGenerator.from_scenario(server, compiled).run()

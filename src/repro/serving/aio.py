@@ -35,6 +35,7 @@ side and for tuning guidance.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import itertools
 import threading
 import time
@@ -57,6 +58,7 @@ from repro.serving.kernel import (
     FlushBatch,
     ServerConfig,
     apply_actions,
+    flush_priority,
     split_expired,
 )
 
@@ -104,6 +106,12 @@ class AsyncPredictionServer(KernelDriverBase):
         # the kernel never sees it), dropped with the waiter.
         self._tenants: dict[int, str] = {}
         self._batch_tasks: set["asyncio.Task[None]"] = set()
+        # Ready-to-execute flushes, ordered highest-priority-first (FIFO by
+        # batch_id within a level); one drainer task feeds them to the
+        # executor so a high-priority batch overtakes a low-priority
+        # backlog instead of queueing FIFO behind it.
+        self._ready: list[tuple[int, int, FlushBatch]] = []
+        self._drainer: "asyncio.Task[None] | None" = None
         self._timer: asyncio.TimerHandle | None = None
 
         # Model calls are CPU-bound numpy work; one executor worker serializes
@@ -171,9 +179,25 @@ class AsyncPredictionServer(KernelDriverBase):
         self._apply(self._kernel.tick(time.monotonic()))
 
     def _spawn_batch(self, flush: FlushBatch) -> None:
-        task = self._loop.create_task(self._execute(flush))
-        self._batch_tasks.add(task)
-        task.add_done_callback(self._batch_tasks.discard)
+        heapq.heappush(self._ready, (-flush_priority(flush), flush.batch_id, flush))
+        # ``done()`` (not membership in _batch_tasks) decides whether a new
+        # drainer is needed: the discard callback runs a loop step later,
+        # and a push landing in that gap must not strand the heap.
+        if self._drainer is None or self._drainer.done():
+            self._drainer = self._loop.create_task(self._drain_batches())
+            self._batch_tasks.add(self._drainer)
+            self._drainer.add_done_callback(self._batch_tasks.discard)
+
+    async def _drain_batches(self) -> None:
+        """Execute ready flushes best-first until the heap runs dry.
+
+        One drainer exists at a time (it lives in ``_batch_tasks``), so
+        batches still execute one after another exactly like the thread
+        backend's single worker — only the *order* is scheduling-aware.
+        """
+        while self._ready:
+            flush = heapq.heappop(self._ready)[2]
+            await self._execute(flush)
 
     def _run_batch(
         self, flush: FlushBatch
@@ -217,6 +241,7 @@ class AsyncPredictionServer(KernelDriverBase):
         signature: Any = None,
         deadline_at: float | None = None,
         tenant: str | None = None,
+        priority: int = 0,
     ) -> tuple[float, bool]:
         """Admit one request and await ``(value, cache_hit_provenance)``.
 
@@ -224,7 +249,8 @@ class AsyncPredictionServer(KernelDriverBase):
         :func:`~repro.serving.kernel.apply_actions` when the resolving
         action is performed, so this coroutine only awaits.  The future is
         shielded: an abandoning caller must not cancel pipeline-owned work.
-        ``tenant`` labels this request's telemetry and nothing else.
+        ``tenant`` labels this request's telemetry and keys the kernel's
+        quotas; ``priority`` orders scheduling and overload shedding.
         """
         if self._closed:
             raise ServingError("cannot submit to a closed AsyncPredictionServer")
@@ -242,6 +268,8 @@ class AsyncPredictionServer(KernelDriverBase):
                 deadline_at=deadline_at,
                 use_cache=use_cache,
                 signature=signature,
+                tenant=tenant,
+                priority=priority,
             )
         )
         value, cache_hit = await asyncio.shield(future)
@@ -268,6 +296,7 @@ class AsyncPredictionServer(KernelDriverBase):
             signature=signature,
             deadline_at=deadline_at,
             tenant=request.tenant,
+            priority=request.priority,
         )
         return PredictionResult(
             memory_mb=value,

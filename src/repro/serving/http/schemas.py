@@ -276,7 +276,9 @@ def workload_from_wire(payload: Any, where: str = "workload") -> Workload:
 # -- prediction requests ---------------------------------------------------------------
 
 _REQUEST_REQUIRED = frozenset({"workload"})
-_REQUEST_OPTIONAL = frozenset({"request_id", "deadline_ms", "cache_policy", "tenant"})
+_REQUEST_OPTIONAL = frozenset(
+    {"request_id", "deadline_ms", "cache_policy", "tenant", "priority"}
+)
 
 
 def request_to_wire(request: PredictionRequest) -> dict[str, Any]:
@@ -296,6 +298,8 @@ def request_to_wire(request: PredictionRequest) -> dict[str, Any]:
         payload["deadline_ms"] = 1e3 * request.deadline_s
     if request.tenant is not None:
         payload["tenant"] = request.tenant
+    if request.priority != 0:
+        payload["priority"] = request.priority
     return payload
 
 
@@ -309,7 +313,7 @@ class ParsedPredictionRequest:
     obtain the final :class:`~repro.api.PredictionRequest`.
     """
 
-    __slots__ = ("workload", "request_id", "deadline_ms", "cache_policy", "tenant")
+    __slots__ = ("workload", "request_id", "deadline_ms", "cache_policy", "tenant", "priority")
 
     def __init__(
         self,
@@ -318,12 +322,14 @@ class ParsedPredictionRequest:
         deadline_ms: float | None,
         cache_policy: CachePolicy,
         tenant: str | None = None,
+        priority: int = 0,
     ) -> None:
         self.workload = workload
         self.request_id = request_id
         self.deadline_ms = deadline_ms
         self.cache_policy = cache_policy
         self.tenant = tenant
+        self.priority = priority
 
     def bind(self, deadline_s: float | None) -> PredictionRequest:
         """The final typed request with the remaining budget attached."""
@@ -333,6 +339,7 @@ class ParsedPredictionRequest:
             deadline_s=deadline_s,
             cache_policy=self.cache_policy,
             tenant=self.tenant,
+            priority=self.priority,
         )
 
 
@@ -364,12 +371,14 @@ def request_from_wire(payload: Any, where: str = "request") -> ParsedPredictionR
         tenant = _wire_str(tenant, f"{where}.tenant")
         if not tenant:
             raise RequestValidationError(f"{where}.tenant must not be empty")
+    priority = _wire_int(data.get("priority", 0), f"{where}.priority")
     return ParsedPredictionRequest(
         workload=workload_from_wire(data["workload"], f"{where}.workload"),
         request_id=request_id,
         deadline_ms=deadline_ms,
         cache_policy=cache_policy,
         tenant=tenant,
+        priority=priority,
     )
 
 

@@ -68,6 +68,7 @@ from repro.serving.cache import CacheStats, LRUTTLCache, workload_signature
 __all__ = [
     "ServerConfig",
     "PipelineKernel",
+    "STRIDE_SCALE",
     "Submit",
     "Tick",
     "SyncVersion",
@@ -86,9 +87,41 @@ __all__ = [
     "ObserveQueueDepth",
     "Action",
     "split_expired",
+    "flush_priority",
     "apply_actions",
     "SHED_MESSAGES",
 ]
+
+
+#: Stride-scheduler scale: a tenant of weight ``w`` advances its pass value
+#: by ``STRIDE_SCALE // w`` per batch slot it wins, so slot shares converge
+#: to the weight ratio.  Pure integer arithmetic keeps the schedule bit-exact
+#: between the kernel and the naive oracle.
+STRIDE_SCALE = 1 << 16
+
+
+def _normalize_quota(value: Any, name: str) -> tuple[tuple[str, int], ...] | None:
+    """Canonicalize a per-tenant quota mapping to a sorted tuple of pairs.
+
+    Accepts a mapping or an iterable of ``(tenant, limit)`` pairs; the
+    frozen config stores a hashable, order-independent tuple.  An empty
+    mapping normalizes to ``None`` (the feature stays off).
+    """
+    if value is None:
+        return None
+    pairs = value.items() if hasattr(value, "items") else value
+    normalized: list[tuple[str, int]] = []
+    for tenant, limit in pairs:
+        if not isinstance(tenant, str) or not tenant:
+            raise InvalidParameterError(f"{name} tenant names must be non-empty strings")
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise InvalidParameterError(f"{name} values must be integers >= 1")
+        normalized.append((tenant, limit))
+    normalized.sort()
+    for (left, _), (right, _) in zip(normalized, normalized[1:]):
+        if left == right:
+            raise InvalidParameterError(f"{name} repeats tenant {left!r}")
+    return tuple(normalized) if normalized else None
 
 
 @dataclass(frozen=True)
@@ -107,6 +140,21 @@ class ServerConfig:
     stream_window:
         Maximum number of in-flight requests ``predict_stream`` keeps
         outstanding, which is what lets the batcher coalesce a stream.
+    max_queue_depth:
+        Bound on the pending queue.  When an admit would exceed it, the
+        scheduling-worst queued request (lowest priority, then latest
+        deadline, then newest) is shed to make room — or the newcomer
+        itself is rejected when it *is* the worst.  ``None`` leaves the
+        queue unbounded.
+    tenant_weights:
+        Optional per-tenant weighted fair share of batch slots.  When set,
+        batch assembly stride-schedules across the tenants present at the
+        highest pending priority instead of a global EDF sort.  Accepts a
+        mapping or ``(tenant, weight)`` pairs; unlisted tenants weigh 1.
+    tenant_max_inflight:
+        Optional per-tenant cap on admitted-but-unresolved requests
+        (pending + executing).  A tenant at its cap has further submits
+        shed at admission with reason ``"queue_full"``.
     """
 
     max_batch_size: int = 32
@@ -116,6 +164,9 @@ class ServerConfig:
     enable_cache: bool = True
     enable_batching: bool = True
     stream_window: int = 64
+    max_queue_depth: int | None = None
+    tenant_weights: Any = None
+    tenant_max_inflight: Any = None
 
     def __post_init__(self) -> None:
         # Every knob is validated here, whether or not the feature it tunes
@@ -131,6 +182,32 @@ class ServerConfig:
             raise InvalidParameterError("cache_ttl_s must be > 0 (or None to disable expiry)")
         if self.stream_window < 1:
             raise InvalidParameterError("stream_window must be >= 1")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise InvalidParameterError("max_queue_depth must be >= 1 (or None for unbounded)")
+        object.__setattr__(
+            self, "tenant_weights", _normalize_quota(self.tenant_weights, "tenant_weights")
+        )
+        object.__setattr__(
+            self,
+            "tenant_max_inflight",
+            _normalize_quota(self.tenant_max_inflight, "tenant_max_inflight"),
+        )
+
+    def weight_of(self, tenant: str | None) -> int:
+        """Fair-share weight of ``tenant`` (1 for unlisted or unlabeled)."""
+        if self.tenant_weights is not None and tenant is not None:
+            for name, weight in self.tenant_weights:
+                if name == tenant:
+                    return weight
+        return 1
+
+    def inflight_cap(self, tenant: str | None) -> int | None:
+        """Max-inflight quota of ``tenant``, or ``None`` for uncapped."""
+        if self.tenant_max_inflight is not None and tenant is not None:
+            for name, cap in self.tenant_max_inflight:
+                if name == tenant:
+                    return cap
+        return None
 
 
 # -- events ---------------------------------------------------------------------------
@@ -145,7 +222,10 @@ class Submit:
     same time domain as ``now``; ``use_cache=False`` is the BYPASS policy
     (skip the cache read and the singleflight attach, but still
     write-through-populate the cache).  ``signature`` is a routing front's
-    precomputed workload signature, if any.
+    precomputed workload signature, if any.  ``tenant`` and ``priority``
+    drive scheduling: higher priority fills batch slots (and survives
+    overload shedding) first, and the tenant label is what quotas and
+    weighted fair share key on.
     """
 
     rid: int
@@ -154,6 +234,8 @@ class Submit:
     deadline_at: float | None = None
     use_cache: bool = True
     signature: Hashable | None = None
+    tenant: str | None = None
+    priority: int = 0
 
 
 @dataclass(frozen=True)
@@ -226,15 +308,20 @@ class Complete:
 
 @dataclass(frozen=True)
 class Shed:
-    """Fail request ``rid`` fast: its deadline expired before model work.
+    """Fail request ``rid`` fast, before any model work runs on it.
 
-    ``stage`` is where the pipeline caught it: ``"admission"`` (expired on
-    arrival), ``"queue"`` (expired while pending) or ``"execution"``
-    (expired by the time its batch actually started executing).
+    ``stage`` is where the pipeline caught it: ``"admission"`` (rejected on
+    arrival), ``"queue"`` (dropped while pending) or ``"execution"``
+    (expired by the time its batch actually started executing).  ``reason``
+    says why: ``"deadline"`` (the request's own budget expired),
+    ``"queue_full"`` (the bounded queue or a tenant quota rejected it at
+    admission) or ``"priority_evict"`` (a queued request was evicted to
+    admit a scheduling-better newcomer).
     """
 
     rid: int
     stage: str
+    reason: str = "deadline"
 
 
 @dataclass(frozen=True)
@@ -252,11 +339,19 @@ class Fail:
 
 @dataclass(frozen=True)
 class BatchEntry:
-    """One member of a flushed batch (the driver needs workload + expiry)."""
+    """One member of a flushed batch.
+
+    The driver needs the workload (to call the model) and the expiry (to
+    re-partition with :func:`split_expired` at execution start);
+    ``priority`` lets it order *ready* batches with :func:`flush_priority`
+    so a high-priority batch never waits behind a backlog of low-priority
+    ones at the model-call worker.
+    """
 
     rid: int
     workload: Workload
     deadline_at: float | None
+    priority: int = 0
 
 
 @dataclass(frozen=True)
@@ -314,11 +409,14 @@ Action = Union[
     ObserveQueueDepth,
 ]
 
-#: Error message per shed stage (stable strings, pinned by tests).
+#: Error message per shed stage / overload reason (stable strings, pinned by
+#: tests).  Deadline sheds key on the stage; overload sheds key on the reason.
 SHED_MESSAGES = {
     "admission": "request shed at admission: deadline already expired",
     "queue": "request shed before execution: deadline expired while queued",
     "execution": "request shed before execution: deadline expired while queued",
+    "queue_full": "request shed under overload: queue depth or tenant quota exceeded",
+    "priority_evict": "request shed under overload: evicted for a higher-priority request",
 }
 
 
@@ -338,6 +436,18 @@ def split_expired(entries: Iterable[Any], now: float) -> tuple[list[Any], list[A
         else:
             live.append(entry)
     return live, expired
+
+
+def flush_priority(flush: FlushBatch) -> int:
+    """Execution priority of a flushed batch: its best member's priority.
+
+    Drivers order *ready* batches by ``(-flush_priority(f), f.batch_id)``
+    at the model-call worker, so a freshly flushed high-priority batch
+    overtakes a backlog of lower-priority ones instead of queueing behind
+    it — with equal priorities everywhere, ``batch_id`` keeps the exact
+    FIFO execution order batches always had.
+    """
+    return max((entry.priority for entry in flush.entries), default=0)
 
 
 def apply_actions(
@@ -380,8 +490,16 @@ def apply_actions(
             )
             complete(action)
         elif isinstance(action, Shed):
-            telemetry.record_deadline_miss(shed=True, **_label(action.rid))
-            fail(action.rid, DeadlineExceededError(SHED_MESSAGES[action.stage]))
+            label = _label(action.rid)
+            if action.reason != "deadline":
+                # Overload sheds carry their reason into telemetry (and are
+                # not deadline misses); the kwarg is only passed when it
+                # deviates from the default so duck-typed telemetry doubles
+                # without the parameter keep working on deadline sheds.
+                label["reason"] = action.reason
+            telemetry.record_deadline_miss(shed=True, **label)
+            message_key = action.stage if action.reason == "deadline" else action.reason
+            fail(action.rid, DeadlineExceededError(SHED_MESSAGES[message_key]))
         elif isinstance(action, Fail):
             label = _label(action.rid)
             if action.shed:
@@ -422,14 +540,24 @@ class _Entry:
     enqueued_at: float
     deadline_at: float | None
     generation: int
+    tenant: str | None
+    priority: int
+    seq: int
     leads: bool = False
     followers: list[_Follower] = field(default_factory=list)
 
 
-def _edf_key(entry: _Entry) -> tuple[float, float]:
-    """EDF sort key: tightest deadline first, deadline-free items FIFO last."""
+def _sched_key(entry: _Entry) -> tuple[int, float, int]:
+    """Total scheduling order: priority first (higher wins), then EDF
+    (deadline-free items last), then admission sequence.
+
+    The ``seq`` component makes the order total — equal deadlines no longer
+    fall back on whatever insertion order the queue happens to hold — and
+    its reverse is the eviction order under ``max_queue_depth``: the *last*
+    entry in scheduling order is the first shed under overload.
+    """
     deadline = entry.deadline_at if entry.deadline_at is not None else float("inf")
-    return (deadline, entry.enqueued_at)
+    return (-entry.priority, deadline, entry.seq)
 
 
 @dataclass
@@ -474,6 +602,12 @@ class PipelineKernel:
         self._pending: list[_Entry] = []
         self._executing: dict[int, _Batch] = {}
         self._batch_ids = itertools.count(1)
+        self._seq = itertools.count()
+        # Per-tenant accounting: admitted-but-unresolved requests (quota
+        # enforcement) and stride-scheduler pass values (fair share).
+        self._tenant_inflight: dict[str | None, int] = {}
+        self._tenant_pass: dict[str | None, int] = {}
+        self._vtime = 0
         self._generation = 0
         self._version: Any = None
         self._closing = False
@@ -499,6 +633,8 @@ class PipelineKernel:
                 deadline_at=event.deadline_at,
                 use_cache=event.use_cache,
                 signature=event.signature,
+                tenant=event.tenant,
+                priority=event.priority,
             )
         if isinstance(event, Tick):
             return self.tick(event.now)
@@ -523,8 +659,10 @@ class PipelineKernel:
         deadline_at: float | None = None,
         use_cache: bool = True,
         signature: Hashable | None = None,
+        tenant: str | None = None,
+        priority: int = 0,
     ) -> list[Action]:
-        """Admit one request through cache → singleflight → batcher.
+        """Admit one request through cache → singleflight → quotas → batcher.
 
         Provenance and deadline semantics match the pre-kernel fronts: a
         cache hit or a singleflight attachment completes with
@@ -535,6 +673,11 @@ class PipelineKernel:
         Deadline-carrying requests may attach to in-flight work but never
         lead it — a leader that could be shed would take its followers down
         with it.
+
+        Overload control runs after the deadline check: a tenant at its
+        max-inflight cap is shed ``"queue_full"``; a full bounded queue
+        sheds whichever of {worst queued follower-free entry, newcomer} is
+        last in scheduling order (``"priority_evict"`` / ``"queue_full"``).
         """
         if self._closing:
             raise ServingError("cannot submit to a closed serving kernel")
@@ -568,6 +711,36 @@ class PipelineKernel:
             # (not a batcher shed — the batcher never saw it).
             actions.append(Shed(rid, "admission"))
             return actions
+        cap = self.config.inflight_cap(tenant)
+        if cap is not None and self._tenant_inflight.get(tenant, 0) >= cap:
+            # Tenant over its inflight quota: shed at admission (the
+            # batcher never saw it), with the overload reason.
+            actions.append(Shed(rid, "admission", "queue_full"))
+            return actions
+        if (
+            self.config.enable_batching
+            and self.config.max_queue_depth is not None
+            and len(self._pending) >= self.config.max_queue_depth
+        ):
+            # Bounded queue: evict the scheduling-worst follower-free
+            # queued entry, or reject the newcomer when it is the worst
+            # (its prospective seq is newest, so it loses every tie).
+            victim_index = -1
+            for index, entry in enumerate(self._pending):
+                if entry.followers:
+                    continue
+                if victim_index < 0 or _sched_key(entry) > _sched_key(self._pending[victim_index]):
+                    victim_index = index
+            newcomer_key = (
+                -priority,
+                deadline_at if deadline_at is not None else float("inf"),
+                float("inf"),
+            )
+            if victim_index < 0 or newcomer_key > _sched_key(self._pending[victim_index]):
+                actions.append(Shed(rid, "admission", "queue_full"))
+                return actions
+            victim = self._pending.pop(victim_index)
+            self._shed_entry(victim, "queue", actions, reason="priority_evict")
         entry = _Entry(
             rid=rid,
             workload=workload,
@@ -576,8 +749,12 @@ class PipelineKernel:
             enqueued_at=self._now,
             deadline_at=deadline_at,
             generation=self._generation,
+            tenant=tenant,
+            priority=priority,
+            seq=next(self._seq),
         )
         self._requests += 1
+        self._tenant_inflight[tenant] = self._tenant_inflight.get(tenant, 0) + 1
         if self._cache is not None and deadline_at is None and key not in self._inflight:
             self._inflight[key] = entry
             entry.leads = True
@@ -715,6 +892,10 @@ class PipelineKernel:
         """Flushed batches whose BatchDone/BatchFailed has not arrived yet."""
         return len(self._executing)
 
+    def tenant_inflight(self) -> dict[str | None, int]:
+        """Admitted-but-unresolved requests per tenant label (quota view)."""
+        return {tenant: n for tenant, n in self._tenant_inflight.items() if n > 0}
+
     def batcher_stats(self) -> BatcherStats:
         """Micro-batching counters (same shape as the standalone batcher's)."""
         return BatcherStats(
@@ -749,12 +930,29 @@ class PipelineKernel:
                     self._shed_entry(entry, "queue", actions)
         return actions
 
-    def _shed_entry(self, entry: _Entry, stage: str, actions: list[Action]) -> None:
+    def _shed_entry(
+        self, entry: _Entry, stage: str, actions: list[Action], *, reason: str = "deadline"
+    ) -> None:
         self._shed += 1
+        self._release_entry(entry)
         self._clear_inflight(entry)
-        actions.append(Shed(entry.rid, stage))
-        # Leaders are deadline-free by construction, so a shed entry never
-        # has followers to take down with it.
+        actions.append(Shed(entry.rid, stage, reason))
+        # Deadline sheds never carry followers (leaders are deadline-free by
+        # construction) and queue-full eviction skips entries with followers,
+        # so a shed entry never takes coalesced requests down with it.
+
+    def _release_entry(self, entry: _Entry) -> None:
+        """Drop one unit of the entry's tenant-inflight accounting.
+
+        Every admitted entry leaves the kernel through exactly one of
+        shed / complete / fail, so the incremental counters stay in lock
+        step with the naive recount the oracle performs.
+        """
+        count = self._tenant_inflight.get(entry.tenant, 0) - 1
+        if count > 0:
+            self._tenant_inflight[entry.tenant] = count
+        else:
+            self._tenant_inflight.pop(entry.tenant, None)
 
     def _clear_inflight(self, entry: _Entry) -> None:
         if entry.leads and self._inflight.get(entry.key) is entry:
@@ -762,6 +960,7 @@ class PipelineKernel:
         entry.leads = False
 
     def _complete_entry(self, entry: _Entry, value: float, actions: list[Action]) -> None:
+        self._release_entry(entry)
         if self._cache is not None and entry.generation == self._generation:
             self._cache.put(entry.key, value)
             actions.append(CacheWrite(entry.key, value))
@@ -787,6 +986,7 @@ class PipelineKernel:
             )
 
     def _fail_entry(self, entry: _Entry, error: BaseException, actions: list[Action]) -> None:
+        self._release_entry(entry)
         self._clear_inflight(entry)
         # A deadline error raised on the model path counts as a shed; a
         # follower's failure is always a serving error (it was promised a
@@ -847,10 +1047,7 @@ class PipelineKernel:
             and len(self._executing) < self._max_concurrent
             and self._flush_due()
         ):
-            if any(entry.deadline_at is not None for entry in self._pending):
-                self._pending.sort(key=_edf_key)
-            batch = self._pending[: self.config.max_batch_size]
-            del self._pending[: self.config.max_batch_size]
+            batch = self._cut_batch()
             if len(batch) == self.config.max_batch_size:
                 reason = "size"
             elif self._closing:
@@ -860,6 +1057,47 @@ class PipelineKernel:
             actions.extend(self._flush_now(batch, reason))
         return actions
 
+    def _cut_batch(self) -> list[_Entry]:
+        """Select up to ``max_batch_size`` pending entries for one batch.
+
+        Default policy: sort the whole queue by :func:`_sched_key`
+        (priority, then EDF, then admission seq — a total order) and take
+        the head; with every priority equal and no deadlines this is
+        exactly the original FIFO cut.  With ``tenant_weights`` configured,
+        slots are instead awarded one at a time by a stride scheduler over
+        the tenants present at the highest pending priority — priority
+        still strictly dominates; fairness only arbitrates within a
+        priority level.
+        """
+        if self.config.tenant_weights is None:
+            self._pending.sort(key=_sched_key)
+            batch = self._pending[: self.config.max_batch_size]
+            del self._pending[: self.config.max_batch_size]
+            return batch
+        batch: list[_Entry] = []
+        while self._pending and len(batch) < self.config.max_batch_size:
+            top = max(entry.priority for entry in self._pending)
+            chosen: tuple[tuple[int, str], str | None] | None = None
+            for entry in self._pending:
+                if entry.priority != top:
+                    continue
+                tenant_pass = max(self._tenant_pass.get(entry.tenant, 0), self._vtime)
+                rank = (tenant_pass, entry.tenant if entry.tenant is not None else "")
+                if chosen is None or rank < chosen[0]:
+                    chosen = (rank, entry.tenant)
+            tenant = chosen[1]
+            pick_index = -1
+            for index, entry in enumerate(self._pending):
+                if entry.priority != top or entry.tenant != tenant:
+                    continue
+                if pick_index < 0 or _sched_key(entry) < _sched_key(self._pending[pick_index]):
+                    pick_index = index
+            batch.append(self._pending.pop(pick_index))
+            start = max(self._tenant_pass.get(tenant, 0), self._vtime)
+            self._tenant_pass[tenant] = start + STRIDE_SCALE // self.config.weight_of(tenant)
+            self._vtime = start
+        return batch
+
     def _flush_now(self, entries: list[_Entry], reason: str) -> list[Action]:
         batch_id = next(self._batch_ids)
         self._executing[batch_id] = _Batch(batch_id, entries, reason)
@@ -867,7 +1105,7 @@ class PipelineKernel:
             FlushBatch(
                 batch_id,
                 tuple(
-                    BatchEntry(entry.rid, entry.workload, entry.deadline_at)
+                    BatchEntry(entry.rid, entry.workload, entry.deadline_at, entry.priority)
                     for entry in entries
                 ),
                 reason,

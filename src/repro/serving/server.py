@@ -28,10 +28,10 @@ consumers can be pointed at a served model unchanged.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import threading
 import time
-from collections import deque
 from concurrent.futures import Future
 from typing import Any, Sequence
 
@@ -51,6 +51,7 @@ from repro.serving.kernel import (
     FlushBatch,
     ServerConfig,
     apply_actions,
+    flush_priority,
     split_expired,
 )
 
@@ -93,7 +94,10 @@ class PredictionServer(KernelDriverBase):
         # with the waiter.  The kernel itself never sees tenants.
         self._tenants: dict[int, str] = {}
         self._ids = itertools.count(1)
-        self._ready: deque[FlushBatch] = deque()
+        # Ready-to-execute flushes, ordered highest-priority-first (FIFO by
+        # batch_id within a priority level) so a high-priority batch never
+        # waits behind a backlog of low-priority ones at the worker.
+        self._ready: list[tuple[int, int, FlushBatch]] = []
         self._worker: threading.Thread | None = None
         if self.config.enable_batching:
             self._worker = threading.Thread(
@@ -119,7 +123,9 @@ class PredictionServer(KernelDriverBase):
                 if inline is not None:
                     inline.append(action)
                 else:
-                    self._ready.append(action)
+                    heapq.heappush(
+                        self._ready, (-flush_priority(action), action.batch_id, action)
+                    )
             else:
                 deferred.append(action)
         return deferred
@@ -181,13 +187,16 @@ class PredictionServer(KernelDriverBase):
         signature: Any = None,
         deadline_at: float | None = None,
         tenant: str | None = None,
+        priority: int = 0,
     ) -> "Future[tuple[float, bool]]":
         """Admit one request; the future resolves to ``(value, cache_hit)``.
 
         All pipeline semantics (cache provenance, BYPASS write-through,
-        admission/queue/execution shedding, singleflight leadership rules)
-        are the kernel's; see :meth:`PipelineKernel.submit`.  ``tenant`` is
-        accounting metadata only: it labels this request's telemetry.
+        admission/queue/execution shedding, priority/fair-share scheduling,
+        singleflight leadership rules) are the kernel's; see
+        :meth:`PipelineKernel.submit`.  ``tenant`` labels this request's
+        telemetry and keys the kernel's quotas; ``priority`` orders it in
+        batch assembly and overload shedding.
         """
         if self._closed:
             raise ServingError("cannot submit to a closed PredictionServer")
@@ -206,6 +215,8 @@ class PredictionServer(KernelDriverBase):
                 deadline_at=deadline_at,
                 use_cache=use_cache,
                 signature=signature,
+                tenant=tenant,
+                priority=priority,
             )
             deferred = self._collect(
                 actions, inline=inline if not self.config.enable_batching else None
@@ -271,6 +282,7 @@ class PredictionServer(KernelDriverBase):
             signature=signature,
             deadline_at=deadline_at,
             tenant=request.tenant,
+            priority=request.priority,
         )
         version = self._served_version
         feature_cache_active = self._feature_cache_active
@@ -308,7 +320,7 @@ class PredictionServer(KernelDriverBase):
                 while True:
                     deferred = self._collect(self._kernel.tick(time.monotonic()))
                     if self._ready:
-                        batch = self._ready.popleft()
+                        batch = heapq.heappop(self._ready)[2]
                         break
                     if deferred:
                         break

@@ -31,6 +31,11 @@ class TenantReport:
     :class:`~repro.api.PredictionRequest` traffic (scenario tenants); the
     label-free remainder of the traffic is not reported here.  Latencies are
     in milliseconds, measured the same way as the fleet-wide numbers.
+
+    ``shed_requests`` splits by reason: ``shed_deadline`` (the request's
+    own budget expired), ``shed_queue_full`` (rejected at admission by the
+    bounded queue or a tenant quota) and ``shed_priority_evict`` (evicted
+    from the queue for a scheduling-better newcomer).
     """
 
     n_requests: int
@@ -41,6 +46,9 @@ class TenantReport:
     latency_p50_ms: float
     latency_p95_ms: float
     latency_p99_ms: float
+    shed_deadline: int = 0
+    shed_queue_full: int = 0
+    shed_priority_evict: int = 0
 
     def to_dict(self) -> dict[str, float]:
         """The per-tenant slice as a flat JSON-friendly dict."""
@@ -71,10 +79,12 @@ class TelemetryReport:
     second over the window between the first and the last observation.
 
     ``deadline_misses`` counts every request whose ``deadline_s`` budget
-    expired; ``shed_requests`` is the subset failed fast *before* model
-    execution (at admission or in a micro-batch queue) — the difference is
-    requests that executed but completed late.  Both stay zero for traffic
-    without deadlines, and neither is included in ``n_errors``.
+    expired; ``shed_requests`` counts requests failed fast *before* model
+    execution — deadline sheds (also misses) plus overload sheds
+    (``shed_queue_full`` / ``shed_priority_evict``, whose budgets never
+    expired and which are therefore *not* deadline misses).  All of these
+    stay zero for deadline-free traffic under no overload control, and none
+    is included in ``n_errors``.
 
     The ``feature_cache_*`` fields mirror the served model's plan-feature
     cache (:class:`~repro.core.features.MemoizedFeaturizer`) — the second
@@ -98,6 +108,9 @@ class TelemetryReport:
     max_queue_depth: int
     deadline_misses: int = 0
     shed_requests: int = 0
+    shed_deadline: int = 0
+    shed_queue_full: int = 0
+    shed_priority_evict: int = 0
     feature_cache_hits: int = 0
     feature_cache_misses: int = 0
     feature_cache_evictions: int = 0
@@ -169,6 +182,13 @@ class TelemetryReport:
                     f"shed requests       : {self.shed_requests}",
                 ]
             )
+        if self.shed_queue_full or self.shed_priority_evict:
+            lines.extend(
+                [
+                    f"shed queue full     : {self.shed_queue_full}",
+                    f"shed priority evict : {self.shed_priority_evict}",
+                ]
+            )
         if self.feature_cache_hits or self.feature_cache_misses:
             lines.extend(
                 [
@@ -190,13 +210,24 @@ class TelemetryReport:
 class _TenantStats:
     """Mutable per-tenant accumulator behind :class:`ServingTelemetry`."""
 
-    __slots__ = ("latencies_s", "errors", "deadline_misses", "shed_requests")
+    __slots__ = (
+        "latencies_s",
+        "errors",
+        "deadline_misses",
+        "shed_requests",
+        "shed_deadline",
+        "shed_queue_full",
+        "shed_priority_evict",
+    )
 
     def __init__(self) -> None:
         self.latencies_s: list[float] = []
         self.errors = 0
         self.deadline_misses = 0
         self.shed_requests = 0
+        self.shed_deadline = 0
+        self.shed_queue_full = 0
+        self.shed_priority_evict = 0
 
     def report(self) -> TenantReport:
         latencies = np.asarray(self.latencies_s, dtype=np.float64)
@@ -214,6 +245,9 @@ class _TenantStats:
             latency_p50_ms=1e3 * float(p50),
             latency_p95_ms=1e3 * float(p95),
             latency_p99_ms=1e3 * float(p99),
+            shed_deadline=self.shed_deadline,
+            shed_queue_full=self.shed_queue_full,
+            shed_priority_evict=self.shed_priority_evict,
         )
 
 
@@ -233,6 +267,9 @@ class ServingTelemetry:
         self._errors = 0
         self._deadline_misses = 0
         self._shed_requests = 0
+        self._shed_deadline = 0
+        self._shed_queue_full = 0
+        self._shed_priority_evict = 0
         self._batch_sizes: list[int] = []
         self._max_queue_depth = 0
         self._first_at: float | None = None
@@ -272,24 +309,47 @@ class ServingTelemetry:
             if stats is not None:
                 stats.errors += 1
 
-    def record_deadline_miss(self, *, shed: bool = False, tenant: str | None = None) -> None:
-        """Count one request whose ``deadline_s`` budget expired.
+    def record_deadline_miss(
+        self,
+        *,
+        shed: bool = False,
+        tenant: str | None = None,
+        reason: str = "deadline",
+    ) -> None:
+        """Count one request shed or answered past its budget.
 
-        ``shed=True`` marks the subset that was failed fast *before* model
-        execution (expired at admission or in a micro-batch queue); the
-        remainder are requests that did execute but completed past their
-        deadline.  Deadline misses are intentional load shedding, so they are
-        counted separately from :meth:`record_error`.
+        ``shed=True`` marks requests failed fast *before* model execution;
+        the remainder are requests that did execute but completed past their
+        deadline.  ``reason`` says why a shed happened: ``"deadline"`` (the
+        budget expired — also a deadline miss), ``"queue_full"`` or
+        ``"priority_evict"`` (overload control rejected or evicted the
+        request; its budget never expired, so no miss is counted).  Sheds
+        are intentional load shedding, counted separately from
+        :meth:`record_error`.
         """
         with self._lock:
-            self._deadline_misses += 1
+            if reason == "deadline":
+                self._deadline_misses += 1
             if shed:
                 self._shed_requests += 1
+                if reason == "queue_full":
+                    self._shed_queue_full += 1
+                elif reason == "priority_evict":
+                    self._shed_priority_evict += 1
+                else:
+                    self._shed_deadline += 1
             stats = self._tenant(tenant)
             if stats is not None:
-                stats.deadline_misses += 1
+                if reason == "deadline":
+                    stats.deadline_misses += 1
                 if shed:
                     stats.shed_requests += 1
+                    if reason == "queue_full":
+                        stats.shed_queue_full += 1
+                    elif reason == "priority_evict":
+                        stats.shed_priority_evict += 1
+                    else:
+                        stats.shed_deadline += 1
 
     def observe_batch(self, size: int) -> None:
         """Record the size of one model-call batch."""
@@ -310,6 +370,9 @@ class ServingTelemetry:
             self._errors = 0
             self._deadline_misses = 0
             self._shed_requests = 0
+            self._shed_deadline = 0
+            self._shed_queue_full = 0
+            self._shed_priority_evict = 0
             self._max_queue_depth = 0
             self._first_at = None
             self._last_at = None
@@ -347,6 +410,9 @@ class ServingTelemetry:
                 max_queue_depth=self._max_queue_depth,
                 deadline_misses=self._deadline_misses,
                 shed_requests=self._shed_requests,
+                shed_deadline=self._shed_deadline,
+                shed_queue_full=self._shed_queue_full,
+                shed_priority_evict=self._shed_priority_evict,
                 tenants={
                     name: stats.report() for name, stats in sorted(self._tenants.items())
                 },

@@ -35,9 +35,13 @@ Entry points: :func:`load_scenario` (file → :class:`ScenarioSpec`),
 :class:`WorkloadSource` pools).  Committed example configs live in
 ``examples/scenarios/``; the schema is documented in ``docs/SCENARIOS.md``.
 
-``priority`` is carried through validation and onto the schedule for the
-overload-control work ROADMAP names next; the serving tier does not act on
-it yet.
+``priority`` rides every :class:`ScheduledRequest` onto the
+:class:`~repro.api.PredictionRequest` it produces, where the serving
+kernel uses it for batch assembly and overload shedding; the optional
+per-tenant ``weight`` / ``max_inflight`` quota knobs map onto
+:class:`~repro.serving.kernel.ServerConfig` ``tenant_weights`` /
+``tenant_max_inflight`` via :meth:`ScenarioSpec.tenant_weights` and
+:meth:`ScenarioSpec.tenant_max_inflight`.
 """
 
 from __future__ import annotations
@@ -399,10 +403,18 @@ class TenantSpec:
     priority: int = 0
     cache_policy: CachePolicy = CachePolicy.DEFAULT
     repeat_fraction: float = 0.7
+    weight: int = 1
+    max_inflight: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ScenarioError("tenant name must be a non-empty string")
+        if self.weight < 1:
+            raise ScenarioError(f"tenant {self.name!r}: weight must be >= 1")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ScenarioError(
+                f"tenant {self.name!r}: max_inflight must be >= 1 (or omitted)"
+            )
         if not self.mix:
             raise ScenarioError(f"tenant {self.name!r}: mix must not be empty")
         for benchmark, weight in self.mix:
@@ -463,6 +475,26 @@ class ScenarioSpec:
         """Benchmarks participating in this scenario, in source order."""
         return tuple(source.benchmark for source in self.sources)
 
+    def tenant_weights(self) -> dict[str, int] | None:
+        """The ``ServerConfig.tenant_weights`` mapping this scenario implies.
+
+        ``None`` when every tenant keeps the default weight of 1 (fair-share
+        scheduling stays off); otherwise the full name → weight mapping, so
+        defaults are explicit once any tenant opts in.
+        """
+        if all(tenant.weight == 1 for tenant in self.tenants):
+            return None
+        return {tenant.name: tenant.weight for tenant in self.tenants}
+
+    def tenant_max_inflight(self) -> dict[str, int] | None:
+        """The ``ServerConfig.tenant_max_inflight`` mapping (``None`` if unused)."""
+        caps = {
+            tenant.name: tenant.max_inflight
+            for tenant in self.tenants
+            if tenant.max_inflight is not None
+        }
+        return caps or None
+
 
 # -- compiled form ---------------------------------------------------------------------
 
@@ -485,6 +517,7 @@ class ScheduledRequest:
             deadline_s=self.deadline_s,
             cache_policy=self.cache_policy,
             tenant=self.tenant,
+            priority=self.priority,
         )
 
 
@@ -698,7 +731,17 @@ def _string(value: Any, where: str) -> str:
 _SCENARIO_KEYS = frozenset({"name", "seed", "duration_s"})
 _SOURCE_KEYS = frozenset({"n_queries", "batch_size", "seed"})
 _TENANT_KEYS = frozenset(
-    {"name", "arrival", "mix", "deadline_ms", "priority", "cache_policy", "repeat_fraction"}
+    {
+        "name",
+        "arrival",
+        "mix",
+        "deadline_ms",
+        "priority",
+        "cache_policy",
+        "repeat_fraction",
+        "weight",
+        "max_inflight",
+    }
 )
 _ARRIVAL_KEYS = frozenset(
     {
@@ -758,6 +801,9 @@ def _parse_tenant(data: Any, where: str) -> TenantSpec:
     deadline_ms = mapping.get("deadline_ms")
     if deadline_ms is not None:
         deadline_ms = _number(deadline_ms, f"{where}.deadline_ms")
+    max_inflight = mapping.get("max_inflight")
+    if max_inflight is not None:
+        max_inflight = _integer(max_inflight, f"{where}.max_inflight")
     return TenantSpec(
         name=name,
         arrival=_parse_arrival(mapping["arrival"], f"{where}.arrival"),
@@ -768,6 +814,8 @@ def _parse_tenant(data: Any, where: str) -> TenantSpec:
         repeat_fraction=_number(
             mapping.get("repeat_fraction", 0.7), f"{where}.repeat_fraction"
         ),
+        weight=_integer(mapping.get("weight", 1), f"{where}.weight"),
+        max_inflight=max_inflight,
     )
 
 

@@ -108,6 +108,32 @@ class CountingPredictor:
         return np.full(len(workloads), self.value)
 
 
+class GatedLookupPredictor(LookupPredictor):
+    """:class:`LookupPredictor` whose *first* batch blocks until released.
+
+    Lets a test pile up flushed batches behind a busy model worker and
+    observe — via ``order`` — the sequence they actually execute in.
+    """
+
+    def __init__(self) -> None:
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.order: list[float] = []
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    def predict(self, workloads):
+        with self._lock:
+            self._calls += 1
+            first = self._calls == 1
+        if first:
+            self.started.set()
+            assert self.release.wait(5.0), "gated model never released"
+        values = super().predict(workloads)
+        self.order.extend(values)
+        return values
+
+
 def make_lookup_pool(size: int = 6) -> list[Workload]:
     """``size`` distinct single-query workloads with known demands.
 
@@ -183,6 +209,10 @@ class NaiveServingOracle:
         self.generation = 0
         self.coalesced = 0
         self.next_batch_id = 1
+        self.next_seq = 0
+        # Stride fair-share state (only consulted when tenant_weights is set).
+        self.tenant_pass: dict = {}
+        self.vtime = 0
         # Pipeline state: naive containers only.
         self.cache_rows: list[list] = []  # [key, value, stored_at], recency order
         self.cache_enabled = self.config.enable_cache
@@ -213,6 +243,8 @@ class NaiveServingOracle:
                 deadline_at=event.deadline_at,
                 use_cache=event.use_cache,
                 signature=event.signature,
+                tenant=event.tenant,
+                priority=event.priority,
             )
         if isinstance(event, Tick):
             return self.tick(event.now)
@@ -285,7 +317,18 @@ class NaiveServingOracle:
 
     # -- events ----------------------------------------------------------------------
 
-    def submit(self, rid, workload, *, now, deadline_at=None, use_cache=True, signature=None):
+    def submit(
+        self,
+        rid,
+        workload,
+        *,
+        now,
+        deadline_at=None,
+        use_cache=True,
+        signature=None,
+        tenant=None,
+        priority=0,
+    ):
         if self.closing:
             raise ServingError("cannot submit to a closed serving kernel")
         actions = self._advance(now)
@@ -306,6 +349,49 @@ class NaiveServingOracle:
         if deadline_at is not None and self.now >= deadline_at:
             actions.append(Shed(rid, "admission"))
             return actions
+        # Per-tenant max-inflight quota: recount the tenant's live entries
+        # the naive way (scan everything) on every submit.
+        cap = self.config.inflight_cap(tenant)
+        if cap is not None:
+            inflight = 0
+            for entry in self.pending:
+                if entry["tenant"] == tenant:
+                    inflight += 1
+            for batch in self.executing.values():
+                for entry in batch["entries"]:
+                    if entry["tenant"] == tenant:
+                        inflight += 1
+            if inflight >= cap:
+                actions.append(Shed(rid, "admission", "queue_full"))
+                return actions
+        if (
+            self.config.enable_batching
+            and self.config.max_queue_depth is not None
+            and len(self.pending) >= self.config.max_queue_depth
+        ):
+            # Bounded queue: the scheduling-worst follower-free queued entry
+            # and the newcomer compete; the loser of the scheduling order
+            # (lowest priority, latest deadline, newest seq) is shed.
+            victim = None
+            for entry in self.pending:
+                if entry["followers"]:
+                    continue
+                if victim is None or self._order_key(entry) > self._order_key(victim):
+                    victim = entry
+            newcomer_key = (
+                -priority,
+                deadline_at if deadline_at is not None else float("inf"),
+                float("inf"),
+            )
+            if victim is None or newcomer_key > self._order_key(victim):
+                actions.append(Shed(rid, "admission", "queue_full"))
+                return actions
+            kept = []
+            for entry in self.pending:
+                if entry is not victim:
+                    kept.append(entry)
+            self.pending = kept
+            self._shed_entry(victim, "queue", actions, reason="priority_evict")
         entry = {
             "rid": rid,
             "workload": workload,
@@ -314,9 +400,13 @@ class NaiveServingOracle:
             "enqueued_at": self.now,
             "deadline_at": deadline_at,
             "generation": self.generation,
+            "tenant": tenant,
+            "priority": priority,
+            "seq": self.next_seq,
             "leads": False,
             "followers": [],
         }
+        self.next_seq += 1
         self.requests += 1
         if self.cache_enabled and deadline_at is None and key not in self.inflight:
             self.inflight[key] = entry
@@ -402,6 +492,16 @@ class NaiveServingOracle:
     def executing_count(self) -> int:
         return len(self.executing)
 
+    def tenant_inflight(self) -> dict:
+        """Per-tenant live entries, recounted naively from the containers."""
+        counts: dict = {}
+        for entry in self.pending:
+            counts[entry["tenant"]] = counts.get(entry["tenant"], 0) + 1
+        for batch in self.executing.values():
+            for entry in batch["entries"]:
+                counts[entry["tenant"]] = counts.get(entry["tenant"], 0) + 1
+        return counts
+
     def batcher_stats(self) -> BatcherStats:
         return BatcherStats(
             requests=self.requests,
@@ -428,10 +528,15 @@ class NaiveServingOracle:
         self.pending = still_pending
         return actions
 
-    def _shed_entry(self, entry, stage, actions):
+    def _order_key(self, entry):
+        """The total scheduling order: priority desc, deadline asc, seq asc."""
+        deadline = entry["deadline_at"] if entry["deadline_at"] is not None else float("inf")
+        return (-entry["priority"], deadline, entry["seq"])
+
+    def _shed_entry(self, entry, stage, actions, reason="deadline"):
         self.shed += 1
         self._clear_inflight(entry)
-        actions.append(Shed(entry["rid"], stage))
+        actions.append(Shed(entry["rid"], stage, reason))
 
     def _clear_inflight(self, entry):
         if entry["leads"] and self.inflight.get(entry["key"]) is entry:
@@ -499,15 +604,7 @@ class NaiveServingOracle:
     def _maybe_flush(self):
         actions = []
         while self.pending and len(self.executing) < self.max_concurrent and self._due():
-            if any(entry["deadline_at"] is not None for entry in self.pending):
-                self.pending.sort(
-                    key=lambda entry: (
-                        entry["deadline_at"] if entry["deadline_at"] is not None else float("inf"),
-                        entry["enqueued_at"],
-                    )
-                )
-            batch = self.pending[: self.config.max_batch_size]
-            self.pending = self.pending[self.config.max_batch_size :]
+            batch = self._cut_batch()
             if len(batch) == self.config.max_batch_size:
                 reason = "size"
             elif self.closing:
@@ -517,6 +614,49 @@ class NaiveServingOracle:
             actions.extend(self._flush(batch, reason))
         return actions
 
+    def _cut_batch(self):
+        if self.config.tenant_weights is None:
+            self.pending.sort(key=self._order_key)
+            batch = self.pending[: self.config.max_batch_size]
+            self.pending = self.pending[self.config.max_batch_size :]
+            return batch
+        # Weighted fair share: award batch slots one at a time with a
+        # stride scheduler over the tenants present at the highest pending
+        # priority (priority strictly dominates fairness).
+        stride_scale = 1 << 16
+        batch = []
+        while self.pending and len(batch) < self.config.max_batch_size:
+            top = None
+            for entry in self.pending:
+                if top is None or entry["priority"] > top:
+                    top = entry["priority"]
+            tenant = None
+            best_rank = None
+            for entry in self.pending:
+                if entry["priority"] != top:
+                    continue
+                tenant_pass = max(self.tenant_pass.get(entry["tenant"], 0), self.vtime)
+                rank = (tenant_pass, entry["tenant"] if entry["tenant"] is not None else "")
+                if best_rank is None or rank < best_rank:
+                    best_rank = rank
+                    tenant = entry["tenant"]
+            pick = None
+            for entry in self.pending:
+                if entry["priority"] != top or entry["tenant"] != tenant:
+                    continue
+                if pick is None or self._order_key(entry) < self._order_key(pick):
+                    pick = entry
+            kept = []
+            for entry in self.pending:
+                if entry is not pick:
+                    kept.append(entry)
+            self.pending = kept
+            batch.append(pick)
+            start = max(self.tenant_pass.get(tenant, 0), self.vtime)
+            self.tenant_pass[tenant] = start + stride_scale // self.config.weight_of(tenant)
+            self.vtime = start
+        return batch
+
     def _flush(self, entries, reason):
         batch_id = self.next_batch_id
         self.next_batch_id += 1
@@ -525,7 +665,9 @@ class NaiveServingOracle:
             FlushBatch(
                 batch_id,
                 tuple(
-                    BatchEntry(entry["rid"], entry["workload"], entry["deadline_at"])
+                    BatchEntry(
+                        entry["rid"], entry["workload"], entry["deadline_at"], entry["priority"]
+                    )
                     for entry in entries
                 ),
                 reason,

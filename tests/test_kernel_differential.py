@@ -46,9 +46,12 @@ from repro.serving import (
     ServerConfig,
     ShardedPredictionServer,
 )
-from repro.serving.kernel import FlushBatch, PipelineKernel
+from repro.serving.kernel import Complete, Fail, FlushBatch, PipelineKernel, Shed
 
 POOL = make_lookup_pool(5)
+
+#: Tenant labels mixed into submits (None = unlabeled traffic).
+TENANTS = [None, "a", "b", "c"]
 
 configs = st.builds(
     ServerConfig,
@@ -58,6 +61,9 @@ configs = st.builds(
     cache_ttl_s=st.sampled_from([None, 0.02, 10.0]),
     enable_cache=st.booleans(),
     enable_batching=st.booleans(),
+    max_queue_depth=st.sampled_from([None, 1, 2, 4]),
+    tenant_weights=st.sampled_from([None, {"a": 2, "b": 1}, {"a": 3, "b": 2, "c": 1}]),
+    tenant_max_inflight=st.sampled_from([None, {"a": 1}, {"a": 2, "b": 1}]),
 )
 
 # Deadline shapes relative to the machine's virtual "now": absent, far out,
@@ -96,25 +102,61 @@ class KernelVsOracleMachine(RuleBasedStateMachine):
             "past": self.now - 0.01,
         }[kind]
 
-    @rule(
-        pool_idx=st.integers(min_value=0, max_value=len(POOL) - 1),
-        kind=st.sampled_from(DEADLINE_KINDS),
-        use_cache=st.booleans(),
-        dt=st.sampled_from([0.0, 0.001, 0.01, 0.1]),
-    )
-    def submit(self, pool_idx, kind, use_cache, dt):
-        self.now += dt
+    def _submit_one(self, pool_idx, kind, use_cache, tenant, priority):
         self.rid += 1
         workload = POOL[pool_idx]
         deadline_at = self._deadline(kind)
         self._step(
             self.kernel.submit(
-                self.rid, workload, now=self.now, deadline_at=deadline_at, use_cache=use_cache
+                self.rid,
+                workload,
+                now=self.now,
+                deadline_at=deadline_at,
+                use_cache=use_cache,
+                tenant=tenant,
+                priority=priority,
             ),
             self.oracle.submit(
-                self.rid, workload, now=self.now, deadline_at=deadline_at, use_cache=use_cache
+                self.rid,
+                workload,
+                now=self.now,
+                deadline_at=deadline_at,
+                use_cache=use_cache,
+                tenant=tenant,
+                priority=priority,
             ),
         )
+
+    @rule(
+        pool_idx=st.integers(min_value=0, max_value=len(POOL) - 1),
+        kind=st.sampled_from(DEADLINE_KINDS),
+        use_cache=st.booleans(),
+        dt=st.sampled_from([0.0, 0.001, 0.01, 0.1]),
+        tenant=st.sampled_from(TENANTS),
+        priority=st.integers(min_value=0, max_value=2),
+    )
+    def submit(self, pool_idx, kind, use_cache, dt, tenant, priority):
+        self.now += dt
+        self._submit_one(pool_idx, kind, use_cache, tenant, priority)
+
+    @rule(
+        burst=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=len(POOL) - 1),
+                st.sampled_from(["none", "far", "tight"]),
+                st.sampled_from(TENANTS),
+                st.integers(min_value=0, max_value=2),
+            ),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def submit_burst(self, burst):
+        # A same-instant burst across tenants and priorities: the fastest
+        # way to overflow max_queue_depth and trip tenant quotas, since no
+        # time passes for the batch window (or a deadline) to drain work.
+        for pool_idx, kind, tenant, priority in burst:
+            self._submit_one(pool_idx, kind, True, tenant, priority)
 
     @rule(dt=st.sampled_from([0.0, 0.001, 0.01, 0.1, 2.0]))
     def tick(self, dt):
@@ -204,6 +246,9 @@ class KernelVsOracleMachine(RuleBasedStateMachine):
         assert self.kernel.idle() == self.oracle.idle()
         assert self.kernel.batcher_stats() == self.oracle.batcher_stats()
         assert self.kernel.cache_stats() == self.oracle.cache_stats()
+        # The kernel's incremental per-tenant accounting must equal the
+        # oracle's naive recount of its containers.
+        assert self.kernel.tenant_inflight() == self.oracle.tenant_inflight()
         kernel_wakeup = self.kernel.next_wakeup()
         oracle_wakeup = self.oracle.next_wakeup()
         if kernel_wakeup is None or oracle_wakeup is None:
@@ -231,6 +276,166 @@ class KernelVsOracleMachine(RuleBasedStateMachine):
 
 KernelVsOracleMachine.TestCase.settings = settings(stateful_step_count=40)
 TestKernelVsOracle = KernelVsOracleMachine.TestCase
+
+
+# -- fairness invariants, as direct properties of the kernel ---------------------------
+
+
+def _busy_kernel(config):
+    """A kernel whose single model slot is occupied, so submits only queue.
+
+    Returns the kernel and the occupying FlushBatch (rid 0, no deadline);
+    feeding its BatchDone back is what releases the slot.
+    """
+    kernel = PipelineKernel(config)
+    actions = kernel.submit(0, POOL[0], now=0.0)
+    actions += kernel.tick(config.max_wait_s)  # window expiry -> flush rid 0
+    flushes = [a for a in actions if isinstance(a, FlushBatch)]
+    assert len(flushes) == 1 and len(flushes[0].entries) == 1
+    return kernel, flushes[0]
+
+
+class TestSchedulingFairnessProperties:
+    """The scheduler's fairness guarantees, asserted directly on the kernel
+    (the differential machine checks kernel == oracle; these check that what
+    they both do is actually *fair*)."""
+
+    @given(
+        priorities=st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=12),
+        depth=st.integers(min_value=1, max_value=4),
+    )
+    def test_overload_never_sheds_high_priority_while_lower_survives(self, priorities, depth):
+        config = ServerConfig(
+            enable_cache=False, max_batch_size=8, max_wait_s=10.0, max_queue_depth=depth
+        )
+        kernel, _first = _busy_kernel(config)
+        queued = {}  # rid -> priority, mirroring the kernel's pending queue
+        for i, priority in enumerate(priorities):
+            rid = i + 1
+            actions = kernel.submit(rid, POOL[i % len(POOL)], now=10.0, priority=priority)
+            sheds = [a for a in actions if isinstance(a, Shed)]
+            newcomer_shed = any(a.rid == rid for a in sheds)
+            for action in sheds:
+                assert action.reason in ("queue_full", "priority_evict")
+                shed_priority = priority if action.rid == rid else queued.pop(action.rid)
+                survivors = list(queued.values())
+                if action.rid != rid:
+                    survivors.append(priority)  # the admitted newcomer
+                # The fairness contract: an overload shed only ever takes
+                # the (joint-)lowest priority present.
+                assert all(shed_priority <= p for p in survivors)
+            if not newcomer_shed:
+                queued[rid] = priority
+            assert len(queued) <= depth
+
+    @given(
+        weight_a=st.integers(min_value=1, max_value=4),
+        weight_b=st.integers(min_value=1, max_value=4),
+        max_batch=st.integers(min_value=2, max_value=8),
+        n_batches=st.integers(min_value=2, max_value=6),
+    )
+    def test_weighted_share_honored_within_one_batch(
+        self, weight_a, weight_b, max_batch, n_batches
+    ):
+        config = ServerConfig(
+            enable_cache=False,
+            max_batch_size=max_batch,
+            max_wait_s=10.0,
+            tenant_weights={"a": weight_a, "b": weight_b},
+        )
+        kernel, first = _busy_kernel(config)
+        total = n_batches * max_batch
+        tenant_of = {}
+        rid = 0
+        for i in range(total):  # deep backlog for both tenants
+            for tenant in ("a", "b"):
+                rid += 1
+                tenant_of[rid] = tenant
+                kernel.submit(rid, POOL[i % len(POOL)], now=10.0, tenant=tenant)
+        # Release the occupying singleton well past every batch window, then
+        # count who wins the slots of the next ``total`` flushed entries.
+        now = 30.0
+        actions = kernel.batch_done(first.batch_id, 10.0, [10.0], now)
+        flushes = [a for a in actions if isinstance(a, FlushBatch)]
+        slots = {"a": 0, "b": 0}
+        measured = 0
+        while flushes and measured < total:
+            flush = flushes.pop(0)
+            for entry in flush.entries:
+                if measured < total:
+                    slots[tenant_of[entry.rid]] += 1
+                    measured += 1
+            done = kernel.batch_done(flush.batch_id, now, [1.0] * len(flush.entries), now)
+            flushes.extend(a for a in done if isinstance(a, FlushBatch))
+        assert measured == total
+        expected_a = total * weight_a / (weight_a + weight_b)
+        assert abs(slots["a"] - expected_a) <= max_batch
+
+    @given(
+        config=configs,
+        trace=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=len(POOL) - 1),
+                st.sampled_from(DEADLINE_KINDS),
+                st.sampled_from(TENANTS),
+                st.integers(min_value=0, max_value=2),
+                st.sampled_from([0.0, 0.001, 0.1]),
+                st.booleans(),  # also complete the oldest outstanding batch?
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_starvation_freedom_every_request_terminates(self, config, trace):
+        kernel = PipelineKernel(config)
+        now = 100.0
+        deadline = {
+            "none": lambda: None,
+            "far": lambda: now + 1.0,
+            "tight": lambda: now + 0.004,
+            "now": lambda: now,
+            "past": lambda: now - 0.01,
+        }
+        outstanding = []
+        terminal = []
+
+        def collect(actions):
+            for action in actions:
+                if isinstance(action, (Complete, Shed, Fail)):
+                    terminal.append(action.rid)
+                elif isinstance(action, FlushBatch):
+                    outstanding.append(action)
+
+        def finish_oldest():
+            batch = outstanding.pop(0)
+            live = [
+                e for e in batch.entries if e.deadline_at is None or e.deadline_at > now
+            ]
+            collect(kernel.batch_done(batch.batch_id, now, [1.0] * len(live), now))
+
+        submitted = []
+        for rid, (pool_idx, kind, tenant, priority, dt, drain) in enumerate(trace, start=1):
+            now += dt
+            if drain and outstanding:
+                finish_oldest()
+            submitted.append(rid)
+            collect(
+                kernel.submit(
+                    rid,
+                    POOL[pool_idx],
+                    now=now,
+                    deadline_at=deadline[kind](),
+                    tenant=tenant,
+                    priority=priority,
+                )
+            )
+        collect(kernel.close(now))
+        while outstanding:
+            finish_oldest()
+        assert kernel.idle()
+        # Starvation-freedom: every submitted request reached exactly one
+        # terminal action (completed, shed, or failed) — none got stuck.
+        assert sorted(terminal) == submitted
 
 
 # -- the same randomized traffic, through the real fronts ------------------------------

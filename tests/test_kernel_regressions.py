@@ -17,7 +17,10 @@ pins one unified behavior across every front, minimally, so a future front
 * a hot swap mid-batch must gate the stale write-back on every front, not
   just invalidate the cache at swap time;
 * an expired request answerable from the cache is delivered late (counted
-  as a deadline miss), never shed.
+  as a deadline miss), never shed;
+* EDF cuts on equal deadlines follow a *total* scheduling order (priority,
+  deadline, admission seq) — they used to fall back on whatever insertion
+  order the pending queue happened to hold.
 """
 
 import threading
@@ -35,6 +38,7 @@ from repro.serving import (
     ServerConfig,
     ShardedPredictionServer,
 )
+from repro.serving.kernel import FlushBatch, PipelineKernel
 
 POOL = make_lookup_pool(4)
 FRONTS = ["thread", "asyncio", "sharded"]
@@ -230,3 +234,44 @@ def test_expired_cache_hit_delivers_late_instead_of_shedding(front):
     assert report.shed_requests == 0, front
     assert report.deadline_misses == 1, front
     assert report.n_errors == 0, front
+
+
+def _flushes(actions):
+    return [a for a in actions if isinstance(a, FlushBatch)]
+
+
+def _queued_same_deadline_kernel(priorities):
+    """A kernel with a busy model slot and rids 1..n queued at one instant,
+    all sharing one deadline, carrying ``priorities`` in admission order."""
+    config = ServerConfig(enable_cache=False, max_batch_size=2, max_wait_s=10.0)
+    kernel = PipelineKernel(config)
+    actions = kernel.submit(0, POOL[0], now=0.0)
+    actions += kernel.tick(10.0)  # window expiry flushes rid 0: slot busy
+    (first,) = _flushes(actions)
+    for rid, priority in enumerate(priorities, start=1):
+        assert not _flushes(
+            kernel.submit(rid, POOL[rid % len(POOL)], now=20.0, deadline_at=25.0,
+                          priority=priority)
+        )
+    return kernel, first
+
+
+def test_equal_deadline_ties_cut_in_admission_order():
+    """EDF cuts on equal deadlines are broken by admission order, totally.
+
+    The pre-fairness kernel ordered pending work by ``(deadline,
+    enqueued_at)``; requests admitted at the same instant with the same
+    deadline tied completely, and the cut fell back on the queue's
+    insertion history.  The scheduling key now ends in the admission
+    sequence number, so equal deadlines always cut oldest-first.
+    """
+    kernel, first = _queued_same_deadline_kernel([0, 0, 0])
+    (cut,) = _flushes(kernel.batch_done(first.batch_id, 10.0, [10.0], 20.0))
+    assert [entry.rid for entry in cut.entries] == [1, 2]
+
+
+def test_priority_outranks_admission_order_on_equal_deadlines():
+    """A higher-priority request wins the cut over older equal-deadline work."""
+    kernel, first = _queued_same_deadline_kernel([0, 0, 1])
+    (cut,) = _flushes(kernel.batch_done(first.batch_id, 10.0, [10.0], 20.0))
+    assert [entry.rid for entry in cut.entries] == [3, 1]

@@ -66,6 +66,12 @@ class TestConfigValidation:
             {"cache_entries": 0},
             {"cache_ttl_s": 0.0},
             {"stream_window": 0},
+            {"max_queue_depth": 0},
+            {"tenant_weights": {"": 1}},
+            {"tenant_weights": {"a": 0}},
+            {"tenant_weights": {"a": True}},
+            {"tenant_max_inflight": {"a": "2"}},
+            {"tenant_max_inflight": [("a", 1), ("a", 2)]},
         ],
     )
     def test_bad_knobs_raise(self, overrides):
@@ -75,6 +81,22 @@ class TestConfigValidation:
     def test_bad_concurrency_raises(self):
         with pytest.raises(InvalidParameterError):
             PipelineKernel(ServerConfig(), max_concurrent_batches=0)
+
+    def test_quota_mappings_normalize_to_sorted_pairs(self):
+        config = ServerConfig(
+            tenant_weights={"b": 1, "a": 3}, tenant_max_inflight=[("x", 2)]
+        )
+        assert config.tenant_weights == (("a", 3), ("b", 1))
+        assert config.tenant_max_inflight == (("x", 2),)
+        assert config.weight_of("a") == 3
+        assert config.weight_of("unlisted") == 1
+        assert config.inflight_cap("x") == 2
+        assert config.inflight_cap("unlisted") is None
+
+    def test_empty_quota_mappings_mean_feature_off(self):
+        config = ServerConfig(tenant_weights={}, tenant_max_inflight=())
+        assert config.tenant_weights is None
+        assert config.tenant_max_inflight is None
 
 
 class TestEventDispatch:
@@ -398,8 +420,41 @@ class TestHelpers:
         assert [e.deadline_at for e in live] == [None, 3.0]
         assert [e.deadline_at for e in expired] == [1.0, 2.0]
 
-    def test_shed_messages_cover_every_stage(self):
-        assert set(SHED_MESSAGES) == {"admission", "queue", "execution"}
+    def test_queue_bound_never_evicts_a_coalesced_lead(self):
+        """Entries carrying followers are not eviction candidates.
+
+        Shedding a lead would orphan every follower attached to it, so the
+        victim search skips them: with the queue at depth, an equal-priority
+        newcomer is rejected (it loses the seq tie), and a higher-priority
+        newcomer evicts the worst *follower-free* entry instead.
+        """
+        kernel = make_kernel(max_queue_depth=2, max_wait_s=10.0)
+        kernel.submit(0, POOL[0], now=0.0)
+        one(kernel.tick(10.0), FlushBatch)  # window expiry: the slot is busy
+        kernel.submit(1, POOL[1], now=20.0)
+        kernel.submit(2, POOL[1], now=20.0)  # coalesces onto rid 1's entry
+        assert kernel.coalesced_requests == 1
+        kernel.submit(3, POOL[2], now=20.0)
+
+        # Queue at depth, equal priority: the newcomer is the scheduling-worst
+        # candidate (newest seq), so it is the one rejected.
+        shed = one(kernel.submit(4, POOL[3], now=20.0), Shed)
+        assert (shed.rid, shed.stage, shed.reason) == (4, "admission", "queue_full")
+
+        # A higher-priority newcomer evicts the worst follower-free entry —
+        # rid 3, never the older rid 1 that holds a follower.
+        shed = one(kernel.submit(5, POOL[4], now=20.0, priority=1), Shed)
+        assert (shed.rid, shed.stage, shed.reason) == (3, "queue", "priority_evict")
+        assert [entry.rid for entry in kernel._pending] == [1, 5]
+
+    def test_shed_messages_cover_every_stage_and_reason(self):
+        assert set(SHED_MESSAGES) == {
+            "admission",
+            "queue",
+            "execution",
+            "queue_full",
+            "priority_evict",
+        }
 
 
 class FakeTelemetry:
@@ -464,3 +519,35 @@ class TestApplyActions:
             ("batch", 3),
             ("depth", 7),
         ]
+
+    def test_overload_sheds_carry_their_reason_into_telemetry(self):
+        """``queue_full`` / ``priority_evict`` sheds pass their reason through.
+
+        Deadline sheds deliberately omit the kwarg (so duck-typed telemetry
+        doubles without the parameter keep working — the test above proves
+        it); overload sheds must label both the counter and the error.
+        """
+
+        class ReasonTelemetry(FakeTelemetry):
+            def record_deadline_miss(self, shed=False, tenant=None, reason="deadline"):
+                self.calls.append(("miss", shed, tenant, reason))
+
+        telemetry = ReasonTelemetry()
+        failed = []
+        apply_actions(
+            [Shed(3, "admission", "queue_full"), Shed(4, "queue", "priority_evict")],
+            telemetry=telemetry,
+            complete=lambda action: None,
+            fail=lambda rid, err: failed.append((rid, err)),
+            flush=lambda action: None,
+            tenant_of={3: "a"}.get,
+        )
+        assert telemetry.calls == [
+            ("miss", True, "a", "queue_full"),
+            ("miss", True, None, "priority_evict"),
+        ]
+        assert [str(err) for _, err in failed] == [
+            SHED_MESSAGES["queue_full"],
+            SHED_MESSAGES["priority_evict"],
+        ]
+        assert all(isinstance(err, DeadlineExceededError) for _, err in failed)

@@ -5,7 +5,7 @@ import time
 
 import numpy as np
 import pytest
-from oracle import CountingPredictor
+from oracle import CountingPredictor, GatedLookupPredictor, make_lookup_pool
 
 from repro.api import CachePolicy, PredictionRequest
 from repro.core.workload import Workload
@@ -222,6 +222,28 @@ class TestDeadlines:
             report = server.snapshot()
         assert report.deadline_misses == 1
         assert report.shed_requests == 0
+
+
+class TestPriorityExecution:
+    def test_ready_batches_execute_priority_first(self):
+        """A high-priority batch overtakes a queued low-priority backlog.
+
+        The first batch blocks the worker; two more flush behind it — a
+        priority-0 one first, then a priority-1 one.  On release the
+        worker must pick the priority-1 batch before the older backlog.
+        """
+        model = GatedLookupPredictor()
+        pool = make_lookup_pool(3)
+        config = ServerConfig(max_batch_size=1, max_wait_s=0.0, enable_cache=False)
+        with PredictionServer(model, config=config) as server:
+            first = server.submit_request(PredictionRequest.of(pool[0]))
+            assert model.started.wait(5.0)
+            low = server.submit_request(PredictionRequest.of(pool[1]))
+            high = server.submit_request(PredictionRequest.of(pool[2], priority=1))
+            model.release.set()
+            for future in (first, low, high):
+                future.result(timeout=5.0)
+        assert model.order == [10.0, 30.0, 20.0]
 
 
 class TestHotSwap:

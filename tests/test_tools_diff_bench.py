@@ -87,6 +87,61 @@ class TestGates:
         assert "shed_requests" in baseline
 
 
+class TestSections:
+    def test_sections_print_info_only_and_never_gate(self, tmp_path, capsys):
+        # A regressed metric inside a section must not fail the run.
+        current = dict(BASELINE, gateway={"latency_p95_ms": 500.0})
+        baseline = dict(BASELINE, gateway={"latency_p95_ms": 1.0})
+        assert run(tmp_path, current, baseline=baseline) == 0
+        out = capsys.readouterr().out
+        assert "[section gateway] (informational, not gated)" in out
+
+    def test_current_only_section_prints_na_baselines(self, tmp_path, capsys):
+        current = dict(BASELINE, scenario_new={"deadline_misses": 3})
+        assert run(tmp_path, current) == 0
+        out = capsys.readouterr().out
+        assert "[section scenario_new]" in out
+        assert "deadline_misses" in out
+        assert "n/a" in out
+
+    def test_per_tenant_blocks_flatten_into_section_rows(self, tmp_path, capsys):
+        # Scenario legs nest one counter block per tenant; those rows are
+        # printed as tenants.<name>.<field>, diffed against the baseline's
+        # matching block when present, and never gate.
+        tenants = {
+            "noisy": {"shed_requests": 400, "shed_queue_full": 390, "shed_priority_evict": 10},
+            "steady": {"deadline_misses": 0, "shed_requests": 0},
+        }
+        current = dict(BASELINE, scenario_contention={"n_requests": 9000, "tenants": tenants})
+        baseline = dict(
+            BASELINE,
+            scenario_contention={
+                "n_requests": 9500,
+                "tenants": {"noisy": {"shed_requests": 350}},
+            },
+        )
+        assert run(tmp_path, current, baseline=baseline) == 0
+        out = capsys.readouterr().out
+        assert "tenants.noisy.shed_requests" in out
+        assert "tenants.noisy.shed_queue_full" in out
+        assert "tenants.steady.deadline_misses" in out
+        # The one field with a baseline gets a delta; the rest read n/a.
+        noisy_row = next(l for l in out.splitlines() if "tenants.noisy.shed_requests" in l)
+        assert "+14.3 %" in noisy_row
+
+    def test_repo_baseline_carries_the_contention_section(self):
+        baseline = json.loads(
+            (Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_serving.baseline.json")
+            .read_text()
+        )
+        section = baseline["scenario_contention"]
+        for tenant in ("noisy", "steady"):
+            block = section["tenants"][tenant]
+            for field in ("shed_requests", "shed_queue_full", "shed_priority_evict"):
+                assert field in block
+        assert section["tenants"]["steady"]["deadline_misses"] == 0
+
+
 class TestErrors:
     def test_missing_gated_metric_is_an_error(self, tmp_path):
         current = {"achieved_qps": 200.0}

@@ -106,21 +106,21 @@ def section_lines(current: dict, baseline: dict) -> list[str]:
     A section present only in the current report (a new benchmark leg with
     no committed baseline yet) is printed with ``n/a`` baselines instead of
     failing, so adding a leg does not require touching the baseline first.
+    Dict-valued entries one level below a section (the scenario legs'
+    per-tenant counter blocks) are flattened to ``parent.child.field``
+    rows, equally informational.
     """
-    lines: list[str] = []
-    for name in sorted(key for key in current if isinstance(current[key], dict)):
-        section = current[name]
-        base_section = baseline.get(name)
-        base_section = base_section if isinstance(base_section, dict) else {}
+
+    def numeric_rows(section: dict, base_section: dict, prefix: str) -> list[str]:
         numeric = sorted(
             key
             for key, value in section.items()
             if isinstance(value, (int, float)) and not isinstance(value, bool)
         )
         if not numeric:
-            continue
-        lines.append(f"[section {name}] (informational, not gated)")
-        width = max(len(key) for key in numeric)
+            return []
+        rows: list[str] = []
+        width = max(len(prefix + key) for key in numeric)
         for key in numeric:
             cur = float(section[key])
             base = base_section.get(key)
@@ -134,7 +134,34 @@ def section_lines(current: dict, baseline: dict) -> list[str]:
             else:
                 base_text = f"{'n/a':>12}"
                 change_text = "      n/a"
-            lines.append(f"  {key:<{width}}  {base_text}  {cur:>12.3f}  {change_text}")
+            rows.append(f"  {prefix + key:<{width}}  {base_text}  {cur:>12.3f}  {change_text}")
+        return rows
+
+    def nested_dicts(section: dict, base_section: dict, prefix: str) -> list[str]:
+        # Per-tenant blocks: {"tenants": {"noisy": {...}, "steady": {...}}}
+        rows: list[str] = []
+        for parent in sorted(key for key in section if isinstance(section[key], dict)):
+            base_parent = base_section.get(parent)
+            base_parent = base_parent if isinstance(base_parent, dict) else {}
+            for child in sorted(key for key in section[parent] if isinstance(section[parent][key], dict)):
+                base_child = base_parent.get(child)
+                base_child = base_child if isinstance(base_child, dict) else {}
+                rows.extend(
+                    numeric_rows(section[parent][child], base_child, f"{prefix}{parent}.{child}.")
+                )
+        return rows
+
+    lines: list[str] = []
+    for name in sorted(key for key in current if isinstance(current[key], dict)):
+        section = current[name]
+        base_section = baseline.get(name)
+        base_section = base_section if isinstance(base_section, dict) else {}
+        rows = numeric_rows(section, base_section, "")
+        rows.extend(nested_dicts(section, base_section, ""))
+        if not rows:
+            continue
+        lines.append(f"[section {name}] (informational, not gated)")
+        lines.extend(rows)
     return lines
 
 
